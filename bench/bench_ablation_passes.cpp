@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Design-choice ablation D3 (§4.3): number of off-chip Dynamic Partial
+ * Sorting passes per frame. More passes buy ordering accuracy (and thus
+ * rendering quality) at proportional DRAM traffic; the paper adopts a
+ * single pass after observing <0.1 dB quality impact.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/reuse_update.h"
+#include "gs/pipeline.h"
+#include "metrics/psnr.h"
+#include "scene/datasets.h"
+#include "scene/trajectory.h"
+
+using namespace neo;
+
+int
+main()
+{
+    std::printf("==========================================================\n");
+    std::printf("Ablation D3 - off-chip sorting passes per frame (§4.3)\n");
+    std::printf("  paper: single pass costs <0.1 dB; extra passes add "
+                "proportional traffic\n");
+    std::printf("==========================================================\n");
+
+    ScenePreset preset = presetByName("Playground");
+    GaussianScene scene = buildScene(preset, 0.02);
+    Trajectory traj(preset.trajectory, scene, 2.0f);
+    Resolution res{320, 192, "bench"};
+
+    PipelineOptions opts;
+    opts.tile_px = 32;
+    Renderer base(opts);
+
+    std::printf("%-8s %-14s %-14s %-16s\n", "passes", "minPSNR(dB)",
+                "meanPSNR(dB)", "sortbytes/frame");
+
+    const int frames = 12;
+    for (int passes = 1; passes <= 4; ++passes) {
+        DynamicPartialConfig dps;
+        dps.passes = passes;
+        ReuseUpdateSorter sorter(dps);
+        Renderer renderer(opts);
+
+        double min_psnr = 1e9, sum_psnr = 0.0;
+        uint64_t bytes = 0;
+        int measured = 0;
+        for (int f = 0; f < frames; ++f) {
+            Camera cam = traj.cameraAt(f, res);
+            BinnedFrame frame = binFrame(scene, cam, opts.tile_px);
+            sorter.beginFrame(frame, f);
+            if (f == 0) {
+                sorter.takeStats();
+                continue; // cold start is a full sort; skip
+            }
+            BinnedFrame sorted = frame;
+            for (auto &tile : sorted.tiles)
+                std::sort(tile.begin(), tile.end(), entryDepthLess);
+            Image ref = base.renderWithOrdering(sorted, {});
+            Image img =
+                renderer.renderWithOrdering(frame, sorter.orderings());
+            double q = psnr(ref, img);
+            min_psnr = std::min(min_psnr, q);
+            sum_psnr += q;
+            ++measured;
+            SortCoreStats s = sorter.takeStats();
+            bytes += (s.entries_read + s.entries_written) * 8;
+        }
+        std::printf("%-8d %-14.2f %-14.2f %-16.0f\n", passes, min_psnr,
+                    sum_psnr / measured,
+                    static_cast<double>(bytes) / measured);
+    }
+
+    std::printf("\n(PSNR is against the exact per-frame sort; traffic "
+                "scales ~linearly with passes while quality saturates "
+                "after one pass)\n");
+    return 0;
+}

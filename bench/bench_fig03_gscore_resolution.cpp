@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 3: GSCore throughput (FPS) at HD / FHD / QHD on the six scenes,
+ * with the paper's original configuration (4 cores, 51.2 GB/s).
+ *
+ * Expected shape: >60 FPS at HD, a steep drop at FHD and QHD (the paper
+ * measures 66.7 / 31.1 / 15.8 FPS on average).
+ */
+
+#include "bench_common.h"
+#include "sim/gscore_model.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+int
+main()
+{
+    banner("Figure 3 - GSCore FPS vs resolution",
+           "GSCore, 4 cores, 51.2 GB/s",
+           "66.7 FPS HD / 31.1 FPS FHD / 15.8 FPS QHD (mean)");
+
+    GscoreConfig cfg;
+    cfg.cores = 4;
+    GscoreModel model(cfg);
+
+    cell("Scene");
+    for (auto res : mainResolutions())
+        cell(res.name);
+    endRow();
+
+    std::vector<double> mean_fps(3, 0.0);
+    for (const auto &scene : mainScenes()) {
+        cell(scene.c_str());
+        int col = 0;
+        for (auto res : mainResolutions()) {
+            auto seq = sequence(scene, res, 16);
+            SequenceResult r = simulateGscore(model, seq);
+            cellf(r.meanFps());
+            mean_fps[col++] += r.meanFps() / mainScenes().size();
+        }
+        endRow();
+    }
+    cell("MEAN");
+    for (double f : mean_fps)
+        cellf(f);
+    endRow();
+
+    std::printf("\nSLO: 60 FPS -> HD %s, FHD %s, QHD %s\n",
+                mean_fps[0] >= 60.0 ? "met" : "missed",
+                mean_fps[1] >= 60.0 ? "met" : "missed",
+                mean_fps[2] >= 60.0 ? "met" : "missed");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 4: GSCore FPS at QHD sweeping core count {4, 8, 16} against DRAM
+ * bandwidth {51.2, 102.4, 204.8} GB/s.
+ *
+ * Expected shape: at 51.2 GB/s, 4 -> 16 cores gains ~1.1x (bandwidth
+ * bound); at fixed 16 cores, 4x bandwidth gains ~3.8x. The paper measures
+ * 15.4/17.0/17.3 (51.2), 24.3/31.4/34.6 (102.4), 34.4/50.8/66.3 (204.8).
+ */
+
+#include "bench_common.h"
+#include "sim/gscore_model.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+int
+main()
+{
+    banner("Figure 4 - GSCore FPS vs cores x bandwidth @ QHD",
+           "GSCore @ QHD, 6-scene mean",
+           "compute scaling stalls at low bandwidth; bandwidth is the "
+           "bottleneck");
+
+    const int cores[] = {4, 8, 16};
+    const double bws[] = {51.2, 102.4, 204.8};
+
+    // Workloads are shared across configs: extract once per scene.
+    std::vector<std::vector<FrameWorkload>> seqs;
+    for (const auto &scene : mainScenes())
+        seqs.push_back(sequence(scene, kResQHD, 16));
+
+    cell("BW\\cores");
+    for (int c : cores) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%d", c);
+        cell(buf);
+    }
+    endRow();
+
+    double fps_4_low = 0.0, fps_16_low = 0.0, fps_16_high = 0.0;
+    for (double bw : bws) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "%.1f GB/s", bw);
+        cell(label);
+        for (int c : cores) {
+            GscoreConfig cfg;
+            cfg.cores = c;
+            cfg.dram.bandwidth_gbps = bw;
+            GscoreModel model(cfg);
+            double fps = 0.0;
+            for (const auto &seq : seqs)
+                fps += simulateGscore(model, seq).meanFps() / seqs.size();
+            cellf(fps);
+            if (bw == 51.2 && c == 4)
+                fps_4_low = fps;
+            if (bw == 51.2 && c == 16)
+                fps_16_low = fps;
+            if (bw == 204.8 && c == 16)
+                fps_16_high = fps;
+        }
+        endRow();
+    }
+
+    std::printf("\ncore scaling 4->16 @ 51.2 GB/s: %.2fx (paper: ~1.12x)\n",
+                fps_16_low / fps_4_low);
+    std::printf("bandwidth scaling 51.2->204.8 @ 16 cores: %.2fx "
+                "(paper: ~3.83x)\n",
+                fps_16_high / fps_16_low);
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 5: DRAM traffic (GB, normalized to 60 rendered frames) and its
+ * per-stage breakdown for (a) the GPU and (b) GSCore, at HD/FHD/QHD.
+ *
+ * Expected shape: sorting dominates — up to ~91% on the GPU and ~69% on
+ * GSCore at QHD — and grows with resolution.
+ */
+
+#include "bench_common.h"
+#include "sim/gpu_model.h"
+#include "sim/gscore_model.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+namespace
+{
+
+template <typename Model, typename SimFn>
+void
+report(const char *name, const Model &model, SimFn &&simulate)
+{
+    std::printf("\n(%s) traffic for 60 frames, 6-scene mean\n", name);
+    cell("Res");
+    cell("FE (GB)");
+    cell("Sort (GB)");
+    cell("Raster(GB)");
+    cell("Total (GB)");
+    cell("Sort %");
+    endRow();
+    for (auto res : mainResolutions()) {
+        TrafficBreakdown total;
+        double scale_to_60 = 0.0;
+        for (const auto &scene : mainScenes()) {
+            auto seq = sequence(scene, res, 16);
+            SequenceResult r = simulate(model, seq);
+            TrafficBreakdown t = r.traffic();
+            double k = 60.0 / static_cast<double>(seq.size()) /
+                       mainScenes().size();
+            total.feature_bytes += t.feature_bytes * k;
+            total.sorting_bytes += t.sorting_bytes * k;
+            total.raster_bytes += t.raster_bytes * k;
+            scale_to_60 = 1.0;
+        }
+        (void)scale_to_60;
+        cell(res.name);
+        cellf(total.feature_bytes / 1e9);
+        cellf(total.sorting_bytes / 1e9);
+        cellf(total.raster_bytes / 1e9);
+        cellf(total.totalGB());
+        cellf(100.0 * total.fraction(Stage::Sorting));
+        endRow();
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 5 - DRAM traffic breakdown (60 frames)",
+           "GPU vs GSCore, HD/FHD/QHD",
+           "sorting share: GPU 81/88/91%, GSCore 63/67/69%; "
+           "GSCore totals ~105 GB @ QHD");
+
+    report("a: GPU, Orin AGX", GpuModel(),
+           [](const GpuModel &m, const std::vector<FrameWorkload> &s) {
+               return simulateGpu(m, s);
+           });
+    report("b: GSCore, 16 cores", GscoreModel(),
+           [](const GscoreModel &m, const std::vector<FrameWorkload> &s) {
+               return simulateGscore(m, s);
+           });
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 6: CDF of the per-tile proportion of Gaussians shared between
+ * consecutive frames, for the six scenes.
+ *
+ * Expected shape: heavy mass near 1.0 — the paper reports that in all
+ * scenes over 90% of tiles retain more than 78% of their Gaussians.
+ */
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "core/delta_tracker.h"
+#include "gs/pipeline.h"
+#include "scene/trajectory.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+int
+main()
+{
+    banner("Figure 6 - temporal similarity of assigned Gaussians per tile",
+           "per-tile retention CDF, consecutive frames",
+           ">90% of tiles retain >78% of Gaussians, all scenes");
+
+    const int frames = benchFrameCount(8);
+    const double scale = benchSceneScale();
+
+    cell("Scene");
+    cell("p10");
+    cell("p50");
+    cell("mean");
+    cell(">=0.78");
+    endRow();
+
+    for (const auto &name : mainScenes()) {
+        ScenePreset preset = presetByName(name);
+        GaussianScene scene = buildScene(preset, scale);
+        Trajectory traj(preset.trajectory, scene);
+        Renderer renderer; // 16-px tiles, as the motivation study
+        DeltaTracker tracker;
+
+        std::vector<double> retention;
+        for (int f = 0; f < frames; ++f) {
+            Camera cam = traj.cameraAt(f, kResQHD);
+            BinnedFrame frame = binFrame(scene, cam, 16);
+            FrameDelta delta = tracker.observe(frame);
+            if (f > 0)
+                retention.insert(retention.end(),
+                                 delta.tile_retention.begin(),
+                                 delta.tile_retention.end());
+        }
+        (void)renderer;
+
+        cell(name.c_str());
+        cellf(percentile(retention, 10.0), "%-12.3f");
+        cellf(percentile(retention, 50.0), "%-12.3f");
+        cellf(mean(retention), "%-12.3f");
+        cellf(fractionAtLeast(retention, 0.78), "%-12.3f");
+        endRow();
+
+        // Compact CDF series (value:cumulative) like the figure's x-axis.
+        auto cdf = empiricalCdf(retention, 8);
+        std::printf("  cdf:");
+        for (const auto &p : cdf)
+            std::printf(" %.2f:%.2f", p.value, p.cumulative);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 15: end-to-end throughput (FPS) of Orin AGX, GSCore (16 cores)
+ * and Neo on the six scenes at HD / FHD / QHD, plus the MEAN column.
+ *
+ * Expected shape: Neo > GSCore > Orin everywhere, with Neo's advantage
+ * growing with resolution (paper: 1.8/3.3/5.6x over GSCore and
+ * 5.0/7.2/10.0x over Orin at HD/FHD/QHD; Neo ~99.3 FPS at QHD).
+ */
+
+#include "bench_common.h"
+#include "sim/gpu_model.h"
+#include "sim/gscore_model.h"
+#include "sim/neo_model.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+int
+main()
+{
+    banner("Figure 15 - end-to-end throughput (FPS)",
+           "Orin AGX vs GSCore(16) vs Neo",
+           "Neo/GSCore speedup 1.8/3.3/5.6x at HD/FHD/QHD; Neo ~99 FPS "
+           "@ QHD");
+
+    GpuModel orin;
+    GscoreModel gscore;
+    NeoModel neo;
+
+    for (auto res : mainResolutions()) {
+        std::printf("\n-- %s --\n", res.name);
+        cell("Scene");
+        cell("OrinAGX");
+        cell("GSCore");
+        cell("Neo");
+        cell("Neo/GS");
+        cell("Neo/Orin");
+        endRow();
+
+        double sum_orin = 0.0, sum_gscore = 0.0, sum_neo = 0.0;
+        for (const auto &scene : mainScenes()) {
+            auto seq16 = sequence(scene, res, 16);
+            auto seq64 = sequence(scene, res, 64);
+            double f_orin = simulateGpu(orin, seq16).meanFps();
+            double f_gscore = simulateGscore(gscore, seq16).meanFps();
+            double f_neo = simulateNeo(neo, seq64).meanFps();
+            cell(scene.c_str());
+            cellf(f_orin);
+            cellf(f_gscore);
+            cellf(f_neo);
+            cellf(f_neo / f_gscore, "%-12.2f");
+            cellf(f_neo / f_orin, "%-12.2f");
+            endRow();
+            sum_orin += f_orin;
+            sum_gscore += f_gscore;
+            sum_neo += f_neo;
+        }
+        double n = mainScenes().size();
+        cell("MEAN");
+        cellf(sum_orin / n);
+        cellf(sum_gscore / n);
+        cellf(sum_neo / n);
+        cellf(sum_neo / sum_gscore, "%-12.2f");
+        cellf(sum_neo / sum_orin, "%-12.2f");
+        endRow();
+    }
+    return 0;
+}

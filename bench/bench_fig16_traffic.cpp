@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 16: DRAM traffic (GB) to render 60 frames at QHD, per scene, for
+ * Orin AGX, GSCore and Neo.
+ *
+ * Expected shape: Orin >> GSCore >> Neo; the paper reports 6-scene means
+ * of 346.5 / 104.6 / 19.6 GB, i.e. reductions of 94.4% / 81.3% by Neo.
+ */
+
+#include "bench_common.h"
+#include "sim/gpu_model.h"
+#include "sim/gscore_model.h"
+#include "sim/neo_model.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+int
+main()
+{
+    banner("Figure 16 - DRAM traffic for 60 frames @ QHD (GB)",
+           "Orin AGX vs GSCore vs Neo",
+           "means 346.5 / 104.6 / 19.6 GB; Neo cuts 94.4% vs GPU, 81.3% "
+           "vs GSCore");
+
+    GpuModel orin;
+    GscoreModel gscore;
+    NeoModel neo;
+
+    cell("Scene");
+    cell("OrinAGX");
+    cell("GSCore");
+    cell("Neo");
+    endRow();
+
+    double sum_orin = 0.0, sum_gscore = 0.0, sum_neo = 0.0;
+    for (const auto &scene : mainScenes()) {
+        auto seq16 = sequence(scene, kResQHD, 16);
+        auto seq64 = sequence(scene, kResQHD, 64);
+        double t_orin =
+            simulateGpu(orin, seq16).trafficGBPer60Frames();
+        double t_gscore =
+            simulateGscore(gscore, seq16).trafficGBPer60Frames();
+        double t_neo = simulateNeo(neo, seq64).trafficGBPer60Frames();
+        cell(scene.c_str());
+        cellf(t_orin);
+        cellf(t_gscore);
+        cellf(t_neo);
+        endRow();
+        sum_orin += t_orin;
+        sum_gscore += t_gscore;
+        sum_neo += t_neo;
+    }
+    double n = mainScenes().size();
+    cell("MEAN");
+    cellf(sum_orin / n);
+    cellf(sum_gscore / n);
+    cellf(sum_neo / n);
+    endRow();
+
+    std::printf("\nNeo reduction vs Orin: %.1f%% (paper 94.4%%), vs "
+                "GSCore: %.1f%% (paper 81.3%%)\n",
+                100.0 * (1.0 - sum_neo / sum_orin),
+                100.0 * (1.0 - sum_neo / sum_gscore));
+    return 0;
+}

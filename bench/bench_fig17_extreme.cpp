@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 17: extreme AR/VR scenarios.
+ *  (a) Large-scale Mill 19-style scenes (Building, Rubble): FPS for Orin,
+ *      GSCore and Neo. Paper: Neo ~65.2 FPS mean; Orin <13.6, GSCore <24.9.
+ *  (b) Rapid camera movement (1x..16x) on the T&T scenes: Neo stays above
+ *      the 60 FPS SLO even though reuse decreases.
+ */
+
+#include "bench_common.h"
+#include "sim/gpu_model.h"
+#include "sim/gscore_model.h"
+#include "sim/neo_model.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+int
+main()
+{
+    banner("Figure 17 - extreme AR/VR scenarios",
+           "large-scale scenes + rapid camera movement",
+           "(a) Neo ~65 FPS on Mill 19; (b) Neo >60 FPS up to 16x speed");
+
+    GpuModel orin;
+    GscoreModel gscore;
+    NeoModel neo;
+
+    std::printf("\n(a) large-scale scenes @ QHD\n");
+    cell("Scene");
+    cell("OrinAGX");
+    cell("GSCore");
+    cell("Neo");
+    endRow();
+    for (const char *scene : {"Building", "Rubble"}) {
+        auto seq16 = sequence(scene, kResQHD, 16);
+        auto seq64 = sequence(scene, kResQHD, 64);
+        cell(scene);
+        cellf(simulateGpu(orin, seq16).meanFps());
+        cellf(simulateGscore(gscore, seq16).meanFps());
+        cellf(simulateNeo(neo, seq64).meanFps());
+        endRow();
+    }
+
+    std::printf("\n(b) rapid camera movement @ QHD, Neo, 6-scene mean\n");
+    cell("Speed");
+    cell("Neo FPS");
+    cell("retention");
+    cell("incoming%");
+    endRow();
+    for (float speed : {1.0f, 2.0f, 4.0f, 8.0f, 16.0f}) {
+        double fps = 0.0, retention = 0.0, incoming = 0.0;
+        for (const auto &scene : mainScenes()) {
+            auto seq = sequence(scene, kResQHD, 64, 8, speed);
+            SequenceResult r = simulateNeo(neo, seq);
+            fps += r.meanFps() / mainScenes().size();
+            double ret = 0.0, inc = 0.0;
+            for (size_t i = 1; i < seq.size(); ++i) {
+                ret += seq[i].mean_tile_retention;
+                inc += static_cast<double>(seq[i].incoming_instances) /
+                       std::max<uint64_t>(seq[i].instances, 1);
+            }
+            retention += ret / (seq.size() - 1) / mainScenes().size();
+            incoming += inc / (seq.size() - 1) / mainScenes().size();
+        }
+        char label[16];
+        std::snprintf(label, sizeof(label), "x%.0f", speed);
+        cell(label);
+        cellf(fps);
+        cellf(retention, "%-12.3f");
+        cellf(100.0 * incoming, "%-12.1f");
+        endRow();
+    }
+    std::printf("\n(SLO: 60 FPS)\n");
+    return 0;
+}

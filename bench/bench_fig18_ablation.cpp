@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 18: hardware ablation at QHD (6-scene mean), normalized to
+ * GSCore.
+ *  - GSCore: baseline (sorts from scratch).
+ *  - Neo-S:  GSCore with Neo's Sorting Engine (reuse-and-update sorting),
+ *            but no deferred-depth-update or on-the-fly-ITU hardware: a
+ *            post-processing pass refreshes table metadata and bitmaps
+ *            still travel off-chip.
+ *  - Neo:    the full co-design.
+ *
+ * Expected shape: Neo-S cuts traffic ~71% / speeds up ~3.3x vs GSCore;
+ * full Neo adds another ~36% traffic cut and ~1.7x speedup. Also reports
+ * the §4.4 claim: Neo without deferred depth updates moves ~33% more
+ * bytes than full Neo.
+ */
+
+#include "bench_common.h"
+#include "sim/gscore_model.h"
+#include "sim/neo_model.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+int
+main()
+{
+    banner("Figure 18 - ablation: GSCore -> Neo-S -> Neo @ QHD",
+           "speedup and DRAM traffic normalized to GSCore",
+           "Neo-S: ~3.3x speedup, -71% traffic; Neo: +1.7x more, -36% "
+           "more traffic");
+
+    GscoreModel gscore;
+    NeoModel neo_s(neoSOnlyConfig());
+    NeoModel neo;
+
+    double lat_gscore = 0.0, lat_neos = 0.0, lat_neo = 0.0;
+    double gb_gscore = 0.0, gb_neos = 0.0, gb_neo = 0.0;
+    for (const auto &scene : mainScenes()) {
+        auto seq16 = sequence(scene, kResQHD, 16);
+        auto seq64 = sequence(scene, kResQHD, 64);
+        SequenceResult rg = simulateGscore(gscore, seq16);
+        SequenceResult rs = simulateNeo(neo_s, seq64);
+        SequenceResult rn = simulateNeo(neo, seq64);
+        lat_gscore += rg.meanLatencyMs();
+        lat_neos += rs.meanLatencyMs();
+        lat_neo += rn.meanLatencyMs();
+        gb_gscore += rg.totalTrafficGB();
+        gb_neos += rs.totalTrafficGB();
+        gb_neo += rn.totalTrafficGB();
+    }
+
+    std::printf("\n");
+    cell("Config");
+    cell("Speedup");
+    cell("RelTraffic");
+    endRow();
+    cell("GSCore");
+    cellf(1.0, "%-12.2f");
+    cellf(1.0, "%-12.2f");
+    endRow();
+    cell("Neo-S");
+    cellf(lat_gscore / lat_neos, "%-12.2f");
+    cellf(gb_neos / gb_gscore, "%-12.2f");
+    endRow();
+    cell("Neo");
+    cellf(lat_gscore / lat_neo, "%-12.2f");
+    cellf(gb_neo / gb_gscore, "%-12.2f");
+    endRow();
+
+    std::printf("\nincremental: Neo over Neo-S = %.2fx speedup, %.1f%% "
+                "further traffic cut (paper: 1.7x, 35.8%%)\n",
+                lat_neos / lat_neo, 100.0 * (1.0 - gb_neo / gb_neos));
+
+    // §4.4 claim: dropping only the deferred depth update costs ~33%.
+    NeoConfig no_defer;
+    no_defer.deferred_depth_update = false;
+    NeoModel neo_nodefer(no_defer);
+    double gb_nodefer = 0.0;
+    for (const auto &scene : mainScenes()) {
+        auto seq64 = sequence(scene, kResQHD, 64);
+        gb_nodefer += simulateNeo(neo_nodefer, seq64).totalTrafficGB();
+    }
+    std::printf("no deferred depth update: +%.1f%% traffic vs full Neo "
+                "(paper: +33.2%%)\n",
+                100.0 * (gb_nodefer / gb_neo - 1.0));
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Figure 19: per-frame latency and rendering quality of four sorting-reuse
+ * methods running on the Neo hardware:
+ *   hierarchical (GSCore-style from-scratch), periodic, background, and
+ *   Neo's Dynamic Partial Sorting (incremental update).
+ *
+ * Expected shape: periodic shows latency spikes above the 16.6 ms SLO and
+ * collapsing quality between refreshes; background shows elevated steady
+ * latency and degraded quality (viewpoint lag); hierarchical matches Neo's
+ * quality but needs multiple off-chip passes (higher latency); Neo stays
+ * low-latency and accurate.
+ *
+ * Latency series is computed from QHD workloads on the Neo memory system;
+ * quality series from functional rendering of a scaled-down scene.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "core/reuse_update.h"
+#include "metrics/psnr.h"
+#include "sim/dram.h"
+#include "sort/strategies.h"
+
+using namespace neo;
+using namespace neo::bench;
+
+namespace
+{
+
+/** Sorting traffic (bytes) of each method for one QHD frame. */
+double
+sortBytes(const std::string &method, const FrameWorkload &w, int frame,
+          int period)
+{
+    const double entry = record::kTableEntry;
+    const double n = static_cast<double>(w.instances);
+    const double incoming = static_cast<double>(w.incoming_instances);
+    double table_len = w.meanTileLength();
+    double chunks = std::max(1.0, table_len / 256.0);
+    double full_passes = 1.0 + std::ceil(std::log2(chunks));
+
+    if (method == "neo")
+        return 2.0 * entry * (n + 2.0 * incoming);
+    if (method == "hierarchical")
+        return 2.0 * entry * n * 2.0; // bucket pass + fine pass
+    if (method == "periodic")
+        return (frame % period == 0) ? 2.0 * entry * n * full_passes : 0.0;
+    // background: continuous full sorting of the next frame's table.
+    return 2.0 * entry * n * full_passes;
+}
+
+/** Frame latency (ms) on Neo hardware with a given sorting method. */
+double
+frameLatencyMs(const std::string &method, const FrameWorkload &w,
+               int frame, int period, const DramModel &dram)
+{
+    double dup_write = (method == "neo")
+                           ? static_cast<double>(w.incoming_instances)
+                           : static_cast<double>(w.instances);
+    double fe = static_cast<double>(w.visible_gaussians) *
+                    (record::kGaussian3d + record::kFeature2d) +
+                dup_write * record::kTableEntry;
+    double sort = sortBytes(method, w, frame, period);
+    double raster = static_cast<double>(w.instances) *
+                        (record::kTableEntry + record::kFeature2d) +
+                    static_cast<double>(w.res.pixels()) * record::kPixel +
+                    static_cast<double>(w.instances) * record::kTableEntry;
+    double mem_ms = dram.streamSeconds(fe + sort + raster) * 1e3;
+    double blend_ms =
+        static_cast<double>(w.blend_ops) / 32e9 * 1e3; // 16 SCU x 2/cycle
+    return std::max(mem_ms, blend_ms);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 19 - latency and quality across sorting methods",
+           "hierarchical / periodic / background / Neo DPS on Neo hardware",
+           "periodic spikes past the 16.6 ms SLO and loses quality; "
+           "background has high steady latency; Neo stays fast and "
+           "accurate");
+
+    const int frames = benchFrameCount(48);
+    const int period = 15;
+    DramModel dram{lpddr4Edge()};
+
+    // ---- latency series from QHD workloads (Train scene) ----------------
+    auto seq = sequence("Train", kResQHD, 64, frames);
+    const char *methods[] = {"hierarchical", "periodic", "background",
+                             "neo"};
+    std::printf("\n(a) latency over frames (ms) [SLO 16.6 ms]\n");
+    for (const char *m : methods) {
+        std::vector<double> lat;
+        for (size_t f = 0; f < seq.size(); ++f)
+            lat.push_back(frameLatencyMs(m, seq[f], static_cast<int>(f),
+                                         period, dram));
+        std::printf("%-14s mean %6.2f  max %6.2f  %s\n", m, mean(lat),
+                    percentile(lat, 100.0), sparkline(lat).c_str());
+    }
+
+    // ---- quality series from functional rendering -----------------------
+    std::printf("\n(b) PSNR over frames (dB, vs exact per-frame sort)\n");
+    ScenePreset preset = presetByName("Train");
+    GaussianScene scene = buildScene(preset, 0.02);
+    Trajectory traj(preset.trajectory, scene, 2.0f);
+    Resolution res{320, 192, "bench"};
+
+    PipelineOptions opts;
+    opts.tile_px = 32;
+    Renderer renderer(opts);
+
+    HierarchicalSortStrategy hier;
+    PeriodicSortStrategy periodic(period);
+    BackgroundSortStrategy background;
+    ReuseUpdateSorter neo_dps;
+    SortingStrategy *strategies[] = {&hier, &periodic, &background,
+                                     &neo_dps};
+
+    const int q_frames = std::min(frames, 48);
+    std::vector<std::vector<double>> psnr_series(4);
+    for (int f = 0; f < q_frames; ++f) {
+        Camera cam = traj.cameraAt(f, res);
+        BinnedFrame frame = binFrame(scene, cam, opts.tile_px);
+        BinnedFrame sorted = frame;
+        for (auto &tile : sorted.tiles)
+            std::sort(tile.begin(), tile.end(), entryDepthLess);
+        Image ref = renderer.renderWithOrdering(sorted, {});
+        for (int s = 0; s < 4; ++s) {
+            strategies[s]->beginFrame(frame, f);
+            Image img = renderer.renderWithOrdering(
+                frame, strategies[s]->orderings());
+            psnr_series[s].push_back(psnr(ref, img));
+        }
+    }
+    for (int s = 0; s < 4; ++s) {
+        std::printf("%-14s mean %6.2f  min %6.2f  %s\n",
+                    strategies[s]->name().c_str(), mean(psnr_series[s]),
+                    percentile(psnr_series[s], 0.0),
+                    sparkline(psnr_series[s]).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the sorting substrate: the BSU
+ * network, chunk sorting, the MSU+ merge/update path, Dynamic Partial
+ * Sorting, and a full functional frame. These measure host throughput of
+ * the functional models (not accelerator cycles) and guard against
+ * performance regressions in the library itself.
+ */
+
+#include <algorithm>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/reuse_update.h"
+#include "gs/pipeline.h"
+#include "scene/synthetic.h"
+#include "sort/chunk_sort.h"
+#include "sort/dynamic_partial.h"
+
+namespace
+{
+
+using namespace neo;
+
+std::vector<TileEntry>
+randomTable(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<TileEntry> t;
+    t.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        t.push_back({static_cast<GaussianId>(i),
+                     rng.uniform(0.0f, 1000.0f), true});
+    return t;
+}
+
+void
+BM_BsuSubchunk(benchmark::State &state)
+{
+    auto base = randomTable(kBsuWidth, 1);
+    for (auto _ : state) {
+        auto t = base;
+        bsuSortSubchunk(t, 0, kBsuWidth);
+        benchmark::DoNotOptimize(t.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kBsuWidth);
+}
+BENCHMARK(BM_BsuSubchunk);
+
+void
+BM_SortChunk(benchmark::State &state)
+{
+    auto base = randomTable(kChunkSize, 2);
+    for (auto _ : state) {
+        auto t = base;
+        sortChunk(t, 0, kChunkSize);
+        benchmark::DoNotOptimize(t.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kChunkSize);
+}
+BENCHMARK(BM_SortChunk);
+
+void
+BM_FullSortTable(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    auto base = randomTable(n, 3);
+    for (auto _ : state) {
+        auto t = base;
+        fullSortTable(t);
+        benchmark::DoNotOptimize(t.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FullSortTable)->Arg(256)->Arg(1024)->Arg(4096);
+
+void
+BM_DynamicPartialSort(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    auto base = randomTable(n, 4);
+    std::sort(base.begin(), base.end(), entryDepthLess);
+    Rng rng(5);
+    for (auto &e : base)
+        e.depth += rng.uniform(-1.0f, 1.0f);
+    uint64_t frame = 0;
+    for (auto _ : state) {
+        auto t = base;
+        dynamicPartialSort(t, ++frame, {});
+        benchmark::DoNotOptimize(t.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DynamicPartialSort)->Arg(1024)->Arg(4096);
+
+void
+BM_MsuUpdateTable(benchmark::State &state)
+{
+    auto table = randomTable(2048, 6);
+    std::sort(table.begin(), table.end(), entryDepthLess);
+    for (size_t i = 0; i < table.size(); i += 37)
+        table[i].valid = false;
+    auto incoming = randomTable(64, 7);
+    std::sort(incoming.begin(), incoming.end(), entryDepthLess);
+    std::vector<TileEntry> out;
+    for (auto _ : state) {
+        msuUpdateTable(table, incoming, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * (2048 + 64));
+}
+BENCHMARK(BM_MsuUpdateTable);
+
+void
+BM_RenderFrame(benchmark::State &state)
+{
+    SyntheticSceneParams p;
+    p.count = 5000;
+    p.seed = 9;
+    GaussianScene scene = generateScene(p);
+    Camera cam({256, 192, "bench"}, deg2rad(50.0f));
+    cam.lookAt({0.0f, 2.0f, -3.0f * scene.bounding_radius}, scene.center);
+    Renderer renderer;
+    for (auto _ : state) {
+        Image img = renderer.render(scene, cam);
+        benchmark::DoNotOptimize(img.pixels().data());
+    }
+}
+BENCHMARK(BM_RenderFrame)->Unit(benchmark::kMillisecond);
+
+void
+BM_NeoIncrementalFrame(benchmark::State &state)
+{
+    SyntheticSceneParams p;
+    p.count = 5000;
+    p.seed = 10;
+    GaussianScene scene = generateScene(p);
+    Camera cam({256, 192, "bench"}, deg2rad(50.0f));
+    cam.lookAt({0.0f, 2.0f, -3.0f * scene.bounding_radius}, scene.center);
+    BinnedFrame frame = binFrame(scene, cam, 64);
+    ReuseUpdateSorter sorter;
+    sorter.beginFrame(frame, 0); // cold start outside the loop
+    uint64_t f = 0;
+    for (auto _ : state) {
+        sorter.beginFrame(frame, ++f);
+        benchmark::DoNotOptimize(&sorter);
+    }
+}
+BENCHMARK(BM_NeoIncrementalFrame)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

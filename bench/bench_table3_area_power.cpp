@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table 3: technology, frequency, area and power of GSCore and Neo at
+ * 7 nm / 1 GHz, from the analytic synthesis model.
+ *
+ * Expected: Neo 0.387 mm^2 / 797.8 mW vs GSCore 0.417 mm^2 / 719.9 mW —
+ * slightly smaller area, marginally higher power.
+ */
+
+#include <cstdio>
+
+#include "sim/area_power.h"
+
+using namespace neo;
+
+int
+main()
+{
+    std::printf("=====================================================\n");
+    std::printf("Table 3 - evaluated GSCore and Neo accelerators\n");
+    std::printf("  paper: Neo 0.387 mm2 / 797.8 mW; GSCore 0.417 mm2 / "
+                "719.9 mW\n");
+    std::printf("=====================================================\n");
+    std::printf("%-10s %-12s %-10s %-12s %-12s\n", "Device", "Technology",
+                "Freq", "Area (mm2)", "Power (mW)");
+
+    ComponentAP gscore = gscoreAreaPowerTotal();
+    std::printf("%-10s %-12s %-10s %-12.3f %-12.1f\n", gscore.name.c_str(),
+                "7 nm", "1 GHz", gscore.area_mm2, gscore.power_mw);
+
+    ComponentAP neo = neoAreaPowerTotal();
+    std::printf("%-10s %-12s %-10s %-12.3f %-12.1f\n", neo.name.c_str(),
+                "7 nm", "1 GHz", neo.area_mm2, neo.power_mw);
+
+    std::printf("\narea delta vs GSCore: %+.1f%%, power delta: %+.1f%%\n",
+                100.0 * (neo.area_mm2 / gscore.area_mm2 - 1.0),
+                100.0 * (neo.power_mw / gscore.power_mw - 1.0));
+
+    std::printf("\nDeepScaleTool-style node scaling (area factor from "
+                "28 nm): 22 nm %.2f, 16 nm %.2f, 7 nm %.2f\n",
+                deepScaleFactor(28, 22, true), deepScaleFactor(28, 16, true),
+                deepScaleFactor(28, 7, true));
+    return 0;
+}

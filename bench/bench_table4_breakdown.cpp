@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 4: per-component area and power breakdown of the Neo accelerator
+ * at 7 nm / 1 GHz.
+ *
+ * Expected: the additional hardware Neo introduces over a GSCore-style
+ * design (MSU+ and ITU) accounts for ~9% of total area and power.
+ */
+
+#include <cstdio>
+
+#include "sim/area_power.h"
+
+using namespace neo;
+
+int
+main()
+{
+    std::printf("==========================================================\n");
+    std::printf("Table 4 - area and power breakdown of Neo components\n");
+    std::printf("  paper: MSU+ and ITU together are 9.04%% of area, "
+                "8.91%% of power\n");
+    std::printf("==========================================================\n");
+    std::printf("%-30s %-12s %-12s\n", "Component", "Area (mm2)",
+                "Power (mW)");
+
+    auto rows = neoTable4Rows();
+    for (const auto &r : rows)
+        std::printf("%-30s %-12.4f %-12.1f\n", r.name.c_str(), r.area_mm2,
+                    r.power_mw);
+
+    // The new hardware blocks Neo adds on top of a GSCore-style design.
+    NeoConfig cfg;
+    double msu_area = 0.0, msu_power = 0.0, itu_area = 0.0,
+           itu_power = 0.0;
+    for (const auto &r : rows) {
+        if (r.name.find("Merge Sort Unit+") != std::string::npos) {
+            msu_area = r.area_mm2;
+            msu_power = r.power_mw;
+        }
+        if (r.name.find("Intersection Test Unit") != std::string::npos) {
+            itu_area = r.area_mm2;
+            itu_power = r.power_mw;
+        }
+    }
+    ComponentAP total = neoAreaPowerTotal(cfg);
+    std::printf("\nMSU+ + ITU overhead: %.2f%% of area, %.2f%% of power "
+                "(paper: 9.04%% / 8.91%%)\n",
+                100.0 * (msu_area + itu_area) / total.area_mm2,
+                100.0 * (msu_power + itu_power) / total.power_mw);
+    return 0;
+}

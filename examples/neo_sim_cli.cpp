@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Command-line simulator front end — the "run your own experiment" entry
+ * point a downstream user would reach for:
+ *
+ *   ./neo_sim_cli --scene Train --system neo --res qhd \
+ *                 --frames 8 --speed 2 --bandwidth 51.2 --scale 1.0
+ *
+ * Prints per-frame latency/traffic and the sequence summary for one of
+ * the three modeled systems (orin | gscore | neo).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "sim/gpu_model.h"
+#include "sim/gscore_model.h"
+#include "sim/neo_model.h"
+#include "sim/perf_harness.h"
+#include "sim/workload_cache.h"
+
+using namespace neo;
+
+namespace
+{
+
+struct Args
+{
+    std::string scene = "Family";
+    std::string system = "neo";
+    std::string res = "qhd";
+    int frames = 8;
+    float speed = 1.0f;
+    double bandwidth = 51.2;
+    double scale = 1.0;
+};
+
+Resolution
+parseRes(const std::string &r)
+{
+    if (r == "hd")
+        return kResHD;
+    if (r == "fhd")
+        return kResFHD;
+    if (r == "qhd")
+        return kResQHD;
+    fatal("unknown resolution '%s' (hd|fhd|qhd)", r.c_str());
+}
+
+Args
+parse(int argc, char **argv)
+{
+    Args a;
+    for (int i = 1; i + 1 < argc; i += 2) {
+        std::string k = argv[i];
+        const char *v = argv[i + 1];
+        if (k == "--scene")
+            a.scene = v;
+        else if (k == "--system")
+            a.system = v;
+        else if (k == "--res")
+            a.res = v;
+        else if (k == "--frames")
+            a.frames = std::atoi(v);
+        else if (k == "--speed")
+            a.speed = static_cast<float>(std::atof(v));
+        else if (k == "--bandwidth")
+            a.bandwidth = std::atof(v);
+        else if (k == "--scale")
+            a.scale = std::atof(v);
+        else
+            fatal("unknown flag '%s'", k.c_str());
+    }
+    return a;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parse(argc, argv);
+    Resolution res = parseRes(args.res);
+    const int tile_px = args.system == "neo" ? 64 : 16;
+
+    WorkloadKey key{args.scene, args.scale, res, tile_px, args.frames,
+                    args.speed};
+    auto seq = cachedWorkloads(key, defaultCacheDir());
+
+    SequenceResult result;
+    if (args.system == "orin") {
+        GpuConfig cfg;
+        cfg.dram.bandwidth_gbps = args.bandwidth;
+        result = simulateGpu(GpuModel(cfg), seq);
+    } else if (args.system == "gscore") {
+        GscoreConfig cfg;
+        cfg.dram.bandwidth_gbps = args.bandwidth;
+        result = simulateGscore(GscoreModel(cfg), seq);
+    } else if (args.system == "neo") {
+        NeoConfig cfg;
+        cfg.dram.bandwidth_gbps = args.bandwidth;
+        result = simulateNeo(NeoModel(cfg), seq);
+    } else {
+        fatal("unknown system '%s' (orin|gscore|neo)",
+              args.system.c_str());
+    }
+
+    std::printf("%s on %s @ %s, %.1f GB/s, speed x%.1f, scale %.2f\n",
+                args.system.c_str(), args.scene.c_str(), res.name,
+                args.bandwidth, static_cast<double>(args.speed),
+                args.scale);
+    std::printf("%-7s %-12s %-12s %-10s %-10s %-10s\n", "frame",
+                "latency(ms)", "traffic(MB)", "FE%", "sort%", "raster%");
+    for (size_t f = 0; f < result.frames.size(); ++f) {
+        const FrameSim &s = result.frames[f];
+        std::printf("%-7zu %-12.2f %-12.1f %-10.1f %-10.1f %-10.1f\n", f,
+                    s.latencyMs(), s.traffic.total() / 1e6,
+                    100.0 * s.traffic.fraction(Stage::FeatureExtraction),
+                    100.0 * s.traffic.fraction(Stage::Sorting),
+                    100.0 * s.traffic.fraction(Stage::Rasterization));
+    }
+    std::printf("\nsummary: %.1f FPS mean, %.2f ms worst frame, %.2f GB "
+                "per 60 frames\n",
+                result.meanFps(), result.maxLatencyMs(),
+                result.trafficGBPer60Frames());
+    return 0;
+}

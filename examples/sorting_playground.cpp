@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Sorting playground: drives the sorting substrate directly — no renderer
+ * — to show how Dynamic Partial Sorting repairs an almost-sorted table
+ * across frames, how interleaved boundaries let entries cross chunks
+ * (Fig. 9), and what each step costs in hardware-counter terms.
+ *
+ *   ./sorting_playground
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "sort/dynamic_partial.h"
+#include "sort/merge_unit.h"
+
+using namespace neo;
+
+namespace
+{
+
+void
+show(const char *label, const std::vector<TileEntry> &t)
+{
+    std::printf("%-10s", label);
+    for (const auto &e : t)
+        std::printf("%3.0f", e.depth);
+    std::printf("   (sorted %.0f%%)\n", 100.0 * sortedFraction(t));
+}
+
+} // namespace
+
+int
+main()
+{
+    // --- Fig. 9 in miniature: one entry displaced across a chunk -------
+    std::printf("Fig. 9 walkthrough: chunk = 8, entry 0 starts in the "
+                "wrong chunk\n\n");
+    std::vector<TileEntry> t;
+    for (int i = 0; i < 16; ++i)
+        t.push_back({static_cast<GaussianId>(i),
+                     static_cast<float>(i + 1), true});
+    t[12].depth = 0.0f; // belongs at the front, two chunks away
+
+    DynamicPartialConfig fixed;
+    fixed.chunk = 8;
+    fixed.interleave = false;
+    auto t_fixed = t;
+    for (uint64_t frame = 1; frame <= 4; ++frame)
+        dynamicPartialSort(t_fixed, frame, fixed);
+    show("fixed:", t_fixed);
+
+    DynamicPartialConfig inter;
+    inter.chunk = 8;
+    inter.interleave = true;
+    auto t_inter = t;
+    for (uint64_t frame = 1; frame <= 4; ++frame) {
+        dynamicPartialSort(t_inter, frame, inter);
+        char label[16];
+        std::snprintf(label, sizeof(label), "t%llu:",
+                      static_cast<unsigned long long>(frame));
+        show(label, t_inter);
+    }
+
+    // --- A frame of the reuse-and-update flow on a raw table ------------
+    std::printf("\nreuse-and-update on a 2048-entry table (chunk 256)\n");
+    Rng rng(7);
+    std::vector<TileEntry> table;
+    for (int i = 0; i < 2048; ++i)
+        table.push_back({static_cast<GaussianId>(i),
+                         rng.uniform(0.0f, 100.0f), true});
+    std::sort(table.begin(), table.end(), entryDepthLess);
+
+    // Camera moved: depths drift, some entries leave, newcomers arrive.
+    for (auto &e : table)
+        e.depth += rng.uniform(-0.5f, 0.5f);
+    for (int k = 0; k < 40; ++k)
+        table[rng.below(table.size())].valid = false;
+    std::vector<TileEntry> incoming;
+    for (int k = 0; k < 64; ++k)
+        incoming.push_back({static_cast<GaussianId>(10000 + k),
+                            rng.uniform(0.0f, 100.0f), true});
+    std::sort(incoming.begin(), incoming.end(), entryDepthLess);
+
+    SortCoreStats stats;
+    dynamicPartialSort(table, 1, {}, &stats); // (1) reorder
+    std::vector<TileEntry> merged;
+    msuUpdateTable(table, incoming, merged, &stats.msu); // (2)+(3)
+
+    std::printf("  after reorder+merge: %zu entries, sorted %.2f%%\n",
+                merged.size(), 100.0 * sortedFraction(merged));
+    std::printf("  hardware counters: %llu chunk loads, %llu BSU "
+                "compare-exchanges, %llu MSU elements, %llu deletions\n",
+                static_cast<unsigned long long>(stats.chunk_loads),
+                static_cast<unsigned long long>(
+                    stats.bsu.compare_exchanges),
+                static_cast<unsigned long long>(
+                    stats.msu.elements_processed),
+                static_cast<unsigned long long>(
+                    stats.msu.filtered_invalid));
+    std::printf("  off-chip traffic this frame: %llu bytes (vs %zu bytes "
+                "for a from-scratch multi-pass sort)\n",
+                static_cast<unsigned long long>(
+                    (stats.entries_read + stats.entries_written) * 8),
+                (table.size() * 2 * 4) * 8 * 2);
+    return 0;
+}

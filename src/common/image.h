@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Float RGB framebuffer used by the functional renderer and the quality
+ * metrics (PSNR / SSIM / LPIPS-proxy). Values are linear [0, 1] RGB.
+ */
+
+#ifndef NEO_COMMON_IMAGE_H
+#define NEO_COMMON_IMAGE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/math.h"
+
+namespace neo
+{
+
+/** Dense row-major RGB image with float channels. */
+class Image
+{
+  public:
+    Image() = default;
+
+    /** Allocate a @p width x @p height image cleared to @p fill. */
+    Image(int width, int height, Vec3 fill = {0.0f, 0.0f, 0.0f});
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    size_t pixelCount() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    const Vec3 &at(int x, int y) const { return data_[index(x, y)]; }
+    Vec3 &at(int x, int y) { return data_[index(x, y)]; }
+
+    const std::vector<Vec3> &pixels() const { return data_; }
+    std::vector<Vec3> &pixels() { return data_; }
+
+    /** Clamp every channel into [0, 1]. */
+    void clampChannels();
+
+    /** Per-pixel mean of |a - b| over all channels. */
+    static double meanAbsoluteDifference(const Image &a, const Image &b);
+
+    /**
+     * Downsample by 2x with a box filter; odd trailing rows/columns are
+     * dropped. Used by the multi-scale perceptual metric.
+     */
+    Image downsample2x() const;
+
+    /** Luma (Rec. 601) plane of the image. */
+    std::vector<float> luma() const;
+
+    /**
+     * Write a binary PPM (P6, 8-bit) for eyeballing outputs.
+     * @return true on success.
+     */
+    bool writePpm(const std::string &path) const;
+
+  private:
+    size_t index(int x, int y) const
+    {
+        return static_cast<size_t>(y) * width_ + x;
+    }
+
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<Vec3> data_;
+};
+
+} // namespace neo
+
+#endif // NEO_COMMON_IMAGE_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal status-message helpers in the gem5 spirit: inform() for status,
+ * warn() for suspicious-but-continuable conditions, fatal() for user errors
+ * and panic() for internal invariant violations.
+ */
+
+#ifndef NEO_COMMON_LOGGING_H
+#define NEO_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace neo
+{
+
+/** Verbosity gate for inform(); warn/fatal/panic are never suppressed. */
+void setVerbose(bool verbose);
+bool verbose();
+
+/** Informational message (printf-style), suppressed unless verbose. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning (printf-style). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** User/configuration error: print and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Internal invariant violation: print and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace neo
+
+#endif // NEO_COMMON_LOGGING_H

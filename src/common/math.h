@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Small linear-algebra toolkit used throughout the renderer and the
+ * performance models: vectors, 3x3 / 4x4 matrices and quaternions.
+ *
+ * The types are deliberately plain aggregates with value semantics; the
+ * renderer keeps Gaussians in structure-of-arrays form, so these types are
+ * only used for per-element computation, never for bulk storage.
+ */
+
+#ifndef NEO_COMMON_MATH_H
+#define NEO_COMMON_MATH_H
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace neo
+{
+
+constexpr float kPi = 3.14159265358979323846f;
+
+/** Degrees-to-radians conversion. */
+constexpr float
+deg2rad(float deg)
+{
+    return deg * kPi / 180.0f;
+}
+
+/** Radians-to-degrees conversion. */
+constexpr float
+rad2deg(float rad)
+{
+    return rad * 180.0f / kPi;
+}
+
+/** Clamp @p v into [lo, hi]. */
+template <typename T>
+constexpr T
+clamp(T v, T lo, T hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** 2-component float vector. */
+struct Vec2
+{
+    float x = 0.0f;
+    float y = 0.0f;
+
+    constexpr Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(float s) const { return {x * s, y * s}; }
+    constexpr float dot(const Vec2 &o) const { return x * o.x + y * o.y; }
+    float norm() const { return std::sqrt(dot(*this)); }
+};
+
+/** 3-component float vector. */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    Vec3 &operator+=(const Vec3 &o)
+    {
+        x += o.x; y += o.y; z += o.z;
+        return *this;
+    }
+
+    constexpr float dot(const Vec3 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z;
+    }
+
+    constexpr Vec3 cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    float norm() const { return std::sqrt(dot(*this)); }
+
+    Vec3 normalized() const
+    {
+        float n = norm();
+        if (n <= std::numeric_limits<float>::min())
+            return {0.0f, 0.0f, 0.0f};
+        return *this / n;
+    }
+};
+
+constexpr Vec3
+operator*(float s, const Vec3 &v)
+{
+    return v * s;
+}
+
+/** 4-component float vector (homogeneous coordinates). */
+struct Vec4
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+    float w = 0.0f;
+
+    constexpr Vec4 operator+(const Vec4 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z, w + o.w};
+    }
+    constexpr Vec4 operator*(float s) const
+    {
+        return {x * s, y * s, z * s, w * s};
+    }
+    constexpr float dot(const Vec4 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z + w * o.w;
+    }
+    constexpr Vec3 xyz() const { return {x, y, z}; }
+};
+
+/** Row-major 3x3 matrix. */
+struct Mat3
+{
+    // m[r][c]
+    std::array<std::array<float, 3>, 3> m{};
+
+    static constexpr Mat3
+    identity()
+    {
+        Mat3 r;
+        r.m = {{{1.0f, 0.0f, 0.0f}, {0.0f, 1.0f, 0.0f}, {0.0f, 0.0f, 1.0f}}};
+        return r;
+    }
+
+    static constexpr Mat3
+    diagonal(float a, float b, float c)
+    {
+        Mat3 r;
+        r.m = {{{a, 0.0f, 0.0f}, {0.0f, b, 0.0f}, {0.0f, 0.0f, c}}};
+        return r;
+    }
+
+    constexpr float operator()(int r, int c) const { return m[r][c]; }
+    constexpr float &operator()(int r, int c) { return m[r][c]; }
+
+    Mat3
+    operator*(const Mat3 &o) const
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j) {
+                float acc = 0.0f;
+                for (int k = 0; k < 3; ++k)
+                    acc += m[i][k] * o.m[k][j];
+                r.m[i][j] = acc;
+            }
+        return r;
+    }
+
+    Vec3
+    operator*(const Vec3 &v) const
+    {
+        return {
+            m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z,
+        };
+    }
+
+    Mat3
+    transposed() const
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = m[j][i];
+        return r;
+    }
+
+    float
+    determinant() const
+    {
+        return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+               m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+               m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    }
+
+    /**
+     * Matrix inverse via adjugate. Returns identity when the matrix is
+     * numerically singular; callers that care should test determinant()
+     * themselves first.
+     */
+    Mat3
+    inverse() const
+    {
+        float det = determinant();
+        if (std::fabs(det) <= std::numeric_limits<float>::min())
+            return identity();
+        float inv_det = 1.0f / det;
+        Mat3 r;
+        r.m[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_det;
+        r.m[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_det;
+        r.m[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_det;
+        r.m[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_det;
+        r.m[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_det;
+        r.m[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_det;
+        r.m[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_det;
+        r.m[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_det;
+        r.m[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_det;
+        return r;
+    }
+};
+
+/** Row-major 4x4 matrix used for world-to-camera transforms. */
+struct Mat4
+{
+    std::array<std::array<float, 4>, 4> m{};
+
+    static constexpr Mat4
+    identity()
+    {
+        Mat4 r;
+        for (int i = 0; i < 4; ++i)
+            r.m[i][i] = 1.0f;
+        return r;
+    }
+
+    constexpr float operator()(int r, int c) const { return m[r][c]; }
+    constexpr float &operator()(int r, int c) { return m[r][c]; }
+
+    Mat4
+    operator*(const Mat4 &o) const
+    {
+        Mat4 r;
+        for (int i = 0; i < 4; ++i)
+            for (int j = 0; j < 4; ++j) {
+                float acc = 0.0f;
+                for (int k = 0; k < 4; ++k)
+                    acc += m[i][k] * o.m[k][j];
+                r.m[i][j] = acc;
+            }
+        return r;
+    }
+
+    Vec4
+    operator*(const Vec4 &v) const
+    {
+        return {
+            m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z + m[0][3] * v.w,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z + m[1][3] * v.w,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z + m[2][3] * v.w,
+            m[3][0] * v.x + m[3][1] * v.y + m[3][2] * v.z + m[3][3] * v.w,
+        };
+    }
+
+    /** Transform a point (w=1) and drop the homogeneous coordinate. */
+    Vec3
+    transformPoint(const Vec3 &p) const
+    {
+        Vec4 r = (*this) * Vec4{p.x, p.y, p.z, 1.0f};
+        return r.xyz();
+    }
+
+    /** Upper-left 3x3 rotation/scale block. */
+    Mat3
+    rotationBlock() const
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = m[i][j];
+        return r;
+    }
+};
+
+/** Unit quaternion for Gaussian orientations (w, x, y, z). */
+struct Quat
+{
+    float w = 1.0f;
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    Quat
+    normalized() const
+    {
+        float n = std::sqrt(w * w + x * x + y * y + z * z);
+        if (n <= std::numeric_limits<float>::min())
+            return {1.0f, 0.0f, 0.0f, 0.0f};
+        return {w / n, x / n, y / n, z / n};
+    }
+
+    /** Rotation matrix of the (assumed normalized) quaternion. */
+    Mat3
+    toMatrix() const
+    {
+        Mat3 r;
+        r.m[0][0] = 1.0f - 2.0f * (y * y + z * z);
+        r.m[0][1] = 2.0f * (x * y - w * z);
+        r.m[0][2] = 2.0f * (x * z + w * y);
+        r.m[1][0] = 2.0f * (x * y + w * z);
+        r.m[1][1] = 1.0f - 2.0f * (x * x + z * z);
+        r.m[1][2] = 2.0f * (y * z - w * x);
+        r.m[2][0] = 2.0f * (x * z - w * y);
+        r.m[2][1] = 2.0f * (y * z + w * x);
+        r.m[2][2] = 1.0f - 2.0f * (x * x + y * y);
+        return r;
+    }
+
+    /** Axis-angle constructor; @p axis need not be normalized. */
+    static Quat
+    fromAxisAngle(const Vec3 &axis, float angle_rad)
+    {
+        Vec3 a = axis.normalized();
+        float half = 0.5f * angle_rad;
+        float s = std::sin(half);
+        return Quat{std::cos(half), a.x * s, a.y * s, a.z * s}.normalized();
+    }
+};
+
+/**
+ * Build a 3D covariance matrix from per-axis scales and an orientation,
+ * Sigma = R S S^T R^T, exactly as 3DGS parameterizes Gaussians.
+ */
+inline Mat3
+covarianceFromScaleRotation(const Vec3 &scale, const Quat &rot)
+{
+    Mat3 r = rot.toMatrix();
+    Mat3 s = Mat3::diagonal(scale.x, scale.y, scale.z);
+    Mat3 rs = r * s;
+    return rs * rs.transposed();
+}
+
+/** Eigenvalues of a symmetric 2x2 matrix [[a, b], [b, c]] (max, min). */
+inline std::pair<float, float>
+symmetricEigenvalues2x2(float a, float b, float c)
+{
+    float mid = 0.5f * (a + c);
+    float det = a * c - b * b;
+    float disc = std::sqrt(std::max(0.0f, mid * mid - det));
+    return {mid + disc, std::max(0.0f, mid - disc)};
+}
+
+} // namespace neo
+
+#endif // NEO_COMMON_MATH_H

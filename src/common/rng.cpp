@@ -1,0 +1,132 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace neo
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t v, int k)
+{
+    return (v << k) | (v >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+    has_cached_normal_ = false;
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> uniform double in [0, 1).
+    return (next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+float
+Rng::uniform(float lo, float hi)
+{
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+}
+
+uint64_t
+Rng::below(uint64_t n)
+{
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+float
+Rng::normal()
+{
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    double u2 = uniform();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    cached_normal_ = static_cast<float>(mag * std::sin(2.0 * kPi * u2));
+    has_cached_normal_ = true;
+    return static_cast<float>(mag * std::cos(2.0 * kPi * u2));
+}
+
+float
+Rng::normal(float mean, float stddev)
+{
+    return mean + stddev * normal();
+}
+
+Vec3
+Rng::onSphere()
+{
+    // Marsaglia's method.
+    for (;;) {
+        float a = uniform(-1.0f, 1.0f);
+        float b = uniform(-1.0f, 1.0f);
+        float s = a * a + b * b;
+        if (s >= 1.0f)
+            continue;
+        float root = std::sqrt(1.0f - s);
+        return {2.0f * a * root, 2.0f * b * root, 1.0f - 2.0f * s};
+    }
+}
+
+Quat
+Rng::rotation()
+{
+    float u1 = static_cast<float>(uniform());
+    float u2 = static_cast<float>(uniform());
+    float u3 = static_cast<float>(uniform());
+    float a = std::sqrt(1.0f - u1);
+    float b = std::sqrt(u1);
+    return Quat{
+        a * std::sin(2.0f * kPi * u2),
+        a * std::cos(2.0f * kPi * u2),
+        b * std::sin(2.0f * kPi * u3),
+        b * std::cos(2.0f * kPi * u3),
+    }.normalized();
+}
+
+} // namespace neo

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every synthetic workload in this repository is seeded, so an experiment
+ * reruns bit-identically. We use xoshiro256** which is fast, has a 256-bit
+ * state, and passes BigCrush; std::mt19937 is avoided because its state is
+ * large and its seeding semantics differ across standard libraries.
+ */
+
+#ifndef NEO_COMMON_RNG_H
+#define NEO_COMMON_RNG_H
+
+#include <cstdint>
+
+#include "common/math.h"
+
+namespace neo
+{
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void reseed(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform float in [lo, hi). */
+    float uniform(float lo, float hi);
+
+    /** Uniform integer in [0, n). @p n must be > 0. */
+    uint64_t below(uint64_t n);
+
+    /** Standard normal via Box-Muller (cached second value). */
+    float normal();
+
+    /** Normal with explicit mean and standard deviation. */
+    float normal(float mean, float stddev);
+
+    /** Uniformly distributed point on the unit sphere. */
+    Vec3 onSphere();
+
+    /** Uniform random unit quaternion (Shoemake's method). */
+    Quat rotation();
+
+  private:
+    uint64_t s_[4];
+    bool has_cached_normal_ = false;
+    float cached_normal_ = 0.0f;
+};
+
+} // namespace neo
+
+#endif // NEO_COMMON_RNG_H

@@ -1,0 +1,170 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neo
+{
+
+double
+percentile(std::vector<double> values, double pct)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    if (pct <= 0.0)
+        return values.front();
+    if (pct >= 100.0)
+        return values.back();
+    double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, values.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double
+percentile(const std::vector<float> &values, double pct)
+{
+    std::vector<double> d(values.begin(), values.end());
+    return percentile(std::move(d), pct);
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += std::log(v);
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+std::vector<CdfPoint>
+empiricalCdf(std::vector<double> values, size_t resolution)
+{
+    std::vector<CdfPoint> cdf;
+    if (values.empty() || resolution == 0)
+        return cdf;
+    std::sort(values.begin(), values.end());
+    double lo = values.front();
+    double hi = values.back();
+    if (hi <= lo) {
+        cdf.push_back({lo, 1.0});
+        return cdf;
+    }
+    cdf.reserve(resolution);
+    for (size_t i = 0; i < resolution; ++i) {
+        double v = lo + (hi - lo) * static_cast<double>(i) /
+                       static_cast<double>(resolution - 1);
+        auto it = std::upper_bound(values.begin(), values.end(), v);
+        double frac = static_cast<double>(it - values.begin()) /
+                      static_cast<double>(values.size());
+        cdf.push_back({v, frac});
+    }
+    return cdf;
+}
+
+double
+fractionAtLeast(const std::vector<double> &values, double threshold)
+{
+    if (values.empty())
+        return 0.0;
+    size_t n = 0;
+    for (double v : values)
+        if (v >= threshold)
+            ++n;
+    return static_cast<double>(n) / static_cast<double>(values.size());
+}
+
+void
+RunningSummary::add(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+}
+
+void
+Histogram::add(double v)
+{
+    if (counts_.empty())
+        return;
+    double t = (v - lo_) / (hi_ - lo_);
+    t = std::min(std::max(t, 0.0), 1.0);
+    size_t bin = std::min(static_cast<size_t>(t * counts_.size()),
+                          counts_.size() - 1);
+    ++counts_[bin];
+    ++total_;
+}
+
+double
+Histogram::binCenter(size_t i) const
+{
+    double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * (static_cast<double>(i) + 0.5);
+}
+
+double
+Histogram::binFraction(size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+std::string
+sparkline(const std::vector<double> &values)
+{
+    static const char *kLevels[] = {"▁", "▂", "▃", "▄",
+                                    "▅", "▆", "▇", "█"};
+    if (values.empty())
+        return "";
+    double lo = *std::min_element(values.begin(), values.end());
+    double hi = *std::max_element(values.begin(), values.end());
+    std::string out;
+    for (double v : values) {
+        int idx = 0;
+        if (hi > lo)
+            idx = static_cast<int>((v - lo) / (hi - lo) * 7.0 + 0.5);
+        out += kLevels[std::min(std::max(idx, 0), 7)];
+    }
+    return out;
+}
+
+} // namespace neo

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Statistics helpers used by the temporal-similarity analyses (Figs. 6-7)
+ * and by the benchmark harnesses: percentiles, CDFs, running summaries and
+ * fixed-bin histograms.
+ */
+
+#ifndef NEO_COMMON_STATS_H
+#define NEO_COMMON_STATS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace neo
+{
+
+/**
+ * Percentile of a sample set with linear interpolation between order
+ * statistics (the "exclusive" convention used by numpy's default).
+ *
+ * @param values sample set; taken by value because it must be sorted.
+ * @param pct percentile in [0, 100].
+ */
+double percentile(std::vector<double> values, double pct);
+
+/** Convenience overload for float samples. */
+double percentile(const std::vector<float> &values, double pct);
+
+/** Arithmetic mean; 0 for an empty set. */
+double mean(const std::vector<double> &values);
+
+/** Sample standard deviation; 0 for fewer than two samples. */
+double stddev(const std::vector<double> &values);
+
+/** Geometric mean; inputs must be positive. */
+double geomean(const std::vector<double> &values);
+
+/**
+ * One point of an empirical CDF: fraction of samples <= value.
+ */
+struct CdfPoint
+{
+    double value = 0.0;
+    double cumulative = 0.0;
+};
+
+/**
+ * Build an empirical CDF sampled at @p resolution evenly spaced points
+ * spanning [min, max] of the data.
+ */
+std::vector<CdfPoint> empiricalCdf(std::vector<double> values,
+                                   size_t resolution = 64);
+
+/**
+ * Fraction of samples that are >= @p threshold. Used for statements such as
+ * "90% of tiles retain more than 78% of their Gaussians".
+ */
+double fractionAtLeast(const std::vector<double> &values, double threshold);
+
+/** Streaming mean/min/max/count accumulator. */
+class RunningSummary
+{
+  public:
+    void add(double v);
+
+    size_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-width histogram over [lo, hi); out-of-range samples clamp. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t bins);
+
+    void add(double v);
+
+    size_t bins() const { return counts_.size(); }
+    size_t binCount(size_t i) const { return counts_[i]; }
+    double binCenter(size_t i) const;
+    size_t total() const { return total_; }
+
+    /** Normalized bin mass (0 when the histogram is empty). */
+    double binFraction(size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<size_t> counts_;
+    size_t total_ = 0;
+};
+
+/**
+ * Render a one-line ASCII sparkline of a series (for bench output); returns
+ * an empty string for empty input.
+ */
+std::string sparkline(const std::vector<double> &values);
+
+} // namespace neo
+
+#endif // NEO_COMMON_STATS_H

@@ -1,0 +1,77 @@
+#include "core/delta_tracker.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace neo
+{
+
+double
+FrameDelta::meanRetention() const
+{
+    return tile_retention.empty() ? 1.0 : mean(tile_retention);
+}
+
+FrameDelta
+DeltaTracker::observe(const BinnedFrame &frame)
+{
+    const size_t tiles = frame.tiles.size();
+    FrameDelta delta;
+    delta.tiles.resize(tiles);
+
+    const bool have_prev = prev_ids_.size() == tiles;
+    std::vector<std::vector<GaussianId>> cur_ids(tiles);
+
+    for (size_t t = 0; t < tiles; ++t) {
+        const auto &entries = frame.tiles[t];
+        auto &ids = cur_ids[t];
+        ids.reserve(entries.size());
+        for (const auto &e : entries)
+            ids.push_back(e.id);
+        std::sort(ids.begin(), ids.end());
+
+        TileDelta &td = delta.tiles[t];
+        if (!have_prev) {
+            // Everything is incoming on the first frame.
+            td.incoming = entries;
+            td.prev_size = 0;
+            delta.incoming_total += entries.size();
+            continue;
+        }
+
+        const auto &prev = prev_ids_[t];
+        td.prev_size = static_cast<uint32_t>(prev.size());
+
+        // Incoming: in cur, not in prev. Walk the entries (not cur_ids) so
+        // the incoming list carries depths; membership test via binary
+        // search on the sorted previous ids.
+        for (const auto &e : entries) {
+            if (!std::binary_search(prev.begin(), prev.end(), e.id))
+                td.incoming.push_back(e);
+        }
+        delta.incoming_total += td.incoming.size();
+
+        // Outgoing: in prev, not in cur (prev is sorted, so the result is
+        // sorted as well).
+        for (GaussianId id : prev) {
+            if (!std::binary_search(ids.begin(), ids.end(), id))
+                td.outgoing_ids.push_back(id);
+        }
+        td.outgoing = static_cast<uint32_t>(td.outgoing_ids.size());
+        delta.outgoing_total += td.outgoing;
+
+        if (!prev.empty()) {
+            uint32_t shared =
+                static_cast<uint32_t>(prev.size()) - td.outgoing;
+            td.retention =
+                static_cast<double>(shared) / static_cast<double>(prev.size());
+            delta.tile_retention.push_back(td.retention);
+        }
+    }
+
+    prev_ids_ = std::move(cur_ids);
+    return delta;
+}
+
+} // namespace neo

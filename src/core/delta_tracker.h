@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-tile frame-to-frame membership deltas: which Gaussians newly entered
+ * each tile (incoming) and which left (outgoing). In hardware this is the
+ * duplication unit's verification step (incoming) and the ITU's cumulative
+ * OR over subtile bitmaps (outgoing); functionally both reduce to set
+ * differences on the binned tile membership.
+ *
+ * The tracker also produces the temporal-similarity statistics of the
+ * motivation study (Fig. 6: shared-Gaussian proportion per tile; Fig. 7:
+ * sort-order displacement percentiles).
+ */
+
+#ifndef NEO_CORE_DELTA_TRACKER_H
+#define NEO_CORE_DELTA_TRACKER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "gs/tiling.h"
+
+namespace neo
+{
+
+/** Membership delta of one tile between consecutive frames. */
+struct TileDelta
+{
+    /** Newly visible (tile, Gaussian) pairs with their current depth. */
+    std::vector<TileEntry> incoming;
+    /** Ids of Gaussians that left the tile, sorted ascending. */
+    std::vector<GaussianId> outgoing_ids;
+    /** Number of Gaussians that left the tile. */
+    uint32_t outgoing = 0;
+    /** |prev & cur| / |prev| (1.0 when the previous tile was empty). */
+    double retention = 1.0;
+    /** Previous tile population (for weighting). */
+    uint32_t prev_size = 0;
+};
+
+/** Frame-level aggregation of tile deltas. */
+struct FrameDelta
+{
+    std::vector<TileDelta> tiles;
+    uint64_t incoming_total = 0;
+    uint64_t outgoing_total = 0;
+    /** Retention of each previously non-empty tile (Fig. 6 sample set). */
+    std::vector<double> tile_retention;
+
+    double meanRetention() const;
+};
+
+/** Tracks per-tile membership across frames. */
+class DeltaTracker
+{
+  public:
+    /** True before the first observed frame. */
+    bool firstFrame() const { return prev_ids_.empty(); }
+
+    /**
+     * Compare @p frame against the previously observed frame, emit deltas,
+     * and adopt @p frame as the new reference membership.
+     */
+    FrameDelta observe(const BinnedFrame &frame);
+
+    /** Forget all state. */
+    void reset() { prev_ids_.clear(); }
+
+  private:
+    /** Per tile: sorted Gaussian ids of the last observed frame. */
+    std::vector<std::vector<GaussianId>> prev_ids_;
+};
+
+} // namespace neo
+
+#endif // NEO_CORE_DELTA_TRACKER_H

@@ -1,0 +1,57 @@
+#include "core/gaussian_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace neo
+{
+
+void
+TileTableSet::reset(size_t tiles)
+{
+    tables_.assign(tiles, {});
+}
+
+uint64_t
+TileTableSet::totalEntries() const
+{
+    uint64_t n = 0;
+    for (const auto &t : tables_)
+        n += t.size();
+    return n;
+}
+
+uint64_t
+TileTableSet::validEntries() const
+{
+    uint64_t n = 0;
+    for (const auto &t : tables_)
+        for (const auto &e : t)
+            if (e.valid)
+                ++n;
+    return n;
+}
+
+std::vector<double>
+orderDisplacements(const std::vector<TileEntry> &prev_sorted,
+                   const std::vector<TileEntry> &cur_sorted)
+{
+    std::unordered_map<GaussianId, size_t> prev_pos;
+    prev_pos.reserve(prev_sorted.size());
+    for (size_t i = 0; i < prev_sorted.size(); ++i)
+        prev_pos.emplace(prev_sorted[i].id, i);
+
+    std::vector<double> out;
+    out.reserve(cur_sorted.size());
+    for (size_t j = 0; j < cur_sorted.size(); ++j) {
+        auto it = prev_pos.find(cur_sorted[j].id);
+        if (it == prev_pos.end())
+            continue;
+        out.push_back(std::fabs(static_cast<double>(j) -
+                                static_cast<double>(it->second)));
+    }
+    return out;
+}
+
+} // namespace neo

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Persistent per-tile Gaussian tables — the central data structure of
+ * Neo's reuse-and-update sorting. Each tile owns a depth-sorted table of
+ * (GaussianId, depth, valid) entries that is carried across frames and
+ * incrementally repaired instead of being rebuilt.
+ *
+ * An off-chip table entry is 8 bytes (32-bit id + 32-bit depth, with the
+ * valid bit stolen from the id's MSB in hardware); the traffic models in
+ * sim/ use kTableEntryBytes for all table-related byte accounting.
+ */
+
+#ifndef NEO_CORE_GAUSSIAN_TABLE_H
+#define NEO_CORE_GAUSSIAN_TABLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "gs/tiling.h"
+
+namespace neo
+{
+
+/** Off-chip size of one sorted-table entry (id + depth). */
+constexpr uint64_t kTableEntryBytes = 8;
+
+/** The set of persistent per-tile tables of one renderer instance. */
+class TileTableSet
+{
+  public:
+    TileTableSet() = default;
+
+    /** Number of tiles currently tracked. */
+    size_t tileCount() const { return tables_.size(); }
+
+    /** Drop all state (e.g., on resolution change). */
+    void reset(size_t tiles);
+
+    bool empty() const { return tables_.empty(); }
+
+    std::vector<TileEntry> &table(size_t tile) { return tables_[tile]; }
+    const std::vector<TileEntry> &table(size_t tile) const
+    {
+        return tables_[tile];
+    }
+
+    std::vector<std::vector<TileEntry>> &tables() { return tables_; }
+    const std::vector<std::vector<TileEntry>> &tables() const
+    {
+        return tables_;
+    }
+
+    /** Total entries across all tiles (live + invalidated). */
+    uint64_t totalEntries() const;
+
+    /** Total entries whose valid bit is set. */
+    uint64_t validEntries() const;
+
+  private:
+    std::vector<std::vector<TileEntry>> tables_;
+};
+
+/**
+ * Positions of the ids shared between two depth orderings, reported as
+ * |position_prev - position_cur| for every shared id. This is the
+ * "sorting order difference" statistic of Fig. 7.
+ */
+std::vector<double>
+orderDisplacements(const std::vector<TileEntry> &prev_sorted,
+                   const std::vector<TileEntry> &cur_sorted);
+
+} // namespace neo
+
+#endif // NEO_CORE_GAUSSIAN_TABLE_H

@@ -1,0 +1,56 @@
+#include "core/neo_renderer.h"
+
+namespace neo
+{
+
+PipelineOptions
+NeoRenderer::neoDefaultOptions()
+{
+    PipelineOptions opts;
+    opts.tile_px = 64;
+    opts.raster.subtile_size = 8;
+    return opts;
+}
+
+NeoRenderer::NeoRenderer(PipelineOptions opts, DynamicPartialConfig dps)
+    : base_(opts), sorter_(dps)
+{
+}
+
+Image
+NeoRenderer::renderFrame(const GaussianScene &scene, const Camera &camera,
+                         uint64_t frame_index, NeoFrameReport *report)
+{
+    BinnedFrame frame = binFrame(scene, camera, base_.options().tile_px);
+    sorter_.beginFrame(frame, frame_index);
+
+    FrameStats stats;
+    Image image =
+        base_.renderWithOrdering(frame, sorter_.orderings(), &stats);
+
+    if (report) {
+        report->frame = stats;
+        report->sort = sorter_.takeStats();
+        report->reuse = sorter_.lastReport();
+    } else {
+        sorter_.takeStats();
+    }
+    return image;
+}
+
+FrameWorkload
+NeoRenderer::extractWorkload(const GaussianScene &scene,
+                             const Camera &camera, uint64_t frame_index)
+{
+    BinnedFrame frame = binFrame(scene, camera, base_.options().tile_px);
+    sorter_.beginFrame(frame, frame_index);
+
+    FrameWorkload w = base_.workloadFromBinned(frame, camera.resolution());
+    const FrameDelta &delta = sorter_.lastDelta();
+    w.incoming_instances = delta.incoming_total;
+    w.outgoing_instances = delta.outgoing_total;
+    w.mean_tile_retention = delta.meanRetention();
+    return w;
+}
+
+} // namespace neo

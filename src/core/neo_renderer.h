@@ -1,0 +1,69 @@
+/**
+ * @file
+ * NeoRenderer — the full 3DGS pipeline with reuse-and-update sorting in
+ * place of per-frame re-sorting. This is the primary user-facing class of
+ * the library: feed it a scene and a camera per frame and it returns the
+ * rendered image (or, for simulation, the frame's workload descriptor with
+ * temporal-delta statistics filled in).
+ */
+
+#ifndef NEO_CORE_NEO_RENDERER_H
+#define NEO_CORE_NEO_RENDERER_H
+
+#include <cstdint>
+
+#include "core/reuse_update.h"
+#include "gs/pipeline.h"
+
+namespace neo
+{
+
+/** Everything known about one frame rendered by Neo. */
+struct NeoFrameReport
+{
+    FrameStats frame;           //!< functional pipeline counters
+    SortCoreStats sort;         //!< sorting-hardware counters this frame
+    ReuseUpdateReport reuse;    //!< reuse-and-update summary
+};
+
+/** Renderer built around the reuse-and-update sorting strategy. */
+class NeoRenderer
+{
+  public:
+    /**
+     * @param opts pipeline options; Neo's hardware default is 64-px tiles
+     *        with 8-px subtiles (Table 1), so that is the default here too.
+     * @param dps Dynamic Partial Sorting tunables.
+     */
+    explicit NeoRenderer(PipelineOptions opts = neoDefaultOptions(),
+                         DynamicPartialConfig dps = {});
+
+    /** Paper Table 1 configuration: 64-px tiles, 8-px subtiles. */
+    static PipelineOptions neoDefaultOptions();
+
+    /** Render frame @p frame_index of a camera sequence. */
+    Image renderFrame(const GaussianScene &scene, const Camera &camera,
+                      uint64_t frame_index, NeoFrameReport *report = nullptr);
+
+    /**
+     * Run the pipeline without pixel work and emit the workload descriptor
+     * (with incoming/outgoing/retention populated) for the timing models.
+     */
+    FrameWorkload extractWorkload(const GaussianScene &scene,
+                                  const Camera &camera,
+                                  uint64_t frame_index);
+
+    /** Reset all cross-frame state (e.g., before a new trajectory). */
+    void reset() { sorter_.reset(); }
+
+    const ReuseUpdateSorter &sorter() const { return sorter_; }
+    const Renderer &base() const { return base_; }
+
+  private:
+    Renderer base_;
+    ReuseUpdateSorter sorter_;
+};
+
+} // namespace neo
+
+#endif // NEO_CORE_NEO_RENDERER_H

@@ -1,0 +1,101 @@
+#include "core/reuse_update.h"
+
+#include <algorithm>
+
+namespace neo
+{
+
+void
+ReuseUpdateSorter::reset()
+{
+    tables_.reset(0);
+    tracker_.reset();
+    delta_ = FrameDelta{};
+    report_ = ReuseUpdateReport{};
+}
+
+void
+ReuseUpdateSorter::beginFrame(const BinnedFrame &frame, uint64_t frame_index)
+{
+    report_ = ReuseUpdateReport{};
+    delta_ = tracker_.observe(frame);
+    report_.mean_retention = delta_.meanRetention();
+
+    if (tables_.tileCount() != frame.tiles.size()) {
+        coldStart(frame);
+    } else {
+        updateFrame(frame, frame_index);
+    }
+
+    report_.table_entries = tables_.totalEntries();
+    deferredDepthUpdate(frame);
+}
+
+void
+ReuseUpdateSorter::coldStart(const BinnedFrame &frame)
+{
+    // First frame (or a resolution change): build and fully sort every
+    // table from scratch, exactly like a conventional pipeline would.
+    report_.cold_start = true;
+    tables_.reset(frame.tiles.size());
+    for (size_t t = 0; t < frame.tiles.size(); ++t) {
+        tables_.table(t) = frame.tiles[t];
+        fullSortTable(tables_.table(t), &stats_);
+    }
+    report_.incoming = delta_.incoming_total;
+}
+
+void
+ReuseUpdateSorter::updateFrame(const BinnedFrame &frame, uint64_t frame_index)
+{
+    std::vector<TileEntry> merged;
+    for (size_t t = 0; t < frame.tiles.size(); ++t) {
+        std::vector<TileEntry> &table = tables_.table(t);
+        TileDelta &td = delta_.tiles[t];
+
+        // ① Reordering: Dynamic Partial Sorting of the reused table.
+        dynamicPartialSort(table, frame_index, dps_, &stats_);
+
+        // ② Insertion: conventional sort of the (small) incoming table.
+        std::vector<TileEntry> incoming = td.incoming;
+        fullSortTable(incoming, &stats_);
+
+        // ③ Deletion happens inside the same MSU+ pass that merges the
+        // incoming table: entries invalidated during the previous frame's
+        // rasterization are dropped without any shifting.
+        const uint64_t invalid_before = stats_.msu.filtered_invalid;
+        msuUpdateTable(table, incoming, merged, &stats_.msu);
+        report_.deleted += stats_.msu.filtered_invalid - invalid_before;
+        table = std::move(merged);
+        merged.clear();
+
+        report_.incoming += incoming.size();
+    }
+}
+
+void
+ReuseUpdateSorter::deferredDepthUpdate(const BinnedFrame &frame)
+{
+    // ④ Modeled on the Rasterization Engine: while features are being
+    // fetched for blending anyway, overwrite each entry's depth with the
+    // current frame's value, and clear the valid bit of entries whose
+    // footprint no longer intersects the tile (cumulative-OR of the ITU
+    // bitmaps). Both take effect for the *next* frame's sorting pass.
+    static const std::vector<GaussianId> kNoOutgoing;
+    for (size_t t = 0; t < tables_.tileCount(); ++t) {
+        const auto &outgoing = delta_.tiles.size() == tables_.tileCount()
+                                   ? delta_.tiles[t].outgoing_ids
+                                   : kNoOutgoing;
+        for (TileEntry &e : tables_.table(t)) {
+            if (frame.isVisible(e.id))
+                e.depth = frame.featureOf(e.id).depth;
+            if (!outgoing.empty() &&
+                std::binary_search(outgoing.begin(), outgoing.end(), e.id)) {
+                e.valid = false;
+                ++report_.outgoing_marked;
+            }
+        }
+    }
+}
+
+} // namespace neo

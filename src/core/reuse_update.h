@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Neo's reuse-and-update sorting (§4 of the paper), implemented as a
+ * SortingStrategy so it can be compared head-to-head with the baseline
+ * strategies of sort/strategies.h.
+ *
+ * Per frame T, for every tile:
+ *   ① Reordering — Dynamic Partial Sorting of the table carried over from
+ *     frame T-1 (whose depths were refreshed during T-1's rasterization,
+ *     i.e. they are one frame stale by design).
+ *   ② Insertion — Gaussians newly binned into the tile are sorted as a
+ *     small conventional sort and merged by the MSU+.
+ *   ③ Deletion — entries whose valid bit was cleared during frame T-1's
+ *     rasterization (no subtile intersection) are filtered out by the
+ *     MSU+ during the same merge pass; no shifting ever happens.
+ *   ④ Deferred depth update — after the orderings are produced, depths of
+ *     visible entries are overwritten with frame-T values, and entries
+ *     that left the tile this frame are marked invalid, to be deleted at
+ *     frame T+1. This models the Rasterization Engine's piggybacked table
+ *     write-back.
+ */
+
+#ifndef NEO_CORE_REUSE_UPDATE_H
+#define NEO_CORE_REUSE_UPDATE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/delta_tracker.h"
+#include "core/gaussian_table.h"
+#include "sort/dynamic_partial.h"
+#include "sort/strategies.h"
+
+namespace neo
+{
+
+/** Per-frame summary counters of the reuse-and-update flow. */
+struct ReuseUpdateReport
+{
+    uint64_t table_entries = 0;     //!< persistent-table entries touched
+    uint64_t incoming = 0;          //!< inserted this frame
+    uint64_t outgoing_marked = 0;   //!< marked invalid this frame
+    uint64_t deleted = 0;           //!< filtered by the MSU+ this frame
+    double mean_retention = 1.0;    //!< Fig. 6 statistic for this frame
+    bool cold_start = false;        //!< true when a full sort was needed
+};
+
+/** Reuse-and-update sorting strategy (Neo software algorithm). */
+class ReuseUpdateSorter : public SortingStrategy
+{
+  public:
+    explicit ReuseUpdateSorter(DynamicPartialConfig dps = {}) : dps_(dps) {}
+
+    std::string name() const override { return "reuse-update"; }
+
+    void beginFrame(const BinnedFrame &frame, uint64_t frame_index) override;
+
+    const std::vector<TileEntry> &tileOrder(int tile) const override
+    {
+        return tables_.table(tile);
+    }
+
+    const std::vector<std::vector<TileEntry>> &orderings() const override
+    {
+        return tables_.tables();
+    }
+
+    /** Summary of the most recent frame. */
+    const ReuseUpdateReport &lastReport() const { return report_; }
+
+    /** Membership delta of the most recent frame. */
+    const FrameDelta &lastDelta() const { return delta_; }
+
+    const DynamicPartialConfig &config() const { return dps_; }
+
+    /** Persistent tables (exposed for tests and the workload harness). */
+    const TileTableSet &tables() const { return tables_; }
+
+    /** Forget all cross-frame state. */
+    void reset();
+
+  private:
+    void coldStart(const BinnedFrame &frame);
+    void updateFrame(const BinnedFrame &frame, uint64_t frame_index);
+    void deferredDepthUpdate(const BinnedFrame &frame);
+
+    DynamicPartialConfig dps_;
+    TileTableSet tables_;
+    DeltaTracker tracker_;
+    FrameDelta delta_;
+    ReuseUpdateReport report_;
+};
+
+} // namespace neo
+
+#endif // NEO_CORE_REUSE_UPDATE_H

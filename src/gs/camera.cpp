@@ -1,0 +1,40 @@
+#include "gs/camera.h"
+
+#include <cmath>
+
+namespace neo
+{
+
+Camera::Camera(Resolution res, float fov_y_rad)
+    : res_(res), fov_y_(fov_y_rad)
+{
+    focal_y_ = 0.5f * res.height / std::tan(0.5f * fov_y_rad);
+    focal_x_ = focal_y_; // square pixels
+}
+
+void
+Camera::lookAt(const Vec3 &eye, const Vec3 &target, const Vec3 &up)
+{
+    eye_ = eye;
+    Vec3 fwd = (target - eye).normalized();
+    Vec3 right = fwd.cross(up).normalized();
+    if (right.norm() < 1e-6f) {
+        // Degenerate up vector: pick any perpendicular axis.
+        right = fwd.cross({1.0f, 0.0f, 0.0f}).normalized();
+        if (right.norm() < 1e-6f)
+            right = fwd.cross({0.0f, 0.0f, 1.0f}).normalized();
+    }
+    Vec3 down = fwd.cross(right); // +y down to match pixel coordinates
+
+    // Rows of the rotation block are the camera axes; +z looks forward.
+    Mat4 m = Mat4::identity();
+    m(0, 0) = right.x; m(0, 1) = right.y; m(0, 2) = right.z;
+    m(1, 0) = down.x;  m(1, 1) = down.y;  m(1, 2) = down.z;
+    m(2, 0) = fwd.x;   m(2, 1) = fwd.y;   m(2, 2) = fwd.z;
+    m(0, 3) = -right.dot(eye);
+    m(1, 3) = -down.dot(eye);
+    m(2, 3) = -fwd.dot(eye);
+    world_to_camera_ = m;
+}
+
+} // namespace neo

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Pinhole camera with a world-to-camera rigid transform. Camera space is
+ * right-handed with +z pointing into the scene (depth = camera-space z),
+ * matching the 3DGS reference renderer.
+ */
+
+#ifndef NEO_GS_CAMERA_H
+#define NEO_GS_CAMERA_H
+
+#include "common/math.h"
+
+namespace neo
+{
+
+/** Render-target resolution presets used throughout the evaluation. */
+struct Resolution
+{
+    int width = 1280;
+    int height = 720;
+    const char *name = "HD";
+
+    long pixels() const { return static_cast<long>(width) * height; }
+};
+
+constexpr Resolution kResHD{1280, 720, "HD"};
+constexpr Resolution kResFHD{1920, 1080, "FHD"};
+constexpr Resolution kResQHD{2560, 1440, "QHD"};
+
+/** Pinhole camera: intrinsics plus world-to-camera pose. */
+class Camera
+{
+  public:
+    Camera() = default;
+
+    /**
+     * @param res render-target resolution
+     * @param fov_y_rad vertical field of view in radians
+     */
+    Camera(Resolution res, float fov_y_rad);
+
+    /** Place the camera at @p eye looking at @p target with @p up hint. */
+    void lookAt(const Vec3 &eye, const Vec3 &target,
+                const Vec3 &up = {0.0f, 1.0f, 0.0f});
+
+    int width() const { return res_.width; }
+    int height() const { return res_.height; }
+    Resolution resolution() const { return res_; }
+    float focalX() const { return focal_x_; }
+    float focalY() const { return focal_y_; }
+    float fovY() const { return fov_y_; }
+    const Vec3 &position() const { return eye_; }
+    const Mat4 &worldToCamera() const { return world_to_camera_; }
+
+    /** Transform a world point into camera space (z is depth). */
+    Vec3 toCameraSpace(const Vec3 &world) const
+    {
+        return world_to_camera_.transformPoint(world);
+    }
+
+    /**
+     * Project a camera-space point to pixel coordinates. Caller must ensure
+     * cam.z > 0.
+     */
+    Vec2 toScreen(const Vec3 &cam) const
+    {
+        return {
+            focal_x_ * cam.x / cam.z + 0.5f * res_.width,
+            focal_y_ * cam.y / cam.z + 0.5f * res_.height,
+        };
+    }
+
+    /** Viewing direction from the camera to a world-space point. */
+    Vec3 viewDirection(const Vec3 &world) const
+    {
+        return (world - eye_).normalized();
+    }
+
+  private:
+    Resolution res_ = kResHD;
+    float fov_y_ = deg2rad(50.0f);
+    float focal_x_ = 1.0f;
+    float focal_y_ = 1.0f;
+    Vec3 eye_;
+    Mat4 world_to_camera_ = Mat4::identity();
+};
+
+} // namespace neo
+
+#endif // NEO_GS_CAMERA_H

@@ -1,0 +1,42 @@
+#include "gs/culling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gs/projection.h"
+
+namespace neo
+{
+
+bool
+inFrustum(const Gaussian &g, const Camera &camera, float margin)
+{
+    Vec3 cam = camera.toCameraSpace(g.position);
+    float extent = 3.0f * std::max({g.scale.x, g.scale.y, g.scale.z});
+    if (cam.z + extent <= kNearPlane)
+        return false;
+
+    // Compare against the view pyramid half-angles with the sphere extent
+    // projected onto the image plane.
+    float z = std::max(cam.z, kNearPlane);
+    float half_w = 0.5f * camera.width() / camera.focalX() * z;
+    float half_h = 0.5f * camera.height() / camera.focalY() * z;
+    half_w = half_w * margin + extent;
+    half_h = half_h * margin + extent;
+    return std::fabs(cam.x) <= half_w && std::fabs(cam.y) <= half_h;
+}
+
+CullResult
+cullScene(const GaussianScene &scene, const Camera &camera, float margin)
+{
+    CullResult r;
+    r.total = scene.size();
+    r.visible.reserve(scene.size());
+    for (GaussianId id = 0; id < scene.size(); ++id) {
+        if (inFrustum(scene[id], camera, margin))
+            r.visible.push_back(id);
+    }
+    return r;
+}
+
+} // namespace neo

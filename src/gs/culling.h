@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Frustum culling — stage 1 of the 3DGS pipeline. Gaussians whose 3-sigma
+ * bounding sphere lies outside the camera frustum are discarded before
+ * feature extraction.
+ */
+
+#ifndef NEO_GS_CULLING_H
+#define NEO_GS_CULLING_H
+
+#include <vector>
+
+#include "gs/camera.h"
+#include "gs/gaussian.h"
+
+namespace neo
+{
+
+/** Result of culling a scene against one camera. */
+struct CullResult
+{
+    /** Ids of Gaussians that survive culling, in scene order. */
+    std::vector<GaussianId> visible;
+    size_t total = 0;
+
+    double visibleFraction() const
+    {
+        return total ? static_cast<double>(visible.size()) / total : 0.0;
+    }
+};
+
+/**
+ * Conservative sphere-vs-frustum test for a single Gaussian.
+ * @param margin multiplier (>1 widens the frustum; used by the duplication
+ *        unit to keep Gaussians that may enter the view next frame).
+ */
+bool inFrustum(const Gaussian &g, const Camera &camera, float margin = 1.0f);
+
+/** Cull an entire scene. */
+CullResult cullScene(const GaussianScene &scene, const Camera &camera,
+                     float margin = 1.0f);
+
+} // namespace neo
+
+#endif // NEO_GS_CULLING_H

@@ -1,0 +1,31 @@
+#include "gs/gaussian.h"
+
+#include <algorithm>
+
+namespace neo
+{
+
+void
+recomputeBounds(GaussianScene &scene)
+{
+    if (scene.empty()) {
+        scene.center = {0.0f, 0.0f, 0.0f};
+        scene.bounding_radius = 1.0f;
+        return;
+    }
+    Vec3 acc{0.0f, 0.0f, 0.0f};
+    for (const auto &g : scene.gaussians)
+        acc += g.position;
+    scene.center = acc / static_cast<float>(scene.size());
+
+    float max_r2 = 0.0f;
+    for (const auto &g : scene.gaussians) {
+        Vec3 d = g.position - scene.center;
+        float extent = 3.0f * std::max({g.scale.x, g.scale.y, g.scale.z});
+        float r = d.norm() + extent;
+        max_r2 = std::max(max_r2, r * r);
+    }
+    scene.bounding_radius = std::sqrt(max_r2);
+}
+
+} // namespace neo

@@ -1,0 +1,108 @@
+#include "gs/pipeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace neo
+{
+
+uint64_t
+FrameWorkload::nonEmptyTiles() const
+{
+    uint64_t n = 0;
+    for (uint32_t len : tile_lengths)
+        if (len > 0)
+            ++n;
+    return n;
+}
+
+double
+FrameWorkload::meanTileLength() const
+{
+    uint64_t tiles = nonEmptyTiles();
+    return tiles ? static_cast<double>(instances) / tiles : 0.0;
+}
+
+BinnedFrame
+Renderer::prepare(const GaussianScene &scene, const Camera &camera) const
+{
+    BinnedFrame frame = binFrame(scene, camera, opts_.tile_px);
+    for (auto &tile : frame.tiles)
+        std::sort(tile.begin(), tile.end(), entryDepthLess);
+    return frame;
+}
+
+Image
+Renderer::render(const GaussianScene &scene, const Camera &camera,
+                 FrameStats *stats) const
+{
+    BinnedFrame frame = prepare(scene, camera);
+    return renderWithOrdering(frame, {}, stats ? stats : nullptr);
+}
+
+Image
+Renderer::renderWithOrdering(
+    const BinnedFrame &frame,
+    const std::vector<std::vector<TileEntry>> &orderings,
+    FrameStats *stats) const
+{
+    const TileGrid &grid = frame.grid;
+    Image image(grid.tiles_x * grid.tile_size, grid.tiles_y * grid.tile_size);
+
+    FrameStats local;
+    local.scene_gaussians = frame.feature_of_id.size();
+    local.visible_gaussians = frame.features.size();
+    local.instances = frame.instances;
+    local.mean_tile_length = frame.meanTileLength();
+
+    for (int tile = 0; tile < grid.tileCount(); ++tile) {
+        const std::vector<TileEntry> &order =
+            (tile < static_cast<int>(orderings.size()) &&
+             !orderings[tile].empty())
+                ? orderings[tile]
+                : frame.tiles[tile];
+        if (order.empty())
+            continue;
+        local.raster +=
+            rasterizeTile(order, frame, tile, opts_.raster, &image);
+    }
+    if (stats)
+        *stats = local;
+    return image;
+}
+
+FrameWorkload
+Renderer::extractWorkload(const GaussianScene &scene,
+                          const Camera &camera) const
+{
+    BinnedFrame frame = prepare(scene, camera);
+    return workloadFromBinned(frame, camera.resolution());
+}
+
+FrameWorkload
+Renderer::workloadFromBinned(const BinnedFrame &frame, Resolution res) const
+{
+    FrameWorkload w;
+    w.res = res;
+    w.tile_size = frame.grid.tile_size;
+    w.scene_gaussians = frame.feature_of_id.size();
+    w.visible_gaussians = frame.features.size();
+    w.instances = frame.instances;
+    w.tile_lengths.reserve(frame.tiles.size());
+    const int subtiles_1d = frame.grid.tile_size / opts_.raster.subtile_size;
+    for (int tile = 0; tile < frame.grid.tileCount(); ++tile) {
+        const auto &entries = frame.tiles[tile];
+        w.tile_lengths.push_back(static_cast<uint32_t>(entries.size()));
+        if (entries.empty())
+            continue;
+        w.blend_ops +=
+            estimateTileBlendOps(entries, frame, tile, opts_.raster);
+        w.intersection_tests += entries.size() *
+                                static_cast<uint64_t>(subtiles_1d) *
+                                subtiles_1d;
+    }
+    return w;
+}
+
+} // namespace neo

@@ -1,0 +1,98 @@
+#include "gs/prune.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace neo
+{
+
+float
+pruneImportance(const Gaussian &g, PruneCriterion criterion)
+{
+    switch (criterion) {
+      case PruneCriterion::Opacity:
+        return g.opacity;
+      case PruneCriterion::OpacityVolume: {
+        float mean_scale = (g.scale.x + g.scale.y + g.scale.z) / 3.0f;
+        return g.opacity * mean_scale * mean_scale;
+      }
+    }
+    return g.opacity;
+}
+
+PruneResult
+pruneByThreshold(GaussianScene &scene, float threshold,
+                 PruneCriterion criterion)
+{
+    PruneResult r;
+    r.before = scene.size();
+    auto it = std::remove_if(
+        scene.gaussians.begin(), scene.gaussians.end(),
+        [&](const Gaussian &g) {
+            return pruneImportance(g, criterion) < threshold;
+        });
+    scene.gaussians.erase(it, scene.gaussians.end());
+    r.after = scene.size();
+    recomputeBounds(scene);
+    return r;
+}
+
+PruneResult
+pruneToFraction(GaussianScene &scene, double keep_fraction,
+                PruneCriterion criterion)
+{
+    if (keep_fraction < 0.0 || keep_fraction > 1.0)
+        fatal("pruneToFraction: keep_fraction %.3f outside [0, 1]",
+              keep_fraction);
+    PruneResult r;
+    r.before = scene.size();
+    size_t keep = static_cast<size_t>(keep_fraction * scene.size() + 0.5);
+    if (keep >= scene.size()) {
+        r.after = scene.size();
+        return r;
+    }
+    if (keep == 0) {
+        scene.gaussians.clear();
+        recomputeBounds(scene);
+        r.after = 0;
+        return r;
+    }
+
+    // Find the importance cutoff via nth_element on a score copy, then
+    // filter in place preserving order.
+    std::vector<float> scores;
+    scores.reserve(scene.size());
+    for (const auto &g : scene.gaussians)
+        scores.push_back(pruneImportance(g, criterion));
+    std::vector<float> sorted = scores;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + (scene.size() - keep), sorted.end());
+    float cutoff = sorted[scene.size() - keep];
+
+    std::vector<Gaussian> kept;
+    kept.reserve(keep);
+    size_t at_cutoff_budget = keep;
+    // First count strictly-above entries so ties at the cutoff fill the
+    // remaining budget deterministically (front to back).
+    size_t above = 0;
+    for (float s : scores)
+        if (s > cutoff)
+            ++above;
+    at_cutoff_budget = keep - std::min(keep, above);
+    for (size_t i = 0; i < scene.size(); ++i) {
+        if (scores[i] > cutoff) {
+            kept.push_back(scene.gaussians[i]);
+        } else if (scores[i] == cutoff && at_cutoff_budget > 0) {
+            kept.push_back(scene.gaussians[i]);
+            --at_cutoff_budget;
+        }
+    }
+    scene.gaussians = std::move(kept);
+    r.after = scene.size();
+    recomputeBounds(scene);
+    return r;
+}
+
+} // namespace neo

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Scene pruning utilities. The paper's related-work section (§7) positions
+ * Neo as orthogonal to memory-footprint work (LightGaussian/Mini-Splatting
+ * style pruning): pruning shrinks the scene, Neo shrinks per-frame sorting
+ * traffic, and the two compose. This module provides the pruning side so
+ * the composition can be measured (bench_ext_pruning).
+ *
+ * Two importance criteria are implemented:
+ *  - opacity pruning: drop Gaussians whose opacity is below a threshold;
+ *  - volume-weighted importance: opacity x screen-coverage proxy
+ *    (3-sigma volume), which preserves large low-opacity splats that
+ *    matter for background coverage.
+ */
+
+#ifndef NEO_GS_PRUNE_H
+#define NEO_GS_PRUNE_H
+
+#include <cstddef>
+
+#include "gs/gaussian.h"
+
+namespace neo
+{
+
+/** Pruning criterion. */
+enum class PruneCriterion
+{
+    Opacity,           //!< importance = opacity
+    OpacityVolume,     //!< importance = opacity * mean-scale^2
+};
+
+/** Result summary of a pruning pass. */
+struct PruneResult
+{
+    size_t before = 0;
+    size_t after = 0;
+
+    double keptFraction() const
+    {
+        return before ? static_cast<double>(after) / before : 1.0;
+    }
+};
+
+/** Importance score of one Gaussian under a criterion. */
+float pruneImportance(const Gaussian &g, PruneCriterion criterion);
+
+/**
+ * Remove every Gaussian with importance below @p threshold, in place.
+ * Scene bounds are recomputed.
+ */
+PruneResult pruneByThreshold(GaussianScene &scene, float threshold,
+                             PruneCriterion criterion =
+                                 PruneCriterion::Opacity);
+
+/**
+ * Keep only the @p keep_fraction most important Gaussians (by criterion),
+ * in place; 1.0 is a no-op, 0.0 keeps nothing. Scene bounds are
+ * recomputed. Relative order of survivors is preserved so GaussianIds of
+ * a *new* scene stay dense.
+ */
+PruneResult pruneToFraction(GaussianScene &scene, double keep_fraction,
+                            PruneCriterion criterion =
+                                PruneCriterion::OpacityVolume);
+
+} // namespace neo
+
+#endif // NEO_GS_PRUNE_H

@@ -1,0 +1,173 @@
+#include "gs/raster.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace neo
+{
+
+SubtileBitmap
+subtileBitmap(const ProjectedGaussian &pg, Vec2 tile_origin, int tile_size,
+              int subtile_size)
+{
+    const int subtiles = tile_size / subtile_size;
+    SubtileBitmap bitmap = 0;
+    int bit = 0;
+    for (int sy = 0; sy < subtiles; ++sy) {
+        for (int sx = 0; sx < subtiles; ++sx, ++bit) {
+            // Closest point of the subtile rectangle to the Gaussian center.
+            float x0 = tile_origin.x + sx * subtile_size;
+            float y0 = tile_origin.y + sy * subtile_size;
+            float cx = clamp(pg.mean2d.x, x0, x0 + subtile_size);
+            float cy = clamp(pg.mean2d.y, y0, y0 + subtile_size);
+            float dx = cx - pg.mean2d.x;
+            float dy = cy - pg.mean2d.y;
+            if (dx * dx + dy * dy <= pg.radius_px * pg.radius_px)
+                bitmap |= (SubtileBitmap{1} << bit);
+        }
+    }
+    return bitmap;
+}
+
+RasterStats
+rasterizeTile(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
+              int tile, const RasterConfig &cfg, Image *image,
+              std::vector<uint8_t> *valid_out)
+{
+    RasterStats stats;
+    const TileGrid &grid = frame.grid;
+    const Vec2 origin = grid.tileOrigin(tile);
+    const int tile_size = grid.tile_size;
+    const int subtiles = tile_size / cfg.subtile_size;
+    if (subtiles * subtiles > 64)
+        panic("rasterizeTile: more than 64 subtiles per tile");
+
+    stats.gaussians_in = entries.size();
+    if (valid_out)
+        valid_out->assign(entries.size(), 0);
+
+    // Phase 1 (ITU): subtile bitmaps and valid bits.
+    std::vector<SubtileBitmap> bitmaps(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+        if (!entries[i].valid || !frame.isVisible(entries[i].id)) {
+            bitmaps[i] = 0;
+            continue;
+        }
+        const ProjectedGaussian &pg = frame.featureOf(entries[i].id);
+        bitmaps[i] =
+            subtileBitmap(pg, origin, tile_size, cfg.subtile_size);
+        stats.intersection_tests +=
+            static_cast<uint64_t>(subtiles) * subtiles;
+        if (bitmaps[i]) {
+            ++stats.gaussians_blended;
+            if (valid_out)
+                (*valid_out)[i] = 1;
+        }
+    }
+
+    if (!image) {
+        // Dry run: ITU work only.
+        return stats;
+    }
+
+    // Phase 2 (SCU): per-pixel front-to-back alpha blending.
+    const int img_w = image->width();
+    const int img_h = image->height();
+    const int px0 = static_cast<int>(origin.x);
+    const int py0 = static_cast<int>(origin.y);
+    const int w = std::min(tile_size, img_w - px0);
+    const int h = std::min(tile_size, img_h - py0);
+    if (w <= 0 || h <= 0)
+        return stats;
+
+    std::vector<float> transmittance(static_cast<size_t>(w) * h, 1.0f);
+    std::vector<Vec3> accum(static_cast<size_t>(w) * h, Vec3{});
+    std::vector<uint8_t> done(static_cast<size_t>(w) * h, 0);
+    size_t live_pixels = static_cast<size_t>(w) * h;
+
+    for (size_t i = 0; i < entries.size() && live_pixels > 0; ++i) {
+        if (!bitmaps[i])
+            continue;
+        const ProjectedGaussian &pg = frame.featureOf(entries[i].id);
+        for (int y = 0; y < h; ++y) {
+            int sub_y = y / cfg.subtile_size;
+            for (int x = 0; x < w; ++x) {
+                int sub_x = x / cfg.subtile_size;
+                int bit = sub_y * subtiles + sub_x;
+                if (!(bitmaps[i] >> bit & 1))
+                    continue;
+                size_t pi = static_cast<size_t>(y) * w + x;
+                if (done[pi])
+                    continue;
+                float dx = (px0 + x + 0.5f) - pg.mean2d.x;
+                float dy = (py0 + y + 0.5f) - pg.mean2d.y;
+                float alpha = pg.opacity * pg.falloff(dx, dy);
+                if (alpha < cfg.alpha_threshold)
+                    continue;
+                alpha = std::min(alpha, cfg.alpha_max);
+                ++stats.blend_ops;
+                accum[pi] += pg.color * (alpha * transmittance[pi]);
+                transmittance[pi] *= (1.0f - alpha);
+                if (transmittance[pi] < cfg.transmittance_cutoff) {
+                    done[pi] = 1;
+                    --live_pixels;
+                    ++stats.pixels_terminated;
+                }
+            }
+        }
+    }
+
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            image->at(px0 + x, py0 + y) =
+                accum[static_cast<size_t>(y) * w + x];
+    return stats;
+}
+
+uint64_t
+estimateTileBlendOps(const std::vector<TileEntry> &entries,
+                     const BinnedFrame &frame, int tile,
+                     const RasterConfig &cfg)
+{
+    const TileGrid &grid = frame.grid;
+    const Vec2 origin = grid.tileOrigin(tile);
+    const int tile_size = grid.tile_size;
+    const int subtiles_1d = tile_size / cfg.subtile_size;
+    const int subtile_count = subtiles_1d * subtiles_1d;
+    const double tile_pixels = static_cast<double>(tile_size) * tile_size;
+
+    // Walk sorted entries front to back tracking a tile-mean transmittance.
+    // Each entry contributes blends over the pixels of its covered subtiles
+    // that are still live; the mean alpha over a Gaussian footprint is
+    // opacity * E[falloff] with E[falloff] ~= 0.45 for a 3-sigma splat.
+    constexpr double kMeanFalloff = 0.45;
+    double transmittance = 1.0;
+    double blend_ops = 0.0;
+    for (const TileEntry &e : entries) {
+        if (transmittance < cfg.transmittance_cutoff)
+            break;
+        if (!e.valid || !frame.isVisible(e.id))
+            continue;
+        const ProjectedGaussian &pg = frame.featureOf(e.id);
+        SubtileBitmap bm =
+            subtileBitmap(pg, origin, tile_size, cfg.subtile_size);
+        if (!bm)
+            continue;
+        double coverage =
+            static_cast<double>(std::popcount(bm)) / subtile_count;
+        double alpha_eff = std::min(
+            static_cast<double>(pg.opacity) * kMeanFalloff,
+            static_cast<double>(cfg.alpha_max));
+        if (alpha_eff < cfg.alpha_threshold)
+            continue;
+        blend_ops += coverage * tile_pixels;
+        // Only the covered fraction of the tile attenuates.
+        transmittance *= (1.0 - coverage * alpha_eff);
+    }
+    return static_cast<uint64_t>(blend_ops);
+}
+
+} // namespace neo

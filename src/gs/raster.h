@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tile rasterization — stage 4 of the 3DGS pipeline. Depth-sorted Gaussians
+ * are alpha-blended front to back per pixel, with early termination once a
+ * pixel's transmittance drops below a cutoff.
+ *
+ * The rasterizer implements the subtile optimization of GSCore/Neo: each
+ * tile is subdivided into subtiles, a per-Gaussian intersection bitmap is
+ * computed (the Intersection Test Unit in hardware), and per-pixel work is
+ * skipped for subtiles the Gaussian does not touch. The cumulative OR of
+ * the bitmaps yields the valid bit Neo uses to flag outgoing Gaussians.
+ */
+
+#ifndef NEO_GS_RASTER_H
+#define NEO_GS_RASTER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/image.h"
+#include "gs/tiling.h"
+
+namespace neo
+{
+
+/** Rasterizer configuration (defaults follow the Neo paper, Table 1). */
+struct RasterConfig
+{
+    /** Subtile edge length in pixels (paper: 8x8). */
+    int subtile_size = 8;
+    /** Minimum per-pixel alpha for a Gaussian to contribute (1/255). */
+    float alpha_threshold = 1.0f / 255.0f;
+    /** Stop blending a pixel when transmittance falls below this. */
+    float transmittance_cutoff = 1e-4f;
+    /** Alpha is clamped to this maximum, as in the reference renderer. */
+    float alpha_max = 0.99f;
+};
+
+/** Work counters produced by rasterizing one tile. */
+struct RasterStats
+{
+    uint64_t gaussians_in = 0;        //!< entries presented to the core
+    uint64_t intersection_tests = 0;  //!< ITU subtile tests
+    uint64_t gaussians_blended = 0;   //!< entries with >=1 subtile hit
+    uint64_t blend_ops = 0;           //!< per-pixel alpha-blend operations
+    uint64_t pixels_terminated = 0;   //!< pixels that hit the cutoff
+
+    RasterStats &
+    operator+=(const RasterStats &o)
+    {
+        gaussians_in += o.gaussians_in;
+        intersection_tests += o.intersection_tests;
+        gaussians_blended += o.gaussians_blended;
+        blend_ops += o.blend_ops;
+        pixels_terminated += o.pixels_terminated;
+        return *this;
+    }
+};
+
+/**
+ * Per-Gaussian subtile intersection bitmap. Bit i corresponds to subtile i
+ * in row-major order within the tile; a zero bitmap means the Gaussian
+ * touches no subtile (it is "outgoing" for reuse-and-update sorting).
+ */
+using SubtileBitmap = uint64_t;
+
+/**
+ * Intersection Test Unit model: conservative test of a projected Gaussian
+ * against every subtile of a tile.
+ *
+ * @param pg projected Gaussian
+ * @param tile_origin pixel coordinates of the tile's top-left corner
+ * @param tile_size tile edge in pixels
+ * @param subtile_size subtile edge in pixels
+ */
+SubtileBitmap subtileBitmap(const ProjectedGaussian &pg, Vec2 tile_origin,
+                            int tile_size, int subtile_size);
+
+/**
+ * Rasterize one tile.
+ *
+ * @param entries depth-sorted tile entries (front to back)
+ * @param frame binned frame carrying the feature table
+ * @param tile index of the tile in the frame's grid
+ * @param cfg rasterizer configuration
+ * @param image output framebuffer, or nullptr for a stats-only dry run
+ * @param valid_out when non-null, resized to entries.size() and set to the
+ *        per-entry valid bit (>=1 subtile intersection)
+ * @return work counters for the tile
+ */
+RasterStats rasterizeTile(const std::vector<TileEntry> &entries,
+                          const BinnedFrame &frame, int tile,
+                          const RasterConfig &cfg, Image *image,
+                          std::vector<uint8_t> *valid_out = nullptr);
+
+/**
+ * Estimate the blend work of a tile without touching pixels. Used by the
+ * workload-extraction path where full rasterization would dominate runtime.
+ * The estimate walks the sorted entries once, tracking mean transmittance
+ * with per-entry coverage from the subtile bitmap.
+ */
+uint64_t estimateTileBlendOps(const std::vector<TileEntry> &entries,
+                              const BinnedFrame &frame, int tile,
+                              const RasterConfig &cfg);
+
+} // namespace neo
+
+#endif // NEO_GS_RASTER_H

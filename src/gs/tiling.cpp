@@ -1,0 +1,80 @@
+#include "gs/tiling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gs/culling.h"
+#include "gs/projection.h"
+
+namespace neo
+{
+
+TileRect
+tileRectOf(const ProjectedGaussian &pg, const TileGrid &grid)
+{
+    TileRect r;
+    const float radius = pg.radius_px;
+    int x0 = static_cast<int>(
+        std::floor((pg.mean2d.x - radius) / grid.tile_size));
+    int y0 = static_cast<int>(
+        std::floor((pg.mean2d.y - radius) / grid.tile_size));
+    int x1 = static_cast<int>(
+        std::floor((pg.mean2d.x + radius) / grid.tile_size));
+    int y1 = static_cast<int>(
+        std::floor((pg.mean2d.y + radius) / grid.tile_size));
+    r.x0 = std::max(x0, 0);
+    r.y0 = std::max(y0, 0);
+    r.x1 = std::min(x1, grid.tiles_x - 1);
+    r.y1 = std::min(y1, grid.tiles_y - 1);
+    return r;
+}
+
+double
+BinnedFrame::meanTileLength() const
+{
+    uint64_t total = 0;
+    size_t nonempty = 0;
+    for (const auto &t : tiles) {
+        if (!t.empty()) {
+            total += t.size();
+            ++nonempty;
+        }
+    }
+    return nonempty ? static_cast<double>(total) / nonempty : 0.0;
+}
+
+BinnedFrame
+binFrame(const GaussianScene &scene, const Camera &camera, int tile_px)
+{
+    BinnedFrame out;
+    out.grid = TileGrid(camera.resolution(), tile_px);
+    out.tiles.resize(out.grid.tileCount());
+    out.feature_of_id.assign(scene.size(), -1);
+    out.features.reserve(scene.size() / 2);
+
+    for (GaussianId id = 0; id < scene.size(); ++id) {
+        const Gaussian &g = scene[id];
+        if (!inFrustum(g, camera))
+            continue;
+        auto pg = projectGaussian(g, id, camera);
+        if (!pg)
+            continue;
+        TileRect rect = tileRectOf(*pg, out.grid);
+        if (rect.empty())
+            continue;
+
+        out.feature_of_id[id] = static_cast<int32_t>(out.features.size());
+        out.features.push_back(*pg);
+
+        for (int ty = rect.y0; ty <= rect.y1; ++ty) {
+            for (int tx = rect.x0; tx <= rect.x1; ++tx) {
+                out.tiles[out.grid.tileIndex(tx, ty)].push_back(
+                    {id, pg->depth, true});
+                ++out.instances;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace neo

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tile binning (the "duplication" step): the image plane is subdivided into
+ * square tiles and every projected Gaussian is replicated into each tile
+ * its screen-space footprint touches. The per-tile (id, depth) lists are
+ * the input of the sorting stage; persistent per-tile tables in core/ are
+ * derived from the same structures.
+ */
+
+#ifndef NEO_GS_TILING_H
+#define NEO_GS_TILING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "gs/camera.h"
+#include "gs/gaussian.h"
+
+namespace neo
+{
+
+/** One entry of a per-tile Gaussian list / table. */
+struct TileEntry
+{
+    GaussianId id = 0;
+    float depth = 0.0f;
+    /** Cleared by rasterization when the Gaussian leaves the tile. */
+    bool valid = true;
+};
+
+/** Depth-ascending comparison used everywhere a tile list is sorted. */
+inline bool
+entryDepthLess(const TileEntry &a, const TileEntry &b)
+{
+    if (a.depth != b.depth)
+        return a.depth < b.depth;
+    return a.id < b.id; // deterministic tie-break
+}
+
+/** Tile decomposition of a render target. */
+struct TileGrid
+{
+    int tile_size = 16;
+    int tiles_x = 0;
+    int tiles_y = 0;
+
+    TileGrid() = default;
+    TileGrid(Resolution res, int tile_px)
+        : tile_size(tile_px),
+          tiles_x((res.width + tile_px - 1) / tile_px),
+          tiles_y((res.height + tile_px - 1) / tile_px)
+    {
+    }
+
+    int tileCount() const { return tiles_x * tiles_y; }
+    int tileIndex(int tx, int ty) const { return ty * tiles_x + tx; }
+
+    /** Pixel origin (top-left) of a tile. */
+    Vec2 tileOrigin(int tile) const
+    {
+        int tx = tile % tiles_x;
+        int ty = tile / tiles_x;
+        return {static_cast<float>(tx * tile_size),
+                static_cast<float>(ty * tile_size)};
+    }
+};
+
+/** Inclusive tile-coordinate rectangle covered by a projected Gaussian. */
+struct TileRect
+{
+    int x0 = 0, y0 = 0, x1 = -1, y1 = -1; // empty when x1 < x0
+
+    bool empty() const { return x1 < x0 || y1 < y0; }
+    long count() const
+    {
+        return empty() ? 0 : static_cast<long>(x1 - x0 + 1) * (y1 - y0 + 1);
+    }
+};
+
+/** Compute the clamped tile rectangle touched by @p pg. */
+TileRect tileRectOf(const ProjectedGaussian &pg, const TileGrid &grid);
+
+/** Result of binning one frame. */
+struct BinnedFrame
+{
+    TileGrid grid;
+    /** Projected features of all visible Gaussians this frame. */
+    FeatureTable features;
+    /** Map GaussianId -> index into features (-1 when not visible). */
+    std::vector<int32_t> feature_of_id;
+    /** Per-tile (id, depth) lists, unsorted. */
+    std::vector<std::vector<TileEntry>> tiles;
+    /** Total duplicated instances (= sum of tile list lengths). */
+    uint64_t instances = 0;
+
+    const ProjectedGaussian &featureOf(GaussianId id) const
+    {
+        return features[feature_of_id[id]];
+    }
+
+    bool isVisible(GaussianId id) const
+    {
+        return id < feature_of_id.size() && feature_of_id[id] >= 0;
+    }
+
+    /** Mean tile-list length over non-empty tiles. */
+    double meanTileLength() const;
+};
+
+/**
+ * Run culling + feature extraction + duplication for one frame.
+ *
+ * @param scene the scene
+ * @param camera viewing camera
+ * @param tile_px tile edge length in pixels
+ */
+BinnedFrame binFrame(const GaussianScene &scene, const Camera &camera,
+                     int tile_px);
+
+} // namespace neo
+
+#endif // NEO_GS_TILING_H

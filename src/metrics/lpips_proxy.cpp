@@ -1,0 +1,116 @@
+#include "metrics/lpips_proxy.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "metrics/ssim.h"
+
+namespace neo
+{
+
+namespace
+{
+
+/** Horizontal/vertical Sobel responses of a luma plane. */
+struct GradientField
+{
+    std::vector<float> gx;
+    std::vector<float> gy;
+};
+
+GradientField
+sobel(const std::vector<float> &luma, int w, int h)
+{
+    GradientField g;
+    g.gx.assign(luma.size(), 0.0f);
+    g.gy.assign(luma.size(), 0.0f);
+    auto at = [&](int x, int y) {
+        x = clamp(x, 0, w - 1);
+        y = clamp(y, 0, h - 1);
+        return luma[static_cast<size_t>(y) * w + x];
+    };
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            float gx = (at(x + 1, y - 1) + 2.0f * at(x + 1, y) +
+                        at(x + 1, y + 1)) -
+                       (at(x - 1, y - 1) + 2.0f * at(x - 1, y) +
+                        at(x - 1, y + 1));
+            float gy = (at(x - 1, y + 1) + 2.0f * at(x, y + 1) +
+                        at(x + 1, y + 1)) -
+                       (at(x - 1, y - 1) + 2.0f * at(x, y - 1) +
+                        at(x + 1, y - 1));
+            size_t i = static_cast<size_t>(y) * w + x;
+            g.gx[i] = gx;
+            g.gy[i] = gy;
+        }
+    }
+    return g;
+}
+
+/**
+ * Normalized feature distance between two gradient fields: per-pixel unit
+ * normalization of the (gx, gy, |g|) feature vector followed by mean
+ * squared distance, which is the LPIPS recipe applied to hand features.
+ */
+double
+featureDistance(const GradientField &a, const GradientField &b)
+{
+    if (a.gx.empty())
+        return 0.0;
+    double acc = 0.0;
+    const float eps = 1e-6f;
+    for (size_t i = 0; i < a.gx.size(); ++i) {
+        float ma = std::sqrt(a.gx[i] * a.gx[i] + a.gy[i] * a.gy[i]);
+        float mb = std::sqrt(b.gx[i] * b.gx[i] + b.gy[i] * b.gy[i]);
+        float na = ma + eps;
+        float nb = mb + eps;
+        float fa[3] = {a.gx[i] / na, a.gy[i] / na, ma};
+        float fb[3] = {b.gx[i] / nb, b.gy[i] / nb, mb};
+        for (int k = 0; k < 3; ++k) {
+            float d = fa[k] - fb[k];
+            acc += d * d;
+        }
+    }
+    return acc / (3.0 * static_cast<double>(a.gx.size()));
+}
+
+} // namespace
+
+double
+lpipsProxy(const Image &reference, const Image &test)
+{
+    if (reference.width() != test.width() ||
+        reference.height() != test.height()) {
+        panic("lpipsProxy: image size mismatch");
+    }
+    if (reference.empty())
+        return 0.0;
+
+    Image ref = reference;
+    Image tst = test;
+    double grad_term = 0.0;
+    int levels = 0;
+    for (int level = 0; level < 3; ++level) {
+        GradientField ga = sobel(ref.luma(), ref.width(), ref.height());
+        GradientField gb = sobel(tst.luma(), tst.width(), tst.height());
+        grad_term += featureDistance(ga, gb);
+        ++levels;
+        Image r2 = ref.downsample2x();
+        Image t2 = tst.downsample2x();
+        if (r2.empty() || t2.empty())
+            break;
+        ref = std::move(r2);
+        tst = std::move(t2);
+    }
+    grad_term /= static_cast<double>(levels);
+
+    double structural = 1.0 - ssim(reference, test);
+
+    // Weights chosen so that typical 3DGS ordering corruption lands in the
+    // 0.1-0.6 range, matching the magnitude of learned LPIPS on the same
+    // artifacts; identical inputs give exactly zero.
+    return 2.0 * grad_term + 0.5 * structural;
+}
+
+} // namespace neo

@@ -1,0 +1,43 @@
+#include "metrics/psnr.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace neo
+{
+
+double
+meanSquaredError(const Image &reference, const Image &test)
+{
+    if (reference.width() != test.width() ||
+        reference.height() != test.height()) {
+        panic("meanSquaredError: image size mismatch (%dx%d vs %dx%d)",
+              reference.width(), reference.height(), test.width(),
+              test.height());
+    }
+    if (reference.empty())
+        return 0.0;
+    const auto &a = reference.pixels();
+    const auto &b = test.pixels();
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double dx = a[i].x - b[i].x;
+        double dy = a[i].y - b[i].y;
+        double dz = a[i].z - b[i].z;
+        acc += dx * dx + dy * dy + dz * dz;
+    }
+    return acc / (3.0 * static_cast<double>(a.size()));
+}
+
+double
+psnr(const Image &reference, const Image &test, double cap_db)
+{
+    double mse = meanSquaredError(reference, test);
+    if (mse <= 0.0)
+        return cap_db;
+    double v = 10.0 * std::log10(1.0 / mse);
+    return v > cap_db ? cap_db : v;
+}
+
+} // namespace neo

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Peak signal-to-noise ratio between two rendered images.
+ */
+
+#ifndef NEO_METRICS_PSNR_H
+#define NEO_METRICS_PSNR_H
+
+#include "common/image.h"
+
+namespace neo
+{
+
+/** Mean squared error over all channels; images must match in size. */
+double meanSquaredError(const Image &reference, const Image &test);
+
+/**
+ * PSNR in dB against a peak value of 1.0 (linear float images). Identical
+ * images return +infinity capped at @p cap_db for printable output.
+ */
+double psnr(const Image &reference, const Image &test, double cap_db = 99.0);
+
+} // namespace neo
+
+#endif // NEO_METRICS_PSNR_H

@@ -1,0 +1,64 @@
+#include "metrics/ssim.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace neo
+{
+
+double
+ssim(const Image &reference, const Image &test)
+{
+    if (reference.width() != test.width() ||
+        reference.height() != test.height()) {
+        panic("ssim: image size mismatch");
+    }
+    if (reference.empty())
+        return 1.0;
+
+    const int w = reference.width();
+    const int h = reference.height();
+    const std::vector<float> la = reference.luma();
+    const std::vector<float> lb = test.luma();
+
+    // Standard SSIM stabilizers for a dynamic range of 1.0.
+    const double c1 = 0.01 * 0.01;
+    const double c2 = 0.03 * 0.03;
+    const int win = 8;
+
+    double acc = 0.0;
+    size_t windows = 0;
+    for (int y0 = 0; y0 + win <= h; y0 += win) {
+        for (int x0 = 0; x0 + win <= w; x0 += win) {
+            double sum_a = 0.0, sum_b = 0.0;
+            double sum_aa = 0.0, sum_bb = 0.0, sum_ab = 0.0;
+            for (int y = y0; y < y0 + win; ++y) {
+                for (int x = x0; x < x0 + win; ++x) {
+                    double a = la[static_cast<size_t>(y) * w + x];
+                    double b = lb[static_cast<size_t>(y) * w + x];
+                    sum_a += a;
+                    sum_b += b;
+                    sum_aa += a * a;
+                    sum_bb += b * b;
+                    sum_ab += a * b;
+                }
+            }
+            const double n = win * win;
+            double mu_a = sum_a / n;
+            double mu_b = sum_b / n;
+            double var_a = sum_aa / n - mu_a * mu_a;
+            double var_b = sum_bb / n - mu_b * mu_b;
+            double cov = sum_ab / n - mu_a * mu_b;
+            double num = (2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2);
+            double den = (mu_a * mu_a + mu_b * mu_b + c1) *
+                         (var_a + var_b + c2);
+            acc += num / den;
+            ++windows;
+        }
+    }
+    return windows ? acc / static_cast<double>(windows) : 1.0;
+}
+
+} // namespace neo

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Structural similarity (SSIM) on the luma plane with the standard 8x8
+ * windowed formulation. Included both as a quality metric in its own right
+ * and as the structural term of the LPIPS proxy.
+ */
+
+#ifndef NEO_METRICS_SSIM_H
+#define NEO_METRICS_SSIM_H
+
+#include "common/image.h"
+
+namespace neo
+{
+
+/**
+ * Mean SSIM over non-overlapping 8x8 luma windows. Returns 1.0 for
+ * identical images; images must match in size.
+ */
+double ssim(const Image &reference, const Image &test);
+
+} // namespace neo
+
+#endif // NEO_METRICS_SSIM_H

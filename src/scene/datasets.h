@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Named dataset presets mirroring the paper's benchmarks: six
+ * Tanks-and-Temples-style outdoor scenes (Family, Francis, Horse,
+ * Lighthouse, Playground, Train) and two Mill 19-style large-scale aerial
+ * scenes (Building, Rubble). Gaussian counts follow published 3DGS
+ * reconstruction sizes; geometry is synthesized (see scene/synthetic.h).
+ */
+
+#ifndef NEO_SCENE_DATASETS_H
+#define NEO_SCENE_DATASETS_H
+
+#include <string>
+#include <vector>
+
+#include "scene/synthetic.h"
+#include "scene/trajectory.h"
+
+namespace neo
+{
+
+/** A named benchmark scene preset. */
+struct ScenePreset
+{
+    std::string name;
+    SyntheticSceneParams params;
+    TrajectoryKind trajectory = TrajectoryKind::Orbit;
+};
+
+/** The six Tanks-and-Temples-style scenes of the main evaluation. */
+std::vector<ScenePreset> tanksAndTemplesPresets();
+
+/** The two Mill 19-style large-scale scenes of Fig. 17(a). */
+std::vector<ScenePreset> mill19Presets();
+
+/** Look up a preset by (case-sensitive) name across both suites. */
+ScenePreset presetByName(const std::string &name);
+
+/**
+ * Instantiate a preset's scene.
+ *
+ * @param preset which scene
+ * @param scale multiplier on the Gaussian count (quality experiments run
+ *        scaled-down scenes; timing experiments run scale 1). The effective
+ *        count is never below 1000.
+ */
+GaussianScene buildScene(const ScenePreset &preset, double scale = 1.0);
+
+/**
+ * Global scene-size scale for benchmarks, read once from the environment
+ * variable NEO_SCENE_SCALE (default 1.0). Lets CI run the full harness
+ * quickly without editing the benches.
+ */
+double benchSceneScale();
+
+/** Global frame-count for trajectory benches (NEO_BENCH_FRAMES, default). */
+int benchFrameCount(int default_frames);
+
+} // namespace neo
+
+#endif // NEO_SCENE_DATASETS_H

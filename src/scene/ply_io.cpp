@@ -1,0 +1,224 @@
+#include "scene/ply_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace neo
+{
+
+namespace
+{
+
+/** SH DC normalization: 3DGS stores (color - 0.5) / C0 in f_dc. */
+constexpr int kRestPerChannel = kShCoeffsPerChannel - 1;
+
+struct PlyProperty
+{
+    std::string name;
+    int offset_floats = 0; // offset within a vertex record, in floats
+};
+
+struct PlyHeader
+{
+    size_t vertex_count = 0;
+    int floats_per_vertex = 0;
+    std::vector<PlyProperty> properties;
+
+    int
+    offsetOf(const std::string &name) const
+    {
+        for (const auto &p : properties)
+            if (p.name == name)
+                return p.offset_floats;
+        return -1;
+    }
+};
+
+bool
+parseHeader(std::FILE *f, PlyHeader &header)
+{
+    char line[512];
+    bool binary_le = false;
+    bool in_vertex_element = false;
+    int offset = 0;
+    while (std::fgets(line, sizeof(line), f)) {
+        std::string s(line);
+        while (!s.empty() && (s.back() == '\n' || s.back() == '\r'))
+            s.pop_back();
+        if (s == "end_header")
+            return binary_le && header.vertex_count > 0;
+        if (s.rfind("format ", 0) == 0) {
+            binary_le = s.find("binary_little_endian") != std::string::npos;
+            if (!binary_le) {
+                warn("loadPly: only binary_little_endian is supported");
+                return false;
+            }
+        } else if (s.rfind("element ", 0) == 0) {
+            in_vertex_element = s.rfind("element vertex ", 0) == 0;
+            if (in_vertex_element)
+                header.vertex_count =
+                    std::strtoull(s.c_str() + 15, nullptr, 10);
+        } else if (in_vertex_element && s.rfind("property ", 0) == 0) {
+            // "property float <name>"
+            if (s.find("float") == std::string::npos) {
+                warn("loadPly: non-float vertex property in '%s'",
+                     s.c_str());
+                return false;
+            }
+            size_t last_space = s.find_last_of(' ');
+            header.properties.push_back(
+                {s.substr(last_space + 1), offset});
+            ++offset;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+float
+opacityToLogit(float opacity)
+{
+    float o = clamp(opacity, 1e-5f, 1.0f - 1e-5f);
+    return std::log(o / (1.0f - o));
+}
+
+float
+logitToOpacity(float logit)
+{
+    return 1.0f / (1.0f + std::exp(-logit));
+}
+
+bool
+savePly(const GaussianScene &scene, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        warn("savePly: cannot open %s", path.c_str());
+        return false;
+    }
+
+    std::fprintf(f, "ply\nformat binary_little_endian 1.0\n");
+    std::fprintf(f, "comment neo3dgs scene '%s'\n", scene.name.c_str());
+    std::fprintf(f, "element vertex %zu\n", scene.size());
+    const char *base_props[] = {"x", "y", "z", "f_dc_0", "f_dc_1",
+                                "f_dc_2"};
+    for (const char *p : base_props)
+        std::fprintf(f, "property float %s\n", p);
+    for (int i = 0; i < 3 * kRestPerChannel; ++i)
+        std::fprintf(f, "property float f_rest_%d\n", i);
+    std::fprintf(f, "property float opacity\n");
+    for (int i = 0; i < 3; ++i)
+        std::fprintf(f, "property float scale_%d\n", i);
+    for (int i = 0; i < 4; ++i)
+        std::fprintf(f, "property float rot_%d\n", i);
+    std::fprintf(f, "end_header\n");
+
+    std::vector<float> rec(6 + 3 * kRestPerChannel + 1 + 3 + 4);
+    for (const auto &g : scene.gaussians) {
+        size_t k = 0;
+        rec[k++] = g.position.x;
+        rec[k++] = g.position.y;
+        rec[k++] = g.position.z;
+        for (int c = 0; c < 3; ++c)
+            rec[k++] = g.sh[c][0];
+        // f_rest is channel-major: all of channel 0, then 1, then 2.
+        for (int c = 0; c < 3; ++c)
+            for (int i = 1; i < kShCoeffsPerChannel; ++i)
+                rec[k++] = g.sh[c][i];
+        rec[k++] = opacityToLogit(g.opacity);
+        rec[k++] = std::log(std::max(g.scale.x, 1e-9f));
+        rec[k++] = std::log(std::max(g.scale.y, 1e-9f));
+        rec[k++] = std::log(std::max(g.scale.z, 1e-9f));
+        rec[k++] = g.rotation.w;
+        rec[k++] = g.rotation.x;
+        rec[k++] = g.rotation.y;
+        rec[k++] = g.rotation.z;
+        std::fwrite(rec.data(), sizeof(float), rec.size(), f);
+    }
+    std::fclose(f);
+    return true;
+}
+
+bool
+loadPly(GaussianScene &scene, const std::string &path)
+{
+    scene.gaussians.clear();
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        warn("loadPly: cannot open %s", path.c_str());
+        return false;
+    }
+
+    PlyHeader header;
+    if (!parseHeader(f, header)) {
+        warn("loadPly: unsupported or malformed header in %s",
+             path.c_str());
+        std::fclose(f);
+        return false;
+    }
+    header.floats_per_vertex = static_cast<int>(header.properties.size());
+
+    const int off_x = header.offsetOf("x");
+    const int off_y = header.offsetOf("y");
+    const int off_z = header.offsetOf("z");
+    const int off_dc0 = header.offsetOf("f_dc_0");
+    const int off_opacity = header.offsetOf("opacity");
+    const int off_scale = header.offsetOf("scale_0");
+    const int off_rot = header.offsetOf("rot_0");
+    if (off_x < 0 || off_y < 0 || off_z < 0 || off_opacity < 0 ||
+        off_scale < 0 || off_rot < 0) {
+        warn("loadPly: %s is missing required 3DGS properties",
+             path.c_str());
+        std::fclose(f);
+        return false;
+    }
+    const int off_rest = header.offsetOf("f_rest_0");
+    // Count the contiguous f_rest block to infer the file's SH degree.
+    int rest_count = 0;
+    while (header.offsetOf("f_rest_" + std::to_string(rest_count)) >= 0)
+        ++rest_count;
+    const int rest_per_channel = rest_count / 3;
+
+    std::vector<float> rec(header.floats_per_vertex);
+    scene.gaussians.reserve(header.vertex_count);
+    for (size_t v = 0; v < header.vertex_count; ++v) {
+        if (std::fread(rec.data(), sizeof(float), rec.size(), f) !=
+            rec.size()) {
+            warn("loadPly: %s truncated at vertex %zu", path.c_str(), v);
+            scene.gaussians.clear();
+            std::fclose(f);
+            return false;
+        }
+        Gaussian g;
+        g.position = {rec[off_x], rec[off_y], rec[off_z]};
+        if (off_dc0 >= 0)
+            for (int c = 0; c < 3; ++c)
+                g.sh[c][0] = rec[off_dc0 + c];
+        if (off_rest >= 0) {
+            int keep = std::min(rest_per_channel, kRestPerChannel);
+            for (int c = 0; c < 3; ++c)
+                for (int i = 0; i < keep; ++i)
+                    g.sh[c][1 + i] =
+                        rec[off_rest + c * rest_per_channel + i];
+        }
+        g.opacity = logitToOpacity(rec[off_opacity]);
+        g.scale = {std::exp(rec[off_scale]), std::exp(rec[off_scale + 1]),
+                   std::exp(rec[off_scale + 2])};
+        g.rotation = Quat{rec[off_rot], rec[off_rot + 1],
+                          rec[off_rot + 2], rec[off_rot + 3]}
+                         .normalized();
+        scene.gaussians.push_back(g);
+    }
+    std::fclose(f);
+    recomputeBounds(scene);
+    return true;
+}
+
+} // namespace neo

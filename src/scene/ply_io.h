@@ -1,0 +1,49 @@
+/**
+ * @file
+ * PLY import/export in the 3D Gaussian Splatting attribute layout.
+ *
+ * Trained 3DGS models are distributed as binary little-endian PLY files
+ * with per-vertex properties (x, y, z, f_dc_0..2, f_rest_*, opacity,
+ * scale_0..2, rot_0..3), where opacity is a logit, scales are logs, and
+ * SH "rest" coefficients are stored channel-major. This module reads and
+ * writes that layout so the library can consume real reconstructions and
+ * its synthetic scenes can be inspected in standard splat viewers.
+ *
+ * The reader accepts any number of f_rest coefficients and keeps the
+ * first (kShCoeffsPerChannel - 1) per channel; files without f_rest
+ * properties load as flat-color scenes.
+ */
+
+#ifndef NEO_SCENE_PLY_IO_H
+#define NEO_SCENE_PLY_IO_H
+
+#include <string>
+
+#include "gs/gaussian.h"
+
+namespace neo
+{
+
+/**
+ * Save @p scene as a binary little-endian 3DGS PLY.
+ * @return true on success.
+ */
+bool savePly(const GaussianScene &scene, const std::string &path);
+
+/**
+ * Load a 3DGS PLY into @p scene (replacing its contents and recomputing
+ * bounds).
+ * @return true on success; on failure the scene is left empty and a
+ * warning describes the problem.
+ */
+bool loadPly(GaussianScene &scene, const std::string &path);
+
+/** Inverse-sigmoid used for the opacity logit encoding. */
+float opacityToLogit(float opacity);
+
+/** Sigmoid decoding of a stored opacity logit. */
+float logitToOpacity(float logit);
+
+} // namespace neo
+
+#endif // NEO_SCENE_PLY_IO_H

@@ -1,0 +1,140 @@
+#include "scene/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "gs/sh.h"
+
+namespace neo
+{
+
+namespace
+{
+
+/** Log-normal sample with a given median and log-space sigma. */
+float
+logNormal(Rng &rng, float median, float sigma)
+{
+    return median * std::exp(sigma * rng.normal());
+}
+
+/** Saturated pseudo-random color from a palette index. */
+Vec3
+paletteColor(Rng &rng, int index)
+{
+    float hue = std::fmod(0.61803398875f * index, 1.0f) * 6.0f;
+    float sat = rng.uniform(0.45f, 0.9f);
+    float val = rng.uniform(0.35f, 0.95f);
+    int sector = static_cast<int>(hue);
+    float frac = hue - sector;
+    float p = val * (1.0f - sat);
+    float q = val * (1.0f - sat * frac);
+    float t = val * (1.0f - sat * (1.0f - frac));
+    switch (sector % 6) {
+      case 0: return {val, t, p};
+      case 1: return {q, val, p};
+      case 2: return {p, val, t};
+      case 3: return {p, q, val};
+      case 4: return {t, p, val};
+      default: return {val, p, q};
+    }
+}
+
+Gaussian
+makeGaussian(Rng &rng, const SyntheticSceneParams &p, const Vec3 &pos,
+             const Vec3 &base_color, float flatten_y)
+{
+    Gaussian g;
+    g.position = pos;
+
+    float s = logNormal(rng, p.scale_median, p.scale_sigma);
+    float ax = std::exp(rng.uniform(0.0f, std::log(p.anisotropy)));
+    float ay = std::exp(rng.uniform(0.0f, std::log(p.anisotropy)));
+    g.scale = {s * ax, s * ay * flatten_y, s};
+    g.rotation = rng.rotation();
+
+    // Opacity: squashed normal around the configured mean, in (0.02, 0.98).
+    float o = p.opacity_mean + 0.22f * rng.normal();
+    g.opacity = clamp(o, 0.02f, 0.98f);
+
+    Vec3 c = base_color;
+    c.x = clamp(c.x + 0.08f * rng.normal(), 0.0f, 1.0f);
+    c.y = clamp(c.y + 0.08f * rng.normal(), 0.0f, 1.0f);
+    c.z = clamp(c.z + 0.08f * rng.normal(), 0.0f, 1.0f);
+    setShFromColor(g, c, p.sh_directional,
+                   {rng.uniform(-0.4f, 0.4f), rng.uniform(-0.4f, 0.4f),
+                    rng.uniform(-0.4f, 0.4f)});
+    return g;
+}
+
+} // namespace
+
+GaussianScene
+generateScene(const SyntheticSceneParams &p)
+{
+    Rng rng(p.seed);
+    GaussianScene scene;
+    scene.name = p.name;
+    scene.gaussians.reserve(p.count);
+
+    const size_t n_ground =
+        static_cast<size_t>(p.ground_fraction * p.count);
+    const size_t n_background =
+        static_cast<size_t>(p.background_fraction * p.count);
+    const size_t n_cluster = p.count - n_ground - n_background;
+
+    // Cluster centers on and above the ground disc.
+    std::vector<Vec3> centers;
+    std::vector<Vec3> colors;
+    std::vector<float> radii;
+    centers.reserve(p.clusters);
+    for (int c = 0; c < p.clusters; ++c) {
+        float r = p.extent * std::sqrt(static_cast<float>(rng.uniform()));
+        float theta = rng.uniform(0.0f, 2.0f * kPi);
+        float height = rng.uniform(0.1f, 0.45f) * p.extent;
+        centers.push_back(
+            {r * std::cos(theta), 0.5f * height, r * std::sin(theta)});
+        colors.push_back(paletteColor(rng, c));
+        radii.push_back(rng.uniform(0.06f, 0.22f) * p.extent);
+    }
+
+    // (a) clustered foreground.
+    for (size_t i = 0; i < n_cluster; ++i) {
+        int c = static_cast<int>(rng.below(p.clusters));
+        Vec3 offset{rng.normal() * radii[c], rng.normal() * radii[c] * 0.8f,
+                    rng.normal() * radii[c]};
+        Vec3 pos = centers[c] + offset;
+        pos.y = std::max(pos.y, 0.005f * p.extent);
+        scene.gaussians.push_back(makeGaussian(rng, p, pos, colors[c], 1.0f));
+    }
+
+    // (b) ground sheet: flattened Gaussians on y ~ 0.
+    Vec3 ground_color{0.35f, 0.32f, 0.28f};
+    for (size_t i = 0; i < n_ground; ++i) {
+        float r = p.extent * 1.2f * std::sqrt(static_cast<float>(rng.uniform()));
+        float theta = rng.uniform(0.0f, 2.0f * kPi);
+        Vec3 pos{r * std::cos(theta), 0.002f * p.extent * rng.uniform(0.0f, 1.0f),
+                 r * std::sin(theta)};
+        scene.gaussians.push_back(
+            makeGaussian(rng, p, pos, ground_color, 0.15f));
+    }
+
+    // (c) distant background shell.
+    Vec3 sky_color{0.55f, 0.65f, 0.8f};
+    for (size_t i = 0; i < n_background; ++i) {
+        Vec3 dir = rng.onSphere();
+        dir.y = std::fabs(dir.y); // upper hemisphere
+        float r = p.extent * rng.uniform(2.2f, 3.5f);
+        Gaussian g = makeGaussian(rng, p, dir * r, sky_color, 1.0f);
+        // Background splats are larger and softer.
+        g.scale = g.scale * 6.0f;
+        g.opacity = clamp(g.opacity * 0.6f, 0.02f, 0.98f);
+        scene.gaussians.push_back(g);
+    }
+
+    recomputeBounds(scene);
+    return scene;
+}
+
+} // namespace neo

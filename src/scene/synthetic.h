@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Procedural Gaussian-scene generation.
+ *
+ * We cannot ship trained Tanks-and-Temples 3DGS reconstructions, so scenes
+ * are synthesized with the statistical structure that matters for the
+ * sorting stage: a few hundred thousand to a few million anisotropic
+ * Gaussians arranged as (a) clustered foreground objects, (b) a flattened
+ * ground sheet, and (c) a sparse distant background shell. This yields the
+ * same per-tile occupancy skew, depth distribution, and overlap behaviour
+ * that real reconstructions exhibit (see DESIGN.md, substitution table).
+ */
+
+#ifndef NEO_SCENE_SYNTHETIC_H
+#define NEO_SCENE_SYNTHETIC_H
+
+#include <cstdint>
+
+#include "gs/gaussian.h"
+
+namespace neo
+{
+
+/** Parameters of the synthetic scene generator. */
+struct SyntheticSceneParams
+{
+    uint64_t seed = 1;
+    /** Total number of Gaussians. */
+    size_t count = 100000;
+    /** Approximate world-space radius of the scene. */
+    float extent = 10.0f;
+    /** Number of foreground object clusters. */
+    int clusters = 12;
+    /** Fraction of Gaussians on the ground sheet. */
+    float ground_fraction = 0.25f;
+    /** Fraction of Gaussians in the background shell. */
+    float background_fraction = 0.10f;
+    /** Log-normal scale distribution parameters (world units). */
+    float scale_median = 0.02f;
+    float scale_sigma = 0.7f;
+    /** Per-axis anisotropy spread (1 = isotropic). */
+    float anisotropy = 3.0f;
+    /** Beta-like opacity distribution mean. */
+    float opacity_mean = 0.55f;
+    /** Strength of view-dependent SH color. */
+    float sh_directional = 0.15f;
+    /** Scene name recorded on the result. */
+    std::string name = "synthetic";
+};
+
+/** Generate a scene from @p params (deterministic in the seed). */
+GaussianScene generateScene(const SyntheticSceneParams &params);
+
+} // namespace neo
+
+#endif // NEO_SCENE_SYNTHETIC_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Parametric camera trajectories standing in for the captured camera paths
+ * of the evaluation datasets. Paths are smooth (orbit / dolly / walk), and
+ * a speed multiplier scales the per-frame viewpoint delta to reproduce the
+ * rapid-camera-movement sweep of Fig. 17(b).
+ */
+
+#ifndef NEO_SCENE_TRAJECTORY_H
+#define NEO_SCENE_TRAJECTORY_H
+
+#include "gs/camera.h"
+#include "gs/gaussian.h"
+
+namespace neo
+{
+
+/** Trajectory families. */
+enum class TrajectoryKind
+{
+    Orbit,   //!< circle the scene center at fixed height
+    Dolly,   //!< orbit with oscillating radius (push-in / pull-out)
+    Walk,    //!< straight traversal through the scene looking forward
+};
+
+/** A camera path over a scene. */
+class Trajectory
+{
+  public:
+    /**
+     * @param kind path family
+     * @param scene_center orbit/walk focus
+     * @param scene_radius scene bounding radius (sets path scale)
+     * @param speed per-frame motion multiplier (1 = paper's 30 FPS capture)
+     */
+    Trajectory(TrajectoryKind kind, Vec3 scene_center, float scene_radius,
+               float speed = 1.0f);
+
+    /** Convenience constructor from a scene's bounds. */
+    Trajectory(TrajectoryKind kind, const GaussianScene &scene,
+               float speed = 1.0f)
+        : Trajectory(kind, scene.center, scene.bounding_radius, speed)
+    {
+    }
+
+    /** Camera pose for frame @p frame at resolution @p res. */
+    Camera cameraAt(int frame, Resolution res,
+                    float fov_y_rad = deg2rad(50.0f)) const;
+
+    float speed() const { return speed_; }
+    TrajectoryKind kind() const { return kind_; }
+
+  private:
+    TrajectoryKind kind_;
+    Vec3 center_;
+    float radius_;
+    float speed_;
+};
+
+} // namespace neo
+
+#endif // NEO_SCENE_TRAJECTORY_H

@@ -1,0 +1,163 @@
+#include "sim/area_power.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace neo
+{
+
+namespace
+{
+
+// Per-unit constants at 7 nm / 1 GHz. Derived from the paper's Table 4 by
+// dividing each component's synthesized area/power by its unit count
+// (16 BSU/MSU+, 16 SCU/ITU, 4 preprocessing unit groups) and each buffer
+// pool by its capacity (64 KB sorting I/O, 200 KB rasterization buffers).
+struct UnitConstants
+{
+    double area_mm2;
+    double power_mw;
+};
+
+constexpr UnitConstants kPreprocessGroup{0.0055, 45.0}; // proj+color+dup
+constexpr UnitConstants kPreprocessOverhead{0.004, 14.9};
+constexpr UnitConstants kBsu{0.0005, 4.6875};
+constexpr UnitConstants kMsuPlus{0.0003125, 0.775};
+constexpr UnitConstants kSortBufferPerKb{0.000625, 1.11875};
+constexpr UnitConstants kScu{0.01425, 23.4375};
+constexpr UnitConstants kItu{0.001875, 3.66875};
+constexpr UnitConstants kRasterBufferPerKb{0.00025, 0.051};
+
+constexpr double kSortBufferKb = 64.0;
+constexpr double kRasterBufferKb = 200.0;
+
+// Published GSCore totals after the paper's own DeepScaleTool rescale of
+// the original 28 nm synthesis to 7 nm (Table 3).
+constexpr double kGscoreArea7nm = 0.417;
+constexpr double kGscorePower7nm = 719.9;
+
+/**
+ * Relative logic density (1 / area) and relative dynamic power at equal
+ * frequency, normalized to 28 nm. Values follow the DeepScaleTool fitted
+ * scaling curves for the 28 -> 7 nm range.
+ */
+struct NodeScale
+{
+    int nm;
+    double density; // relative transistor density
+    double power;   // relative power at iso-design
+};
+
+constexpr NodeScale kNodes[] = {
+    {28, 1.00, 1.00}, {22, 1.52, 0.80}, {16, 2.80, 0.60},
+    {14, 3.30, 0.55}, {10, 5.60, 0.42}, {7, 9.00, 0.33},
+};
+
+const NodeScale *
+findNode(int nm)
+{
+    for (const auto &n : kNodes)
+        if (n.nm == nm)
+            return &n;
+    return nullptr;
+}
+
+} // namespace
+
+double
+deepScaleFactor(int from_nm, int to_nm, bool area)
+{
+    const NodeScale *from = findNode(from_nm);
+    const NodeScale *to = findNode(to_nm);
+    if (!from || !to)
+        fatal("deepScaleFactor: unsupported node %d or %d nm", from_nm,
+              to_nm);
+    if (area)
+        return from->density / to->density;
+    return to->power / from->power;
+}
+
+std::vector<ComponentAP>
+neoAreaPowerBreakdown(const NeoConfig &cfg)
+{
+    std::vector<ComponentAP> rows;
+
+    ComponentAP pre{"Preprocessing Engine", 0.0, 0.0};
+    pre.area_mm2 = cfg.preprocess_units * kPreprocessGroup.area_mm2 +
+                   kPreprocessOverhead.area_mm2;
+    pre.power_mw = cfg.preprocess_units * kPreprocessGroup.power_mw +
+                   kPreprocessOverhead.power_mw;
+    rows.push_back(pre);
+
+    ComponentAP sort{"Sorting Engine", 0.0, 0.0};
+    sort.area_mm2 = cfg.sorting_cores * (kBsu.area_mm2 + kMsuPlus.area_mm2) +
+                    kSortBufferKb * kSortBufferPerKb.area_mm2;
+    sort.power_mw = cfg.sorting_cores * (kBsu.power_mw + kMsuPlus.power_mw) +
+                    kSortBufferKb * kSortBufferPerKb.power_mw;
+    rows.push_back(sort);
+
+    ComponentAP raster{"Rasterization Engine", 0.0, 0.0};
+    const int scus = cfg.raster_cores * cfg.scu_per_core;
+    const int itus = cfg.raster_cores * cfg.itu_per_core;
+    raster.area_mm2 = scus * kScu.area_mm2 + itus * kItu.area_mm2 +
+                      kRasterBufferKb * kRasterBufferPerKb.area_mm2;
+    raster.power_mw = scus * kScu.power_mw + itus * kItu.power_mw +
+                      kRasterBufferKb * kRasterBufferPerKb.power_mw;
+    rows.push_back(raster);
+
+    return rows;
+}
+
+ComponentAP
+neoAreaPowerTotal(const NeoConfig &cfg)
+{
+    ComponentAP total{"Neo", 0.0, 0.0};
+    for (const auto &c : neoAreaPowerBreakdown(cfg)) {
+        total.area_mm2 += c.area_mm2;
+        total.power_mw += c.power_mw;
+    }
+    return total;
+}
+
+ComponentAP
+gscoreAreaPowerTotal()
+{
+    return {"GSCore", kGscoreArea7nm, kGscorePower7nm};
+}
+
+std::vector<ComponentAP>
+neoTable4Rows(const NeoConfig &cfg)
+{
+    std::vector<ComponentAP> rows;
+    auto engines = neoAreaPowerBreakdown(cfg);
+
+    rows.push_back(engines[0]); // preprocessing
+
+    rows.push_back({"  Merge Sort Unit+",
+                    cfg.sorting_cores * kMsuPlus.area_mm2,
+                    cfg.sorting_cores * kMsuPlus.power_mw});
+    rows.push_back({"  Bitonic Sort Unit",
+                    cfg.sorting_cores * kBsu.area_mm2,
+                    cfg.sorting_cores * kBsu.power_mw});
+    rows.push_back({"  Buffers + others (sort)",
+                    kSortBufferKb * kSortBufferPerKb.area_mm2,
+                    kSortBufferKb * kSortBufferPerKb.power_mw});
+    rows.push_back(engines[1]); // sorting total
+
+    const int scus = cfg.raster_cores * cfg.scu_per_core;
+    const int itus = cfg.raster_cores * cfg.itu_per_core;
+    rows.push_back({"  Subtile Compute Unit", scus * kScu.area_mm2,
+                    scus * kScu.power_mw});
+    rows.push_back({"  Intersection Test Unit", itus * kItu.area_mm2,
+                    itus * kItu.power_mw});
+    rows.push_back({"  Buffers + others (raster)",
+                    kRasterBufferKb * kRasterBufferPerKb.area_mm2,
+                    kRasterBufferKb * kRasterBufferPerKb.power_mw});
+    rows.push_back(engines[2]); // rasterization total
+
+    rows.push_back(neoAreaPowerTotal(cfg));
+    return rows;
+}
+
+} // namespace neo

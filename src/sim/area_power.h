@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Analytic area/power model of the Neo and GSCore accelerators.
+ *
+ * The paper obtains these numbers from Synopsys DC synthesis with the
+ * ASAP7 library plus CACTI for SRAMs, then scales across nodes with
+ * DeepScaleTool. We cannot run synthesis here, so the model is built the
+ * way an early-phase architecture estimate is: per-unit area/power
+ * constants (hardened to match the paper's published component breakdown,
+ * Table 4) multiplied by the configured unit counts, plus per-KB SRAM
+ * constants for the buffers, with DeepScaleTool-style technology scaling
+ * between nodes. The model therefore reproduces Tables 3-4 exactly at the
+ * default configuration and extrapolates sensibly when unit counts change
+ * (used by the ablation benches).
+ */
+
+#ifndef NEO_SIM_AREA_POWER_H
+#define NEO_SIM_AREA_POWER_H
+
+#include <string>
+#include <vector>
+
+#include "sim/neo_model.h"
+
+namespace neo
+{
+
+/** Area/power of one named component. */
+struct ComponentAP
+{
+    std::string name;
+    double area_mm2 = 0.0;
+    double power_mw = 0.0;
+};
+
+/**
+ * DeepScaleTool-style technology scaling: returns the multiplier applied
+ * to @p value when moving a design from @p from_nm to @p to_nm.
+ * Supported nodes: 28, 22, 16, 14, 10, 7 (nm).
+ *
+ * @param area true scales area (density), false scales power.
+ */
+double deepScaleFactor(int from_nm, int to_nm, bool area);
+
+/** Neo's per-engine breakdown at 7 nm / 1 GHz for a given configuration. */
+std::vector<ComponentAP> neoAreaPowerBreakdown(const NeoConfig &cfg = {});
+
+/** Sum of the breakdown. */
+ComponentAP neoAreaPowerTotal(const NeoConfig &cfg = {});
+
+/** GSCore (16-core variant) total at 7 nm / 1 GHz. */
+ComponentAP gscoreAreaPowerTotal();
+
+/**
+ * Fine-grained Table 4 rows: engine subtotals plus the subcomponents of
+ * the Sorting and Rasterization engines (MSU+, BSU, SCU, ITU, buffers).
+ */
+std::vector<ComponentAP> neoTable4Rows(const NeoConfig &cfg = {});
+
+} // namespace neo
+
+#endif // NEO_SIM_AREA_POWER_H

@@ -1,0 +1,56 @@
+#include "sim/dram.h"
+
+#include <cmath>
+
+namespace neo
+{
+
+DramConfig
+lpddr4Edge()
+{
+    DramConfig c;
+    c.bandwidth_gbps = 51.2;
+    return c;
+}
+
+DramConfig
+lpddr4Double()
+{
+    DramConfig c;
+    c.bandwidth_gbps = 102.4;
+    return c;
+}
+
+DramConfig
+lpddr5Orin()
+{
+    DramConfig c;
+    c.bandwidth_gbps = 204.8;
+    // The GPU's many concurrent access streams schedule somewhat worse
+    // than a dedicated accelerator's streaming DMA.
+    c.stream_efficiency = 0.70;
+    return c;
+}
+
+double
+DramModel::streamSeconds(double bytes) const
+{
+    if (bytes <= 0.0)
+        return 0.0;
+    // Round up to burst granularity.
+    double bursts = std::ceil(bytes / cfg_.burst_bytes);
+    return bursts * cfg_.burst_bytes / effectiveBandwidth();
+}
+
+double
+DramModel::randomSeconds(double count, double bytes_each) const
+{
+    if (count <= 0.0)
+        return 0.0;
+    double per_request =
+        std::ceil(bytes_each / cfg_.burst_bytes) * cfg_.burst_bytes;
+    return count * per_request * cfg_.random_penalty /
+           effectiveBandwidth();
+}
+
+} // namespace neo

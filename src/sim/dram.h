@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Off-chip memory model. The paper models LPDDR4 with Ramulator; here the
+ * model is burst-granular and analytic: a stream of requests is served at
+ * the device's peak bandwidth derated by a scheduling-efficiency factor,
+ * and random (non-streaming) requests pay a row-miss penalty expressed as
+ * an effective-bandwidth divisor. Sorting traffic in 3DGS is dominated by
+ * long sequential streams, which is why this approximation preserves the
+ * bandwidth-bound behaviour of Figs. 4-5 (see DESIGN.md substitutions).
+ */
+
+#ifndef NEO_SIM_DRAM_H
+#define NEO_SIM_DRAM_H
+
+#include <cstdint>
+
+namespace neo
+{
+
+/** DRAM device configuration. */
+struct DramConfig
+{
+    /** Peak bandwidth in GB/s (10^9 bytes). */
+    double bandwidth_gbps = 51.2;
+    /** Achievable fraction of peak for streaming access. */
+    double stream_efficiency = 0.85;
+    /** Effective-bandwidth divisor for random access (row misses). */
+    double random_penalty = 4.0;
+    /** Minimum transfer granularity in bytes (LPDDR4 BL16 x16: 32 B). */
+    double burst_bytes = 32.0;
+};
+
+/** LPDDR4-class presets used across the evaluation. */
+DramConfig lpddr4Edge();     //!< 51.2 GB/s — typical edge device
+DramConfig lpddr4Double();   //!< 102.4 GB/s
+DramConfig lpddr5Orin();     //!< 204.8 GB/s — Jetson Orin AGX class
+
+/** Analytic DRAM service-time model. */
+class DramModel
+{
+  public:
+    explicit DramModel(DramConfig cfg = {}) : cfg_(cfg) {}
+
+    const DramConfig &config() const { return cfg_; }
+
+    /** Seconds to stream @p bytes sequentially. */
+    double streamSeconds(double bytes) const;
+
+    /**
+     * Seconds to service @p count random requests of @p bytes_each
+     * (each rounded up to the burst granularity).
+     */
+    double randomSeconds(double count, double bytes_each) const;
+
+    /** Effective streaming bandwidth in bytes/second. */
+    double effectiveBandwidth() const
+    {
+        return cfg_.bandwidth_gbps * 1e9 * cfg_.stream_efficiency;
+    }
+
+  private:
+    DramConfig cfg_;
+};
+
+} // namespace neo
+
+#endif // NEO_SIM_DRAM_H

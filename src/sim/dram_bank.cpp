@@ -1,0 +1,102 @@
+#include "sim/dram_bank.h"
+
+#include "common/rng.h"
+
+namespace neo
+{
+
+BankedDramModel::BankedDramModel(BankedDramConfig cfg) : cfg_(cfg)
+{
+    reset();
+}
+
+void
+BankedDramModel::reset()
+{
+    stats_ = DramReplayStats{};
+    open_row_.assign(cfg_.banks, -1);
+}
+
+uint64_t
+BankedDramModel::access(const DramRequest &req)
+{
+    // Split into bursts; interleave banks by row so sequential streams
+    // rotate across banks (standard address mapping: row bits above bank
+    // bits above column bits).
+    uint64_t cycles = 0;
+    uint64_t first = req.address / cfg_.burst_bytes;
+    uint64_t last = (req.address + req.bytes - 1) / cfg_.burst_bytes;
+    for (uint64_t burst = first; burst <= last; ++burst) {
+        uint64_t byte_addr = burst * cfg_.burst_bytes;
+        uint64_t row_global = byte_addr / cfg_.row_bytes;
+        int bank = static_cast<int>(row_global % cfg_.banks);
+        int64_t row = static_cast<int64_t>(row_global / cfg_.banks);
+
+        if (open_row_[bank] == row) {
+            ++stats_.row_hits;
+            cycles += cfg_.t_burst;
+        } else {
+            ++stats_.row_misses;
+            // Precharge the old row (if any), activate, column access.
+            uint64_t penalty = cfg_.t_rcd + cfg_.t_cas + cfg_.t_burst;
+            if (open_row_[bank] >= 0)
+                penalty += cfg_.t_rp;
+            cycles += penalty;
+            open_row_[bank] = row;
+        }
+        ++stats_.bursts;
+    }
+    stats_.cycles += cycles;
+    return cycles;
+}
+
+const DramReplayStats &
+BankedDramModel::replay(const std::vector<DramRequest> &reqs)
+{
+    for (const auto &r : reqs)
+        access(r);
+    return stats_;
+}
+
+double
+BankedDramModel::elapsedSeconds() const
+{
+    return static_cast<double>(stats_.cycles) /
+           (cfg_.io_clock_ghz * 1e9);
+}
+
+double
+BankedDramModel::achievedBandwidth() const
+{
+    double secs = elapsedSeconds();
+    if (secs <= 0.0)
+        return 0.0;
+    return static_cast<double>(stats_.bursts) * cfg_.burst_bytes / secs;
+}
+
+std::vector<DramRequest>
+sequentialStream(uint64_t base, uint64_t bytes, uint32_t request_bytes)
+{
+    std::vector<DramRequest> reqs;
+    reqs.reserve(bytes / request_bytes + 1);
+    for (uint64_t off = 0; off < bytes; off += request_bytes) {
+        uint32_t sz = static_cast<uint32_t>(
+            std::min<uint64_t>(request_bytes, bytes - off));
+        reqs.push_back({base + off, sz});
+    }
+    return reqs;
+}
+
+std::vector<DramRequest>
+randomStream(uint64_t span, size_t count, uint32_t bytes_each,
+             uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<DramRequest> reqs;
+    reqs.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        reqs.push_back({rng.below(span), bytes_each});
+    return reqs;
+}
+
+} // namespace neo

@@ -1,0 +1,9 @@
+#include "sim/engine.h"
+
+namespace neo
+{
+
+// Engine is fully inline; this translation unit anchors the header in the
+// build so include hygiene is checked even when nothing else references it.
+
+} // namespace neo

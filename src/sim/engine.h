@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Compute-engine cycle models. Each engine is a set of identical units
+ * processing a stream of operations at a fixed per-unit rate; cycle counts
+ * come from the op counters the functional pipeline produces. Timing
+ * parameters correspond to the synthesized 1 GHz design (Table 3).
+ */
+
+#ifndef NEO_SIM_ENGINE_H
+#define NEO_SIM_ENGINE_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/traffic.h"
+
+namespace neo
+{
+
+/** Configuration of one compute engine. */
+struct EngineConfig
+{
+    std::string name;
+    int units = 1;               //!< parallel hardware units
+    double ops_per_unit_cycle = 1.0; //!< throughput per unit per cycle
+    double frequency_ghz = 1.0;  //!< clock (paper synthesizes at 1 GHz)
+    double utilization = 0.85;   //!< achievable fraction of peak
+};
+
+/** Throughput model of a compute engine. */
+class Engine
+{
+  public:
+    explicit Engine(EngineConfig cfg) : cfg_(std::move(cfg)) {}
+
+    const EngineConfig &config() const { return cfg_; }
+
+    /** Seconds to process @p ops operations. */
+    double computeSeconds(double ops) const
+    {
+        double rate = cfg_.units * cfg_.ops_per_unit_cycle *
+                      cfg_.frequency_ghz * 1e9 * cfg_.utilization;
+        return ops > 0.0 ? ops / rate : 0.0;
+    }
+
+    /** Cycles (at the engine clock) to process @p ops. */
+    double cycles(double ops) const
+    {
+        return computeSeconds(ops) * cfg_.frequency_ghz * 1e9;
+    }
+
+  private:
+    EngineConfig cfg_;
+};
+
+/** One simulated frame: latency plus attributed traffic and stage times. */
+struct FrameSim
+{
+    double latency_s = 0.0;          //!< end-to-end frame latency
+    double fe_compute_s = 0.0;       //!< feature-extraction compute time
+    double sort_compute_s = 0.0;     //!< sorting compute time
+    double raster_compute_s = 0.0;   //!< rasterization compute time
+    double memory_s = 0.0;           //!< DRAM service time of all traffic
+    TrafficBreakdown traffic;        //!< attributed DRAM bytes
+
+    double fps() const { return latency_s > 0.0 ? 1.0 / latency_s : 0.0; }
+    double latencyMs() const { return latency_s * 1e3; }
+};
+
+} // namespace neo
+
+#endif // NEO_SIM_ENGINE_H

@@ -1,0 +1,79 @@
+#include "sim/gpu_model.h"
+
+#include <algorithm>
+
+namespace neo
+{
+
+FrameSim
+GpuModel::simulateFrame(const FrameWorkload &w) const
+{
+    FrameSim sim;
+    const double visible = static_cast<double>(w.visible_gaussians);
+    const double instances = static_cast<double>(w.instances);
+    const double pixels = static_cast<double>(w.res.pixels());
+    const double blends = static_cast<double>(w.blend_ops);
+
+    // --- Stage 1+2: culling + feature extraction -------------------------
+    // Read every Gaussian's full parameters and write the projected
+    // feature table.
+    double fe_bytes = static_cast<double>(w.scene_gaussians) * 32.0 // cull
+                      + visible * (record::kGaussian3d + record::kFeature2d);
+    sim.traffic.add(Stage::FeatureExtraction, fe_bytes);
+    sim.fe_compute_s = visible / cfg_.preprocess_rate;
+
+    // --- Stage 3: sorting -------------------------------------------------
+    // Duplication (key-value scatter) is part of the sorting stage in the
+    // 3DGS pipeline (§2.4).
+    double sort_bytes = instances * record::kKeyValue;
+    double sort_ops = 0.0;
+    if (!cfg_.neo_sw) {
+        // CUB radix sort: every pass streams the full pair array in and
+        // out; the scatter write pattern is only partially coalesced.
+        sort_bytes += instances * record::kKeyValue * 2.0 *
+                      cfg_.sort_passes * cfg_.sort_scatter_penalty;
+        sort_ops = instances * cfg_.sort_passes;
+    } else {
+        // Neo-SW (Fig. 10): Dynamic Partial Sorting reads and writes each
+        // table entry once, but per-tile tables are scattered in GPU
+        // memory so the chunk streams coalesce poorly, and the
+        // insert/delete merge's data-dependent control flow diverges
+        // badly on SIMT hardware — the reasons the paper's software-only
+        // version gains little latency.
+        const double incoming =
+            static_cast<double>(w.incoming_instances);
+        sort_bytes = instances * record::kTableEntry * 2.0 * 4.5 +
+                     incoming * record::kTableEntry * 8.0;
+        sort_ops = (instances + incoming * 4.0) * cfg_.neo_sw_divergence;
+    }
+    sim.traffic.add(Stage::Sorting, sort_bytes);
+    sim.sort_compute_s = sort_ops / cfg_.sort_rate;
+
+    // --- Stage 4: rasterization -------------------------------------------
+    // Each tile's threadblock streams the sorted ids and re-fetches the 2D
+    // features per instance; the framebuffer is written once.
+    double raster_bytes =
+        instances * (record::kTableEntry + record::kFeature2d) +
+        pixels * record::kPixel;
+    if (cfg_.neo_sw) {
+        // Deferred depth update piggybacks table write-back on raster.
+        raster_bytes += instances * record::kTableEntry;
+    }
+    sim.traffic.add(Stage::Rasterization, raster_bytes);
+    sim.raster_compute_s = blends / cfg_.blend_rate;
+
+    // --- Latency ------------------------------------------------------------
+    // Kernels launch back to back; each stage is the max of its compute
+    // time and its own memory service time (GPU overlaps compute with its
+    // stage's memory stream but not across kernel boundaries).
+    double fe_t = std::max(sim.fe_compute_s, dram_.streamSeconds(fe_bytes));
+    double sort_t =
+        std::max(sim.sort_compute_s, dram_.streamSeconds(sort_bytes));
+    double raster_t =
+        std::max(sim.raster_compute_s, dram_.streamSeconds(raster_bytes));
+    sim.memory_s = dram_.streamSeconds(sim.traffic.total());
+    sim.latency_s = fe_t + sort_t + raster_t;
+    return sim;
+}
+
+} // namespace neo

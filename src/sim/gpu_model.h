@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Performance/traffic model of 3DGS rendering on an NVIDIA Orin AGX class
+ * edge GPU. Stages execute as sequential kernel launches; sorting uses a
+ * CUB-style multi-pass radix sort over duplicated (tile|depth, id) pairs,
+ * whose repeated full-array passes are what makes GPU sorting consume
+ * ~81-91% of DRAM traffic (paper Fig. 5a).
+ *
+ * The model also supports the Neo-SW configuration of Fig. 10: Dynamic
+ * Partial Sorting and deferred depth updates implemented in CUDA, which
+ * slash sorting traffic but gain little latency because GPU rasterization
+ * dominates runtime and irregular insert/delete hurts SIMD utilization.
+ */
+
+#ifndef NEO_SIM_GPU_MODEL_H
+#define NEO_SIM_GPU_MODEL_H
+
+#include "gs/pipeline.h"
+#include "sim/dram.h"
+#include "sim/engine.h"
+
+namespace neo
+{
+
+/** Orin-class GPU configuration. */
+struct GpuConfig
+{
+    DramConfig dram = lpddr5Orin();
+    /** Effective shader throughput for preprocessing (Gaussians/s). */
+    double preprocess_rate = 2.6e9;
+    /** Effective radix-sort throughput (pairs/s per pass). */
+    double sort_rate = 9.0e9;
+    /** Effective alpha-blend throughput (blends/s). */
+    double blend_rate = 5.5e9;
+    /** Radix passes over the key-value array (4-bit digits, 48-bit keys
+     *  plus scatter inefficiency folded in). */
+    int sort_passes = 12;
+    /** Uncoalesced-scatter multiplier on sort traffic. */
+    double sort_scatter_penalty = 2.2;
+    /** Run the Neo-SW algorithm instead of full re-sorting (Fig. 10). */
+    bool neo_sw = false;
+    /** SIMD-divergence multiplier for Neo-SW insert/delete merge work. */
+    double neo_sw_divergence = 6.0;
+};
+
+/** GPU system model. */
+class GpuModel
+{
+  public:
+    explicit GpuModel(GpuConfig cfg = {}) : cfg_(cfg), dram_(cfg.dram) {}
+
+    const GpuConfig &config() const { return cfg_; }
+
+    /** Simulate one frame from its workload descriptor. */
+    FrameSim simulateFrame(const FrameWorkload &w) const;
+
+  private:
+    GpuConfig cfg_;
+    DramModel dram_;
+};
+
+} // namespace neo
+
+#endif // NEO_SIM_GPU_MODEL_H

@@ -1,0 +1,62 @@
+#include "sim/gscore_model.h"
+
+#include <algorithm>
+
+namespace neo
+{
+
+FrameSim
+GscoreModel::simulateFrame(const FrameWorkload &w) const
+{
+    FrameSim sim;
+    const double visible = static_cast<double>(w.visible_gaussians);
+    const double instances = static_cast<double>(w.instances);
+    const double pixels = static_cast<double>(w.res.pixels());
+    const double blends = static_cast<double>(w.blend_ops);
+    const double clock = cfg_.frequency_ghz * 1e9;
+
+    // --- Preprocessing ------------------------------------------------------
+    // Full Gaussian read and feature-table write.
+    double fe_bytes = visible * (record::kGaussian3d + record::kFeature2d);
+    sim.traffic.add(Stage::FeatureExtraction, fe_bytes);
+    sim.fe_compute_s =
+        visible / (cfg_.preprocess_per_core_cycle * cfg_.cores * clock);
+
+    // --- Sorting --------------------------------------------------------------
+    // Per the 3DGS pipeline (paper §2.4), duplication into per-tile lists
+    // happens in the sorting stage: scatter the (id, depth) pairs and the
+    // early subtile bitmaps, then hierarchical sorting streams the whole
+    // duplicated table through DRAM several times per frame (coarse
+    // scatter + fine sort + gather) — the bottleneck Neo attacks.
+    double sort_bytes =
+        instances * (record::kTableEntry + record::kBitmap) +
+        instances * record::kTableEntry * 2.0 * cfg_.sort_passes;
+    sim.traffic.add(Stage::Sorting, sort_bytes);
+    double sort_entries = instances * cfg_.sort_passes;
+    sim.sort_compute_s =
+        sort_entries / (cfg_.sort_entries_per_core_cycle * cfg_.cores *
+                        clock);
+
+    // --- Rasterization ---------------------------------------------------------
+    // Stream sorted table + bitmaps back in, fetch features once per
+    // instance, write the framebuffer.
+    double raster_bytes =
+        instances *
+            (record::kTableEntry + record::kBitmap + record::kFeature2d) +
+        pixels * record::kPixel;
+    sim.traffic.add(Stage::Rasterization, raster_bytes);
+    sim.raster_compute_s =
+        blends / (cfg_.blends_per_core_cycle * cfg_.cores * clock);
+
+    // --- Latency ---------------------------------------------------------------
+    // Engines pipeline across tiles, so the frame settles at the slowest
+    // engine — or at the DRAM service time of the whole frame's traffic,
+    // whichever binds.
+    sim.memory_s = dram_.streamSeconds(sim.traffic.total());
+    double compute_bound = std::max(
+        {sim.fe_compute_s, sim.sort_compute_s, sim.raster_compute_s});
+    sim.latency_s = std::max(compute_bound, sim.memory_s);
+    return sim;
+}
+
+} // namespace neo

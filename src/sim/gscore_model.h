@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Performance/traffic model of GSCore (Lee et al., ASPLOS 2024), the prior
+ * 3DGS ASIC the paper compares against. GSCore sorts every frame from
+ * scratch with hierarchical (coarse bucket + fine) sorting over per-tile
+ * tables, generates subtile bitmaps early and propagates them off-chip to
+ * the rasterizer, and rasterizes with subtile-skipping cores.
+ *
+ * The configuration defaults to the paper's scaled 16-core variant at
+ * 51.2 GB/s (§6.1); Fig. 3 uses the original 4-core configuration.
+ */
+
+#ifndef NEO_SIM_GSCORE_MODEL_H
+#define NEO_SIM_GSCORE_MODEL_H
+
+#include "gs/pipeline.h"
+#include "sim/dram.h"
+#include "sim/engine.h"
+
+namespace neo
+{
+
+/** GSCore accelerator configuration. */
+struct GscoreConfig
+{
+    DramConfig dram = lpddr4Edge();
+    int cores = 16;              //!< sorting/rasterization core pairs
+    double frequency_ghz = 1.0;
+    /** Preprocessing throughput per core (Gaussians/cycle). */
+    double preprocess_per_core_cycle = 0.25;
+    /** Sorting-core streaming rate (entries/cycle/core). */
+    double sort_entries_per_core_cycle = 1.0;
+    /** Rasterization rate (blends/cycle/core). */
+    double blends_per_core_cycle = 4.0;
+    /**
+     * Off-chip read+write passes over the duplicated tables performed by
+     * hierarchical sorting (coarse bucket scatter, per-level merges, and
+     * the final gather; calibrated against the paper's Fig. 5 sorting
+     * share on GSCore).
+     */
+    double sort_passes = 8.0;
+};
+
+/** GSCore system model. */
+class GscoreModel
+{
+  public:
+    explicit GscoreModel(GscoreConfig cfg = {}) : cfg_(cfg), dram_(cfg.dram)
+    {
+    }
+
+    const GscoreConfig &config() const { return cfg_; }
+
+    /** Simulate one frame from its workload descriptor (16-px tiles). */
+    FrameSim simulateFrame(const FrameWorkload &w) const;
+
+  private:
+    GscoreConfig cfg_;
+    DramModel dram_;
+};
+
+} // namespace neo
+
+#endif // NEO_SIM_GSCORE_MODEL_H

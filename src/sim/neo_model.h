@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Performance/traffic model of the Neo accelerator (§5): Preprocessing
+ * Engine (projection/color/duplication with incoming verification),
+ * Sorting Engine (16 cores of BSU + MSU+ running Dynamic Partial Sorting
+ * plus incoming merge), and Rasterization Engine (4 cores x 4 ITU/SCU with
+ * on-the-fly bitmaps and deferred depth update).
+ *
+ * Ablation flags reproduce Fig. 18's Neo-S configuration (Neo Sorting
+ * Engine grafted onto GSCore: no deferred depth update, so a separate
+ * post-processing pass refreshes table metadata; bitmaps still travel
+ * off-chip) and the §4.4 no-deferral study.
+ */
+
+#ifndef NEO_SIM_NEO_MODEL_H
+#define NEO_SIM_NEO_MODEL_H
+
+#include "gs/pipeline.h"
+#include "sim/dram.h"
+#include "sim/engine.h"
+
+namespace neo
+{
+
+/** Neo accelerator configuration (defaults = paper Table 1). */
+struct NeoConfig
+{
+    DramConfig dram = lpddr4Edge();
+    double frequency_ghz = 1.0;
+    int sorting_cores = 16;      //!< BSU + MSU+ pairs
+    int raster_cores = 4;        //!< each with 4 ITUs + 4 SCUs
+    int scu_per_core = 4;
+    int itu_per_core = 4;
+    /** Preprocessing engine: 4 projection + 4 color + 4 duplication units. */
+    int preprocess_units = 4;
+    /** Entries streamed per sorting core per cycle. */
+    double sort_entries_per_core_cycle = 1.0;
+    /** Blends per SCU per cycle (pipelined alpha-blend datapath). */
+    double blends_per_scu_cycle = 2.0;
+    /** Subtile tests per ITU per cycle. */
+    double tests_per_itu_cycle = 4.0;
+
+    // --- ablation flags (full Neo = all true) ---------------------------
+    /** Reuse-and-update sorting (false = sort from scratch like GSCore). */
+    bool reuse_sorting = true;
+    /** Deferred depth update piggybacked on rasterization (§4.4). */
+    bool deferred_depth_update = true;
+    /** On-the-fly ITU bitmaps (false = bitmaps travel through DRAM). */
+    bool itu_on_the_fly = true;
+};
+
+/** Neo-S: Neo's Sorting Engine only, grafted onto GSCore (Fig. 18). */
+NeoConfig neoSOnlyConfig();
+
+/** Neo system model. */
+class NeoModel
+{
+  public:
+    explicit NeoModel(NeoConfig cfg = {}) : cfg_(cfg), dram_(cfg.dram) {}
+
+    const NeoConfig &config() const { return cfg_; }
+
+    /**
+     * Simulate one frame. The workload must come from the Neo pipeline
+     * (64-px tiles) with incoming/outgoing counts populated; pass
+     * cold_start = true for the first frame of a sequence, which performs
+     * a conventional full sort.
+     */
+    FrameSim simulateFrame(const FrameWorkload &w,
+                           bool cold_start = false) const;
+
+  private:
+    NeoConfig cfg_;
+    DramModel dram_;
+};
+
+} // namespace neo
+
+#endif // NEO_SIM_NEO_MODEL_H

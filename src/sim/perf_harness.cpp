@@ -1,0 +1,140 @@
+#include "sim/perf_harness.h"
+
+#include <algorithm>
+
+#include "core/delta_tracker.h"
+
+namespace neo
+{
+
+double
+SequenceResult::meanFps() const
+{
+    if (frames.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const auto &f : frames)
+        total += f.latency_s;
+    return total > 0.0 ? static_cast<double>(frames.size()) / total : 0.0;
+}
+
+double
+SequenceResult::totalTrafficGB() const
+{
+    return traffic().totalGB();
+}
+
+TrafficBreakdown
+SequenceResult::traffic() const
+{
+    TrafficBreakdown t;
+    for (const auto &f : frames)
+        t += f.traffic;
+    return t;
+}
+
+double
+SequenceResult::trafficGBPer60Frames() const
+{
+    if (frames.empty())
+        return 0.0;
+    return totalTrafficGB() * 60.0 / static_cast<double>(frames.size());
+}
+
+double
+SequenceResult::meanLatencyMs() const
+{
+    if (frames.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const auto &f : frames)
+        total += f.latency_s;
+    return total * 1e3 / static_cast<double>(frames.size());
+}
+
+double
+SequenceResult::maxLatencyMs() const
+{
+    double mx = 0.0;
+    for (const auto &f : frames)
+        mx = std::max(mx, f.latency_s);
+    return mx * 1e3;
+}
+
+namespace
+{
+
+/** Extract one tile-geometry sequence with delta tracking. */
+std::vector<FrameWorkload>
+extractOne(const GaussianScene &scene, const Trajectory &trajectory,
+           Resolution res, int frames, int tile_px)
+{
+    PipelineOptions opts;
+    opts.tile_px = tile_px;
+    Renderer renderer(opts);
+    DeltaTracker tracker;
+
+    std::vector<FrameWorkload> out;
+    out.reserve(frames);
+    for (int f = 0; f < frames; ++f) {
+        Camera cam = trajectory.cameraAt(f, res);
+        BinnedFrame frame = renderer.prepare(scene, cam);
+        FrameDelta delta = tracker.observe(frame);
+        FrameWorkload w = renderer.workloadFromBinned(frame, res);
+        w.incoming_instances = delta.incoming_total;
+        w.outgoing_instances = delta.outgoing_total;
+        w.mean_tile_retention = delta.meanRetention();
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+} // namespace
+
+WorkloadSequences
+extractSequences(const GaussianScene &scene, const Trajectory &trajectory,
+                 Resolution res, int frames, bool want16, bool want64)
+{
+    WorkloadSequences seqs;
+    if (want16)
+        seqs.tile16 = extractOne(scene, trajectory, res, frames, 16);
+    if (want64)
+        seqs.tile64 = extractOne(scene, trajectory, res, frames, 64);
+    return seqs;
+}
+
+SequenceResult
+simulateGpu(const GpuModel &model, const std::vector<FrameWorkload> &seq)
+{
+    SequenceResult r;
+    r.frames.reserve(seq.size());
+    for (const auto &w : seq)
+        r.frames.push_back(model.simulateFrame(w));
+    return r;
+}
+
+SequenceResult
+simulateGscore(const GscoreModel &model,
+               const std::vector<FrameWorkload> &seq)
+{
+    SequenceResult r;
+    r.frames.reserve(seq.size());
+    for (const auto &w : seq)
+        r.frames.push_back(model.simulateFrame(w));
+    return r;
+}
+
+SequenceResult
+simulateNeo(const NeoModel &model, const std::vector<FrameWorkload> &seq,
+            bool first_is_cold)
+{
+    SequenceResult r;
+    r.frames.reserve(seq.size());
+    for (size_t i = 0; i < seq.size(); ++i) {
+        bool cold = first_is_cold && i == 0;
+        r.frames.push_back(model.simulateFrame(seq[i], cold));
+    }
+    return r;
+}
+
+} // namespace neo

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Trajectory-level simulation harness shared by the paper-reproduction
+ * benches: extracts per-frame workload descriptors for a scene+trajectory
+ * at a given resolution (once per tile geometry) and feeds them through
+ * the GPU / GSCore / Neo models.
+ */
+
+#ifndef NEO_SIM_PERF_HARNESS_H
+#define NEO_SIM_PERF_HARNESS_H
+
+#include <vector>
+
+#include "gs/pipeline.h"
+#include "scene/trajectory.h"
+#include "sim/gpu_model.h"
+#include "sim/gscore_model.h"
+#include "sim/neo_model.h"
+
+namespace neo
+{
+
+/** Simulation results over a frame sequence. */
+struct SequenceResult
+{
+    std::vector<FrameSim> frames;
+
+    /** Throughput over the sequence (frames / total seconds). */
+    double meanFps() const;
+    /** Total attributed DRAM traffic in GB. */
+    double totalTrafficGB() const;
+    /** Per-stage traffic sums. */
+    TrafficBreakdown traffic() const;
+    /** Traffic normalized to the paper's 60-rendered-frames convention. */
+    double trafficGBPer60Frames() const;
+    /** Mean per-frame latency in milliseconds. */
+    double meanLatencyMs() const;
+    /** Maximum per-frame latency in milliseconds. */
+    double maxLatencyMs() const;
+};
+
+/**
+ * Per-frame workloads for one scene/trajectory/resolution, extracted at
+ * both tile geometries used by the systems under study.
+ */
+struct WorkloadSequences
+{
+    std::vector<FrameWorkload> tile16; //!< GPU and GSCore geometry
+    std::vector<FrameWorkload> tile64; //!< Neo geometry (with deltas)
+};
+
+/**
+ * Run the functional pipeline over @p frames frames of @p trajectory and
+ * collect workload descriptors. Temporal deltas (incoming/outgoing and
+ * retention) are tracked for both tile geometries.
+ *
+ * @param want16 extract the 16-px tile sequence (GPU/GSCore)
+ * @param want64 extract the 64-px tile sequence (Neo)
+ */
+WorkloadSequences extractSequences(const GaussianScene &scene,
+                                   const Trajectory &trajectory,
+                                   Resolution res, int frames,
+                                   bool want16 = true, bool want64 = true);
+
+/** Simulate a workload sequence on the GPU model. */
+SequenceResult simulateGpu(const GpuModel &model,
+                           const std::vector<FrameWorkload> &seq);
+
+/** Simulate a workload sequence on the GSCore model. */
+SequenceResult simulateGscore(const GscoreModel &model,
+                              const std::vector<FrameWorkload> &seq);
+
+/**
+ * Simulate a workload sequence on the Neo model. The first frame is
+ * treated as a cold start (conventional full sort) unless
+ * @p first_is_cold is false.
+ */
+SequenceResult simulateNeo(const NeoModel &model,
+                           const std::vector<FrameWorkload> &seq,
+                           bool first_is_cold = true);
+
+} // namespace neo
+
+#endif // NEO_SIM_PERF_HARNESS_H

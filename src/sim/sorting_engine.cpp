@@ -1,0 +1,165 @@
+#include "sim/sorting_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace neo
+{
+
+namespace
+{
+
+/** Per-core chunk pipeline state. */
+struct CoreSim
+{
+    std::vector<uint32_t> chunk_sizes;
+    size_t next_load = 0;
+    size_t next_store = 0;
+    std::vector<uint64_t> load_done;
+    std::vector<uint64_t> sort_start;
+    std::vector<uint64_t> sort_done;
+    uint64_t last_store_done = 0;
+
+    bool
+    finished() const
+    {
+        return next_store >= chunk_sizes.size();
+    }
+
+    /**
+     * Whether the next channel op is a load. With double buffering a
+     * core may run one load ahead of its stores (load k+1 while chunk k
+     * sorts); without, loads and stores strictly alternate.
+     */
+    bool
+    nextOpIsLoad(bool double_buffered) const
+    {
+        if (next_load >= chunk_sizes.size())
+            return false;
+        size_t ahead = double_buffered ? 1 : 0;
+        return next_load <= next_store + ahead;
+    }
+
+    /** Ready time of the core's next channel op. */
+    uint64_t
+    nextOpReady(bool double_buffered) const
+    {
+        if (nextOpIsLoad(double_buffered)) {
+            if (next_load == 0)
+                return 0;
+            // Double buffering: the input buffer frees when the previous
+            // chunk's sort begins; otherwise the previous store must
+            // drain first.
+            return double_buffered ? sort_start[next_load - 1]
+                                   : last_store_done;
+        }
+        return sort_done[next_store];
+    }
+};
+
+} // namespace
+
+SortingEngineResult
+scheduleSortingEngine(const std::vector<uint32_t> &tile_lengths,
+                      const SortingEngineConfig &cfg)
+{
+    SortingEngineResult result;
+
+    // Cut tiles into chunk jobs and distribute across cores, largest
+    // tiles first onto the least-loaded core (LPT list scheduling).
+    std::vector<uint32_t> tiles(tile_lengths);
+    tiles.erase(std::remove(tiles.begin(), tiles.end(), 0u), tiles.end());
+    std::sort(tiles.begin(), tiles.end(), std::greater<uint32_t>());
+
+    std::vector<CoreSim> cores(std::max(cfg.cores, 1));
+    std::vector<uint64_t> core_load_entries(cores.size(), 0);
+    for (uint32_t len : tiles) {
+        size_t lightest = 0;
+        for (size_t c = 1; c < cores.size(); ++c)
+            if (core_load_entries[c] < core_load_entries[lightest])
+                lightest = c;
+        core_load_entries[lightest] += len;
+        for (uint32_t off = 0; off < len; off += cfg.chunk_entries)
+            cores[lightest].chunk_sizes.push_back(
+                std::min(cfg.chunk_entries, len - off));
+    }
+    for (auto &core : cores) {
+        size_t n = core.chunk_sizes.size();
+        core.load_done.assign(n, 0);
+        core.sort_start.assign(n, 0);
+        core.sort_done.assign(n, 0);
+        result.chunks += n;
+    }
+
+    auto channel_cycles = [&](uint64_t bytes) {
+        return static_cast<uint64_t>(
+            std::ceil(bytes / cfg.channel_bytes_per_cycle));
+    };
+
+    // Event loop: repeatedly grant the shared channel to the pending op
+    // with the earliest ready time (FCFS in time order, so idle slots are
+    // usable by whichever core reaches the channel first).
+    uint64_t channel_free = 0;
+    uint64_t channel_busy = 0;
+    uint64_t core_busy = 0;
+    uint64_t makespan = 0;
+
+    for (;;) {
+        size_t pick = cores.size();
+        uint64_t best_ready = std::numeric_limits<uint64_t>::max();
+        for (size_t c = 0; c < cores.size(); ++c) {
+            if (cores[c].finished())
+                continue;
+            uint64_t ready = cores[c].nextOpReady(cfg.double_buffered);
+            if (ready < best_ready) {
+                best_ready = ready;
+                pick = c;
+            }
+        }
+        if (pick == cores.size())
+            break; // all cores drained
+
+        CoreSim &core = cores[pick];
+        const bool is_load = core.nextOpIsLoad(cfg.double_buffered);
+        const size_t idx = is_load ? core.next_load : core.next_store;
+        const uint64_t bytes =
+            static_cast<uint64_t>(core.chunk_sizes[idx]) * cfg.entry_bytes;
+        const uint64_t dur = channel_cycles(bytes);
+        const uint64_t start = std::max(best_ready, channel_free);
+        const uint64_t done = start + dur;
+        channel_free = done;
+        channel_busy += dur;
+        result.bytes_moved += bytes;
+        makespan = std::max(makespan, done);
+
+        if (is_load) {
+            core.load_done[idx] = done;
+            // Sort follows immediately once the datapath is free.
+            uint64_t prev_sort_done = idx ? core.sort_done[idx - 1] : 0;
+            core.sort_start[idx] = std::max(done, prev_sort_done);
+            uint64_t sort_cycles = static_cast<uint64_t>(std::ceil(
+                core.chunk_sizes[idx] / cfg.sort_entries_per_cycle));
+            core.sort_done[idx] = core.sort_start[idx] + sort_cycles;
+            core_busy += sort_cycles;
+            makespan = std::max(makespan, core.sort_done[idx]);
+            ++core.next_load;
+        } else {
+            core.last_store_done = done;
+            ++core.next_store;
+        }
+    }
+
+    result.cycles = makespan;
+    if (makespan > 0) {
+        result.core_busy_fraction =
+            static_cast<double>(core_busy) /
+            (static_cast<double>(makespan) * cores.size());
+        result.channel_busy_fraction =
+            static_cast<double>(channel_busy) /
+            static_cast<double>(makespan);
+    }
+    return result;
+}
+
+} // namespace neo

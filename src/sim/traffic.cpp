@@ -1,0 +1,17 @@
+#include "sim/traffic.h"
+
+namespace neo
+{
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::FeatureExtraction: return "feature-extraction";
+      case Stage::Sorting: return "sorting";
+      case Stage::Rasterization: return "rasterization";
+    }
+    return "unknown";
+}
+
+} // namespace neo

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-stage DRAM traffic accounting, bucketed the way the paper's Fig. 5
+ * breakdown is: feature extraction (including culling and duplication
+ * write-out), sorting, and rasterization.
+ */
+
+#ifndef NEO_SIM_TRAFFIC_H
+#define NEO_SIM_TRAFFIC_H
+
+#include <cstdint>
+
+namespace neo
+{
+
+/** Pipeline stages used for traffic attribution. */
+enum class Stage
+{
+    FeatureExtraction,
+    Sorting,
+    Rasterization,
+};
+
+/** Byte counters per pipeline stage. */
+struct TrafficBreakdown
+{
+    double feature_bytes = 0.0;
+    double sorting_bytes = 0.0;
+    double raster_bytes = 0.0;
+
+    double total() const
+    {
+        return feature_bytes + sorting_bytes + raster_bytes;
+    }
+
+    double fraction(Stage s) const
+    {
+        double t = total();
+        if (t <= 0.0)
+            return 0.0;
+        switch (s) {
+          case Stage::FeatureExtraction: return feature_bytes / t;
+          case Stage::Sorting: return sorting_bytes / t;
+          case Stage::Rasterization: return raster_bytes / t;
+        }
+        return 0.0;
+    }
+
+    void add(Stage s, double bytes)
+    {
+        switch (s) {
+          case Stage::FeatureExtraction: feature_bytes += bytes; break;
+          case Stage::Sorting: sorting_bytes += bytes; break;
+          case Stage::Rasterization: raster_bytes += bytes; break;
+        }
+    }
+
+    TrafficBreakdown &operator+=(const TrafficBreakdown &o)
+    {
+        feature_bytes += o.feature_bytes;
+        sorting_bytes += o.sorting_bytes;
+        raster_bytes += o.raster_bytes;
+        return *this;
+    }
+
+    /** Convert to gigabytes (10^9 bytes, as the paper plots). */
+    double totalGB() const { return total() / 1e9; }
+};
+
+/** Printable name of a pipeline stage. */
+const char *stageName(Stage s);
+
+/** Record sizes shared by the traffic models (see DESIGN.md §5). */
+namespace record
+{
+/** Full 3D Gaussian parameter record (59 floats: pos/scale/rot/op/SH). */
+constexpr double kGaussian3d = 236.0;
+/** Projected 2D feature record (mean, conic, color, opacity, depth). */
+constexpr double kFeature2d = 40.0;
+/** Sorted-table entry (id + depth). */
+constexpr double kTableEntry = 8.0;
+/** GPU sort key-value pair (64-bit tile|depth key + 32-bit id). */
+constexpr double kKeyValue = 12.0;
+/** Subtile bitmap per instance (GSCore propagates these off-chip). */
+constexpr double kBitmap = 8.0;
+/** Framebuffer bytes per pixel (RGBA accumulation + transmittance). */
+constexpr double kPixel = 12.0;
+} // namespace record
+
+} // namespace neo
+
+#endif // NEO_SIM_TRAFFIC_H

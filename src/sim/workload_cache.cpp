@@ -1,0 +1,160 @@
+#include "sim/workload_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sys/stat.h>
+
+#include "common/logging.h"
+#include "sim/perf_harness.h"
+
+namespace neo
+{
+
+namespace
+{
+
+/** Bump when the workload layout or the extraction pipeline changes. */
+constexpr uint32_t kCacheVersion = 3;
+constexpr uint32_t kMagic = 0x4e454f57; // "NEOW"
+
+void
+writeU64(std::FILE *f, uint64_t v)
+{
+    std::fwrite(&v, sizeof(v), 1, f);
+}
+
+bool
+readU64(std::FILE *f, uint64_t &v)
+{
+    return std::fread(&v, sizeof(v), 1, f) == 1;
+}
+
+} // namespace
+
+std::string
+WorkloadKey::stem() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%s_s%.3f_%dx%d_t%d_f%d_v%.2f_c%u",
+                  scene.c_str(), scene_scale, res.width, res.height,
+                  tile_px, frames, static_cast<double>(speed),
+                  kCacheVersion);
+    return buf;
+}
+
+bool
+saveWorkloads(const std::string &path,
+              const std::vector<FrameWorkload> &seq)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    uint32_t magic = kMagic;
+    std::fwrite(&magic, sizeof(magic), 1, f);
+    writeU64(f, seq.size());
+    for (const auto &w : seq) {
+        int32_t dims[3] = {w.res.width, w.res.height, w.tile_size};
+        std::fwrite(dims, sizeof(dims), 1, f);
+        writeU64(f, w.scene_gaussians);
+        writeU64(f, w.visible_gaussians);
+        writeU64(f, w.instances);
+        writeU64(f, w.blend_ops);
+        writeU64(f, w.intersection_tests);
+        writeU64(f, w.incoming_instances);
+        writeU64(f, w.outgoing_instances);
+        std::fwrite(&w.mean_tile_retention, sizeof(double), 1, f);
+        writeU64(f, w.tile_lengths.size());
+        if (!w.tile_lengths.empty())
+            std::fwrite(w.tile_lengths.data(), sizeof(uint32_t),
+                        w.tile_lengths.size(), f);
+    }
+    std::fclose(f);
+    return true;
+}
+
+std::vector<FrameWorkload>
+loadWorkloads(const std::string &path)
+{
+    std::vector<FrameWorkload> out;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return out;
+    uint32_t magic = 0;
+    uint64_t count = 0;
+    if (std::fread(&magic, sizeof(magic), 1, f) != 1 || magic != kMagic ||
+        !readU64(f, count)) {
+        std::fclose(f);
+        return out;
+    }
+    out.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        FrameWorkload w;
+        int32_t dims[3];
+        uint64_t tiles = 0;
+        bool ok = std::fread(dims, sizeof(dims), 1, f) == 1 &&
+                  readU64(f, w.scene_gaussians) &&
+                  readU64(f, w.visible_gaussians) &&
+                  readU64(f, w.instances) && readU64(f, w.blend_ops) &&
+                  readU64(f, w.intersection_tests) &&
+                  readU64(f, w.incoming_instances) &&
+                  readU64(f, w.outgoing_instances) &&
+                  std::fread(&w.mean_tile_retention, sizeof(double), 1,
+                             f) == 1 &&
+                  readU64(f, tiles);
+        if (!ok) {
+            out.clear();
+            break;
+        }
+        w.res.width = dims[0];
+        w.res.height = dims[1];
+        w.res.name = "cached";
+        w.tile_size = dims[2];
+        w.tile_lengths.resize(tiles);
+        if (tiles && std::fread(w.tile_lengths.data(), sizeof(uint32_t),
+                                tiles, f) != tiles) {
+            out.clear();
+            break;
+        }
+        out.push_back(std::move(w));
+    }
+    std::fclose(f);
+    return out;
+}
+
+std::string
+defaultCacheDir()
+{
+    if (const char *env = std::getenv("NEO_WORKLOAD_CACHE"))
+        return env;
+    return ".workload_cache";
+}
+
+std::vector<FrameWorkload>
+cachedWorkloads(const WorkloadKey &key, const std::string &cache_dir)
+{
+    ::mkdir(cache_dir.c_str(), 0755);
+    std::string path = cache_dir + "/" + key.stem() + ".bin";
+    std::vector<FrameWorkload> seq = loadWorkloads(path);
+    if (static_cast<int>(seq.size()) == key.frames)
+        return seq;
+
+    inform("workload cache miss: computing %s", key.stem().c_str());
+    ScenePreset preset = presetByName(key.scene);
+    GaussianScene scene = buildScene(preset, key.scene_scale);
+    Trajectory traj(preset.trajectory, scene, key.speed);
+
+    WorkloadSequences seqs =
+        extractSequences(scene, traj, key.res, key.frames,
+                         key.tile_px == 16, key.tile_px == 64);
+    seq = key.tile_px == 16 ? std::move(seqs.tile16)
+                            : std::move(seqs.tile64);
+    if (seq.empty())
+        fatal("workload extraction produced nothing for %s",
+              key.stem().c_str());
+    if (!saveWorkloads(path, seq))
+        warn("could not persist workload cache at %s", path.c_str());
+    return seq;
+}
+
+} // namespace neo

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * On-disk cache of extracted workload sequences. Extracting per-frame
+ * workloads from the functional pipeline costs seconds per frame at QHD
+ * scale; every paper figure re-uses the same (scene, trajectory,
+ * resolution, tile geometry) sequences, so the benches persist them under
+ * a content key and reload instantly on subsequent runs.
+ */
+
+#ifndef NEO_SIM_WORKLOAD_CACHE_H
+#define NEO_SIM_WORKLOAD_CACHE_H
+
+#include <string>
+#include <vector>
+
+#include "gs/pipeline.h"
+#include "scene/datasets.h"
+
+namespace neo
+{
+
+/** Identity of one cached workload sequence. */
+struct WorkloadKey
+{
+    std::string scene;      //!< preset name
+    double scene_scale = 1.0;
+    Resolution res;
+    int tile_px = 16;
+    int frames = 8;
+    float speed = 1.0f;
+
+    /** Stable file-name stem for this key. */
+    std::string stem() const;
+};
+
+/** Serialize a sequence to @p path. @return true on success. */
+bool saveWorkloads(const std::string &path,
+                   const std::vector<FrameWorkload> &seq);
+
+/** Load a sequence from @p path; empty vector when absent/corrupt. */
+std::vector<FrameWorkload> loadWorkloads(const std::string &path);
+
+/**
+ * Fetch-or-compute a workload sequence. On a cache miss, builds the scene,
+ * runs the functional pipeline for key.frames frames of the preset's
+ * trajectory at key.speed, stores the result under @p cache_dir and
+ * returns it.
+ */
+std::vector<FrameWorkload> cachedWorkloads(const WorkloadKey &key,
+                                           const std::string &cache_dir);
+
+/** Default cache directory (NEO_WORKLOAD_CACHE or .workload_cache). */
+std::string defaultCacheDir();
+
+} // namespace neo
+
+#endif // NEO_SIM_WORKLOAD_CACHE_H

@@ -1,0 +1,87 @@
+#include "sort/bitonic.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace neo
+{
+
+uint64_t
+bitonicNetworkOps(int n)
+{
+    int k = 0;
+    while ((1 << k) < n)
+        ++k;
+    if ((1 << k) != n)
+        panic("bitonicNetworkOps: width %d is not a power of two", n);
+    // k major stages; stage i has i+1 substages; each substage does n/2
+    // compare-exchanges.
+    return static_cast<uint64_t>(n / 2) * (static_cast<uint64_t>(k) *
+                                           (k + 1) / 2);
+}
+
+void
+bsuSortSubchunk(std::vector<TileEntry> &entries, size_t first, size_t count,
+                BsuStats *stats)
+{
+    if (count == 0)
+        return;
+    if (count > static_cast<size_t>(kBsuWidth))
+        panic("bsuSortSubchunk: %zu entries exceed network width", count);
+
+    // Lanes beyond count hold +inf keys so they sink to the end.
+    TileEntry lanes[kBsuWidth];
+    for (int i = 0; i < kBsuWidth; ++i) {
+        if (static_cast<size_t>(i) < count) {
+            lanes[i] = entries[first + i];
+        } else {
+            lanes[i] = TileEntry{std::numeric_limits<GaussianId>::max(),
+                                 std::numeric_limits<float>::infinity(),
+                                 false};
+        }
+    }
+
+    uint64_t ops = 0;
+    uint64_t stages = 0;
+    // Classic bitonic sorting network on kBsuWidth lanes.
+    for (int size = 2; size <= kBsuWidth; size <<= 1) {
+        for (int stride = size >> 1; stride > 0; stride >>= 1) {
+            ++stages;
+            for (int i = 0; i < kBsuWidth; ++i) {
+                int partner = i ^ stride;
+                if (partner <= i)
+                    continue;
+                bool ascending = ((i & size) == 0);
+                ++ops;
+                bool out_of_order =
+                    ascending ? entryDepthLess(lanes[partner], lanes[i])
+                              : entryDepthLess(lanes[i], lanes[partner]);
+                if (out_of_order)
+                    std::swap(lanes[i], lanes[partner]);
+            }
+        }
+    }
+
+    for (size_t i = 0; i < count; ++i)
+        entries[first + i] = lanes[i];
+
+    if (stats) {
+        ++stats->subchunks;
+        stats->compare_exchanges += ops;
+        stats->stages += stages;
+    }
+}
+
+void
+bsuSortRuns(std::vector<TileEntry> &entries, size_t first, size_t count,
+            BsuStats *stats)
+{
+    for (size_t off = 0; off < count; off += kBsuWidth) {
+        size_t n = std::min<size_t>(kBsuWidth, count - off);
+        bsuSortSubchunk(entries, first + off, n, stats);
+    }
+}
+
+} // namespace neo

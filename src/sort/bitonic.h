@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Bitonic Sorting Unit (BSU) model. Each Neo Sorting Core contains a
+ * 16-wide bitonic network that sorts 16-entry sub-chunks in a fixed number
+ * of compare-exchange stages; this module implements the network exactly
+ * (including its data-independent schedule) and counts its operations so
+ * the timing model can convert them into cycles.
+ */
+
+#ifndef NEO_SORT_BITONIC_H
+#define NEO_SORT_BITONIC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "gs/tiling.h"
+
+namespace neo
+{
+
+/** Width of the hardware bitonic network (entries per sub-chunk). */
+constexpr int kBsuWidth = 16;
+
+/** Operation counters for a Bitonic Sorting Unit. */
+struct BsuStats
+{
+    uint64_t subchunks = 0;         //!< sub-chunk sorts performed
+    uint64_t compare_exchanges = 0; //!< individual compare-exchange ops
+    uint64_t stages = 0;            //!< network stages executed
+};
+
+/**
+ * Number of compare-exchange operations of an n-wide bitonic network
+ * (n must be a power of two): (n/2) * k(k+1)/2 with k = log2(n).
+ */
+uint64_t bitonicNetworkOps(int n);
+
+/**
+ * Sort @p entries[first, first+count) in place by depth using a bitonic
+ * network of width kBsuWidth. @p count may be smaller than the network
+ * width; missing lanes are fed +inf keys, exactly like hardware padding.
+ *
+ * @param stats optional operation counters to accumulate into.
+ */
+void bsuSortSubchunk(std::vector<TileEntry> &entries, size_t first,
+                     size_t count, BsuStats *stats = nullptr);
+
+/**
+ * Sort an arbitrary span by running the BSU over consecutive sub-chunks
+ * (the result is 16-sorted runs, NOT a fully sorted span; the MSU merges
+ * the runs — see merge_unit.h).
+ */
+void bsuSortRuns(std::vector<TileEntry> &entries, size_t first, size_t count,
+                 BsuStats *stats = nullptr);
+
+} // namespace neo
+
+#endif // NEO_SORT_BITONIC_H

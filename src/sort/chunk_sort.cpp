@@ -1,0 +1,76 @@
+#include "sort/chunk_sort.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace neo
+{
+
+SortCoreStats &
+SortCoreStats::operator+=(const SortCoreStats &o)
+{
+    bsu.subchunks += o.bsu.subchunks;
+    bsu.compare_exchanges += o.bsu.compare_exchanges;
+    bsu.stages += o.bsu.stages;
+    msu.merges += o.msu.merges;
+    msu.elements_processed += o.msu.elements_processed;
+    msu.compares += o.msu.compares;
+    msu.filtered_invalid += o.msu.filtered_invalid;
+    chunk_loads += o.chunk_loads;
+    chunk_stores += o.chunk_stores;
+    entries_read += o.entries_read;
+    entries_written += o.entries_written;
+    global_merge_passes += o.global_merge_passes;
+    return *this;
+}
+
+void
+sortChunk(std::vector<TileEntry> &entries, size_t first, size_t count,
+          SortCoreStats *stats)
+{
+    if (count == 0)
+        return;
+    if (count > kChunkSize)
+        panic("sortChunk: %zu entries exceed the chunk capacity", count);
+
+    BsuStats *bsu = stats ? &stats->bsu : nullptr;
+    MsuStats *msu = stats ? &stats->msu : nullptr;
+    bsuSortRuns(entries, first, count, bsu);
+    msuMergeRuns(entries, first, count, kBsuWidth, msu);
+    if (stats) {
+        ++stats->chunk_loads;
+        ++stats->chunk_stores;
+        stats->entries_read += count;
+        stats->entries_written += count;
+    }
+}
+
+void
+fullSortTable(std::vector<TileEntry> &table, SortCoreStats *stats)
+{
+    const size_t n = table.size();
+    if (n == 0)
+        return;
+    for (size_t first = 0; first < n; first += kChunkSize)
+        sortChunk(table, first, std::min(kChunkSize, n - first), stats);
+
+    const size_t chunks = (n + kChunkSize - 1) / kChunkSize;
+    if (chunks > 1) {
+        // Global merge across chunks. Functionally we merge in one go; the
+        // hardware streams the table through the MSU+ log2(chunks) times,
+        // so cost that many extra off-chip passes.
+        MsuStats *msu = stats ? &stats->msu : nullptr;
+        msuMergeRuns(table, 0, n, kChunkSize, msu);
+        size_t passes = 0;
+        for (size_t c = 1; c < chunks; c <<= 1)
+            ++passes;
+        if (stats) {
+            stats->global_merge_passes += passes;
+            stats->entries_read += passes * n;
+            stats->entries_written += passes * n;
+        }
+    }
+}
+
+} // namespace neo

@@ -1,0 +1,100 @@
+#include "sort/merge_unit.h"
+
+#include <algorithm>
+
+namespace neo
+{
+
+namespace
+{
+
+/** Append @p e to @p out unless its valid bit is cleared. */
+inline void
+emit(const TileEntry &e, std::vector<TileEntry> &out, MsuStats *stats)
+{
+    if (e.valid) {
+        out.push_back(e);
+    } else if (stats) {
+        ++stats->filtered_invalid;
+    }
+}
+
+} // namespace
+
+void
+msuMerge(const std::vector<TileEntry> &a, const std::vector<TileEntry> &b,
+         std::vector<TileEntry> &out, MsuStats *stats)
+{
+    out.clear();
+    out.reserve(a.size() + b.size());
+    size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (stats)
+            ++stats->compares;
+        if (entryDepthLess(b[j], a[i]))
+            emit(b[j++], out, stats);
+        else
+            emit(a[i++], out, stats);
+    }
+    while (i < a.size())
+        emit(a[i++], out, stats);
+    while (j < b.size())
+        emit(b[j++], out, stats);
+    if (stats) {
+        ++stats->merges;
+        stats->elements_processed += a.size() + b.size();
+    }
+}
+
+int
+msuMergeRuns(std::vector<TileEntry> &entries, size_t first, size_t count,
+             size_t run, MsuStats *stats)
+{
+    if (count <= 1)
+        return 0;
+    int passes = 0;
+    std::vector<TileEntry> scratch;
+    scratch.reserve(count);
+    while (run < count) {
+        ++passes;
+        for (size_t lo = 0; lo < count; lo += 2 * run) {
+            size_t mid = std::min(lo + run, count);
+            size_t hi = std::min(lo + 2 * run, count);
+            if (mid >= hi)
+                continue;
+            scratch.clear();
+            size_t i = first + lo, j = first + mid;
+            const size_t i_end = first + mid, j_end = first + hi;
+            while (i < i_end && j < j_end) {
+                if (stats)
+                    ++stats->compares;
+                if (entryDepthLess(entries[j], entries[i]))
+                    scratch.push_back(entries[j++]);
+                else
+                    scratch.push_back(entries[i++]);
+            }
+            while (i < i_end)
+                scratch.push_back(entries[i++]);
+            while (j < j_end)
+                scratch.push_back(entries[j++]);
+            std::copy(scratch.begin(), scratch.end(),
+                      entries.begin() + first + lo);
+            if (stats) {
+                ++stats->merges;
+                stats->elements_processed += hi - lo;
+            }
+        }
+        run *= 2;
+    }
+    return passes;
+}
+
+void
+msuUpdateTable(const std::vector<TileEntry> &reused_sorted,
+               const std::vector<TileEntry> &incoming_sorted,
+               std::vector<TileEntry> &out, MsuStats *stats)
+{
+    msuMerge(reused_sorted, incoming_sorted, out, stats);
+}
+
+} // namespace neo

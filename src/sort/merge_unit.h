@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Merge Sorting Unit+ (MSU+) model. The MSU+ of a Neo Sorting Core merges
+ * sorted runs and, beyond a conventional merge unit, (a) filters out
+ * entries whose valid bit was cleared during the previous frame's
+ * rasterization (deferred deletion — no shift cost) and (b) merges the
+ * sorted incoming-Gaussian table into the reused table in the same pass
+ * (insertion).
+ */
+
+#ifndef NEO_SORT_MERGE_UNIT_H
+#define NEO_SORT_MERGE_UNIT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "gs/tiling.h"
+
+namespace neo
+{
+
+/** Operation counters for a Merge Sorting Unit+. */
+struct MsuStats
+{
+    uint64_t merges = 0;           //!< merge passes executed
+    uint64_t elements_processed = 0; //!< elements streamed through
+    uint64_t compares = 0;           //!< head-to-head comparisons
+    uint64_t filtered_invalid = 0;   //!< entries dropped by valid-bit filter
+};
+
+/**
+ * Two-way merge of sorted runs @p a and @p b into @p out (cleared first).
+ * Entries with valid == false in either input are filtered out, modeling
+ * the MSU+ invalid-bit filter on its local input buffers.
+ */
+void msuMerge(const std::vector<TileEntry> &a, const std::vector<TileEntry> &b,
+              std::vector<TileEntry> &out, MsuStats *stats = nullptr);
+
+/**
+ * Merge consecutive sorted runs of length @p run inside
+ * @p entries[first, first+count), doubling the run length; repeat until a
+ * single sorted run remains. This is the in-core merge tree that follows
+ * bsuSortRuns, producing a fully sorted chunk.
+ *
+ * @return number of merge passes executed (for cycle accounting).
+ */
+int msuMergeRuns(std::vector<TileEntry> &entries, size_t first, size_t count,
+                 size_t run, MsuStats *stats = nullptr);
+
+/**
+ * The full MSU+ reuse-and-update step for one tile: stream the (sorted,
+ * possibly containing invalidated entries) reused table and the sorted
+ * incoming table through the unit, dropping invalid entries and merging in
+ * the newcomers in a single pass.
+ */
+void msuUpdateTable(const std::vector<TileEntry> &reused_sorted,
+                    const std::vector<TileEntry> &incoming_sorted,
+                    std::vector<TileEntry> &out, MsuStats *stats = nullptr);
+
+} // namespace neo
+
+#endif // NEO_SORT_MERGE_UNIT_H

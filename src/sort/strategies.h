@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Sorting-reuse strategies explored in the paper's design-space analysis
+ * (§4.1, Fig. 19): full per-frame sorting, periodic sorting, background
+ * sorting, and GSCore-style hierarchical sorting. Neo's reuse-and-update
+ * strategy implements the same interface in core/reuse_update.h.
+ *
+ * A strategy consumes the freshly binned frame (ground-truth per-tile
+ * membership and depths) and yields, per tile, the ordering the
+ * rasterizer will use this frame — which may be stale or partially sorted,
+ * exactly reproducing each method's artifacts — plus hardware counters
+ * for the timing model.
+ */
+
+#ifndef NEO_SORT_STRATEGIES_H
+#define NEO_SORT_STRATEGIES_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gs/tiling.h"
+#include "sort/chunk_sort.h"
+
+namespace neo
+{
+
+/** Base interface of a per-tile sorting strategy. */
+class SortingStrategy
+{
+  public:
+    virtual ~SortingStrategy() = default;
+
+    /** Human-readable name for bench output. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Ingest frame @p frame_index and compute all tile orderings.
+     * Implementations accumulate their hardware work into stats().
+     */
+    virtual void beginFrame(const BinnedFrame &frame,
+                            uint64_t frame_index) = 0;
+
+    /** Ordering to rasterize @p tile with (valid until next beginFrame). */
+    virtual const std::vector<TileEntry> &tileOrder(int tile) const = 0;
+
+    /** All tile orderings (size = tile count of the last frame). */
+    virtual const std::vector<std::vector<TileEntry>> &orderings() const = 0;
+
+    /** Counters accumulated since the last takeStats(). */
+    const SortCoreStats &stats() const { return stats_; }
+
+    /** Return and reset the accumulated counters. */
+    SortCoreStats takeStats()
+    {
+        SortCoreStats s = stats_;
+        stats_ = SortCoreStats{};
+        return s;
+    }
+
+  protected:
+    SortCoreStats stats_;
+};
+
+/**
+ * Sort every tile from scratch every frame (the 3DGS baseline). Exact
+ * ordering; cost includes the global cross-chunk merge passes.
+ */
+class FullSortStrategy : public SortingStrategy
+{
+  public:
+    std::string name() const override { return "full"; }
+    void beginFrame(const BinnedFrame &frame, uint64_t frame_index) override;
+    const std::vector<TileEntry> &tileOrder(int tile) const override
+    {
+        return tables_[tile];
+    }
+    const std::vector<std::vector<TileEntry>> &orderings() const override
+    {
+        return tables_;
+    }
+
+  private:
+    std::vector<std::vector<TileEntry>> tables_;
+};
+
+/**
+ * GSCore-style hierarchical sorting: a coarse bucketing pass followed by
+ * fine in-bucket sorts. Exact ordering each frame at lower sorting cost
+ * than naive global merge sorting, but still a from-scratch method with
+ * multiple off-chip passes.
+ */
+class HierarchicalSortStrategy : public SortingStrategy
+{
+  public:
+    std::string name() const override { return "hierarchical"; }
+    void beginFrame(const BinnedFrame &frame, uint64_t frame_index) override;
+    const std::vector<TileEntry> &tileOrder(int tile) const override
+    {
+        return tables_[tile];
+    }
+    const std::vector<std::vector<TileEntry>> &orderings() const override
+    {
+        return tables_;
+    }
+
+  private:
+    std::vector<std::vector<TileEntry>> tables_;
+};
+
+/**
+ * Periodic sorting: a full re-sort every @p period frames; intermediate
+ * frames reuse the last sorted tables verbatim (stale membership and
+ * order), so errors accumulate between refreshes and refresh frames cause
+ * latency spikes.
+ */
+class PeriodicSortStrategy : public SortingStrategy
+{
+  public:
+    explicit PeriodicSortStrategy(int period = 8) : period_(period) {}
+
+    std::string name() const override { return "periodic"; }
+    void beginFrame(const BinnedFrame &frame, uint64_t frame_index) override;
+    const std::vector<TileEntry> &tileOrder(int tile) const override
+    {
+        return tables_[tile];
+    }
+    const std::vector<std::vector<TileEntry>> &orderings() const override
+    {
+        return tables_;
+    }
+
+    int period() const { return period_; }
+    /** Whether the most recent frame performed the full re-sort. */
+    bool refreshedLastFrame() const { return refreshed_; }
+
+  private:
+    int period_;
+    bool refreshed_ = false;
+    std::vector<std::vector<TileEntry>> tables_;
+};
+
+/**
+ * Background sorting (as in WebGL splat viewers): sorting runs continuously
+ * one frame behind rendering, so each frame is rasterized with the ordering
+ * computed from the previous frame's viewpoint. Cost is a sustained full
+ * sort per frame; quality suffers from the viewpoint discrepancy.
+ */
+class BackgroundSortStrategy : public SortingStrategy
+{
+  public:
+    std::string name() const override { return "background"; }
+    void beginFrame(const BinnedFrame &frame, uint64_t frame_index) override;
+    const std::vector<TileEntry> &tileOrder(int tile) const override
+    {
+        return tables_[tile];
+    }
+    const std::vector<std::vector<TileEntry>> &orderings() const override
+    {
+        return tables_;
+    }
+
+  private:
+    std::vector<std::vector<TileEntry>> tables_;   //!< served this frame
+    std::vector<std::vector<TileEntry>> pending_;  //!< ready next frame
+};
+
+/**
+ * Exact hierarchical sort of one table with GSCore-style cost accounting:
+ * one read+write bucketing pass plus one read+write fine-sort pass.
+ */
+void hierarchicalSortTable(std::vector<TileEntry> &table,
+                           SortCoreStats *stats);
+
+} // namespace neo
+
+#endif // NEO_SORT_STRATEGIES_H

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the analytic area/power model (Tables 3-4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/area_power.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(AreaPowerTest, TotalsMatchTable3)
+{
+    ComponentAP neo = neoAreaPowerTotal();
+    EXPECT_NEAR(neo.area_mm2, 0.387, 0.005);
+    EXPECT_NEAR(neo.power_mw, 797.8, 5.0);
+
+    ComponentAP gscore = gscoreAreaPowerTotal();
+    EXPECT_NEAR(gscore.area_mm2, 0.417, 1e-9);
+    EXPECT_NEAR(gscore.power_mw, 719.9, 1e-9);
+}
+
+TEST(AreaPowerTest, NeoSmallerThanGscoreSlightlyMorePower)
+{
+    ComponentAP neo = neoAreaPowerTotal();
+    ComponentAP gscore = gscoreAreaPowerTotal();
+    EXPECT_LT(neo.area_mm2, gscore.area_mm2);
+    EXPECT_GT(neo.power_mw, gscore.power_mw);
+}
+
+TEST(AreaPowerTest, EngineBreakdownMatchesTable4)
+{
+    auto rows = neoAreaPowerBreakdown();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].name, "Preprocessing Engine");
+    EXPECT_NEAR(rows[0].area_mm2, 0.026, 0.002);
+    EXPECT_NEAR(rows[0].power_mw, 194.9, 2.0);
+    EXPECT_EQ(rows[1].name, "Sorting Engine");
+    EXPECT_NEAR(rows[1].area_mm2, 0.053, 0.002);
+    EXPECT_NEAR(rows[1].power_mw, 159.0, 2.0);
+    EXPECT_EQ(rows[2].name, "Rasterization Engine");
+    EXPECT_NEAR(rows[2].area_mm2, 0.308, 0.003);
+    EXPECT_NEAR(rows[2].power_mw, 443.9, 3.0);
+}
+
+TEST(AreaPowerTest, Table4SubcomponentsMatch)
+{
+    auto rows = neoTable4Rows();
+    // Find MSU+, BSU, SCU, ITU rows by name.
+    auto find = [&](const std::string &name) -> const ComponentAP & {
+        for (const auto &r : rows)
+            if (r.name.find(name) != std::string::npos)
+                return r;
+        static ComponentAP missing;
+        return missing;
+    };
+    EXPECT_NEAR(find("Merge Sort Unit+").area_mm2, 0.005, 5e-4);
+    EXPECT_NEAR(find("Merge Sort Unit+").power_mw, 12.4, 0.2);
+    EXPECT_NEAR(find("Bitonic Sort Unit").area_mm2, 0.008, 5e-4);
+    EXPECT_NEAR(find("Bitonic Sort Unit").power_mw, 75.0, 0.5);
+    EXPECT_NEAR(find("Subtile Compute Unit").area_mm2, 0.228, 2e-3);
+    EXPECT_NEAR(find("Subtile Compute Unit").power_mw, 375.0, 1.0);
+    EXPECT_NEAR(find("Intersection Test Unit").area_mm2, 0.030, 1e-3);
+    EXPECT_NEAR(find("Intersection Test Unit").power_mw, 58.7, 0.5);
+}
+
+TEST(AreaPowerTest, BreakdownSumsToTotal)
+{
+    auto engines = neoAreaPowerBreakdown();
+    double area = 0.0, power = 0.0;
+    for (const auto &e : engines) {
+        area += e.area_mm2;
+        power += e.power_mw;
+    }
+    ComponentAP total = neoAreaPowerTotal();
+    EXPECT_NEAR(area, total.area_mm2, 1e-9);
+    EXPECT_NEAR(power, total.power_mw, 1e-9);
+}
+
+TEST(AreaPowerTest, ScalesWithUnitCounts)
+{
+    NeoConfig big;
+    big.sorting_cores = 32;
+    ComponentAP base = neoAreaPowerTotal();
+    ComponentAP scaled = neoAreaPowerTotal(big);
+    EXPECT_GT(scaled.area_mm2, base.area_mm2);
+    EXPECT_GT(scaled.power_mw, base.power_mw);
+}
+
+TEST(DeepScaleTest, IdentityAtSameNode)
+{
+    EXPECT_DOUBLE_EQ(deepScaleFactor(7, 7, true), 1.0);
+    EXPECT_DOUBLE_EQ(deepScaleFactor(28, 28, false), 1.0);
+}
+
+TEST(DeepScaleTest, ShrinkFrom28To7)
+{
+    double area = deepScaleFactor(28, 7, true);
+    double power = deepScaleFactor(28, 7, false);
+    EXPECT_LT(area, 0.2) << "7 nm is ~9x denser than 28 nm";
+    EXPECT_LT(power, 0.5);
+}
+
+TEST(DeepScaleTest, RoundTripIsIdentity)
+{
+    double down = deepScaleFactor(28, 7, true);
+    double up = deepScaleFactor(7, 28, true);
+    EXPECT_NEAR(down * up, 1.0, 1e-9);
+}
+
+TEST(DeepScaleTest, UnknownNodeDies)
+{
+    EXPECT_DEATH({ deepScaleFactor(28, 5, true); }, "unsupported node");
+}
+
+} // namespace
+} // namespace neo

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the Bitonic Sorting Unit model.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sort/bitonic.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(BitonicTest, NetworkOpsFormula)
+{
+    // n/2 * k(k+1)/2 for n = 2^k.
+    EXPECT_EQ(bitonicNetworkOps(2), 1u);
+    EXPECT_EQ(bitonicNetworkOps(4), 6u);
+    EXPECT_EQ(bitonicNetworkOps(8), 24u);
+    EXPECT_EQ(bitonicNetworkOps(16), 80u);
+}
+
+TEST(BitonicTest, NonPowerOfTwoPanics)
+{
+    EXPECT_DEATH({ bitonicNetworkOps(12); }, "power of two");
+}
+
+TEST(BitonicTest, SortsFullSubchunk)
+{
+    auto t = test::randomTable(16, 3);
+    bsuSortSubchunk(t, 0, 16);
+    EXPECT_TRUE(test::isSorted(t));
+}
+
+TEST(BitonicTest, SortsPartialSubchunkWithPadding)
+{
+    for (size_t n : {1u, 2u, 5u, 9u, 15u}) {
+        auto t = test::randomTable(n, n);
+        bsuSortSubchunk(t, 0, n);
+        EXPECT_TRUE(test::isSorted(t)) << "n = " << n;
+        EXPECT_EQ(t.size(), n);
+    }
+}
+
+TEST(BitonicTest, OversizedSubchunkPanics)
+{
+    auto t = test::randomTable(32, 1);
+    EXPECT_DEATH({ bsuSortSubchunk(t, 0, 32); }, "exceed");
+}
+
+TEST(BitonicTest, SortsSliceInMiddle)
+{
+    auto t = test::randomTable(48, 5);
+    auto before = t;
+    bsuSortSubchunk(t, 16, 16);
+    // Outside the slice untouched.
+    for (size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(t[i].id, before[i].id);
+    for (size_t i = 32; i < 48; ++i)
+        EXPECT_EQ(t[i].id, before[i].id);
+    // Slice sorted.
+    for (size_t i = 16; i + 1 < 32; ++i)
+        EXPECT_FALSE(entryDepthLess(t[i + 1], t[i]));
+}
+
+TEST(BitonicTest, StatsCountFixedSchedule)
+{
+    auto t = test::randomTable(16, 7);
+    BsuStats stats;
+    bsuSortSubchunk(t, 0, 16, &stats);
+    EXPECT_EQ(stats.subchunks, 1u);
+    // The network schedule is data independent: exactly 80 ops, 10 stages.
+    EXPECT_EQ(stats.compare_exchanges, 80u);
+    EXPECT_EQ(stats.stages, 10u);
+}
+
+TEST(BitonicTest, RunsProduceSortedBlocks)
+{
+    auto t = test::randomTable(100, 9);
+    BsuStats stats;
+    bsuSortRuns(t, 0, 100, &stats);
+    // 7 sub-chunks: 6 full + 1 of 4 entries.
+    EXPECT_EQ(stats.subchunks, 7u);
+    for (size_t block = 0; block < 100; block += 16) {
+        size_t end = std::min<size_t>(block + 16, 100);
+        for (size_t i = block; i + 1 < end; ++i)
+            EXPECT_FALSE(entryDepthLess(t[i + 1], t[i]))
+                << "block at " << block;
+    }
+}
+
+TEST(BitonicTest, PreservesMultiset)
+{
+    auto t = test::randomTable(16, 11);
+    auto ids_before = t;
+    bsuSortSubchunk(t, 0, 16);
+    auto key = [](const TileEntry &e) { return e.id; };
+    std::vector<GaussianId> a, b;
+    for (const auto &e : ids_before)
+        a.push_back(key(e));
+    for (const auto &e : t)
+        b.push_back(key(e));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(BitonicTest, DuplicateDepthsTieBreakById)
+{
+    std::vector<TileEntry> t;
+    for (int i = 15; i >= 0; --i)
+        t.push_back({static_cast<GaussianId>(i), 1.0f, true});
+    bsuSortSubchunk(t, 0, 16);
+    for (size_t i = 0; i + 1 < t.size(); ++i)
+        EXPECT_LT(t[i].id, t[i + 1].id);
+}
+
+/** Parameterized sweep over sizes. */
+class BitonicSizeTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(BitonicSizeTest, RunsSortEveryBlock)
+{
+    size_t n = GetParam();
+    auto t = test::randomTable(n, n * 31 + 1);
+    bsuSortRuns(t, 0, n);
+    for (size_t block = 0; block < n; block += kBsuWidth) {
+        size_t end = std::min(block + kBsuWidth, n);
+        for (size_t i = block; i + 1 < end; ++i)
+            EXPECT_FALSE(entryDepthLess(t[i + 1], t[i]));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitonicSizeTest,
+                         ::testing::Values(1, 15, 16, 17, 64, 100, 256,
+                                           1000));
+
+} // namespace
+} // namespace neo

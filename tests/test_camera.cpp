@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the pinhole camera.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gs/camera.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(CameraTest, FocalLengthFromFov)
+{
+    Camera cam({1280, 720, "HD"}, deg2rad(90.0f));
+    // 90-degree vertical FOV: focal = h/2.
+    EXPECT_NEAR(cam.focalY(), 360.0f, 0.5f);
+    EXPECT_NEAR(cam.focalX(), cam.focalY(), 1e-4f);
+}
+
+TEST(CameraTest, LookAtTargetProjectsToImageCenter)
+{
+    Camera cam = test::frontCamera(5.0f);
+    Vec3 cam_space = cam.toCameraSpace({0.0f, 0.0f, 0.0f});
+    EXPECT_NEAR(cam_space.x, 0.0f, 1e-4f);
+    EXPECT_NEAR(cam_space.y, 0.0f, 1e-4f);
+    EXPECT_NEAR(cam_space.z, 5.0f, 1e-4f);
+    Vec2 px = cam.toScreen(cam_space);
+    EXPECT_NEAR(px.x, cam.width() / 2.0f, 1e-2f);
+    EXPECT_NEAR(px.y, cam.height() / 2.0f, 1e-2f);
+}
+
+TEST(CameraTest, DepthIncreasesAwayFromCamera)
+{
+    Camera cam = test::frontCamera(5.0f);
+    float z_near = cam.toCameraSpace({0.0f, 0.0f, -1.0f}).z;
+    float z_far = cam.toCameraSpace({0.0f, 0.0f, 3.0f}).z;
+    EXPECT_LT(z_near, z_far);
+    EXPECT_NEAR(z_near, 4.0f, 1e-4f);
+    EXPECT_NEAR(z_far, 8.0f, 1e-4f);
+}
+
+TEST(CameraTest, PointsBehindCameraHaveNegativeDepth)
+{
+    Camera cam = test::frontCamera(5.0f);
+    EXPECT_LT(cam.toCameraSpace({0.0f, 0.0f, -10.0f}).z, 0.0f);
+}
+
+TEST(CameraTest, RightwardPointProjectsRightward)
+{
+    Camera cam = test::frontCamera(5.0f);
+    // Camera at -z looking toward +z: world +x appears to the... whichever
+    // side, moving the point further along the same direction must move
+    // the projection monotonically.
+    Vec2 p1 = cam.toScreen(cam.toCameraSpace({0.5f, 0.0f, 0.0f}));
+    Vec2 p2 = cam.toScreen(cam.toCameraSpace({1.0f, 0.0f, 0.0f}));
+    Vec2 c = cam.toScreen(cam.toCameraSpace({0.0f, 0.0f, 0.0f}));
+    float d1 = p1.x - c.x;
+    float d2 = p2.x - c.x;
+    EXPECT_GT(std::fabs(d2), std::fabs(d1));
+    EXPECT_GT(d1 * d2, 0.0f); // same side
+}
+
+TEST(CameraTest, UpwardWorldPointProjectsUpwardInImage)
+{
+    // Pixel y grows downward; a world point above the target must land at
+    // smaller pixel y than the center.
+    Camera cam = test::frontCamera(5.0f);
+    Vec2 up = cam.toScreen(cam.toCameraSpace({0.0f, 1.0f, 0.0f}));
+    EXPECT_LT(up.y, cam.height() / 2.0f);
+}
+
+TEST(CameraTest, ViewDirectionIsUnit)
+{
+    Camera cam = test::frontCamera(3.0f);
+    Vec3 d = cam.viewDirection({1.0f, 2.0f, 3.0f});
+    EXPECT_NEAR(d.norm(), 1.0f, 1e-5f);
+}
+
+TEST(CameraTest, DegenerateUpVectorIsHandled)
+{
+    Camera cam({128, 128, "t"}, deg2rad(60.0f));
+    // Looking straight down with up = +y (parallel to view direction).
+    cam.lookAt({0.0f, 5.0f, 0.0f}, {0.0f, 0.0f, 0.0f}, {0.0f, 1.0f, 0.0f});
+    Vec3 c = cam.toCameraSpace({0.0f, 0.0f, 0.0f});
+    EXPECT_NEAR(c.z, 5.0f, 1e-3f);
+    EXPECT_NEAR(c.x, 0.0f, 1e-3f);
+    EXPECT_NEAR(c.y, 0.0f, 1e-3f);
+}
+
+TEST(CameraTest, ResolutionPresetsMatchPaper)
+{
+    EXPECT_EQ(kResHD.width, 1280);
+    EXPECT_EQ(kResHD.height, 720);
+    EXPECT_EQ(kResFHD.width, 1920);
+    EXPECT_EQ(kResFHD.height, 1080);
+    EXPECT_EQ(kResQHD.width, 2560);
+    EXPECT_EQ(kResQHD.height, 1440);
+    EXPECT_EQ(kResQHD.pixels(), 2560L * 1440L);
+}
+
+} // namespace
+} // namespace neo

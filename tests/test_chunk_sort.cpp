@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for chunk-granular sorting (one Sorting Core operation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sort/chunk_sort.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(ChunkSortTest, SortsFullChunk)
+{
+    auto t = test::randomTable(256, 1);
+    sortChunk(t, 0, 256);
+    EXPECT_TRUE(test::isSorted(t));
+}
+
+TEST(ChunkSortTest, SortsPartialChunk)
+{
+    for (size_t n : {1u, 7u, 17u, 100u, 255u}) {
+        auto t = test::randomTable(n, n);
+        sortChunk(t, 0, n);
+        EXPECT_TRUE(test::isSorted(t)) << "n = " << n;
+    }
+}
+
+TEST(ChunkSortTest, OversizedChunkPanics)
+{
+    auto t = test::randomTable(300, 2);
+    EXPECT_DEATH({ sortChunk(t, 0, 300); }, "chunk capacity");
+}
+
+TEST(ChunkSortTest, CountsOneLoadStorePerChunk)
+{
+    auto t = test::randomTable(256, 3);
+    SortCoreStats stats;
+    sortChunk(t, 0, 256, &stats);
+    EXPECT_EQ(stats.chunk_loads, 1u);
+    EXPECT_EQ(stats.chunk_stores, 1u);
+    EXPECT_EQ(stats.entries_read, 256u);
+    EXPECT_EQ(stats.entries_written, 256u);
+    EXPECT_EQ(stats.bsu.subchunks, 16u);
+    EXPECT_GT(stats.msu.merges, 0u);
+}
+
+TEST(ChunkSortTest, SliceSortLeavesRestUntouched)
+{
+    auto t = test::randomTable(512, 4);
+    auto before = t;
+    sortChunk(t, 128, 256);
+    for (size_t i = 0; i < 128; ++i)
+        EXPECT_EQ(t[i].id, before[i].id);
+    for (size_t i = 384; i < 512; ++i)
+        EXPECT_EQ(t[i].id, before[i].id);
+}
+
+TEST(FullSortTest, SortsArbitraryLengths)
+{
+    for (size_t n : {0u, 1u, 255u, 256u, 257u, 1000u, 2048u}) {
+        auto t = test::randomTable(n, n + 13);
+        fullSortTable(t);
+        EXPECT_TRUE(test::isSorted(t)) << "n = " << n;
+        EXPECT_EQ(t.size(), n);
+    }
+}
+
+TEST(FullSortTest, SingleChunkHasNoGlobalPasses)
+{
+    auto t = test::randomTable(200, 5);
+    SortCoreStats stats;
+    fullSortTable(t, &stats);
+    EXPECT_EQ(stats.global_merge_passes, 0u);
+}
+
+TEST(FullSortTest, MultiChunkCostsGlobalPasses)
+{
+    auto t = test::randomTable(1024, 6); // 4 chunks -> 2 merge passes
+    SortCoreStats stats;
+    fullSortTable(t, &stats);
+    EXPECT_EQ(stats.global_merge_passes, 2u);
+    // Off-chip entries: chunk pass (1024 RW) + 2 global passes (2048 RW).
+    EXPECT_EQ(stats.entries_read, 1024u + 2048u);
+    EXPECT_EQ(stats.entries_written, 1024u + 2048u);
+}
+
+TEST(FullSortTest, StatsAccumulateAcrossCalls)
+{
+    SortCoreStats stats;
+    auto a = test::randomTable(256, 7);
+    auto b = test::randomTable(256, 8);
+    fullSortTable(a, &stats);
+    fullSortTable(b, &stats);
+    EXPECT_EQ(stats.chunk_loads, 2u);
+    EXPECT_EQ(stats.chunk_stores, 2u);
+}
+
+TEST(FullSortTest, StatsOperatorPlusEquals)
+{
+    SortCoreStats a, b;
+    auto t = test::randomTable(256, 9);
+    fullSortTable(t, &a);
+    auto u = test::randomTable(512, 10);
+    fullSortTable(u, &b);
+    SortCoreStats sum = a;
+    sum += b;
+    EXPECT_EQ(sum.chunk_loads, a.chunk_loads + b.chunk_loads);
+    EXPECT_EQ(sum.entries_read, a.entries_read + b.entries_read);
+    EXPECT_EQ(sum.bsu.compare_exchanges,
+              a.bsu.compare_exchanges + b.bsu.compare_exchanges);
+    EXPECT_EQ(sum.msu.elements_processed,
+              a.msu.elements_processed + b.msu.elements_processed);
+}
+
+TEST(FullSortTest, PreservesMultiset)
+{
+    auto t = test::randomTable(777, 11);
+    std::vector<GaussianId> before;
+    for (const auto &e : t)
+        before.push_back(e.id);
+    fullSortTable(t);
+    std::vector<GaussianId> after;
+    for (const auto &e : t)
+        after.push_back(e.id);
+    std::sort(before.begin(), before.end());
+    std::sort(after.begin(), after.end());
+    EXPECT_EQ(before, after);
+}
+
+} // namespace
+} // namespace neo

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for frustum culling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gs/culling.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(CullingTest, CenterIsVisible)
+{
+    Camera cam = test::frontCamera(5.0f);
+    EXPECT_TRUE(inFrustum(test::makeGaussian({0.0f, 0.0f, 0.0f}), cam));
+}
+
+TEST(CullingTest, BehindCameraIsCulled)
+{
+    Camera cam = test::frontCamera(5.0f);
+    EXPECT_FALSE(inFrustum(test::makeGaussian({0.0f, 0.0f, -20.0f}), cam));
+}
+
+TEST(CullingTest, FarOffAxisIsCulled)
+{
+    Camera cam = test::frontCamera(5.0f);
+    EXPECT_FALSE(inFrustum(test::makeGaussian({100.0f, 0.0f, 0.0f}), cam));
+    EXPECT_FALSE(inFrustum(test::makeGaussian({0.0f, 100.0f, 0.0f}), cam));
+}
+
+TEST(CullingTest, LargeGaussianNearEdgeSurvives)
+{
+    Camera cam = test::frontCamera(5.0f);
+    // A point just outside the frustum whose 3-sigma extent reaches in.
+    Gaussian tight = test::makeGaussian({6.0f, 0.0f, 0.0f}, 0.01f);
+    Gaussian wide = test::makeGaussian({6.0f, 0.0f, 0.0f}, 1.5f);
+    EXPECT_FALSE(inFrustum(tight, cam));
+    EXPECT_TRUE(inFrustum(wide, cam));
+}
+
+TEST(CullingTest, MarginWidensAcceptance)
+{
+    Camera cam = test::frontCamera(5.0f);
+    Gaussian g = test::makeGaussian({3.2f, 0.0f, 0.0f}, 0.01f);
+    bool strict = inFrustum(g, cam, 1.0f);
+    bool relaxed = inFrustum(g, cam, 1.6f);
+    EXPECT_TRUE(relaxed || strict);
+    if (!strict) {
+        EXPECT_TRUE(relaxed);
+    }
+}
+
+TEST(CullingTest, SceneCullCountsAreConsistent)
+{
+    GaussianScene scene = test::blobScene(500);
+    Camera cam = test::frontCamera(5.0f);
+    CullResult r = cullScene(scene, cam);
+    EXPECT_EQ(r.total, 500u);
+    EXPECT_GT(r.visible.size(), 0u);
+    EXPECT_LE(r.visible.size(), 500u);
+    EXPECT_NEAR(r.visibleFraction(),
+                static_cast<double>(r.visible.size()) / 500.0, 1e-12);
+    // Ids must be unique and in range.
+    for (size_t i = 1; i < r.visible.size(); ++i)
+        EXPECT_LT(r.visible[i - 1], r.visible[i]);
+}
+
+TEST(CullingTest, AllVisibleWhenLookingAtBlob)
+{
+    // Blob is ±1.5 around origin; a distant camera sees it all.
+    GaussianScene scene = test::blobScene(200);
+    Camera cam = test::frontCamera(12.0f);
+    CullResult r = cullScene(scene, cam);
+    EXPECT_EQ(r.visible.size(), 200u);
+}
+
+TEST(CullingTest, NothingVisibleFacingAway)
+{
+    GaussianScene scene = test::blobScene(200);
+    Camera cam(test::smallRes(), deg2rad(50.0f));
+    // Stand at -z and look further down -z, away from the blob.
+    cam.lookAt({0.0f, 0.0f, -5.0f}, {0.0f, 0.0f, -10.0f});
+    CullResult r = cullScene(scene, cam);
+    EXPECT_EQ(r.visible.size(), 0u);
+}
+
+} // namespace
+} // namespace neo

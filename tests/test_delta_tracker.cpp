@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for per-tile membership delta tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/delta_tracker.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+BinnedFrame
+frameAt(const GaussianScene &scene, float angle)
+{
+    Camera cam(test::smallRes(), deg2rad(50.0f));
+    cam.lookAt({5.0f * std::sin(angle), 0.5f, -5.0f * std::cos(angle)},
+               {0.0f, 0.0f, 0.0f});
+    return binFrame(scene, cam, 16);
+}
+
+TEST(DeltaTrackerTest, FirstFrameIsAllIncoming)
+{
+    GaussianScene scene = test::blobScene(200);
+    DeltaTracker tracker;
+    EXPECT_TRUE(tracker.firstFrame());
+    BinnedFrame frame = frameAt(scene, 0.0f);
+    FrameDelta d = tracker.observe(frame);
+    EXPECT_FALSE(tracker.firstFrame());
+    EXPECT_EQ(d.incoming_total, frame.instances);
+    EXPECT_EQ(d.outgoing_total, 0u);
+}
+
+TEST(DeltaTrackerTest, IdenticalFrameHasNoDeltas)
+{
+    GaussianScene scene = test::blobScene(200);
+    DeltaTracker tracker;
+    BinnedFrame frame = frameAt(scene, 0.0f);
+    tracker.observe(frame);
+    FrameDelta d = tracker.observe(frame);
+    EXPECT_EQ(d.incoming_total, 0u);
+    EXPECT_EQ(d.outgoing_total, 0u);
+    EXPECT_DOUBLE_EQ(d.meanRetention(), 1.0);
+}
+
+TEST(DeltaTrackerTest, SmallMotionSmallDeltas)
+{
+    GaussianScene scene = test::blobScene(500);
+    DeltaTracker tracker;
+    tracker.observe(frameAt(scene, 0.0f));
+    BinnedFrame next = frameAt(scene, 0.01f);
+    FrameDelta d = tracker.observe(next);
+    // A slight viewpoint change churns only a small fraction.
+    EXPECT_LT(static_cast<double>(d.incoming_total),
+              0.35 * next.instances);
+    EXPECT_GT(d.meanRetention(), 0.6);
+}
+
+TEST(DeltaTrackerTest, LargerMotionChurnsMore)
+{
+    GaussianScene scene = test::blobScene(500);
+    DeltaTracker slow_tracker, fast_tracker;
+    slow_tracker.observe(frameAt(scene, 0.0f));
+    fast_tracker.observe(frameAt(scene, 0.0f));
+    FrameDelta slow = slow_tracker.observe(frameAt(scene, 0.01f));
+    FrameDelta fast = fast_tracker.observe(frameAt(scene, 0.15f));
+    EXPECT_GE(fast.incoming_total, slow.incoming_total);
+    EXPECT_LE(fast.meanRetention(), slow.meanRetention() + 1e-9);
+}
+
+TEST(DeltaTrackerTest, IncomingEntriesCarryDepths)
+{
+    GaussianScene scene = test::blobScene(200);
+    DeltaTracker tracker;
+    tracker.observe(frameAt(scene, 0.0f));
+    BinnedFrame next = frameAt(scene, 0.05f);
+    FrameDelta d = tracker.observe(next);
+    for (const auto &td : d.tiles)
+        for (const auto &e : td.incoming) {
+            ASSERT_TRUE(next.isVisible(e.id));
+            EXPECT_FLOAT_EQ(e.depth, next.featureOf(e.id).depth);
+        }
+}
+
+TEST(DeltaTrackerTest, OutgoingIdsAreSortedAndConsistent)
+{
+    GaussianScene scene = test::blobScene(300);
+    DeltaTracker tracker;
+    tracker.observe(frameAt(scene, 0.0f));
+    FrameDelta d = tracker.observe(frameAt(scene, 0.08f));
+    uint64_t total = 0;
+    for (const auto &td : d.tiles) {
+        EXPECT_EQ(td.outgoing, td.outgoing_ids.size());
+        total += td.outgoing;
+        for (size_t i = 1; i < td.outgoing_ids.size(); ++i)
+            EXPECT_LT(td.outgoing_ids[i - 1], td.outgoing_ids[i]);
+    }
+    EXPECT_EQ(total, d.outgoing_total);
+}
+
+TEST(DeltaTrackerTest, RetentionBetweenZeroAndOne)
+{
+    GaussianScene scene = test::blobScene(300);
+    DeltaTracker tracker;
+    tracker.observe(frameAt(scene, 0.0f));
+    FrameDelta d = tracker.observe(frameAt(scene, 0.3f));
+    for (double r : d.tile_retention) {
+        EXPECT_GE(r, 0.0);
+        EXPECT_LE(r, 1.0);
+    }
+}
+
+TEST(DeltaTrackerTest, ResetForgetsHistory)
+{
+    GaussianScene scene = test::blobScene(200);
+    DeltaTracker tracker;
+    BinnedFrame frame = frameAt(scene, 0.0f);
+    tracker.observe(frame);
+    tracker.reset();
+    EXPECT_TRUE(tracker.firstFrame());
+    FrameDelta d = tracker.observe(frame);
+    EXPECT_EQ(d.incoming_total, frame.instances);
+}
+
+TEST(DeltaTrackerTest, IncomingPlusRetainedEqualsCurrent)
+{
+    GaussianScene scene = test::blobScene(400);
+    DeltaTracker tracker;
+    BinnedFrame f0 = frameAt(scene, 0.0f);
+    tracker.observe(f0);
+    BinnedFrame f1 = frameAt(scene, 0.04f);
+    FrameDelta d = tracker.observe(f1);
+    // |cur| = |prev| - outgoing + incoming, summed over tiles.
+    EXPECT_EQ(f1.instances,
+              f0.instances - d.outgoing_total + d.incoming_total);
+}
+
+} // namespace
+} // namespace neo

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the DRAM service-time model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/dram.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(DramTest, PresetsMatchPaperBandwidths)
+{
+    EXPECT_DOUBLE_EQ(lpddr4Edge().bandwidth_gbps, 51.2);
+    EXPECT_DOUBLE_EQ(lpddr4Double().bandwidth_gbps, 102.4);
+    EXPECT_DOUBLE_EQ(lpddr5Orin().bandwidth_gbps, 204.8);
+}
+
+TEST(DramTest, StreamTimeScalesLinearly)
+{
+    DramModel dram(lpddr4Edge());
+    double t1 = dram.streamSeconds(1e9);
+    double t2 = dram.streamSeconds(2e9);
+    EXPECT_NEAR(t2 / t1, 2.0, 1e-6);
+}
+
+TEST(DramTest, StreamTimeMatchesEffectiveBandwidth)
+{
+    DramConfig cfg;
+    cfg.bandwidth_gbps = 100.0;
+    cfg.stream_efficiency = 0.8;
+    DramModel dram(cfg);
+    // 80 GB/s effective -> 1 GB takes 12.5 ms.
+    EXPECT_NEAR(dram.streamSeconds(1e9), 0.0125, 1e-5);
+}
+
+TEST(DramTest, ZeroBytesIsFree)
+{
+    DramModel dram;
+    EXPECT_DOUBLE_EQ(dram.streamSeconds(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(dram.randomSeconds(0.0, 64.0), 0.0);
+}
+
+TEST(DramTest, SmallTransferRoundsToBurst)
+{
+    DramConfig cfg;
+    cfg.burst_bytes = 32.0;
+    DramModel dram(cfg);
+    // 1 byte costs a full burst.
+    EXPECT_DOUBLE_EQ(dram.streamSeconds(1.0), dram.streamSeconds(32.0));
+    EXPECT_GT(dram.streamSeconds(33.0), dram.streamSeconds(32.0));
+}
+
+TEST(DramTest, RandomAccessIsSlowerThanStreaming)
+{
+    DramModel dram(lpddr4Edge());
+    double stream = dram.streamSeconds(1e6 * 8.0);
+    double random = dram.randomSeconds(1e6, 8.0);
+    EXPECT_GT(random, stream);
+}
+
+TEST(DramTest, RandomPenaltyIsConfigurable)
+{
+    DramConfig a, b;
+    a.random_penalty = 2.0;
+    b.random_penalty = 8.0;
+    double ta = DramModel(a).randomSeconds(1000.0, 8.0);
+    double tb = DramModel(b).randomSeconds(1000.0, 8.0);
+    EXPECT_NEAR(tb / ta, 4.0, 1e-6);
+}
+
+TEST(DramTest, HigherBandwidthIsFaster)
+{
+    double slow = DramModel(lpddr4Edge()).streamSeconds(1e9);
+    double fast = DramModel(lpddr4Double()).streamSeconds(1e9);
+    EXPECT_NEAR(slow / fast, 2.0, 1e-6);
+}
+
+} // namespace
+} // namespace neo

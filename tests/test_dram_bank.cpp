@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the banked LPDDR4 model, including the validation that ties
+ * it to the analytic DramModel's efficiency constants.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sim/dram.h"
+#include "sim/dram_bank.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(BankedDramTest, PeakBandwidthMatchesDatasheetMath)
+{
+    BankedDramConfig cfg;
+    // 1.6 GHz DDR, 32 B per 8-cycle burst pair -> 6.4 GB/s per channel.
+    EXPECT_NEAR(cfg.peakBandwidth(), 6.4e9, 1e7);
+}
+
+TEST(BankedDramTest, SequentialStreamIsRowHitDominated)
+{
+    BankedDramModel dram;
+    auto reqs = sequentialStream(0, 1 << 20); // 1 MiB
+    const DramReplayStats &s = dram.replay(reqs);
+    EXPECT_GT(s.hitRate(), 0.9);
+    EXPECT_GT(dram.efficiency(), 0.8);
+}
+
+TEST(BankedDramTest, RandomSmallAccessesAreRowMissDominated)
+{
+    BankedDramModel dram;
+    auto reqs = randomStream(1ull << 30, 20000, 8, 7);
+    const DramReplayStats &s = dram.replay(reqs);
+    EXPECT_LT(s.hitRate(), 0.2);
+    EXPECT_LT(dram.efficiency(), 0.25);
+}
+
+TEST(BankedDramTest, ValidatesAnalyticStreamEfficiency)
+{
+    // The analytic DramModel assumes streaming achieves ~85% of peak;
+    // the banked replay of a long stream must land in that ballpark.
+    BankedDramModel dram;
+    dram.replay(sequentialStream(0, 8 << 20));
+    double detailed = dram.efficiency();
+    double analytic = DramConfig{}.stream_efficiency;
+    EXPECT_NEAR(detailed, analytic, 0.15);
+}
+
+TEST(BankedDramTest, ValidatesAnalyticRandomPenalty)
+{
+    // Analytic model: random accesses are random_penalty x slower than
+    // streaming. Compare replayed times for equal byte totals.
+    BankedDramModel seq_dram, rnd_dram;
+    const uint64_t bytes = 4 << 20;
+    seq_dram.replay(sequentialStream(0, bytes));
+    rnd_dram.replay(
+        randomStream(1ull << 30, bytes / 32, 32, 11));
+    double slowdown =
+        rnd_dram.elapsedSeconds() / seq_dram.elapsedSeconds();
+    double analytic = DramConfig{}.random_penalty;
+    EXPECT_GT(slowdown, 0.5 * analytic);
+    EXPECT_LT(slowdown, 3.0 * analytic);
+}
+
+TEST(BankedDramTest, CyclesAccumulateAcrossCalls)
+{
+    BankedDramModel dram;
+    dram.access({0, 32});
+    uint64_t after_one = dram.stats().cycles;
+    dram.access({32, 32});
+    EXPECT_GT(dram.stats().cycles, after_one);
+}
+
+TEST(BankedDramTest, ResetClearsState)
+{
+    BankedDramModel dram;
+    dram.replay(sequentialStream(0, 4096));
+    dram.reset();
+    EXPECT_EQ(dram.stats().cycles, 0u);
+    EXPECT_EQ(dram.stats().bursts, 0u);
+}
+
+TEST(BankedDramTest, LargeRequestSplitsIntoBursts)
+{
+    BankedDramModel dram;
+    dram.access({0, 256});
+    EXPECT_EQ(dram.stats().bursts, 8u); // 256 / 32
+}
+
+TEST(BankedDramTest, RowCrossingCausesMiss)
+{
+    BankedDramConfig cfg;
+    BankedDramModel dram(cfg);
+    // Two bursts in the same row: 1 miss + 1 hit.
+    dram.access({0, 32});
+    dram.access({32, 32});
+    EXPECT_EQ(dram.stats().row_misses, 1u);
+    EXPECT_EQ(dram.stats().row_hits, 1u);
+    // A burst in a different row of the same bank: another miss.
+    dram.access({static_cast<uint64_t>(cfg.row_bytes) * cfg.banks, 32});
+    EXPECT_EQ(dram.stats().row_misses, 2u);
+}
+
+TEST(BankedDramTest, SequentialHelperCoversExactByteRange)
+{
+    auto reqs = sequentialStream(100, 1000, 256);
+    uint64_t total = 0;
+    for (const auto &r : reqs)
+        total += r.bytes;
+    EXPECT_EQ(total, 1000u);
+    EXPECT_EQ(reqs.front().address, 100u);
+}
+
+} // namespace
+} // namespace neo

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit and property tests for Dynamic Partial Sorting (Algorithm 1),
+ * including the Fig. 9 fixed-vs-interleaved boundary experiment.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sort/dynamic_partial.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(BoundariesTest, OddFrameUsesNaturalGrid)
+{
+    DynamicPartialConfig cfg;
+    cfg.chunk = 256;
+    auto r = dynamicPartialBoundaries(1000, 1, cfg);
+    ASSERT_EQ(r.size(), 4u);
+    EXPECT_EQ(r[0], std::make_pair(size_t{0}, size_t{256}));
+    EXPECT_EQ(r[1], std::make_pair(size_t{256}, size_t{512}));
+    EXPECT_EQ(r[3], std::make_pair(size_t{768}, size_t{1000}));
+}
+
+TEST(BoundariesTest, EvenFrameShiftsByHalfChunk)
+{
+    DynamicPartialConfig cfg;
+    cfg.chunk = 256;
+    auto r = dynamicPartialBoundaries(1000, 2, cfg);
+    ASSERT_EQ(r.size(), 5u);
+    EXPECT_EQ(r[0], std::make_pair(size_t{0}, size_t{128}));
+    EXPECT_EQ(r[1], std::make_pair(size_t{128}, size_t{384}));
+    EXPECT_EQ(r.back().second, size_t{1000});
+}
+
+TEST(BoundariesTest, NoInterleaveAlwaysNatural)
+{
+    DynamicPartialConfig cfg;
+    cfg.chunk = 256;
+    cfg.interleave = false;
+    auto even = dynamicPartialBoundaries(1000, 2, cfg);
+    auto odd = dynamicPartialBoundaries(1000, 3, cfg);
+    EXPECT_EQ(even, odd);
+    EXPECT_EQ(even[0].second, size_t{256});
+}
+
+TEST(BoundariesTest, CoversEveryIndexExactlyOnce)
+{
+    DynamicPartialConfig cfg;
+    cfg.chunk = 64;
+    for (uint64_t frame : {0u, 1u, 2u, 3u}) {
+        for (size_t len : {1u, 31u, 64u, 65u, 500u}) {
+            auto ranges = dynamicPartialBoundaries(len, frame, cfg);
+            std::vector<int> covered(len, 0);
+            for (auto [s, e] : ranges) {
+                EXPECT_LE(e, len);
+                for (size_t i = s; i < e; ++i)
+                    ++covered[i];
+            }
+            for (size_t i = 0; i < len; ++i)
+                EXPECT_EQ(covered[i], 1)
+                    << "index " << i << " len " << len << " frame "
+                    << frame;
+        }
+    }
+}
+
+TEST(BoundariesTest, EmptyTableYieldsNothing)
+{
+    EXPECT_TRUE(dynamicPartialBoundaries(0, 1, {}).empty());
+}
+
+TEST(DpsTest, SortsWithinChunkImmediately)
+{
+    // Entries displaced less than a chunk get fixed in one pass.
+    auto t = test::nearlySortedTable(512, 1.0f, 3);
+    DynamicPartialConfig cfg;
+    cfg.chunk = 256;
+    dynamicPartialSort(t, 1, cfg);
+    EXPECT_GT(sortedFraction(t), 0.99);
+}
+
+TEST(DpsTest, Fig9FixedBoundariesCannotCrossChunks)
+{
+    // Construct the Fig. 9 pathology: an entry that belongs in chunk 0
+    // sits in chunk 1. With interleaving off it can never migrate.
+    DynamicPartialConfig cfg;
+    cfg.chunk = 16;
+    cfg.interleave = false;
+    std::vector<TileEntry> t;
+    for (int i = 0; i < 32; ++i)
+        t.push_back({static_cast<GaussianId>(i),
+                     static_cast<float>(i + 1), true});
+    // The globally smallest entry starts in the second chunk.
+    t[20].depth = 0.0f;
+    for (uint64_t frame = 1; frame <= 6; ++frame)
+        dynamicPartialSort(t, frame, cfg);
+    // Still not globally sorted: min element stuck in chunk 1.
+    EXPECT_NE(t[0].depth, 0.0f);
+    EXPECT_LT(sortedFraction(t), 1.0);
+}
+
+TEST(DpsTest, Fig9InterleavedBoundariesConverge)
+{
+    DynamicPartialConfig cfg;
+    cfg.chunk = 16;
+    cfg.interleave = true;
+    std::vector<TileEntry> t;
+    for (int i = 0; i < 32; ++i)
+        t.push_back({static_cast<GaussianId>(i),
+                     static_cast<float>(i + 1), true});
+    t[20].depth = 0.0f;
+    for (uint64_t frame = 1; frame <= 6; ++frame)
+        dynamicPartialSort(t, frame, cfg);
+    EXPECT_FLOAT_EQ(t[0].depth, 0.0f);
+    EXPECT_TRUE(test::isSorted(t));
+}
+
+TEST(DpsTest, InterleavedConvergesFromModerateDisorder)
+{
+    // Displacements of a few chunk-halves converge within a handful of
+    // frames — the "accuracy restoration" property of §4.3.
+    auto t = test::nearlySortedTable(1024, 30.0f, 5);
+    DynamicPartialConfig cfg;
+    cfg.chunk = 128;
+    double initial = sortedFraction(t);
+    for (uint64_t frame = 1; frame <= 8; ++frame)
+        dynamicPartialSort(t, frame, cfg);
+    EXPECT_GT(sortedFraction(t), initial);
+    EXPECT_GT(sortedFraction(t), 0.999);
+    EXPECT_LT(meanDisplacement(t), 0.5);
+}
+
+TEST(DpsTest, SinglePassReadsWritesEachEntryOnce)
+{
+    auto t = test::randomTable(1000, 6);
+    SortCoreStats stats;
+    dynamicPartialSort(t, 1, {}, &stats);
+    EXPECT_EQ(stats.entries_read, 1000u);
+    EXPECT_EQ(stats.entries_written, 1000u);
+    EXPECT_EQ(stats.global_merge_passes, 0u);
+}
+
+TEST(DpsTest, MultiPassCostsProportionally)
+{
+    auto t = test::randomTable(1000, 7);
+    DynamicPartialConfig cfg;
+    cfg.passes = 3;
+    SortCoreStats stats;
+    dynamicPartialSort(t, 1, cfg, &stats);
+    EXPECT_EQ(stats.entries_read, 3000u);
+    EXPECT_EQ(stats.entries_written, 3000u);
+}
+
+TEST(DpsTest, MorePassesSortBetterPerFrame)
+{
+    auto base = test::randomTable(2048, 8);
+    auto one = base;
+    auto three = base;
+    DynamicPartialConfig cfg1;
+    cfg1.passes = 1;
+    DynamicPartialConfig cfg3;
+    cfg3.passes = 3;
+    dynamicPartialSort(one, 1, cfg1);
+    dynamicPartialSort(three, 1, cfg3);
+    EXPECT_GE(sortedFraction(three), sortedFraction(one));
+    EXPECT_LE(meanDisplacement(three), meanDisplacement(one));
+}
+
+TEST(DpsTest, ZeroPassesPanics)
+{
+    auto t = test::randomTable(10, 9);
+    DynamicPartialConfig cfg;
+    cfg.passes = 0;
+    EXPECT_DEATH({ dynamicPartialSort(t, 1, cfg); }, "passes");
+}
+
+TEST(SortednessTest, MetricsOnKnownTables)
+{
+    auto sorted = test::randomTable(100, 10);
+    std::sort(sorted.begin(), sorted.end(), entryDepthLess);
+    EXPECT_DOUBLE_EQ(sortedFraction(sorted), 1.0);
+    EXPECT_DOUBLE_EQ(meanDisplacement(sorted), 0.0);
+
+    auto reversed = sorted;
+    std::reverse(reversed.begin(), reversed.end());
+    EXPECT_DOUBLE_EQ(sortedFraction(reversed), 0.0);
+    EXPECT_GT(meanDisplacement(reversed), 40.0);
+}
+
+TEST(SortednessTest, TrivialTables)
+{
+    std::vector<TileEntry> empty;
+    EXPECT_DOUBLE_EQ(sortedFraction(empty), 1.0);
+    EXPECT_DOUBLE_EQ(meanDisplacement(empty), 0.0);
+    std::vector<TileEntry> one{{0, 1.0f, true}};
+    EXPECT_DOUBLE_EQ(sortedFraction(one), 1.0);
+}
+
+/**
+ * Property sweep: under per-frame jitter (the temporal-churn model), DPS
+ * keeps the table nearly sorted across a long frame sequence for a range
+ * of chunk sizes.
+ */
+class DpsSteadyStateTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(DpsSteadyStateTest, TracksSlowDepthDrift)
+{
+    size_t chunk = GetParam();
+    DynamicPartialConfig cfg;
+    cfg.chunk = chunk;
+    Rng rng(chunk);
+    auto t = test::randomTable(2000, 12);
+    std::sort(t.begin(), t.end(), entryDepthLess);
+    double worst = 1.0;
+    for (uint64_t frame = 1; frame <= 30; ++frame) {
+        // Small per-frame depth drift, like slow camera motion.
+        for (auto &e : t)
+            e.depth += rng.uniform(-0.3f, 0.3f);
+        dynamicPartialSort(t, frame, cfg);
+        worst = std::min(worst, sortedFraction(t));
+    }
+    EXPECT_GT(worst, 0.98) << "chunk " << chunk;
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, DpsSteadyStateTest,
+                         ::testing::Values(64, 128, 256));
+
+} // namespace
+} // namespace neo

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the persistent tile-table set and order displacement.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/gaussian_table.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(TileTableSetTest, ResetAllocatesEmptyTables)
+{
+    TileTableSet set;
+    EXPECT_TRUE(set.empty());
+    set.reset(10);
+    EXPECT_EQ(set.tileCount(), 10u);
+    EXPECT_EQ(set.totalEntries(), 0u);
+    for (size_t t = 0; t < 10; ++t)
+        EXPECT_TRUE(set.table(t).empty());
+}
+
+TEST(TileTableSetTest, CountsEntriesAndValidBits)
+{
+    TileTableSet set;
+    set.reset(3);
+    set.table(0) = test::randomTable(5, 1);
+    set.table(2) = test::randomTable(7, 2);
+    set.table(2)[0].valid = false;
+    set.table(2)[3].valid = false;
+    EXPECT_EQ(set.totalEntries(), 12u);
+    EXPECT_EQ(set.validEntries(), 10u);
+}
+
+TEST(TileTableSetTest, ResetDropsContents)
+{
+    TileTableSet set;
+    set.reset(2);
+    set.table(0) = test::randomTable(5, 3);
+    set.reset(2);
+    EXPECT_EQ(set.totalEntries(), 0u);
+}
+
+TEST(OrderDisplacementTest, IdenticalOrderingsAreZero)
+{
+    auto t = test::randomTable(50, 4);
+    std::sort(t.begin(), t.end(), entryDepthLess);
+    auto d = orderDisplacements(t, t);
+    ASSERT_EQ(d.size(), 50u);
+    for (double v : d)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(OrderDisplacementTest, SingleSwapGivesTwoOnes)
+{
+    std::vector<TileEntry> prev{{0, 1.0f, true}, {1, 2.0f, true},
+                                {2, 3.0f, true}};
+    auto cur = prev;
+    std::swap(cur[0], cur[1]);
+    auto d = orderDisplacements(prev, cur);
+    ASSERT_EQ(d.size(), 3u);
+    EXPECT_DOUBLE_EQ(d[0], 1.0);
+    EXPECT_DOUBLE_EQ(d[1], 1.0);
+    EXPECT_DOUBLE_EQ(d[2], 0.0);
+}
+
+TEST(OrderDisplacementTest, UnsharedIdsAreIgnored)
+{
+    std::vector<TileEntry> prev{{0, 1.0f, true}, {1, 2.0f, true}};
+    std::vector<TileEntry> cur{{1, 1.5f, true}, {9, 2.5f, true}};
+    auto d = orderDisplacements(prev, cur);
+    ASSERT_EQ(d.size(), 1u); // only id 1 shared
+    EXPECT_DOUBLE_EQ(d[0], 1.0); // moved from slot 1 to slot 0
+}
+
+TEST(OrderDisplacementTest, ReversalGivesLargeDisplacements)
+{
+    auto prev = test::randomTable(20, 5);
+    auto cur = prev;
+    std::reverse(cur.begin(), cur.end());
+    auto d = orderDisplacements(prev, cur);
+    double max_d = *std::max_element(d.begin(), d.end());
+    EXPECT_DOUBLE_EQ(max_d, 19.0);
+}
+
+TEST(OrderDisplacementTest, EmptyInputs)
+{
+    std::vector<TileEntry> empty;
+    auto t = test::randomTable(5, 6);
+    EXPECT_TRUE(orderDisplacements(empty, empty).empty());
+    EXPECT_TRUE(orderDisplacements(empty, t).empty());
+    EXPECT_TRUE(orderDisplacements(t, empty).empty());
+}
+
+TEST(TableEntryBytesTest, MatchesPaperLayout)
+{
+    // 32-bit id + 32-bit depth = 8 bytes per off-chip entry.
+    EXPECT_EQ(kTableEntryBytes, 8u);
+}
+
+} // namespace
+} // namespace neo

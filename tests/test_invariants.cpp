@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Long-horizon property tests on the reuse-and-update state machine: the
+ * persistent tables must stay hygienic over many frames — no duplicate
+ * ids within a tile, no unbounded accumulation of invalidated entries,
+ * table population tracking the binned membership, and deterministic
+ * replay. These are the invariants that make "reuse instead of rebuild"
+ * safe to ship.
+ */
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "core/reuse_update.h"
+#include "scene/trajectory.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+class ReuseInvariantTest : public ::testing::TestWithParam<float>
+{
+  protected:
+    static BinnedFrame
+    frameAt(const GaussianScene &scene, const Trajectory &traj, int f)
+    {
+        Camera cam = traj.cameraAt(f, test::smallRes());
+        return binFrame(scene, cam, 32);
+    }
+};
+
+TEST_P(ReuseInvariantTest, TablesStayHygienicOverLongRuns)
+{
+    const float speed = GetParam();
+    GaussianScene scene = test::tinySyntheticScene(4000, 123);
+    Trajectory traj(TrajectoryKind::Orbit, scene, speed);
+    ReuseUpdateSorter sorter;
+
+    const int frames = 24;
+    for (int f = 0; f < frames; ++f) {
+        BinnedFrame frame = frameAt(scene, traj, f);
+        sorter.beginFrame(frame, f);
+
+        uint64_t invalid_entries = 0;
+        for (size_t t = 0; t < sorter.tables().tileCount(); ++t) {
+            const auto &table = sorter.tables().table(t);
+
+            // Invariant 1: no duplicate ids within a tile table.
+            std::unordered_set<GaussianId> seen;
+            for (const auto &e : table) {
+                EXPECT_TRUE(seen.insert(e.id).second)
+                    << "duplicate id " << e.id << " in tile " << t
+                    << " at frame " << f << " (speed " << speed << ")";
+                if (!e.valid)
+                    ++invalid_entries;
+            }
+        }
+
+        // Invariant 2: invalidated entries are bounded by one frame of
+        // outgoing churn (they are filtered at the next merge, never
+        // accumulated).
+        EXPECT_EQ(invalid_entries, sorter.lastReport().outgoing_marked)
+            << "stale invalid entries leaked across frames (frame " << f
+            << ")";
+
+        // Invariant 3: valid population equals the binned membership.
+        EXPECT_EQ(sorter.tables().validEntries(), frame.instances)
+            << "frame " << f;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, ReuseInvariantTest,
+                         ::testing::Values(0.5f, 2.0f, 8.0f));
+
+TEST(ReuseDeterminismTest, ReplayIsBitIdentical)
+{
+    GaussianScene scene = test::tinySyntheticScene(3000, 5);
+    Trajectory traj(TrajectoryKind::Dolly, scene, 1.5f);
+
+    auto run = [&]() {
+        ReuseUpdateSorter sorter;
+        std::vector<std::vector<TileEntry>> final_tables;
+        for (int f = 0; f < 10; ++f) {
+            Camera cam = traj.cameraAt(f, test::smallRes());
+            BinnedFrame frame = binFrame(scene, cam, 32);
+            sorter.beginFrame(frame, f);
+        }
+        return sorter.tables().tables();
+    };
+
+    auto a = run();
+    auto b = run();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t t = 0; t < a.size(); ++t) {
+        ASSERT_EQ(a[t].size(), b[t].size()) << "tile " << t;
+        for (size_t i = 0; i < a[t].size(); ++i) {
+            EXPECT_EQ(a[t][i].id, b[t][i].id);
+            EXPECT_EQ(a[t][i].depth, b[t][i].depth);
+            EXPECT_EQ(a[t][i].valid, b[t][i].valid);
+        }
+    }
+}
+
+TEST(ReuseBoundedMemoryTest, TableSizeTracksSceneNotHistory)
+{
+    // After many frames the total table size must stay within one frame
+    // of churn of the current instance count — reuse must not hoard
+    // every Gaussian ever seen.
+    GaussianScene scene = test::tinySyntheticScene(4000, 77);
+    Trajectory traj(TrajectoryKind::Orbit, scene, 4.0f);
+    ReuseUpdateSorter sorter;
+    uint64_t last_instances = 0;
+    for (int f = 0; f < 30; ++f) {
+        Camera cam = traj.cameraAt(f, test::smallRes());
+        BinnedFrame frame = binFrame(scene, cam, 32);
+        sorter.beginFrame(frame, f);
+        last_instances = frame.instances;
+    }
+    uint64_t total = sorter.tables().totalEntries();
+    EXPECT_LE(total,
+              last_instances + sorter.lastReport().outgoing_marked);
+    EXPECT_GE(total, last_instances);
+}
+
+TEST(StrategyStateIsolationTest, StrategiesDoNotAliasFrameStorage)
+{
+    // Orderings returned by a strategy must remain valid and unchanged
+    // even after the caller's BinnedFrame is destroyed or mutated.
+    GaussianScene scene = test::blobScene(300);
+    ReuseUpdateSorter sorter;
+    std::vector<TileEntry> snapshot;
+    int probe = -1;
+    {
+        Camera cam = test::frontCamera(5.0f);
+        BinnedFrame frame = binFrame(scene, cam, 32);
+        sorter.beginFrame(frame, 0);
+        for (int t = 0; t < frame.grid.tileCount(); ++t) {
+            if (!sorter.tileOrder(t).empty()) {
+                probe = t;
+                snapshot = sorter.tileOrder(t);
+                break;
+            }
+        }
+        // Mutate the frame before it dies.
+        for (auto &tile : frame.tiles)
+            tile.clear();
+    }
+    ASSERT_GE(probe, 0);
+    const auto &after = sorter.tileOrder(probe);
+    ASSERT_EQ(after.size(), snapshot.size());
+    for (size_t i = 0; i < after.size(); ++i)
+        EXPECT_EQ(after[i].id, snapshot[i].id);
+}
+
+} // namespace
+} // namespace neo

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the linear-algebra toolkit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "common/rng.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(Vec3Test, BasicArithmetic)
+{
+    Vec3 a{1.0f, 2.0f, 3.0f};
+    Vec3 b{4.0f, -5.0f, 6.0f};
+    Vec3 sum = a + b;
+    EXPECT_FLOAT_EQ(sum.x, 5.0f);
+    EXPECT_FLOAT_EQ(sum.y, -3.0f);
+    EXPECT_FLOAT_EQ(sum.z, 9.0f);
+    Vec3 diff = a - b;
+    EXPECT_FLOAT_EQ(diff.x, -3.0f);
+    EXPECT_FLOAT_EQ(diff.y, 7.0f);
+    EXPECT_FLOAT_EQ(diff.z, -3.0f);
+    EXPECT_FLOAT_EQ(a.dot(b), 4.0f - 10.0f + 18.0f);
+}
+
+TEST(Vec3Test, CrossProductIsOrthogonal)
+{
+    Vec3 a{1.0f, 2.0f, 3.0f};
+    Vec3 b{-2.0f, 0.5f, 1.0f};
+    Vec3 c = a.cross(b);
+    EXPECT_NEAR(c.dot(a), 0.0f, 1e-5f);
+    EXPECT_NEAR(c.dot(b), 0.0f, 1e-5f);
+}
+
+TEST(Vec3Test, NormalizedHasUnitLength)
+{
+    Vec3 v{3.0f, 4.0f, 12.0f};
+    EXPECT_NEAR(v.normalized().norm(), 1.0f, 1e-6f);
+}
+
+TEST(Vec3Test, NormalizedZeroVectorIsZero)
+{
+    Vec3 z{0.0f, 0.0f, 0.0f};
+    Vec3 n = z.normalized();
+    EXPECT_FLOAT_EQ(n.x, 0.0f);
+    EXPECT_FLOAT_EQ(n.y, 0.0f);
+    EXPECT_FLOAT_EQ(n.z, 0.0f);
+}
+
+TEST(Mat3Test, IdentityMultiplication)
+{
+    Mat3 i = Mat3::identity();
+    Vec3 v{1.0f, -2.0f, 3.0f};
+    Vec3 r = i * v;
+    EXPECT_FLOAT_EQ(r.x, v.x);
+    EXPECT_FLOAT_EQ(r.y, v.y);
+    EXPECT_FLOAT_EQ(r.z, v.z);
+}
+
+TEST(Mat3Test, InverseRoundTrip)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 20; ++trial) {
+        Mat3 m;
+        for (int r = 0; r < 3; ++r)
+            for (int c = 0; c < 3; ++c)
+                m(r, c) = rng.uniform(-2.0f, 2.0f);
+        if (std::fabs(m.determinant()) < 1e-3f)
+            continue;
+        Mat3 prod = m * m.inverse();
+        for (int r = 0; r < 3; ++r)
+            for (int c = 0; c < 3; ++c)
+                EXPECT_NEAR(prod(r, c), r == c ? 1.0f : 0.0f, 1e-3f)
+                    << "trial " << trial;
+    }
+}
+
+TEST(Mat3Test, DeterminantOfDiagonal)
+{
+    Mat3 d = Mat3::diagonal(2.0f, 3.0f, 4.0f);
+    EXPECT_NEAR(d.determinant(), 24.0f, 1e-5f);
+}
+
+TEST(Mat3Test, TransposeInvolution)
+{
+    Rng rng(5);
+    Mat3 m;
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 3; ++c)
+            m(r, c) = rng.uniform(-1.0f, 1.0f);
+    Mat3 tt = m.transposed().transposed();
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 3; ++c)
+            EXPECT_FLOAT_EQ(tt(r, c), m(r, c));
+}
+
+TEST(Mat4Test, TransformPointTranslation)
+{
+    Mat4 m = Mat4::identity();
+    m(0, 3) = 1.0f;
+    m(1, 3) = -2.0f;
+    m(2, 3) = 3.0f;
+    Vec3 p = m.transformPoint({0.0f, 0.0f, 0.0f});
+    EXPECT_FLOAT_EQ(p.x, 1.0f);
+    EXPECT_FLOAT_EQ(p.y, -2.0f);
+    EXPECT_FLOAT_EQ(p.z, 3.0f);
+}
+
+TEST(Mat4Test, MatrixProductAssociatesWithVector)
+{
+    Rng rng(9);
+    Mat4 a = Mat4::identity();
+    Mat4 b = Mat4::identity();
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c) {
+            a(r, c) = rng.uniform(-1.0f, 1.0f);
+            b(r, c) = rng.uniform(-1.0f, 1.0f);
+        }
+    Vec4 v{0.3f, -0.7f, 1.1f, 1.0f};
+    Vec4 lhs = (a * b) * v;
+    Vec4 rhs = a * (b * v);
+    EXPECT_NEAR(lhs.x, rhs.x, 1e-4f);
+    EXPECT_NEAR(lhs.y, rhs.y, 1e-4f);
+    EXPECT_NEAR(lhs.z, rhs.z, 1e-4f);
+    EXPECT_NEAR(lhs.w, rhs.w, 1e-4f);
+}
+
+TEST(QuatTest, IdentityIsNoRotation)
+{
+    Quat q;
+    Mat3 r = q.toMatrix();
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            EXPECT_NEAR(r(i, j), i == j ? 1.0f : 0.0f, 1e-6f);
+}
+
+TEST(QuatTest, AxisAngleRotatesAsExpected)
+{
+    // 90 degrees about +z maps +x to +y.
+    Quat q = Quat::fromAxisAngle({0.0f, 0.0f, 1.0f}, deg2rad(90.0f));
+    Vec3 r = q.toMatrix() * Vec3{1.0f, 0.0f, 0.0f};
+    EXPECT_NEAR(r.x, 0.0f, 1e-5f);
+    EXPECT_NEAR(r.y, 1.0f, 1e-5f);
+    EXPECT_NEAR(r.z, 0.0f, 1e-5f);
+}
+
+TEST(QuatTest, RotationMatrixIsOrthonormal)
+{
+    Rng rng(12);
+    for (int trial = 0; trial < 20; ++trial) {
+        Mat3 r = rng.rotation().toMatrix();
+        Mat3 rrt = r * r.transposed();
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                EXPECT_NEAR(rrt(i, j), i == j ? 1.0f : 0.0f, 1e-4f);
+        EXPECT_NEAR(r.determinant(), 1.0f, 1e-4f);
+    }
+}
+
+TEST(CovarianceTest, ScaleRotationCovarianceIsSymmetricPsd)
+{
+    Rng rng(21);
+    for (int trial = 0; trial < 20; ++trial) {
+        Vec3 scale{rng.uniform(0.01f, 1.0f), rng.uniform(0.01f, 1.0f),
+                   rng.uniform(0.01f, 1.0f)};
+        Mat3 cov = covarianceFromScaleRotation(scale, rng.rotation());
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                EXPECT_NEAR(cov(i, j), cov(j, i), 1e-5f);
+        // PSD: x^T C x >= 0 for random x.
+        for (int k = 0; k < 5; ++k) {
+            Vec3 x = rng.onSphere();
+            EXPECT_GE(x.dot(cov * x), -1e-6f);
+        }
+    }
+}
+
+TEST(CovarianceTest, IsotropicScaleGivesDiagonal)
+{
+    Mat3 cov = covarianceFromScaleRotation({0.5f, 0.5f, 0.5f},
+                                           Rng(2).rotation());
+    // R S S R^T with isotropic S = s^2 I regardless of R.
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            EXPECT_NEAR(cov(i, j), i == j ? 0.25f : 0.0f, 1e-5f);
+}
+
+TEST(EigenTest, SymmetricEigenvalues2x2KnownCase)
+{
+    // [[2, 0], [0, 1]] has eigenvalues 2, 1.
+    auto [mx, mn] = symmetricEigenvalues2x2(2.0f, 0.0f, 1.0f);
+    EXPECT_NEAR(mx, 2.0f, 1e-6f);
+    EXPECT_NEAR(mn, 1.0f, 1e-6f);
+}
+
+TEST(EigenTest, EigenvaluesMatchTraceAndDeterminant)
+{
+    Rng rng(31);
+    for (int trial = 0; trial < 50; ++trial) {
+        float a = rng.uniform(0.1f, 4.0f);
+        float c = rng.uniform(0.1f, 4.0f);
+        float b = rng.uniform(-1.0f, 1.0f) * std::sqrt(a * c) * 0.9f;
+        auto [mx, mn] = symmetricEigenvalues2x2(a, b, c);
+        EXPECT_NEAR(mx + mn, a + c, 1e-3f);
+        EXPECT_NEAR(mx * mn, a * c - b * b, 1e-2f);
+        EXPECT_GE(mx, mn);
+    }
+}
+
+TEST(UtilTest, ClampAndAngleConversions)
+{
+    EXPECT_EQ(clamp(5, 0, 3), 3);
+    EXPECT_EQ(clamp(-1, 0, 3), 0);
+    EXPECT_EQ(clamp(2, 0, 3), 2);
+    EXPECT_NEAR(deg2rad(180.0f), kPi, 1e-6f);
+    EXPECT_NEAR(rad2deg(kPi / 2.0f), 90.0f, 1e-4f);
+}
+
+} // namespace
+} // namespace neo

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the Merge Sorting Unit+ model (merge, valid-bit filter,
+ * simultaneous insertion).
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sort/merge_unit.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+std::vector<TileEntry>
+sortedTable(size_t n, uint64_t seed)
+{
+    auto t = test::randomTable(n, seed);
+    std::sort(t.begin(), t.end(), entryDepthLess);
+    return t;
+}
+
+TEST(MsuTest, MergeOfSortedRunsIsSorted)
+{
+    auto a = sortedTable(20, 1);
+    auto b = sortedTable(15, 2);
+    // Make ids unique across runs.
+    for (auto &e : b)
+        e.id += 1000;
+    std::vector<TileEntry> out;
+    msuMerge(a, b, out);
+    EXPECT_EQ(out.size(), 35u);
+    EXPECT_TRUE(test::isSorted(out));
+}
+
+TEST(MsuTest, MergeWithEmptyRun)
+{
+    auto a = sortedTable(10, 3);
+    std::vector<TileEntry> empty, out;
+    msuMerge(a, empty, out);
+    EXPECT_EQ(out.size(), 10u);
+    msuMerge(empty, a, out);
+    EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(MsuTest, InvalidEntriesAreFiltered)
+{
+    auto a = sortedTable(20, 4);
+    a[3].valid = false;
+    a[10].valid = false;
+    std::vector<TileEntry> empty, out;
+    MsuStats stats;
+    msuMerge(a, empty, out, &stats);
+    EXPECT_EQ(out.size(), 18u);
+    EXPECT_EQ(stats.filtered_invalid, 2u);
+    for (const auto &e : out)
+        EXPECT_TRUE(e.valid);
+}
+
+TEST(MsuTest, StatsCountElementsAndCompares)
+{
+    auto a = sortedTable(8, 5);
+    auto b = sortedTable(8, 6);
+    for (auto &e : b)
+        e.id += 100;
+    std::vector<TileEntry> out;
+    MsuStats stats;
+    msuMerge(a, b, out, &stats);
+    EXPECT_EQ(stats.merges, 1u);
+    EXPECT_EQ(stats.elements_processed, 16u);
+    EXPECT_GT(stats.compares, 0u);
+    EXPECT_LE(stats.compares, 16u);
+}
+
+TEST(MsuTest, MergeRunsFullySortsRunStructure)
+{
+    // Build 4 sorted runs of 8 entries each, concatenated.
+    std::vector<TileEntry> t;
+    for (int run = 0; run < 4; ++run) {
+        auto r = sortedTable(8, 10 + run);
+        for (auto &e : r)
+            e.id += run * 100;
+        t.insert(t.end(), r.begin(), r.end());
+    }
+    MsuStats stats;
+    int passes = msuMergeRuns(t, 0, t.size(), 8, &stats);
+    EXPECT_EQ(passes, 2); // 8 -> 16 -> 32
+    EXPECT_TRUE(test::isSorted(t));
+}
+
+TEST(MsuTest, MergeRunsOnSingleRunIsNoop)
+{
+    auto t = sortedTable(8, 20);
+    int passes = msuMergeRuns(t, 0, t.size(), 8);
+    EXPECT_EQ(passes, 0);
+    EXPECT_TRUE(test::isSorted(t));
+}
+
+TEST(MsuTest, MergeRunsHandlesRaggedTail)
+{
+    // 3 runs: 16 + 16 + 5 entries.
+    std::vector<TileEntry> t;
+    for (int run = 0; run < 2; ++run) {
+        auto r = sortedTable(16, 30 + run);
+        for (auto &e : r)
+            e.id += run * 1000;
+        t.insert(t.end(), r.begin(), r.end());
+    }
+    auto tail = sortedTable(5, 33);
+    for (auto &e : tail)
+        e.id += 5000;
+    t.insert(t.end(), tail.begin(), tail.end());
+    msuMergeRuns(t, 0, t.size(), 16);
+    EXPECT_TRUE(test::isSorted(t));
+}
+
+TEST(MsuTest, UpdateTableInsertsAndDeletesInOnePass)
+{
+    // Reused table with two invalidated entries plus a sorted incoming
+    // table: result must be sorted, contain no invalid entries, and hold
+    // exactly (20 - 2 + 5) entries.
+    auto reused = sortedTable(20, 40);
+    reused[2].valid = false;
+    reused[15].valid = false;
+    auto incoming = sortedTable(5, 41);
+    for (auto &e : incoming)
+        e.id += 10000;
+    std::vector<TileEntry> out;
+    MsuStats stats;
+    msuUpdateTable(reused, incoming, out, &stats);
+    EXPECT_EQ(out.size(), 23u);
+    EXPECT_TRUE(test::isSorted(out));
+    EXPECT_EQ(stats.filtered_invalid, 2u);
+    for (const auto &e : out)
+        EXPECT_TRUE(e.valid);
+    // Every incoming id present.
+    for (const auto &inc : incoming) {
+        bool found = false;
+        for (const auto &e : out)
+            if (e.id == inc.id)
+                found = true;
+        EXPECT_TRUE(found) << "incoming id " << inc.id;
+    }
+}
+
+TEST(MsuTest, InvalidIncomingEntriesAlsoFiltered)
+{
+    auto reused = sortedTable(10, 50);
+    auto incoming = sortedTable(4, 51);
+    for (auto &e : incoming)
+        e.id += 100;
+    incoming[1].valid = false;
+    std::vector<TileEntry> out;
+    msuUpdateTable(reused, incoming, out);
+    EXPECT_EQ(out.size(), 13u);
+}
+
+} // namespace
+} // namespace neo

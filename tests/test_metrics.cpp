@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for PSNR, SSIM and the LPIPS proxy: identity behaviour and
+ * monotonicity in corruption strength (the property Table 2 relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/image.h"
+#include "common/rng.h"
+#include "metrics/lpips_proxy.h"
+#include "metrics/psnr.h"
+#include "metrics/ssim.h"
+
+namespace neo
+{
+namespace
+{
+
+Image
+randomImage(int w, int h, uint64_t seed)
+{
+    Rng rng(seed);
+    Image img(w, h);
+    for (auto &p : img.pixels())
+        p = {rng.uniform(0.0f, 1.0f), rng.uniform(0.0f, 1.0f),
+             rng.uniform(0.0f, 1.0f)};
+    return img;
+}
+
+Image
+addNoise(const Image &src, float amplitude, uint64_t seed)
+{
+    Rng rng(seed);
+    Image out = src;
+    for (auto &p : out.pixels()) {
+        p.x = clamp(p.x + rng.uniform(-amplitude, amplitude), 0.0f, 1.0f);
+        p.y = clamp(p.y + rng.uniform(-amplitude, amplitude), 0.0f, 1.0f);
+        p.z = clamp(p.z + rng.uniform(-amplitude, amplitude), 0.0f, 1.0f);
+    }
+    return out;
+}
+
+TEST(PsnrTest, IdenticalImagesHitCap)
+{
+    Image img = randomImage(32, 32, 1);
+    EXPECT_DOUBLE_EQ(psnr(img, img), 99.0);
+    EXPECT_DOUBLE_EQ(psnr(img, img, 50.0), 50.0);
+}
+
+TEST(PsnrTest, KnownMseGivesKnownPsnr)
+{
+    Image a(16, 16, {0.0f, 0.0f, 0.0f});
+    Image b(16, 16, {0.1f, 0.1f, 0.1f});
+    // MSE = 0.01 -> PSNR = 20 dB.
+    EXPECT_NEAR(meanSquaredError(a, b), 0.01, 1e-9);
+    EXPECT_NEAR(psnr(a, b), 20.0, 1e-6);
+}
+
+TEST(PsnrTest, MonotoneInNoise)
+{
+    Image ref = randomImage(64, 64, 2);
+    double prev = psnr(ref, ref);
+    for (float amp : {0.02f, 0.05f, 0.1f, 0.2f}) {
+        double v = psnr(ref, addNoise(ref, amp, 3));
+        EXPECT_LT(v, prev) << "amplitude " << amp;
+        prev = v;
+    }
+}
+
+TEST(PsnrTest, SizeMismatchPanics)
+{
+    Image a(4, 4), b(8, 8);
+    EXPECT_DEATH({ meanSquaredError(a, b); }, "size mismatch");
+}
+
+TEST(SsimTest, IdenticalIsOne)
+{
+    Image img = randomImage(64, 64, 4);
+    EXPECT_NEAR(ssim(img, img), 1.0, 1e-9);
+}
+
+TEST(SsimTest, NoiseLowersSsim)
+{
+    Image ref = randomImage(64, 64, 5);
+    double clean = ssim(ref, addNoise(ref, 0.05f, 6));
+    double dirty = ssim(ref, addNoise(ref, 0.3f, 6));
+    EXPECT_LT(dirty, clean);
+    EXPECT_LT(clean, 1.0);
+}
+
+TEST(SsimTest, SymmetricInArguments)
+{
+    Image a = randomImage(32, 32, 7);
+    Image b = addNoise(a, 0.1f, 8);
+    EXPECT_NEAR(ssim(a, b), ssim(b, a), 1e-9);
+}
+
+TEST(LpipsProxyTest, IdenticalIsZero)
+{
+    Image img = randomImage(64, 64, 9);
+    EXPECT_NEAR(lpipsProxy(img, img), 0.0, 1e-9);
+}
+
+TEST(LpipsProxyTest, MonotoneInNoise)
+{
+    Image ref = randomImage(64, 64, 10);
+    double prev = 0.0;
+    for (float amp : {0.05f, 0.15f, 0.4f}) {
+        double v = lpipsProxy(ref, addNoise(ref, amp, 11));
+        EXPECT_GT(v, prev) << "amplitude " << amp;
+        prev = v;
+    }
+}
+
+TEST(LpipsProxyTest, StructuralCorruptionScoresWorseThanUniformShift)
+{
+    // A small uniform brightness shift is perceptually mild; scrambling
+    // blocks of the image is severe. The proxy must rank them correctly.
+    Image ref = randomImage(64, 64, 12);
+    Image shifted = ref;
+    for (auto &p : shifted.pixels()) {
+        p.x = clamp(p.x + 0.03f, 0.0f, 1.0f);
+        p.y = clamp(p.y + 0.03f, 0.0f, 1.0f);
+        p.z = clamp(p.z + 0.03f, 0.0f, 1.0f);
+    }
+    Image scrambled = ref;
+    // Swap the left and right halves.
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 32; ++x)
+            std::swap(scrambled.at(x, y), scrambled.at(x + 32, y));
+    EXPECT_LT(lpipsProxy(ref, shifted), lpipsProxy(ref, scrambled));
+}
+
+TEST(LpipsProxyTest, BoundedForUnrelatedInputs)
+{
+    // Two unrelated noise images are the worst realistic case; the proxy
+    // must stay finite and well above the rendering-artifact regime.
+    Image ref = randomImage(64, 64, 13);
+    Image other = randomImage(64, 64, 14);
+    double v = lpipsProxy(ref, other);
+    EXPECT_GT(v, 0.3);
+    EXPECT_LT(v, 2.5);
+}
+
+} // namespace
+} // namespace neo

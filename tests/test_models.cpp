@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the system performance models (GPU / GSCore / Neo) and
+ * the shared harness. The tests assert the *relationships* the paper's
+ * evaluation depends on: sorting dominates baseline traffic, Neo cuts
+ * traffic and wins more at higher resolution, bandwidth scaling matters
+ * more than core scaling for GSCore at QHD, and the ablation flags cost
+ * what §4.4/Fig. 18 say they cost.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/perf_harness.h"
+
+namespace neo
+{
+namespace
+{
+
+/** Synthetic workload roughly matching a mid-size scene at a resolution. */
+FrameWorkload
+syntheticWorkload(Resolution res, int tile_px, double scale = 1.0)
+{
+    FrameWorkload w;
+    w.res = res;
+    w.tile_size = tile_px;
+    w.scene_gaussians = static_cast<uint64_t>(600000 * scale);
+    w.visible_gaussians = static_cast<uint64_t>(350000 * scale);
+    // Duplication factor grows with resolution and shrinks with tile size.
+    double dup = (tile_px == 16 ? 6.0 : 1.8) *
+                 (static_cast<double>(res.pixels()) / kResHD.pixels());
+    w.instances =
+        static_cast<uint64_t>(w.visible_gaussians * std::max(dup, 1.0));
+    w.incoming_instances = w.instances / 25; // ~4% churn
+    w.outgoing_instances = w.instances / 25;
+    w.mean_tile_retention = 0.92;
+    w.blend_ops = static_cast<uint64_t>(res.pixels() * 30.0);
+    w.intersection_tests = w.instances * 16;
+    int tiles = ((res.width + tile_px - 1) / tile_px) *
+                ((res.height + tile_px - 1) / tile_px);
+    w.tile_lengths.assign(tiles,
+                          static_cast<uint32_t>(w.instances / tiles));
+    return w;
+}
+
+TEST(GpuModelTest, SortingDominatesTraffic)
+{
+    GpuModel gpu;
+    FrameSim sim = gpu.simulateFrame(syntheticWorkload(kResQHD, 16));
+    EXPECT_GT(sim.traffic.fraction(Stage::Sorting), 0.7)
+        << "paper reports ~91% at QHD";
+    EXPECT_GT(sim.latency_s, 0.0);
+}
+
+TEST(GpuModelTest, NeoSwCutsSortTrafficButNotLatency)
+{
+    GpuConfig base_cfg;
+    GpuConfig sw_cfg;
+    sw_cfg.neo_sw = true;
+    GpuModel base(base_cfg), neosw(sw_cfg);
+    FrameWorkload w = syntheticWorkload(kResQHD, 16);
+    FrameSim a = base.simulateFrame(w);
+    FrameSim b = neosw.simulateFrame(w);
+    // Fig. 10: large traffic cut...
+    EXPECT_LT(b.traffic.sorting_bytes, 0.35 * a.traffic.sorting_bytes);
+    // ...but modest end-to-end speedup (rasterization dominates).
+    double speedup = a.latency_s / b.latency_s;
+    EXPECT_GT(speedup, 1.0);
+    EXPECT_LT(speedup, 2.5);
+}
+
+TEST(GscoreModelTest, SortingIsLargestStage)
+{
+    GscoreModel gscore;
+    FrameSim sim = gscore.simulateFrame(syntheticWorkload(kResQHD, 16));
+    EXPECT_GT(sim.traffic.fraction(Stage::Sorting), 0.45)
+        << "paper reports ~69% at QHD";
+    EXPECT_GT(sim.traffic.fraction(Stage::Sorting),
+              sim.traffic.fraction(Stage::FeatureExtraction));
+    EXPECT_GT(sim.traffic.fraction(Stage::Sorting),
+              sim.traffic.fraction(Stage::Rasterization));
+}
+
+TEST(GscoreModelTest, FpsDropsWithResolution)
+{
+    GscoreModel gscore;
+    double fps_hd =
+        gscore.simulateFrame(syntheticWorkload(kResHD, 16)).fps();
+    double fps_fhd =
+        gscore.simulateFrame(syntheticWorkload(kResFHD, 16)).fps();
+    double fps_qhd =
+        gscore.simulateFrame(syntheticWorkload(kResQHD, 16)).fps();
+    EXPECT_GT(fps_hd, fps_fhd);
+    EXPECT_GT(fps_fhd, fps_qhd);
+}
+
+TEST(GscoreModelTest, BandwidthHelpsMoreThanCoresAtQhd)
+{
+    // Fig. 4: at QHD/51.2 GB/s, 4 -> 16 cores gains little; 51.2 -> 204.8
+    // GB/s at 16 cores gains a lot.
+    FrameWorkload w = syntheticWorkload(kResQHD, 16);
+
+    GscoreConfig c4;
+    c4.cores = 4;
+    GscoreConfig c16;
+    c16.cores = 16;
+    GscoreConfig c16bw;
+    c16bw.cores = 16;
+    c16bw.dram.bandwidth_gbps = 204.8;
+
+    double fps4 = GscoreModel(c4).simulateFrame(w).fps();
+    double fps16 = GscoreModel(c16).simulateFrame(w).fps();
+    double fps16bw = GscoreModel(c16bw).simulateFrame(w).fps();
+
+    double core_gain = fps16 / fps4;
+    double bw_gain = fps16bw / fps16;
+    EXPECT_LT(core_gain, 1.6) << "core scaling is bandwidth-capped";
+    EXPECT_GT(bw_gain, 2.0) << "bandwidth is the real bottleneck";
+}
+
+TEST(NeoModelTest, TrafficFarBelowGscore)
+{
+    FrameWorkload w16 = syntheticWorkload(kResQHD, 16);
+    FrameWorkload w64 = syntheticWorkload(kResQHD, 64);
+    double gscore_gb =
+        GscoreModel().simulateFrame(w16).traffic.totalGB();
+    double neo_gb = NeoModel().simulateFrame(w64).traffic.totalGB();
+    EXPECT_LT(neo_gb, 0.45 * gscore_gb)
+        << "paper reports 81.3% end-to-end reduction";
+}
+
+TEST(NeoModelTest, FasterThanGscoreAndGapGrowsWithResolution)
+{
+    auto speedup = [](Resolution res) {
+        double gscore =
+            GscoreModel().simulateFrame(syntheticWorkload(res, 16)).fps();
+        double neo =
+            NeoModel().simulateFrame(syntheticWorkload(res, 64)).fps();
+        return neo / gscore;
+    };
+    double s_hd = speedup(kResHD);
+    double s_qhd = speedup(kResQHD);
+    EXPECT_GT(s_hd, 1.0);
+    EXPECT_GT(s_qhd, s_hd) << "Neo's advantage grows with resolution";
+}
+
+TEST(NeoModelTest, ColdStartCostsMore)
+{
+    NeoModel neo;
+    FrameWorkload w = syntheticWorkload(kResQHD, 64);
+    FrameSim cold = neo.simulateFrame(w, true);
+    FrameSim warm = neo.simulateFrame(w, false);
+    EXPECT_GT(cold.traffic.sorting_bytes, warm.traffic.sorting_bytes);
+}
+
+TEST(NeoModelTest, DisablingDeferredDepthUpdateAddsTraffic)
+{
+    NeoConfig with;
+    NeoConfig without;
+    without.deferred_depth_update = false;
+    FrameWorkload w = syntheticWorkload(kResQHD, 64);
+    FrameSim a = NeoModel(with).simulateFrame(w);
+    FrameSim b = NeoModel(without).simulateFrame(w);
+    double increase = b.traffic.total() / a.traffic.total() - 1.0;
+    // §4.4: ~33% more traffic without the optimization.
+    EXPECT_GT(increase, 0.10);
+    EXPECT_LT(increase, 0.80);
+    EXPECT_GT(b.latency_s, a.latency_s);
+}
+
+TEST(NeoModelTest, NeoSConfigSitsBetweenGscoreAndNeo)
+{
+    FrameWorkload w16 = syntheticWorkload(kResQHD, 16);
+    FrameWorkload w64 = syntheticWorkload(kResQHD, 64);
+    double gscore = GscoreModel().simulateFrame(w16).traffic.total();
+    double neo_s =
+        NeoModel(neoSOnlyConfig()).simulateFrame(w64).traffic.total();
+    double neo = NeoModel().simulateFrame(w64).traffic.total();
+    EXPECT_LT(neo_s, gscore);
+    EXPECT_LT(neo, neo_s);
+}
+
+TEST(NeoModelTest, ReuseDisabledBehavesLikeFromScratch)
+{
+    NeoConfig scratch;
+    scratch.reuse_sorting = false;
+    FrameWorkload w = syntheticWorkload(kResQHD, 64);
+    double scratch_sort =
+        NeoModel(scratch).simulateFrame(w).traffic.sorting_bytes;
+    double reuse_sort = NeoModel().simulateFrame(w).traffic.sorting_bytes;
+    EXPECT_GT(scratch_sort, reuse_sort);
+}
+
+TEST(HarnessTest, SequenceAggregation)
+{
+    GpuModel gpu;
+    std::vector<FrameWorkload> seq(5, syntheticWorkload(kResHD, 16));
+    SequenceResult r = simulateGpu(gpu, seq);
+    ASSERT_EQ(r.frames.size(), 5u);
+    EXPECT_GT(r.meanFps(), 0.0);
+    EXPECT_GT(r.totalTrafficGB(), 0.0);
+    EXPECT_NEAR(r.trafficGBPer60Frames(), r.totalTrafficGB() * 12.0, 1e-9);
+    EXPECT_GE(r.maxLatencyMs(), r.meanLatencyMs());
+}
+
+TEST(HarnessTest, NeoColdStartOnlyFirstFrame)
+{
+    NeoModel neo;
+    std::vector<FrameWorkload> seq(3, syntheticWorkload(kResHD, 64));
+    SequenceResult r = simulateNeo(neo, seq, true);
+    EXPECT_GT(r.frames[0].traffic.sorting_bytes,
+              r.frames[1].traffic.sorting_bytes);
+    EXPECT_NEAR(r.frames[1].traffic.sorting_bytes,
+                r.frames[2].traffic.sorting_bytes, 1.0);
+}
+
+TEST(ModelSanityTest, StageTimesNonNegative)
+{
+    FrameWorkload w = syntheticWorkload(kResFHD, 16);
+    for (const FrameSim &sim :
+         {GpuModel().simulateFrame(w), GscoreModel().simulateFrame(w),
+          NeoModel().simulateFrame(syntheticWorkload(kResFHD, 64))}) {
+        EXPECT_GE(sim.fe_compute_s, 0.0);
+        EXPECT_GE(sim.sort_compute_s, 0.0);
+        EXPECT_GE(sim.raster_compute_s, 0.0);
+        EXPECT_GT(sim.memory_s, 0.0);
+        EXPECT_GE(sim.latency_s, sim.memory_s * 0.99);
+    }
+}
+
+} // namespace
+} // namespace neo

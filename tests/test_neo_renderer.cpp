@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the NeoRenderer facade (functional rendering + workload
+ * extraction with reuse-and-update sorting).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/neo_renderer.h"
+#include "metrics/psnr.h"
+#include "scene/trajectory.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(NeoRendererTest, DefaultOptionsMatchTable1)
+{
+    PipelineOptions opts = NeoRenderer::neoDefaultOptions();
+    EXPECT_EQ(opts.tile_px, 64);
+    EXPECT_EQ(opts.raster.subtile_size, 8);
+}
+
+TEST(NeoRendererTest, FirstFrameMatchesBaselineExactly)
+{
+    GaussianScene scene = test::tinySyntheticScene(2000);
+    Trajectory traj(TrajectoryKind::Orbit, scene);
+    Camera cam = traj.cameraAt(0, test::smallRes());
+
+    PipelineOptions opts = NeoRenderer::neoDefaultOptions();
+    NeoRenderer neo_r(opts);
+    Renderer base(opts);
+
+    Image neo_img = neo_r.renderFrame(scene, cam, 0);
+    Image base_img = base.render(scene, cam);
+    // Cold start performs a full sort: identical output.
+    EXPECT_DOUBLE_EQ(Image::meanAbsoluteDifference(neo_img, base_img), 0.0);
+}
+
+TEST(NeoRendererTest, SubsequentFramesStayCloseToBaseline)
+{
+    GaussianScene scene = test::tinySyntheticScene(3000);
+    Trajectory traj(TrajectoryKind::Orbit, scene);
+    PipelineOptions opts = NeoRenderer::neoDefaultOptions();
+    NeoRenderer neo_r(opts);
+    Renderer base(opts);
+
+    for (int f = 0; f < 5; ++f) {
+        Camera cam = traj.cameraAt(f, test::smallRes());
+        Image neo_img = neo_r.renderFrame(scene, cam, f);
+        Image base_img = base.render(scene, cam);
+        double quality = psnr(base_img, neo_img);
+        EXPECT_GT(quality, 30.0) << "frame " << f;
+    }
+}
+
+TEST(NeoRendererTest, ReportIsPopulated)
+{
+    GaussianScene scene = test::tinySyntheticScene(2000);
+    Trajectory traj(TrajectoryKind::Orbit, scene);
+    NeoRenderer renderer;
+    NeoFrameReport report;
+    renderer.renderFrame(scene, traj.cameraAt(0, test::smallRes()), 0,
+                         &report);
+    EXPECT_TRUE(report.reuse.cold_start);
+    EXPECT_GT(report.frame.instances, 0u);
+    EXPECT_GT(report.sort.entries_read, 0u);
+
+    renderer.renderFrame(scene, traj.cameraAt(1, test::smallRes()), 1,
+                         &report);
+    EXPECT_FALSE(report.reuse.cold_start);
+}
+
+TEST(NeoRendererTest, WorkloadCarriesDeltas)
+{
+    GaussianScene scene = test::tinySyntheticScene(2000);
+    Trajectory traj(TrajectoryKind::Orbit, scene);
+    NeoRenderer renderer;
+    FrameWorkload w0 =
+        renderer.extractWorkload(scene, traj.cameraAt(0, test::smallRes()),
+                                 0);
+    EXPECT_EQ(w0.incoming_instances, w0.instances); // everything new
+    FrameWorkload w1 =
+        renderer.extractWorkload(scene, traj.cameraAt(1, test::smallRes()),
+                                 1);
+    EXPECT_LT(w1.incoming_instances, w1.instances);
+    EXPECT_GT(w1.mean_tile_retention, 0.5);
+}
+
+TEST(NeoRendererTest, ResetRestartsColdly)
+{
+    GaussianScene scene = test::tinySyntheticScene(1500);
+    Trajectory traj(TrajectoryKind::Orbit, scene);
+    NeoRenderer renderer;
+    NeoFrameReport report;
+    renderer.renderFrame(scene, traj.cameraAt(0, test::smallRes()), 0,
+                         &report);
+    renderer.renderFrame(scene, traj.cameraAt(1, test::smallRes()), 1,
+                         &report);
+    EXPECT_FALSE(report.reuse.cold_start);
+    renderer.reset();
+    renderer.renderFrame(scene, traj.cameraAt(2, test::smallRes()), 2,
+                         &report);
+    EXPECT_TRUE(report.reuse.cold_start);
+}
+
+} // namespace
+} // namespace neo

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the end-to-end baseline pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gs/pipeline.h"
+#include "metrics/psnr.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(PipelineTest, PrepareSortsEveryTile)
+{
+    GaussianScene scene = test::blobScene(300);
+    Camera cam = test::frontCamera(5.0f);
+    Renderer renderer;
+    BinnedFrame frame = renderer.prepare(scene, cam);
+    for (const auto &tile : frame.tiles)
+        EXPECT_TRUE(test::isSorted(tile));
+}
+
+TEST(PipelineTest, RenderIsDeterministic)
+{
+    GaussianScene scene = test::blobScene(200);
+    Camera cam = test::frontCamera(5.0f);
+    Renderer renderer;
+    Image a = renderer.render(scene, cam);
+    Image b = renderer.render(scene, cam);
+    EXPECT_DOUBLE_EQ(Image::meanAbsoluteDifference(a, b), 0.0);
+}
+
+TEST(PipelineTest, RenderProducesNonTrivialImage)
+{
+    GaussianScene scene = test::blobScene(300);
+    Camera cam = test::frontCamera(5.0f);
+    Renderer renderer;
+    FrameStats stats;
+    Image img = renderer.render(scene, cam, &stats);
+    EXPECT_GT(stats.raster.blend_ops, 0u);
+    double energy = 0.0;
+    for (const auto &p : img.pixels())
+        energy += p.x + p.y + p.z;
+    EXPECT_GT(energy, 1.0);
+}
+
+TEST(PipelineTest, StatsReflectScene)
+{
+    GaussianScene scene = test::blobScene(250);
+    Camera cam = test::frontCamera(5.0f);
+    Renderer renderer;
+    FrameStats stats;
+    renderer.render(scene, cam, &stats);
+    EXPECT_EQ(stats.scene_gaussians, 250u);
+    EXPECT_GT(stats.visible_gaussians, 0u);
+    EXPECT_LE(stats.visible_gaussians, 250u);
+    EXPECT_GE(stats.instances, stats.visible_gaussians);
+}
+
+TEST(PipelineTest, ExplicitOrderingOverridesDefault)
+{
+    GaussianScene scene = test::blobScene(200);
+    Camera cam = test::frontCamera(5.0f);
+    Renderer renderer;
+    BinnedFrame frame = renderer.prepare(scene, cam);
+
+    // Reverse every tile's ordering; the image must change (wrong blend
+    // order) while using the same binned frame.
+    std::vector<std::vector<TileEntry>> reversed = frame.tiles;
+    for (auto &t : reversed)
+        std::reverse(t.begin(), t.end());
+
+    Image correct = renderer.renderWithOrdering(frame, {});
+    Image wrong = renderer.renderWithOrdering(frame, reversed);
+    EXPECT_GT(Image::meanAbsoluteDifference(correct, wrong), 1e-5);
+}
+
+TEST(PipelineTest, WorkloadMatchesRenderCounters)
+{
+    GaussianScene scene = test::blobScene(300);
+    Camera cam = test::frontCamera(5.0f);
+    Renderer renderer;
+    FrameStats stats;
+    renderer.render(scene, cam, &stats);
+    FrameWorkload w = renderer.extractWorkload(scene, cam);
+    EXPECT_EQ(w.scene_gaussians, stats.scene_gaussians);
+    EXPECT_EQ(w.visible_gaussians, stats.visible_gaussians);
+    EXPECT_EQ(w.instances, stats.instances);
+    EXPECT_EQ(w.tile_lengths.size(),
+              static_cast<size_t>((cam.width() + 15) / 16) *
+                  ((cam.height() + 15) / 16));
+}
+
+TEST(PipelineTest, WorkloadBlendEstimatePositive)
+{
+    GaussianScene scene = test::blobScene(300);
+    Camera cam = test::frontCamera(5.0f);
+    Renderer renderer;
+    FrameWorkload w = renderer.extractWorkload(scene, cam);
+    EXPECT_GT(w.blend_ops, 0u);
+    EXPECT_GT(w.intersection_tests, 0u);
+    EXPECT_GT(w.nonEmptyTiles(), 0u);
+    EXPECT_GT(w.meanTileLength(), 0.0);
+}
+
+TEST(PipelineTest, EmptySceneRendersBlack)
+{
+    GaussianScene scene;
+    Camera cam = test::frontCamera(5.0f);
+    Renderer renderer;
+    FrameStats stats;
+    Image img = renderer.render(scene, cam, &stats);
+    EXPECT_EQ(stats.instances, 0u);
+    for (const auto &p : img.pixels()) {
+        EXPECT_FLOAT_EQ(p.x, 0.0f);
+        EXPECT_FLOAT_EQ(p.y, 0.0f);
+        EXPECT_FLOAT_EQ(p.z, 0.0f);
+    }
+}
+
+TEST(PipelineTest, TileSize64MatchesTileSize16Image)
+{
+    // Tile geometry is an implementation detail: the rendered image must
+    // be (nearly) identical across tile sizes.
+    GaussianScene scene = test::blobScene(300);
+    Camera cam = test::frontCamera(5.0f);
+    PipelineOptions o16;
+    o16.tile_px = 16;
+    o16.raster.subtile_size = 8;
+    PipelineOptions o64;
+    o64.tile_px = 64;
+    o64.raster.subtile_size = 8;
+    Image a = Renderer(o16).render(scene, cam);
+    Image b = Renderer(o64).render(scene, cam);
+    EXPECT_GT(psnr(a, b), 35.0);
+}
+
+} // namespace
+} // namespace neo

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for EWA projection / feature extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gs/projection.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(ProjectionTest, CenteredGaussianProjectsToImageCenter)
+{
+    Camera cam = test::frontCamera(5.0f);
+    Gaussian g = test::makeGaussian({0.0f, 0.0f, 0.0f});
+    auto pg = projectGaussian(g, 7, cam);
+    ASSERT_TRUE(pg.has_value());
+    EXPECT_EQ(pg->id, 7u);
+    EXPECT_NEAR(pg->mean2d.x, cam.width() / 2.0f, 0.5f);
+    EXPECT_NEAR(pg->mean2d.y, cam.height() / 2.0f, 0.5f);
+    EXPECT_NEAR(pg->depth, 5.0f, 1e-3f);
+}
+
+TEST(ProjectionTest, BehindCameraIsRejected)
+{
+    Camera cam = test::frontCamera(5.0f);
+    Gaussian g = test::makeGaussian({0.0f, 0.0f, -10.0f});
+    EXPECT_FALSE(projectGaussian(g, 0, cam).has_value());
+}
+
+TEST(ProjectionTest, IsotropicGaussianGivesCircularConic)
+{
+    Camera cam = test::frontCamera(5.0f);
+    Gaussian g = test::makeGaussian({0.0f, 0.0f, 0.0f}, 0.2f);
+    auto pg = projectGaussian(g, 0, cam);
+    ASSERT_TRUE(pg.has_value());
+    EXPECT_NEAR(pg->conic_a, pg->conic_c, 0.05f * pg->conic_a);
+    EXPECT_NEAR(pg->conic_b, 0.0f, 0.05f * pg->conic_a);
+}
+
+TEST(ProjectionTest, RadiusShrinksWithDistance)
+{
+    Camera cam = test::frontCamera(5.0f);
+    Gaussian near_g = test::makeGaussian({0.0f, 0.0f, -2.0f}, 0.2f);
+    Gaussian far_g = test::makeGaussian({0.0f, 0.0f, 10.0f}, 0.2f);
+    auto pn = projectGaussian(near_g, 0, cam);
+    auto pf = projectGaussian(far_g, 1, cam);
+    ASSERT_TRUE(pn && pf);
+    EXPECT_GT(pn->radius_px, pf->radius_px);
+}
+
+TEST(ProjectionTest, RadiusGrowsWithScale)
+{
+    Camera cam = test::frontCamera(5.0f);
+    auto small = projectGaussian(
+        test::makeGaussian({0.0f, 0.0f, 0.0f}, 0.05f), 0, cam);
+    auto large = projectGaussian(
+        test::makeGaussian({0.0f, 0.0f, 0.0f}, 0.5f), 1, cam);
+    ASSERT_TRUE(small && large);
+    EXPECT_GT(large->radius_px, small->radius_px);
+}
+
+TEST(ProjectionTest, FalloffPeaksAtCenter)
+{
+    Camera cam = test::frontCamera(5.0f);
+    auto pg = projectGaussian(
+        test::makeGaussian({0.0f, 0.0f, 0.0f}, 0.3f), 0, cam);
+    ASSERT_TRUE(pg.has_value());
+    EXPECT_NEAR(pg->falloff(0.0f, 0.0f), 1.0f, 1e-5f);
+    EXPECT_LT(pg->falloff(pg->radius_px / 2.0f, 0.0f), 1.0f);
+    EXPECT_LT(pg->falloff(pg->radius_px, pg->radius_px),
+              pg->falloff(pg->radius_px / 4.0f, 0.0f));
+}
+
+TEST(ProjectionTest, ConicMatchesCovarianceInverse)
+{
+    Camera cam = test::frontCamera(4.0f);
+    Gaussian g = test::makeGaussian({0.3f, -0.2f, 0.0f}, 0.25f);
+    Vec3 cam_pos = cam.toCameraSpace(g.position);
+    Mat3 w = cam.worldToCamera().rotationBlock();
+    Mat3 cov_cam = w * g.covariance() * w.transposed();
+    Vec3 cov2d =
+        ewaCovariance2d(cov_cam, cam_pos, cam.focalX(), cam.focalY());
+    auto pg = projectGaussian(g, 0, cam);
+    ASSERT_TRUE(pg.has_value());
+    const float det = cov2d.x * cov2d.z - cov2d.y * cov2d.y;
+    EXPECT_NEAR(pg->conic_a, cov2d.z / det, 1e-3f * std::fabs(pg->conic_a));
+    EXPECT_NEAR(pg->conic_c, cov2d.x / det, 1e-3f * std::fabs(pg->conic_c));
+    EXPECT_NEAR(pg->conic_b, -cov2d.y / det,
+                1e-3f * std::fabs(pg->conic_a) + 1e-6f);
+}
+
+TEST(ProjectionTest, DilationBoundsConditioning)
+{
+    // Extremely thin Gaussians must still produce a valid (PSD) 2D
+    // covariance thanks to the dilation term.
+    Camera cam = test::frontCamera(5.0f);
+    Gaussian g = test::makeGaussian({0.0f, 0.0f, 0.0f});
+    g.scale = {0.5f, 1e-6f, 0.5f};
+    auto pg = projectGaussian(g, 0, cam);
+    ASSERT_TRUE(pg.has_value());
+    EXPECT_GT(pg->radius_px, 0.0f);
+}
+
+TEST(ProjectionTest, OpacityAndColorCarriedThrough)
+{
+    Camera cam = test::frontCamera(5.0f);
+    Gaussian g = test::makeGaussian({0.0f, 0.0f, 0.0f}, 0.1f, 0.7f,
+                                    {0.9f, 0.1f, 0.2f});
+    auto pg = projectGaussian(g, 0, cam);
+    ASSERT_TRUE(pg.has_value());
+    EXPECT_FLOAT_EQ(pg->opacity, 0.7f);
+    EXPECT_NEAR(pg->color.x, 0.9f, 1e-4f);
+    EXPECT_NEAR(pg->color.y, 0.1f, 1e-4f);
+}
+
+/** Parameterized sweep: projection must be stable across distances. */
+class ProjectionDistanceTest : public ::testing::TestWithParam<float>
+{
+};
+
+TEST_P(ProjectionDistanceTest, DepthEqualsCameraDistance)
+{
+    float d = GetParam();
+    Camera cam = test::frontCamera(d);
+    auto pg = projectGaussian(
+        test::makeGaussian({0.0f, 0.0f, 0.0f}, 0.1f), 0, cam);
+    ASSERT_TRUE(pg.has_value());
+    EXPECT_NEAR(pg->depth, d, 1e-3f * d);
+    EXPECT_GE(pg->radius_px, 1.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, ProjectionDistanceTest,
+                         ::testing::Values(0.5f, 1.0f, 2.0f, 5.0f, 10.0f,
+                                           50.0f));
+
+} // namespace
+} // namespace neo

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for scene pruning (the §7 composition with Neo).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gs/prune.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(PruneTest, ImportanceCriteria)
+{
+    Gaussian g = test::makeGaussian({0, 0, 0}, 0.2f, 0.5f);
+    EXPECT_FLOAT_EQ(pruneImportance(g, PruneCriterion::Opacity), 0.5f);
+    EXPECT_NEAR(pruneImportance(g, PruneCriterion::OpacityVolume),
+                0.5f * 0.04f, 1e-6f);
+}
+
+TEST(PruneTest, ThresholdDropsLowOpacity)
+{
+    GaussianScene scene;
+    for (int i = 0; i < 10; ++i)
+        scene.gaussians.push_back(test::makeGaussian(
+            {static_cast<float>(i), 0, 0}, 0.1f, i < 4 ? 0.1f : 0.9f));
+    recomputeBounds(scene);
+    PruneResult r = pruneByThreshold(scene, 0.5f);
+    EXPECT_EQ(r.before, 10u);
+    EXPECT_EQ(r.after, 6u);
+    EXPECT_EQ(scene.size(), 6u);
+    for (const auto &g : scene.gaussians)
+        EXPECT_GE(g.opacity, 0.5f);
+}
+
+TEST(PruneTest, ThresholdZeroKeepsAll)
+{
+    GaussianScene scene = test::blobScene(100);
+    PruneResult r = pruneByThreshold(scene, 0.0f);
+    EXPECT_EQ(r.after, 100u);
+    EXPECT_DOUBLE_EQ(r.keptFraction(), 1.0);
+}
+
+TEST(PruneTest, FractionKeepsExactCount)
+{
+    GaussianScene scene = test::blobScene(1000, 3);
+    PruneResult r = pruneToFraction(scene, 0.25);
+    EXPECT_EQ(r.before, 1000u);
+    EXPECT_EQ(r.after, 250u);
+    EXPECT_EQ(scene.size(), 250u);
+}
+
+TEST(PruneTest, FractionKeepsMostImportant)
+{
+    GaussianScene scene;
+    for (int i = 0; i < 100; ++i) {
+        float op = 0.01f * (i + 1); // strictly increasing importance
+        scene.gaussians.push_back(
+            test::makeGaussian({static_cast<float>(i), 0, 0}, 0.1f, op));
+    }
+    recomputeBounds(scene);
+    pruneToFraction(scene, 0.2, PruneCriterion::Opacity);
+    ASSERT_EQ(scene.size(), 20u);
+    for (const auto &g : scene.gaussians)
+        EXPECT_GE(g.opacity, 0.8f);
+}
+
+TEST(PruneTest, FractionPreservesOrder)
+{
+    GaussianScene scene = test::blobScene(500, 5);
+    std::vector<Vec3> before;
+    for (const auto &g : scene.gaussians)
+        before.push_back(g.position);
+    pruneToFraction(scene, 0.5);
+    // Survivors appear in the same relative order as before.
+    size_t cursor = 0;
+    for (const auto &g : scene.gaussians) {
+        while (cursor < before.size() &&
+               (before[cursor].x != g.position.x ||
+                before[cursor].y != g.position.y))
+            ++cursor;
+        ASSERT_LT(cursor, before.size());
+        ++cursor;
+    }
+}
+
+TEST(PruneTest, FractionOneIsNoop)
+{
+    GaussianScene scene = test::blobScene(100);
+    PruneResult r = pruneToFraction(scene, 1.0);
+    EXPECT_EQ(r.after, 100u);
+}
+
+TEST(PruneTest, FractionZeroKeepsNothing)
+{
+    GaussianScene scene = test::blobScene(100);
+    PruneResult r = pruneToFraction(scene, 0.0);
+    EXPECT_EQ(r.after, 0u);
+}
+
+TEST(PruneTest, InvalidFractionDies)
+{
+    GaussianScene scene = test::blobScene(10);
+    EXPECT_DEATH({ pruneToFraction(scene, 1.5); }, "outside");
+}
+
+TEST(PruneTest, BoundsRecomputedAfterPrune)
+{
+    GaussianScene scene;
+    scene.gaussians.push_back(
+        test::makeGaussian({0, 0, 0}, 0.1f, 0.9f));
+    scene.gaussians.push_back(
+        test::makeGaussian({100, 0, 0}, 0.1f, 0.05f));
+    recomputeBounds(scene);
+    float before_radius = scene.bounding_radius;
+    pruneByThreshold(scene, 0.5f);
+    EXPECT_LT(scene.bounding_radius, before_radius);
+}
+
+TEST(PruneTest, TieBreakingIsDeterministic)
+{
+    GaussianScene a, b;
+    for (int i = 0; i < 100; ++i) {
+        a.gaussians.push_back(
+            test::makeGaussian({static_cast<float>(i), 0, 0}, 0.1f, 0.5f));
+        b.gaussians.push_back(
+            test::makeGaussian({static_cast<float>(i), 0, 0}, 0.1f, 0.5f));
+    }
+    pruneToFraction(a, 0.3, PruneCriterion::Opacity);
+    pruneToFraction(b, 0.3, PruneCriterion::Opacity);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.size(), 30u);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_FLOAT_EQ(a[i].position.x, b[i].position.x);
+}
+
+} // namespace
+} // namespace neo

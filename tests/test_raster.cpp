@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for the subtile rasterizer (ITU + SCU functional model).
+ */
+
+#include <algorithm>
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "gs/raster.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+/** Single-Gaussian frame helper. */
+BinnedFrame
+singleGaussianFrame(Vec3 world_pos, float scale, float opacity, Vec3 color,
+                    int tile_px = 64)
+{
+    GaussianScene scene;
+    scene.gaussians.push_back(
+        test::makeGaussian(world_pos, scale, opacity, color));
+    recomputeBounds(scene);
+    Camera cam = test::frontCamera(5.0f);
+    return binFrame(scene, cam, tile_px);
+}
+
+TEST(SubtileBitmapTest, CenteredGaussianCoversAllSubtiles)
+{
+    ProjectedGaussian pg;
+    pg.mean2d = {32.0f, 32.0f};
+    pg.radius_px = 64.0f;
+    SubtileBitmap bm = subtileBitmap(pg, {0.0f, 0.0f}, 64, 8);
+    EXPECT_EQ(bm, ~SubtileBitmap{0});
+}
+
+TEST(SubtileBitmapTest, FarGaussianCoversNothing)
+{
+    ProjectedGaussian pg;
+    pg.mean2d = {500.0f, 500.0f};
+    pg.radius_px = 10.0f;
+    EXPECT_EQ(subtileBitmap(pg, {0.0f, 0.0f}, 64, 8), 0u);
+}
+
+TEST(SubtileBitmapTest, CornerGaussianCoversCornerOnly)
+{
+    ProjectedGaussian pg;
+    pg.mean2d = {2.0f, 2.0f};
+    pg.radius_px = 5.0f;
+    SubtileBitmap bm = subtileBitmap(pg, {0.0f, 0.0f}, 64, 8);
+    EXPECT_TRUE(bm & 1); // top-left subtile
+    EXPECT_EQ(bm & ~SubtileBitmap{1}, 0u); // nothing else
+}
+
+TEST(SubtileBitmapTest, BitmapGrowsWithRadius)
+{
+    ProjectedGaussian pg;
+    pg.mean2d = {32.0f, 32.0f};
+    pg.radius_px = 4.0f;
+    SubtileBitmap small = subtileBitmap(pg, {0.0f, 0.0f}, 64, 8);
+    pg.radius_px = 20.0f;
+    SubtileBitmap large = subtileBitmap(pg, {0.0f, 0.0f}, 64, 8);
+    EXPECT_EQ(small & large, small); // superset
+    EXPECT_GT(std::popcount(large), std::popcount(small));
+}
+
+TEST(RasterizeTest, SingleGaussianColorsCenterPixel)
+{
+    BinnedFrame frame =
+        singleGaussianFrame({0.0f, 0.0f, 0.0f}, 0.25f, 0.9f,
+                            {1.0f, 0.0f, 0.0f});
+    ASSERT_EQ(frame.features.size(), 1u);
+    const ProjectedGaussian &pg = frame.features[0];
+    TileGrid grid = frame.grid;
+    int tx = static_cast<int>(pg.mean2d.x) / grid.tile_size;
+    int ty = static_cast<int>(pg.mean2d.y) / grid.tile_size;
+    int tile = grid.tileIndex(tx, ty);
+    ASSERT_FALSE(frame.tiles[tile].empty());
+
+    Image image(grid.tiles_x * grid.tile_size, grid.tiles_y * grid.tile_size);
+    RasterConfig cfg;
+    RasterStats stats = rasterizeTile(frame.tiles[tile], frame, tile, cfg,
+                                      &image);
+    EXPECT_GT(stats.blend_ops, 0u);
+    Vec3 px = image.at(static_cast<int>(pg.mean2d.x),
+                       static_cast<int>(pg.mean2d.y));
+    EXPECT_GT(px.x, 0.5f);
+    EXPECT_LT(px.y, 0.1f);
+}
+
+TEST(RasterizeTest, FrontGaussianOccludesBack)
+{
+    GaussianScene scene;
+    // Red in front (closer to camera at -5), blue behind, same screen pos.
+    scene.gaussians.push_back(test::makeGaussian(
+        {0.0f, 0.0f, -1.0f}, 0.3f, 0.95f, {1.0f, 0.0f, 0.0f}));
+    scene.gaussians.push_back(test::makeGaussian(
+        {0.0f, 0.0f, 1.0f}, 0.3f, 0.95f, {0.0f, 0.0f, 1.0f}));
+    recomputeBounds(scene);
+    Camera cam = test::frontCamera(5.0f);
+    BinnedFrame frame = binFrame(scene, cam, 64);
+
+    // Find the tile containing the screen center and sort it by depth.
+    const ProjectedGaussian &pg = frame.features[0];
+    TileGrid grid = frame.grid;
+    int tile = grid.tileIndex(static_cast<int>(pg.mean2d.x) / grid.tile_size,
+                              static_cast<int>(pg.mean2d.y) / grid.tile_size);
+    auto entries = frame.tiles[tile];
+    std::sort(entries.begin(), entries.end(), entryDepthLess);
+
+    Image image(grid.tiles_x * grid.tile_size, grid.tiles_y * grid.tile_size);
+    rasterizeTile(entries, frame, tile, RasterConfig{}, &image);
+    Vec3 px = image.at(static_cast<int>(pg.mean2d.x),
+                       static_cast<int>(pg.mean2d.y));
+    EXPECT_GT(px.x, 0.6f) << "front (red) should dominate";
+    EXPECT_LT(px.z, 0.3f);
+
+    // Reverse the order: blue now wrongly blended first.
+    std::reverse(entries.begin(), entries.end());
+    Image wrong(grid.tiles_x * grid.tile_size, grid.tiles_y * grid.tile_size);
+    rasterizeTile(entries, frame, tile, RasterConfig{}, &wrong);
+    Vec3 wrong_px = wrong.at(static_cast<int>(pg.mean2d.x),
+                             static_cast<int>(pg.mean2d.y));
+    EXPECT_GT(wrong_px.z, 0.6f) << "reversed order should show blue";
+}
+
+TEST(RasterizeTest, InvalidEntriesAreSkipped)
+{
+    BinnedFrame frame =
+        singleGaussianFrame({0.0f, 0.0f, 0.0f}, 0.25f, 0.9f,
+                            {1.0f, 0.0f, 0.0f});
+    const ProjectedGaussian &pg = frame.features[0];
+    TileGrid grid = frame.grid;
+    int tile = grid.tileIndex(static_cast<int>(pg.mean2d.x) / grid.tile_size,
+                              static_cast<int>(pg.mean2d.y) / grid.tile_size);
+    auto entries = frame.tiles[tile];
+    for (auto &e : entries)
+        e.valid = false;
+    Image image(grid.tiles_x * grid.tile_size, grid.tiles_y * grid.tile_size);
+    RasterStats stats =
+        rasterizeTile(entries, frame, tile, RasterConfig{}, &image);
+    EXPECT_EQ(stats.blend_ops, 0u);
+    EXPECT_EQ(stats.gaussians_blended, 0u);
+}
+
+TEST(RasterizeTest, ValidOutReflectsIntersection)
+{
+    BinnedFrame frame =
+        singleGaussianFrame({0.0f, 0.0f, 0.0f}, 0.25f, 0.9f,
+                            {1.0f, 0.0f, 0.0f});
+    const ProjectedGaussian &pg = frame.features[0];
+    TileGrid grid = frame.grid;
+    int tile = grid.tileIndex(static_cast<int>(pg.mean2d.x) / grid.tile_size,
+                              static_cast<int>(pg.mean2d.y) / grid.tile_size);
+    std::vector<uint8_t> valid;
+    rasterizeTile(frame.tiles[tile], frame, tile, RasterConfig{}, nullptr,
+                  &valid);
+    ASSERT_EQ(valid.size(), frame.tiles[tile].size());
+    EXPECT_EQ(valid[0], 1);
+
+    // An entry for a Gaussian that does not touch this tile gets valid=0.
+    auto entries = frame.tiles[tile];
+    // Fake an entry pointing at the same feature but in a distant tile.
+    int far_tile = grid.tileIndex(0, 0) == tile ? grid.tileCount() - 1
+                                                : grid.tileIndex(0, 0);
+    rasterizeTile(entries, frame, far_tile, RasterConfig{}, nullptr, &valid);
+    EXPECT_EQ(valid[0], 0);
+}
+
+TEST(RasterizeTest, OpaqueWallTerminatesEarly)
+{
+    // Stack many opaque Gaussians on the same spot: pixels must saturate
+    // and terminate, so blend ops stay far below entries * pixels.
+    GaussianScene scene;
+    for (int i = 0; i < 50; ++i)
+        scene.gaussians.push_back(test::makeGaussian(
+            {0.0f, 0.0f, 0.1f * i}, 0.6f, 0.95f, {0.2f, 0.8f, 0.2f}));
+    recomputeBounds(scene);
+    Camera cam = test::frontCamera(5.0f);
+    BinnedFrame frame = binFrame(scene, cam, 64);
+    const ProjectedGaussian &pg = frame.features[0];
+    TileGrid grid = frame.grid;
+    int tile = grid.tileIndex(static_cast<int>(pg.mean2d.x) / grid.tile_size,
+                              static_cast<int>(pg.mean2d.y) / grid.tile_size);
+    auto entries = frame.tiles[tile];
+    std::sort(entries.begin(), entries.end(), entryDepthLess);
+    Image image(grid.tiles_x * grid.tile_size, grid.tiles_y * grid.tile_size);
+    RasterStats stats =
+        rasterizeTile(entries, frame, tile, RasterConfig{}, &image);
+    EXPECT_GT(stats.pixels_terminated, 0u);
+    uint64_t upper = static_cast<uint64_t>(entries.size()) * 64 * 64;
+    EXPECT_LT(stats.blend_ops, 3 * upper / 4);
+}
+
+TEST(RasterizeTest, EstimateTracksActualWithinFactor)
+{
+    GaussianScene scene = test::blobScene(400, 17);
+    Camera cam = test::frontCamera(5.0f);
+    BinnedFrame frame = binFrame(scene, cam, 64);
+    RasterConfig cfg;
+    uint64_t actual = 0, estimated = 0;
+    Image image(frame.grid.tiles_x * 64, frame.grid.tiles_y * 64);
+    for (int tile = 0; tile < frame.grid.tileCount(); ++tile) {
+        auto entries = frame.tiles[tile];
+        if (entries.empty())
+            continue;
+        std::sort(entries.begin(), entries.end(), entryDepthLess);
+        actual += rasterizeTile(entries, frame, tile, cfg, &image).blend_ops;
+        estimated += estimateTileBlendOps(entries, frame, tile, cfg);
+    }
+    ASSERT_GT(actual, 0u);
+    double ratio = static_cast<double>(estimated) / actual;
+    EXPECT_GT(ratio, 0.2) << "estimate too low";
+    EXPECT_LT(ratio, 5.0) << "estimate too high";
+}
+
+TEST(RasterizeTest, DryRunDoesOnlyItuWork)
+{
+    BinnedFrame frame =
+        singleGaussianFrame({0.0f, 0.0f, 0.0f}, 0.25f, 0.9f,
+                            {1.0f, 0.0f, 0.0f});
+    const ProjectedGaussian &pg = frame.features[0];
+    TileGrid grid = frame.grid;
+    int tile = grid.tileIndex(static_cast<int>(pg.mean2d.x) / grid.tile_size,
+                              static_cast<int>(pg.mean2d.y) / grid.tile_size);
+    RasterStats stats = rasterizeTile(frame.tiles[tile], frame, tile,
+                                      RasterConfig{}, nullptr);
+    EXPECT_GT(stats.intersection_tests, 0u);
+    EXPECT_EQ(stats.blend_ops, 0u);
+}
+
+} // namespace
+} // namespace neo

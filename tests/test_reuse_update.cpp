@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the reuse-and-update sorter (Neo's core algorithm).
+ */
+
+#include <algorithm>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "core/reuse_update.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+BinnedFrame
+frameAt(const GaussianScene &scene, float angle, int tile_px = 16)
+{
+    Camera cam(test::smallRes(), deg2rad(50.0f));
+    cam.lookAt({5.0f * std::sin(angle), 0.5f, -5.0f * std::cos(angle)},
+               {0.0f, 0.0f, 0.0f});
+    return binFrame(scene, cam, tile_px);
+}
+
+TEST(ReuseUpdateTest, ColdStartFullySorts)
+{
+    GaussianScene scene = test::blobScene(300);
+    ReuseUpdateSorter sorter;
+    BinnedFrame frame = frameAt(scene, 0.0f);
+    sorter.beginFrame(frame, 0);
+    EXPECT_TRUE(sorter.lastReport().cold_start);
+    for (int t = 0; t < frame.grid.tileCount(); ++t)
+        EXPECT_TRUE(test::isSorted(sorter.tileOrder(t)));
+}
+
+TEST(ReuseUpdateTest, SecondFrameIsIncremental)
+{
+    GaussianScene scene = test::blobScene(300);
+    ReuseUpdateSorter sorter;
+    sorter.beginFrame(frameAt(scene, 0.0f), 0);
+    sorter.takeStats();
+    BinnedFrame f1 = frameAt(scene, 0.01f);
+    sorter.beginFrame(f1, 1);
+    EXPECT_FALSE(sorter.lastReport().cold_start);
+    // Incremental: no global merge passes (Dynamic Partial Sorting only).
+    EXPECT_EQ(sorter.stats().global_merge_passes, 0u);
+}
+
+TEST(ReuseUpdateTest, MembershipConvergesToCurrentFrame)
+{
+    // After the merge at frame T the table holds membership(T) plus
+    // at most the entries that left between T-1 and T (marked invalid).
+    GaussianScene scene = test::blobScene(400);
+    ReuseUpdateSorter sorter;
+    sorter.beginFrame(frameAt(scene, 0.0f), 0);
+    BinnedFrame f1 = frameAt(scene, 0.02f);
+    sorter.beginFrame(f1, 1);
+
+    for (int t = 0; t < f1.grid.tileCount(); ++t) {
+        std::unordered_set<GaussianId> current;
+        for (const auto &e : f1.tiles[t])
+            current.insert(e.id);
+        size_t valid_entries = 0;
+        for (const auto &e : sorter.tileOrder(t)) {
+            if (e.valid) {
+                ++valid_entries;
+                EXPECT_TRUE(current.count(e.id))
+                    << "valid entry not in current membership, tile " << t;
+            }
+        }
+        // Every current member must be present (inserted or retained).
+        EXPECT_EQ(valid_entries, current.size()) << "tile " << t;
+    }
+}
+
+TEST(ReuseUpdateTest, DepthsAreRefreshedAfterFrame)
+{
+    GaussianScene scene = test::blobScene(300);
+    ReuseUpdateSorter sorter;
+    BinnedFrame f0 = frameAt(scene, 0.0f);
+    sorter.beginFrame(f0, 0);
+    BinnedFrame f1 = frameAt(scene, 0.05f);
+    sorter.beginFrame(f1, 1);
+    // After frame 1's deferred update, stored depths equal frame 1 depths.
+    for (int t = 0; t < f1.grid.tileCount(); ++t) {
+        for (const auto &e : sorter.tables().table(t)) {
+            if (f1.isVisible(e.id)) {
+                EXPECT_FLOAT_EQ(e.depth, f1.featureOf(e.id).depth);
+            }
+        }
+    }
+}
+
+TEST(ReuseUpdateTest, OrderingNearlySortedUnderSlowMotion)
+{
+    GaussianScene scene = test::blobScene(500);
+    ReuseUpdateSorter sorter;
+    for (int f = 0; f < 6; ++f) {
+        BinnedFrame frame = frameAt(scene, 0.004f * f);
+        sorter.beginFrame(frame, f);
+        if (f == 0)
+            continue;
+        // Orderings come from one-frame-stale depths; under slow motion
+        // they stay close to sorted.
+        double worst = 1.0;
+        for (int t = 0; t < frame.grid.tileCount(); ++t) {
+            const auto &order = sorter.tileOrder(t);
+            if (order.size() > 4) {
+                worst = std::min(worst, sortedFraction(order));
+            }
+        }
+        EXPECT_GT(worst, 0.85) << "frame " << f;
+    }
+}
+
+TEST(ReuseUpdateTest, OutgoingMarkedThenDeletedNextFrame)
+{
+    GaussianScene scene = test::blobScene(400);
+    ReuseUpdateSorter sorter;
+    sorter.beginFrame(frameAt(scene, 0.0f), 0);
+    BinnedFrame f1 = frameAt(scene, 0.06f);
+    sorter.beginFrame(f1, 1);
+    uint64_t marked = sorter.lastReport().outgoing_marked;
+    EXPECT_GT(marked, 0u) << "motion should push some Gaussians out";
+
+    BinnedFrame f2 = frameAt(scene, 0.12f);
+    sorter.beginFrame(f2, 2);
+    EXPECT_GT(sorter.lastReport().deleted, 0u)
+        << "previously marked entries must be filtered at the next merge";
+}
+
+TEST(ReuseUpdateTest, IncomingCountsMatchDelta)
+{
+    GaussianScene scene = test::blobScene(400);
+    ReuseUpdateSorter sorter;
+    sorter.beginFrame(frameAt(scene, 0.0f), 0);
+    sorter.beginFrame(frameAt(scene, 0.05f), 1);
+    EXPECT_EQ(sorter.lastReport().incoming,
+              sorter.lastDelta().incoming_total);
+}
+
+TEST(ReuseUpdateTest, ResetForcesColdStart)
+{
+    GaussianScene scene = test::blobScene(200);
+    ReuseUpdateSorter sorter;
+    sorter.beginFrame(frameAt(scene, 0.0f), 0);
+    sorter.beginFrame(frameAt(scene, 0.01f), 1);
+    EXPECT_FALSE(sorter.lastReport().cold_start);
+    sorter.reset();
+    sorter.beginFrame(frameAt(scene, 0.02f), 2);
+    EXPECT_TRUE(sorter.lastReport().cold_start);
+}
+
+TEST(ReuseUpdateTest, ResolutionChangeForcesColdStart)
+{
+    GaussianScene scene = test::blobScene(200);
+    ReuseUpdateSorter sorter;
+    sorter.beginFrame(frameAt(scene, 0.0f, 16), 0);
+    // Different tile size -> different tile count -> cold start.
+    sorter.beginFrame(frameAt(scene, 0.01f, 32), 1);
+    EXPECT_TRUE(sorter.lastReport().cold_start);
+}
+
+TEST(ReuseUpdateTest, StationaryCameraCostsAlmostNothing)
+{
+    GaussianScene scene = test::blobScene(400);
+    ReuseUpdateSorter sorter;
+    BinnedFrame frame = frameAt(scene, 0.0f);
+    sorter.beginFrame(frame, 0);
+    sorter.takeStats();
+    sorter.beginFrame(frame, 1);
+    const ReuseUpdateReport &r = sorter.lastReport();
+    EXPECT_EQ(r.incoming, 0u);
+    EXPECT_EQ(r.outgoing_marked, 0u);
+    // Work is exactly one DPS pass over the tables, no more.
+    EXPECT_EQ(sorter.stats().entries_read, sorter.tables().totalEntries());
+}
+
+TEST(ReuseUpdateTest, ReportTableEntriesMatchesTables)
+{
+    GaussianScene scene = test::blobScene(300);
+    ReuseUpdateSorter sorter;
+    sorter.beginFrame(frameAt(scene, 0.0f), 0);
+    EXPECT_EQ(sorter.lastReport().table_entries,
+              sorter.tables().totalEntries());
+}
+
+TEST(ReuseUpdateTest, NameAndConfigExposed)
+{
+    DynamicPartialConfig cfg;
+    cfg.chunk = 128;
+    ReuseUpdateSorter sorter(cfg);
+    EXPECT_EQ(sorter.name(), "reuse-update");
+    EXPECT_EQ(sorter.config().chunk, 128u);
+}
+
+} // namespace
+} // namespace neo

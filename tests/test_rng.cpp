@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ReseedResets)
+{
+    Rng a(77);
+    uint64_t first = a.next();
+    a.next();
+    a.reseed(77);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds)
+{
+    Rng rng(6);
+    for (int i = 0; i < 10000; ++i) {
+        float v = rng.uniform(-3.0f, 7.0f);
+        EXPECT_GE(v, -3.0f);
+        EXPECT_LT(v, 7.0f);
+    }
+}
+
+TEST(RngTest, UniformMeanIsCentered)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BelowStaysBelow)
+{
+    Rng rng(8);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, BelowCoversAllResidues)
+{
+    Rng rng(9);
+    bool seen[7] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.below(7)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(RngTest, NormalMomentsAreStandard)
+{
+    Rng rng(10);
+    const int n = 200000;
+    double sum = 0.0, sumsq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.normal();
+        sum += v;
+        sumsq += v * v;
+    }
+    double mean = sum / n;
+    double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales)
+{
+    Rng rng(11);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(5.0f, 2.0f);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, OnSphereIsUnitLength)
+{
+    Rng rng(12);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_NEAR(rng.onSphere().norm(), 1.0f, 1e-5f);
+}
+
+TEST(RngTest, OnSphereCoversBothHemispheres)
+{
+    Rng rng(13);
+    int up = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        if (rng.onSphere().z > 0.0f)
+            ++up;
+    EXPECT_NEAR(static_cast<double>(up) / n, 0.5, 0.03);
+}
+
+TEST(RngTest, RotationIsUnitQuaternion)
+{
+    Rng rng(14);
+    for (int i = 0; i < 1000; ++i) {
+        Quat q = rng.rotation();
+        float n = std::sqrt(q.w * q.w + q.x * q.x + q.y * q.y + q.z * q.z);
+        EXPECT_NEAR(n, 1.0f, 1e-5f);
+    }
+}
+
+} // namespace
+} // namespace neo

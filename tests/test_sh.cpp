@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for spherical-harmonics color evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gs/sh.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(ShTest, DcBasisIsConstant)
+{
+    Rng rng(1);
+    float basis[kShCoeffsPerChannel];
+    for (int i = 0; i < 20; ++i) {
+        shBasis(rng.onSphere(), basis);
+        EXPECT_NEAR(basis[0], 0.2820948f, 1e-5f);
+    }
+}
+
+TEST(ShTest, Band1IsLinearInDirection)
+{
+    float basis[kShCoeffsPerChannel];
+    shBasis({0.0f, 0.0f, 1.0f}, basis);
+    EXPECT_NEAR(basis[2], 0.4886025f, 1e-5f); // z component
+    EXPECT_NEAR(basis[1], 0.0f, 1e-6f);
+    EXPECT_NEAR(basis[3], 0.0f, 1e-6f);
+    shBasis({0.0f, 0.0f, -1.0f}, basis);
+    EXPECT_NEAR(basis[2], -0.4886025f, 1e-5f);
+}
+
+TEST(ShTest, FlatColorRoundTrip)
+{
+    Gaussian g;
+    Vec3 color{0.8f, 0.3f, 0.6f};
+    setShFromColor(g, color, 0.0f);
+    Rng rng(2);
+    for (int i = 0; i < 10; ++i) {
+        Vec3 c = shColor(g, rng.onSphere());
+        EXPECT_NEAR(c.x, color.x, 1e-5f);
+        EXPECT_NEAR(c.y, color.y, 1e-5f);
+        EXPECT_NEAR(c.z, color.z, 1e-5f);
+    }
+}
+
+TEST(ShTest, DirectionalComponentVariesWithView)
+{
+    Gaussian g;
+    setShFromColor(g, {0.5f, 0.5f, 0.5f}, 0.5f);
+    Vec3 a = shColor(g, {1.0f, 0.0f, 0.0f});
+    Vec3 b = shColor(g, {-1.0f, 0.0f, 0.0f});
+    float diff = std::fabs(a.x - b.x) + std::fabs(a.y - b.y) +
+                 std::fabs(a.z - b.z);
+    EXPECT_GT(diff, 1e-3f);
+}
+
+TEST(ShTest, ColorIsClampedAtZero)
+{
+    Gaussian g;
+    setShFromColor(g, {0.0f, 0.0f, 0.0f}, 0.0f);
+    // Push the DC far negative.
+    g.sh[0][0] = -10.0f;
+    Vec3 c = shColor(g, {0.0f, 0.0f, 1.0f});
+    EXPECT_GE(c.x, 0.0f);
+}
+
+TEST(ShTest, ZeroDirectionalStrengthZeroesHigherBands)
+{
+    Gaussian g;
+    setShFromColor(g, {0.2f, 0.4f, 0.6f}, 0.0f);
+    for (int c = 0; c < 3; ++c)
+        for (int i = 1; i < kShCoeffsPerChannel; ++i)
+            EXPECT_FLOAT_EQ(g.sh[c][i], 0.0f);
+}
+
+TEST(ShTest, Band2BasisMatchesClosedForm)
+{
+    // At dir = (0, 0, 1): basis[6] = c * (2 - 0 - 0) = 0.6307831.
+    float basis[kShCoeffsPerChannel];
+    shBasis({0.0f, 0.0f, 1.0f}, basis);
+    EXPECT_NEAR(basis[6], 0.6307831f, 1e-5f);
+    EXPECT_NEAR(basis[4], 0.0f, 1e-6f);
+    EXPECT_NEAR(basis[8], 0.0f, 1e-6f);
+}
+
+} // namespace
+} // namespace neo

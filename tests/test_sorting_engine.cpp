@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the event-driven Sorting Engine schedule (Fig. 12 micro-
+ * architecture): correctness of the accounting, the benefit of double
+ * buffering, core-count scaling until the channel saturates, and
+ * consistency with the analytic NeoModel's bandwidth-bound assumption.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/sorting_engine.h"
+
+namespace neo
+{
+namespace
+{
+
+std::vector<uint32_t>
+uniformTiles(size_t tiles, uint32_t len)
+{
+    return std::vector<uint32_t>(tiles, len);
+}
+
+TEST(SortingEngineTest, EmptyFrameIsFree)
+{
+    SortingEngineResult r = scheduleSortingEngine({});
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.chunks, 0u);
+    SortingEngineResult r2 = scheduleSortingEngine({0, 0, 0});
+    EXPECT_EQ(r2.cycles, 0u);
+}
+
+TEST(SortingEngineTest, ChunkAndByteAccounting)
+{
+    // One tile of 600 entries -> chunks of 256/256/88; bytes = 2 * 600*8.
+    SortingEngineResult r = scheduleSortingEngine(uniformTiles(1, 600));
+    EXPECT_EQ(r.chunks, 3u);
+    EXPECT_EQ(r.bytes_moved, 2u * 600u * 8u);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(SortingEngineTest, SingleChunkLatencyIsLoadSortStore)
+{
+    SortingEngineConfig cfg;
+    cfg.cores = 1;
+    cfg.channel_bytes_per_cycle = 64.0;
+    SortingEngineResult r = scheduleSortingEngine(uniformTiles(1, 256), cfg);
+    // load = ceil(2048/64) = 32, sort = 256, store = 32 -> 320 cycles.
+    EXPECT_EQ(r.cycles, 320u);
+}
+
+TEST(SortingEngineTest, DoubleBufferingHidesMemoryLatency)
+{
+    SortingEngineConfig db;
+    db.cores = 4;
+    SortingEngineConfig sb = db;
+    sb.double_buffered = false;
+    auto tiles = uniformTiles(64, 2048);
+    SortingEngineResult with = scheduleSortingEngine(tiles, db);
+    SortingEngineResult without = scheduleSortingEngine(tiles, sb);
+    EXPECT_LT(with.cycles, without.cycles);
+    EXPECT_GT(with.core_busy_fraction, without.core_busy_fraction);
+}
+
+TEST(SortingEngineTest, CoreScalingGatedByChannelBandwidth)
+{
+    // Fig. 4's lesson reproduced at the engine level: at the edge-device
+    // channel (51.2 B/cycle, i.e. 3.2 entries/cycle of load+store), even
+    // 4 cores saturate the channel, so 4 -> 16 cores gains nothing; with
+    // an ample channel the same sweep scales almost linearly.
+    auto tiles = uniformTiles(256, 1024);
+
+    SortingEngineConfig narrow4, narrow16;
+    narrow4.cores = 4;
+    narrow16.cores = 16;
+    uint64_t n4 = scheduleSortingEngine(tiles, narrow4).cycles;
+    uint64_t n16 = scheduleSortingEngine(tiles, narrow16).cycles;
+    EXPECT_LT(static_cast<double>(n4) / n16, 1.15)
+        << "cores cannot help when the channel is saturated";
+
+    SortingEngineConfig wide4 = narrow4, wide16 = narrow16;
+    wide4.channel_bytes_per_cycle = 1024.0;
+    wide16.channel_bytes_per_cycle = 1024.0;
+    uint64_t w4 = scheduleSortingEngine(tiles, wide4).cycles;
+    uint64_t w16 = scheduleSortingEngine(tiles, wide16).cycles;
+    EXPECT_GT(static_cast<double>(w4) / w16, 2.5)
+        << "with bandwidth to spare, 4 -> 16 cores must scale";
+}
+
+TEST(SortingEngineTest, ChannelBoundWhenBandwidthIsScarce)
+{
+    SortingEngineConfig cfg;
+    cfg.channel_bytes_per_cycle = 4.0; // starved channel
+    auto tiles = uniformTiles(64, 2048);
+    SortingEngineResult r = scheduleSortingEngine(tiles, cfg);
+    EXPECT_GT(r.channel_busy_fraction, 0.9);
+    EXPECT_LT(r.core_busy_fraction, 0.5);
+    // Makespan is within 25% of the pure-bandwidth lower bound.
+    double bw_bound = r.bytes_moved / cfg.channel_bytes_per_cycle;
+    EXPECT_LT(r.cycles, 1.25 * bw_bound);
+    EXPECT_GE(static_cast<double>(r.cycles), bw_bound * 0.99);
+}
+
+TEST(SortingEngineTest, ComputeBoundWhenBandwidthIsAmple)
+{
+    SortingEngineConfig cfg;
+    cfg.cores = 2;
+    cfg.channel_bytes_per_cycle = 1024.0; // effectively free memory
+    auto tiles = uniformTiles(32, 4096);
+    SortingEngineResult r = scheduleSortingEngine(tiles, cfg);
+    EXPECT_GT(r.core_busy_fraction, 0.8);
+    // Lower bound: total entries / (cores * rate).
+    double compute_bound = 32.0 * 4096.0 / (2.0 * 1.0);
+    EXPECT_GE(static_cast<double>(r.cycles), compute_bound * 0.99);
+    EXPECT_LT(static_cast<double>(r.cycles), compute_bound * 1.3);
+}
+
+TEST(SortingEngineTest, SecondsConversionUsesFrequency)
+{
+    SortingEngineResult r = scheduleSortingEngine(uniformTiles(4, 512));
+    EXPECT_NEAR(r.seconds(1.0), r.cycles * 1e-9, 1e-15);
+    EXPECT_NEAR(r.seconds(2.0), r.cycles * 0.5e-9, 1e-15);
+}
+
+TEST(SortingEngineTest, AgreesWithAnalyticBandwidthModel)
+{
+    // At the paper's operating point (16 cores, 51.2 B/cycle channel,
+    // QHD-scale tables) the engine is bandwidth-bound, which is exactly
+    // what the analytic NeoModel assumes when it takes
+    // max(compute, memory). Verify the schedule's makespan is close to
+    // the bandwidth lower bound.
+    SortingEngineConfig cfg; // defaults = Table 1
+    auto tiles = uniformTiles(900, 1600); // ~1.4M entries at 64-px tiles
+    SortingEngineResult r = scheduleSortingEngine(tiles, cfg);
+    double bw_bound = r.bytes_moved / cfg.channel_bytes_per_cycle;
+    EXPECT_LT(static_cast<double>(r.cycles), 1.2 * bw_bound);
+}
+
+TEST(SortingEngineTest, RaggedTilesScheduleCompletely)
+{
+    std::vector<uint32_t> tiles{1, 0, 255, 256, 257, 5000, 3, 0, 77};
+    SortingEngineResult r = scheduleSortingEngine(tiles);
+    uint64_t entries = 1 + 255 + 256 + 257 + 5000 + 3 + 77;
+    EXPECT_EQ(r.bytes_moved, 2u * entries * 8u);
+    // chunks: 1 + 1 + 1 + 2 + 20 + 1 + 1 = 27
+    EXPECT_EQ(r.chunks, 27u);
+}
+
+} // namespace
+} // namespace neo

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(PercentileTest, EdgeCases)
+{
+    EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile(std::vector<double>{3.0}, 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(std::vector<double>{3.0}, 100.0), 3.0);
+}
+
+TEST(PercentileTest, MedianOfOddSet)
+{
+    std::vector<double> v{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenOrderStatistics)
+{
+    std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(PercentileTest, MinMaxAtExtremes)
+{
+    std::vector<double> v{9.0, -4.0, 2.0, 7.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), -4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(PercentileTest, FloatOverloadMatches)
+{
+    std::vector<float> f{1.0f, 2.0f, 3.0f, 4.0f};
+    EXPECT_NEAR(percentile(f, 50.0), 2.5, 1e-9);
+}
+
+TEST(MeanStddevTest, KnownValues)
+{
+    std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(v), 5.0);
+    EXPECT_NEAR(stddev(v), 2.138, 1e-3);
+}
+
+TEST(MeanStddevTest, DegenerateInputs)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(GeomeanTest, KnownValue)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0, 16.0}), 4.0, 1e-9);
+}
+
+TEST(CdfTest, MonotoneAndNormalized)
+{
+    Rng rng(4);
+    std::vector<double> v;
+    for (int i = 0; i < 500; ++i)
+        v.push_back(rng.uniform());
+    auto cdf = empiricalCdf(v, 32);
+    ASSERT_EQ(cdf.size(), 32u);
+    for (size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GE(cdf[i].cumulative, cdf[i - 1].cumulative);
+        EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    }
+    EXPECT_NEAR(cdf.back().cumulative, 1.0, 1e-12);
+}
+
+TEST(CdfTest, ConstantDataCollapses)
+{
+    auto cdf = empiricalCdf({2.0, 2.0, 2.0}, 16);
+    ASSERT_EQ(cdf.size(), 1u);
+    EXPECT_DOUBLE_EQ(cdf[0].value, 2.0);
+    EXPECT_DOUBLE_EQ(cdf[0].cumulative, 1.0);
+}
+
+TEST(FractionAtLeastTest, Basic)
+{
+    std::vector<double> v{0.1, 0.5, 0.9, 1.0};
+    EXPECT_DOUBLE_EQ(fractionAtLeast(v, 0.5), 0.75);
+    EXPECT_DOUBLE_EQ(fractionAtLeast(v, 2.0), 0.0);
+    EXPECT_DOUBLE_EQ(fractionAtLeast(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(fractionAtLeast({}, 0.5), 0.0);
+}
+
+TEST(RunningSummaryTest, TracksMoments)
+{
+    RunningSummary s;
+    EXPECT_EQ(s.count(), 0u);
+    s.add(3.0);
+    s.add(-1.0);
+    s.add(4.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+}
+
+TEST(HistogramTest, BinsAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);   // bin 0
+    h.add(9.5);   // bin 9
+    h.add(-5.0);  // clamps to bin 0
+    h.add(50.0);  // clamps to bin 9
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(9), 2u);
+    EXPECT_DOUBLE_EQ(h.binFraction(0), 0.5);
+    EXPECT_NEAR(h.binCenter(0), 0.5, 1e-12);
+    EXPECT_NEAR(h.binCenter(9), 9.5, 1e-12);
+}
+
+TEST(SparklineTest, LengthMatchesInput)
+{
+    EXPECT_TRUE(sparkline({}).empty());
+    auto s = sparkline({1.0, 2.0, 3.0});
+    EXPECT_FALSE(s.empty());
+}
+
+} // namespace
+} // namespace neo

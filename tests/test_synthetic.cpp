@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the synthetic scene generator and dataset presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scene/datasets.h"
+#include "scene/synthetic.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(SyntheticTest, CountRespected)
+{
+    SyntheticSceneParams p;
+    p.count = 5000;
+    GaussianScene scene = generateScene(p);
+    EXPECT_EQ(scene.size(), 5000u);
+}
+
+TEST(SyntheticTest, DeterministicInSeed)
+{
+    SyntheticSceneParams p;
+    p.count = 1000;
+    p.seed = 99;
+    GaussianScene a = generateScene(p);
+    GaussianScene b = generateScene(p);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_FLOAT_EQ(a[i].position.x, b[i].position.x);
+        EXPECT_FLOAT_EQ(a[i].opacity, b[i].opacity);
+        EXPECT_FLOAT_EQ(a[i].scale.y, b[i].scale.y);
+    }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer)
+{
+    SyntheticSceneParams p;
+    p.count = 500;
+    p.seed = 1;
+    GaussianScene a = generateScene(p);
+    p.seed = 2;
+    GaussianScene b = generateScene(p);
+    int same = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (a[i].position.x == b[i].position.x)
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(SyntheticTest, OpacitiesInValidRange)
+{
+    SyntheticSceneParams p;
+    p.count = 2000;
+    GaussianScene scene = generateScene(p);
+    for (const auto &g : scene.gaussians) {
+        EXPECT_GE(g.opacity, 0.02f);
+        EXPECT_LE(g.opacity, 0.98f);
+    }
+}
+
+TEST(SyntheticTest, ScalesArePositive)
+{
+    SyntheticSceneParams p;
+    p.count = 2000;
+    GaussianScene scene = generateScene(p);
+    for (const auto &g : scene.gaussians) {
+        EXPECT_GT(g.scale.x, 0.0f);
+        EXPECT_GT(g.scale.y, 0.0f);
+        EXPECT_GT(g.scale.z, 0.0f);
+    }
+}
+
+TEST(SyntheticTest, BoundsEncloseAllGaussians)
+{
+    SyntheticSceneParams p;
+    p.count = 2000;
+    GaussianScene scene = generateScene(p);
+    EXPECT_GT(scene.bounding_radius, 0.0f);
+    for (const auto &g : scene.gaussians) {
+        float d = (g.position - scene.center).norm();
+        EXPECT_LE(d, scene.bounding_radius + 1e-3f);
+    }
+}
+
+TEST(SyntheticTest, GroundSheetIsFlattened)
+{
+    SyntheticSceneParams p;
+    p.count = 4000;
+    p.ground_fraction = 0.5f;
+    GaussianScene scene = generateScene(p);
+    // Ground Gaussians sit near y=0 and are flattened in y; verify a good
+    // share of the scene has y-scale much smaller than x-scale.
+    int flat = 0;
+    for (const auto &g : scene.gaussians)
+        if (g.scale.y < 0.3f * g.scale.x)
+            ++flat;
+    EXPECT_GT(flat, static_cast<int>(0.2 * scene.size()));
+}
+
+TEST(DatasetsTest, SixTanksAndTemplesScenes)
+{
+    auto presets = tanksAndTemplesPresets();
+    ASSERT_EQ(presets.size(), 6u);
+    const char *expected[] = {"Family",     "Francis",    "Horse",
+                              "Lighthouse", "Playground", "Train"};
+    for (size_t i = 0; i < presets.size(); ++i)
+        EXPECT_EQ(presets[i].name, expected[i]);
+}
+
+TEST(DatasetsTest, Mill19Scenes)
+{
+    auto presets = mill19Presets();
+    ASSERT_EQ(presets.size(), 2u);
+    EXPECT_EQ(presets[0].name, "Building");
+    EXPECT_EQ(presets[1].name, "Rubble");
+    // Large-scale scenes are much larger than the T&T ones.
+    for (const auto &p : presets)
+        EXPECT_GT(p.params.count, 2000000u);
+}
+
+TEST(DatasetsTest, PresetByNameFindsBothSuites)
+{
+    EXPECT_EQ(presetByName("Train").params.count, 1000000u);
+    EXPECT_EQ(presetByName("Rubble").name, "Rubble");
+}
+
+TEST(DatasetsTest, PresetByNameUnknownDies)
+{
+    EXPECT_DEATH({ presetByName("NotAScene"); }, "unknown scene preset");
+}
+
+TEST(DatasetsTest, BuildSceneAppliesScale)
+{
+    ScenePreset p = presetByName("Horse");
+    GaussianScene scene = buildScene(p, 0.01);
+    EXPECT_EQ(scene.size(), 4500u);
+    EXPECT_EQ(scene.name, "Horse");
+}
+
+TEST(DatasetsTest, BuildSceneEnforcesMinimumCount)
+{
+    ScenePreset p = presetByName("Horse");
+    GaussianScene scene = buildScene(p, 1e-9);
+    EXPECT_EQ(scene.size(), 1000u);
+}
+
+TEST(DatasetsTest, SceneCountsSpanPaperRange)
+{
+    // The six scenes must differ in size (Train largest) so per-scene
+    // effects are visible in the benches, as in the paper.
+    auto presets = tanksAndTemplesPresets();
+    size_t train = presetByName("Train").params.count;
+    for (const auto &p : presets)
+        EXPECT_LE(p.params.count, train);
+    EXPECT_LT(presetByName("Horse").params.count, train);
+}
+
+} // namespace
+} // namespace neo

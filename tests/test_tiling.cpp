@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for tile binning / duplication.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gs/projection.h"
+#include "gs/tiling.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(TileGridTest, DimensionsRoundUp)
+{
+    TileGrid grid({100, 50, "t"}, 16);
+    EXPECT_EQ(grid.tiles_x, 7);
+    EXPECT_EQ(grid.tiles_y, 4);
+    EXPECT_EQ(grid.tileCount(), 28);
+}
+
+TEST(TileGridTest, IndexAndOriginRoundTrip)
+{
+    TileGrid grid({256, 192, "t"}, 16);
+    int idx = grid.tileIndex(3, 2);
+    Vec2 origin = grid.tileOrigin(idx);
+    EXPECT_FLOAT_EQ(origin.x, 48.0f);
+    EXPECT_FLOAT_EQ(origin.y, 32.0f);
+}
+
+TEST(TileRectTest, EmptyRect)
+{
+    TileRect r;
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.count(), 0);
+}
+
+TEST(TileRectTest, CentralGaussianCoversExpectedTiles)
+{
+    TileGrid grid({256, 192, "t"}, 16);
+    ProjectedGaussian pg;
+    pg.mean2d = {128.0f, 96.0f};
+    pg.radius_px = 20.0f;
+    TileRect r = tileRectOf(pg, grid);
+    // 128 +- 20 spans pixels 108..148 -> tiles 6..9; 96 +- 20 -> tiles 4..7.
+    EXPECT_EQ(r.x0, 6);
+    EXPECT_EQ(r.x1, 9);
+    EXPECT_EQ(r.y0, 4);
+    EXPECT_EQ(r.y1, 7);
+    EXPECT_EQ(r.count(), 16);
+}
+
+TEST(TileRectTest, ClampsToGrid)
+{
+    TileGrid grid({256, 192, "t"}, 16);
+    ProjectedGaussian pg;
+    pg.mean2d = {2.0f, 2.0f};
+    pg.radius_px = 100.0f;
+    TileRect r = tileRectOf(pg, grid);
+    EXPECT_EQ(r.x0, 0);
+    EXPECT_EQ(r.y0, 0);
+    EXPECT_LE(r.x1, grid.tiles_x - 1);
+    EXPECT_LE(r.y1, grid.tiles_y - 1);
+}
+
+TEST(TileRectTest, OffscreenGaussianIsEmpty)
+{
+    TileGrid grid({256, 192, "t"}, 16);
+    ProjectedGaussian pg;
+    pg.mean2d = {-500.0f, 96.0f};
+    pg.radius_px = 10.0f;
+    EXPECT_TRUE(tileRectOf(pg, grid).empty());
+}
+
+TEST(BinFrameTest, InstancesEqualSumOfTileLists)
+{
+    GaussianScene scene = test::blobScene(300);
+    Camera cam = test::frontCamera(5.0f);
+    BinnedFrame frame = binFrame(scene, cam, 16);
+    uint64_t sum = 0;
+    for (const auto &t : frame.tiles)
+        sum += t.size();
+    EXPECT_EQ(sum, frame.instances);
+    EXPECT_GT(frame.instances, 0u);
+}
+
+TEST(BinFrameTest, DuplicationAtLeastOneTilePerVisible)
+{
+    GaussianScene scene = test::blobScene(300);
+    Camera cam = test::frontCamera(5.0f);
+    BinnedFrame frame = binFrame(scene, cam, 16);
+    EXPECT_GE(frame.instances, frame.features.size());
+}
+
+TEST(BinFrameTest, FeatureLookupIsConsistent)
+{
+    GaussianScene scene = test::blobScene(100);
+    Camera cam = test::frontCamera(5.0f);
+    BinnedFrame frame = binFrame(scene, cam, 16);
+    for (GaussianId id = 0; id < scene.size(); ++id) {
+        if (!frame.isVisible(id))
+            continue;
+        EXPECT_EQ(frame.featureOf(id).id, id);
+    }
+}
+
+TEST(BinFrameTest, EntriesCarryFeatureDepth)
+{
+    GaussianScene scene = test::blobScene(100);
+    Camera cam = test::frontCamera(5.0f);
+    BinnedFrame frame = binFrame(scene, cam, 16);
+    for (const auto &tile : frame.tiles)
+        for (const auto &e : tile) {
+            ASSERT_TRUE(frame.isVisible(e.id));
+            EXPECT_FLOAT_EQ(e.depth, frame.featureOf(e.id).depth);
+            EXPECT_TRUE(e.valid);
+        }
+}
+
+TEST(BinFrameTest, EveryInstanceIntersectsItsTileRect)
+{
+    GaussianScene scene = test::blobScene(100);
+    Camera cam = test::frontCamera(5.0f);
+    BinnedFrame frame = binFrame(scene, cam, 16);
+    for (int tile = 0; tile < frame.grid.tileCount(); ++tile) {
+        Vec2 origin = frame.grid.tileOrigin(tile);
+        for (const auto &e : frame.tiles[tile]) {
+            const ProjectedGaussian &pg = frame.featureOf(e.id);
+            // The gaussian's bbox must overlap the tile's pixel rect.
+            EXPECT_LE(pg.mean2d.x - pg.radius_px,
+                      origin.x + frame.grid.tile_size);
+            EXPECT_GE(pg.mean2d.x + pg.radius_px, origin.x);
+            EXPECT_LE(pg.mean2d.y - pg.radius_px,
+                      origin.y + frame.grid.tile_size);
+            EXPECT_GE(pg.mean2d.y + pg.radius_px, origin.y);
+        }
+    }
+}
+
+TEST(BinFrameTest, LargerTilesMeanFewerInstances)
+{
+    GaussianScene scene = test::blobScene(500);
+    Camera cam = test::frontCamera(5.0f);
+    BinnedFrame f16 = binFrame(scene, cam, 16);
+    BinnedFrame f64 = binFrame(scene, cam, 64);
+    EXPECT_GT(f16.instances, f64.instances);
+    EXPECT_EQ(f16.features.size(), f64.features.size());
+}
+
+TEST(BinFrameTest, MeanTileLengthSane)
+{
+    GaussianScene scene = test::blobScene(500);
+    Camera cam = test::frontCamera(5.0f);
+    BinnedFrame frame = binFrame(scene, cam, 16);
+    double mean_len = frame.meanTileLength();
+    EXPECT_GT(mean_len, 0.0);
+    EXPECT_LE(mean_len, static_cast<double>(frame.instances));
+}
+
+/** Parameterized: binning must be self-consistent across tile sizes. */
+class TileSizeTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TileSizeTest, GridCoversImage)
+{
+    int tile_px = GetParam();
+    GaussianScene scene = test::blobScene(200);
+    Camera cam = test::frontCamera(5.0f);
+    BinnedFrame frame = binFrame(scene, cam, tile_px);
+    EXPECT_GE(frame.grid.tiles_x * tile_px, cam.width());
+    EXPECT_GE(frame.grid.tiles_y * tile_px, cam.height());
+    EXPECT_EQ(frame.tiles.size(),
+              static_cast<size_t>(frame.grid.tileCount()));
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, TileSizeTest,
+                         ::testing::Values(8, 16, 32, 64));
+
+} // namespace
+} // namespace neo

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the camera trajectories.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scene/trajectory.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+TEST(TrajectoryTest, OrbitKeepsDistanceToCenter)
+{
+    Trajectory traj(TrajectoryKind::Orbit, {0.0f, 0.0f, 0.0f}, 10.0f, 1.0f);
+    for (int f = 0; f < 50; f += 5) {
+        Camera cam = traj.cameraAt(f, test::smallRes());
+        Vec3 offset = cam.position();
+        // Horizontal distance stays at 1.25 * radius.
+        float horiz = std::sqrt(offset.x * offset.x + offset.z * offset.z);
+        EXPECT_NEAR(horiz, 12.5f, 0.2f);
+    }
+}
+
+TEST(TrajectoryTest, ConsecutiveFramesMoveSlightly)
+{
+    Trajectory traj(TrajectoryKind::Orbit, {0.0f, 0.0f, 0.0f}, 10.0f, 1.0f);
+    Camera a = traj.cameraAt(10, test::smallRes());
+    Camera b = traj.cameraAt(11, test::smallRes());
+    float step = (a.position() - b.position()).norm();
+    EXPECT_GT(step, 1e-4f);
+    EXPECT_LT(step, 0.5f); // smooth at 30 FPS capture rate
+}
+
+TEST(TrajectoryTest, SpeedMultiplierScalesStep)
+{
+    Trajectory slow(TrajectoryKind::Orbit, {0.0f, 0.0f, 0.0f}, 10.0f, 1.0f);
+    Trajectory fast(TrajectoryKind::Orbit, {0.0f, 0.0f, 0.0f}, 10.0f, 8.0f);
+    float step1 = (slow.cameraAt(1, test::smallRes()).position() -
+                   slow.cameraAt(0, test::smallRes()).position())
+                      .norm();
+    float step8 = (fast.cameraAt(1, test::smallRes()).position() -
+                   fast.cameraAt(0, test::smallRes()).position())
+                      .norm();
+    EXPECT_NEAR(step8 / step1, 8.0f, 0.8f);
+}
+
+TEST(TrajectoryTest, OrbitLooksAtCenter)
+{
+    Vec3 center{2.0f, 1.0f, -3.0f};
+    Trajectory traj(TrajectoryKind::Orbit, center, 8.0f, 1.0f);
+    for (int f = 0; f < 60; f += 10) {
+        Camera cam = traj.cameraAt(f, test::smallRes());
+        Vec3 c = cam.toCameraSpace(center);
+        EXPECT_GT(c.z, 0.0f) << "center in front of camera";
+        EXPECT_NEAR(c.x, 0.0f, 1e-3f);
+        EXPECT_NEAR(c.y, 0.0f, 1e-3f);
+    }
+}
+
+TEST(TrajectoryTest, DollyRadiusOscillates)
+{
+    Trajectory traj(TrajectoryKind::Dolly, {0.0f, 0.0f, 0.0f}, 10.0f, 4.0f);
+    float min_d = 1e9f, max_d = 0.0f;
+    for (int f = 0; f < 200; ++f) {
+        Vec3 p = traj.cameraAt(f, test::smallRes()).position();
+        float d = std::sqrt(p.x * p.x + p.z * p.z);
+        min_d = std::min(min_d, d);
+        max_d = std::max(max_d, d);
+    }
+    EXPECT_GT(max_d - min_d, 2.0f);
+}
+
+TEST(TrajectoryTest, WalkAdvancesMonotonically)
+{
+    Trajectory traj(TrajectoryKind::Walk, {0.0f, 0.0f, 0.0f}, 10.0f, 1.0f);
+    float prev_x = traj.cameraAt(0, test::smallRes()).position().x;
+    for (int f = 1; f < 50; ++f) {
+        float x = traj.cameraAt(f, test::smallRes()).position().x;
+        EXPECT_GT(x, prev_x);
+        prev_x = x;
+    }
+}
+
+TEST(TrajectoryTest, SceneConstructorUsesBounds)
+{
+    GaussianScene scene = test::blobScene(100);
+    Trajectory traj(TrajectoryKind::Orbit, scene, 1.0f);
+    Camera cam = traj.cameraAt(0, test::smallRes());
+    // The camera must be outside the scene bounds and see the center.
+    EXPECT_GT((cam.position() - scene.center).norm(),
+              scene.bounding_radius);
+}
+
+/** Parameterized smoothness sweep over speeds (Fig. 17b scenario). */
+class TrajectorySpeedTest : public ::testing::TestWithParam<float>
+{
+};
+
+TEST_P(TrajectorySpeedTest, StepScalesLinearly)
+{
+    float speed = GetParam();
+    Trajectory base(TrajectoryKind::Orbit, {0.0f, 0.0f, 0.0f}, 10.0f, 1.0f);
+    Trajectory fast(TrajectoryKind::Orbit, {0.0f, 0.0f, 0.0f}, 10.0f,
+                    speed);
+    float s1 = (base.cameraAt(1, test::smallRes()).position() -
+                base.cameraAt(0, test::smallRes()).position())
+                   .norm();
+    float sx = (fast.cameraAt(1, test::smallRes()).position() -
+                fast.cameraAt(0, test::smallRes()).position())
+                   .norm();
+    EXPECT_NEAR(sx / s1, speed, 0.15f * speed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, TrajectorySpeedTest,
+                         ::testing::Values(2.0f, 4.0f, 8.0f, 16.0f));
+
+} // namespace
+} // namespace neo

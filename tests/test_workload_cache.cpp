@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for workload serialization and the on-disk cache.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "sim/workload_cache.h"
+
+namespace neo
+{
+namespace
+{
+
+FrameWorkload
+sampleWorkload(int i)
+{
+    FrameWorkload w;
+    w.res = kResHD;
+    w.tile_size = 16;
+    w.scene_gaussians = 1000 + i;
+    w.visible_gaussians = 900 + i;
+    w.instances = 5000 + i;
+    w.blend_ops = 123456 + i;
+    w.intersection_tests = 777 + i;
+    w.incoming_instances = 42 + i;
+    w.outgoing_instances = 17 + i;
+    w.mean_tile_retention = 0.9 + 0.001 * i;
+    w.tile_lengths = {1u, 2u, 3u, static_cast<uint32_t>(i)};
+    return w;
+}
+
+TEST(WorkloadCacheTest, SaveLoadRoundTrip)
+{
+    std::vector<FrameWorkload> seq{sampleWorkload(0), sampleWorkload(1),
+                                   sampleWorkload(2)};
+    const char *path = "/tmp/neo_test_workloads.bin";
+    ASSERT_TRUE(saveWorkloads(path, seq));
+    auto loaded = loadWorkloads(path);
+    ASSERT_EQ(loaded.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(loaded[i].scene_gaussians, seq[i].scene_gaussians);
+        EXPECT_EQ(loaded[i].instances, seq[i].instances);
+        EXPECT_EQ(loaded[i].blend_ops, seq[i].blend_ops);
+        EXPECT_EQ(loaded[i].incoming_instances,
+                  seq[i].incoming_instances);
+        EXPECT_DOUBLE_EQ(loaded[i].mean_tile_retention,
+                         seq[i].mean_tile_retention);
+        EXPECT_EQ(loaded[i].tile_lengths, seq[i].tile_lengths);
+        EXPECT_EQ(loaded[i].res.width, seq[i].res.width);
+        EXPECT_EQ(loaded[i].tile_size, seq[i].tile_size);
+    }
+    std::remove(path);
+}
+
+TEST(WorkloadCacheTest, MissingFileLoadsEmpty)
+{
+    EXPECT_TRUE(loadWorkloads("/tmp/neo_no_such_file.bin").empty());
+}
+
+TEST(WorkloadCacheTest, CorruptMagicLoadsEmpty)
+{
+    const char *path = "/tmp/neo_test_corrupt.bin";
+    std::FILE *f = std::fopen(path, "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("garbage", f);
+    std::fclose(f);
+    EXPECT_TRUE(loadWorkloads(path).empty());
+    std::remove(path);
+}
+
+TEST(WorkloadCacheTest, KeyStemEncodesEveryField)
+{
+    WorkloadKey a{"Horse", 1.0, kResHD, 16, 8, 1.0f};
+    WorkloadKey b = a;
+    EXPECT_EQ(a.stem(), b.stem());
+    b.tile_px = 64;
+    EXPECT_NE(a.stem(), b.stem());
+    b = a;
+    b.speed = 2.0f;
+    EXPECT_NE(a.stem(), b.stem());
+    b = a;
+    b.res = kResQHD;
+    EXPECT_NE(a.stem(), b.stem());
+    b = a;
+    b.scene_scale = 0.5;
+    EXPECT_NE(a.stem(), b.stem());
+    b = a;
+    b.frames = 4;
+    EXPECT_NE(a.stem(), b.stem());
+}
+
+TEST(WorkloadCacheTest, MissThenHitProducesSameSequence)
+{
+    const char *dir = "/tmp/neo_test_cache_dir";
+    WorkloadKey key{"Horse", 0.005, {128, 96, "t"}, 16, 3, 1.0f};
+    // Miss: computed from the functional pipeline.
+    auto first = cachedWorkloads(key, dir);
+    ASSERT_EQ(first.size(), 3u);
+    EXPECT_GT(first[0].instances, 0u);
+    // Hit: loaded from disk, bit-identical counters.
+    auto second = cachedWorkloads(key, dir);
+    ASSERT_EQ(second.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(second[i].instances, first[i].instances);
+        EXPECT_EQ(second[i].blend_ops, first[i].blend_ops);
+        EXPECT_EQ(second[i].tile_lengths, first[i].tile_lengths);
+    }
+    // Clean up.
+    std::string cmd = std::string("rm -rf ") + dir;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+}
+
+TEST(WorkloadCacheTest, EmptySequenceRoundTrips)
+{
+    const char *path = "/tmp/neo_test_empty.bin";
+    ASSERT_TRUE(saveWorkloads(path, {}));
+    EXPECT_TRUE(loadWorkloads(path).empty());
+    std::remove(path);
+}
+
+} // namespace
+} // namespace neo
