@@ -11,7 +11,10 @@
  */
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "common/rng.h"
 #include "sort/dynamic_partial.h"

@@ -7,6 +7,7 @@
  */
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 
 #include "core/reuse_update.h"

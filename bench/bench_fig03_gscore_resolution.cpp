@@ -7,6 +7,9 @@
  * measures 66.7 / 31.1 / 15.8 FPS on average).
  */
 
+#include <cstdio>
+#include <vector>
+
 #include "bench_common.h"
 #include "sim/gscore_model.h"
 

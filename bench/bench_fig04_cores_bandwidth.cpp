@@ -8,6 +8,9 @@
  * 15.4/17.0/17.3 (51.2), 24.3/31.4/34.6 (102.4), 34.4/50.8/66.3 (204.8).
  */
 
+#include <cstdio>
+#include <vector>
+
 #include "bench_common.h"
 #include "sim/gscore_model.h"
 

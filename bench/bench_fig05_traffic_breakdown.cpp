@@ -7,6 +7,9 @@
  * GSCore at QHD — and grows with resolution.
  */
 
+#include <cstdio>
+#include <vector>
+
 #include "bench_common.h"
 #include "sim/gpu_model.h"
 #include "sim/gscore_model.h"

@@ -7,6 +7,9 @@
  * scenes over 90% of tiles retain more than 78% of their Gaussians.
  */
 
+#include <cstdio>
+#include <vector>
+
 #include "bench_common.h"
 #include "common/stats.h"
 #include "core/delta_tracker.h"

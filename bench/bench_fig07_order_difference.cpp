@@ -8,6 +8,10 @@
  */
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/stats.h"

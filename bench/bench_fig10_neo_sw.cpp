@@ -9,6 +9,8 @@
  * runtime and the insert/delete merges diverge on SIMT hardware.
  */
 
+#include <cstdio>
+
 #include "bench_common.h"
 #include "sim/gpu_model.h"
 

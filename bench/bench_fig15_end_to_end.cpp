@@ -8,6 +8,8 @@
  * 5.0/7.2/10.0x over Orin at HD/FHD/QHD; Neo ~99.3 FPS at QHD).
  */
 
+#include <cstdio>
+
 #include "bench_common.h"
 #include "sim/gpu_model.h"
 #include "sim/gscore_model.h"

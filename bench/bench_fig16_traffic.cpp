@@ -7,6 +7,8 @@
  * of 346.5 / 104.6 / 19.6 GB, i.e. reductions of 94.4% / 81.3% by Neo.
  */
 
+#include <cstdio>
+
 #include "bench_common.h"
 #include "sim/gpu_model.h"
 #include "sim/gscore_model.h"

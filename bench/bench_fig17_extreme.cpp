@@ -7,6 +7,11 @@
  *      the 60 FPS SLO even though reuse decreases.
  */
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+
 #include "bench_common.h"
 #include "sim/gpu_model.h"
 #include "sim/gscore_model.h"

@@ -15,6 +15,8 @@
  * bytes than full Neo.
  */
 
+#include <cstdio>
+
 #include "bench_common.h"
 #include "sim/gscore_model.h"
 #include "sim/neo_model.h"

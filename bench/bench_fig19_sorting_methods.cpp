@@ -17,6 +17,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/stats.h"

@@ -8,6 +8,9 @@
  */
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 

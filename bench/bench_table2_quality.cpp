@@ -12,6 +12,7 @@
  */
 
 #include <algorithm>
+#include <cstdio>
 
 #include "bench_common.h"
 #include "core/neo_renderer.h"

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification, exactly what CI runs:
+#   configure with -Werror on neo's own sources, build everything
+#   (libraries, all test/bench/example targets), run ctest.
+# The ctest log is left at build/Testing/Temporary/LastTest.log for upload.
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S . -DNEO_WERROR=ON "$@"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "ci.sh: all green (log: $BUILD_DIR/Testing/Temporary/LastTest.log)"

@@ -1,0 +1,31 @@
+# Shared warning/optimisation flags for neo's own targets, applied via the
+# neo::compile_options interface target so third-party code (GoogleTest)
+# never inherits -Werror.
+
+add_library(neo_compile_options INTERFACE)
+add_library(neo::compile_options ALIAS neo_compile_options)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(neo_compile_options INTERFACE
+        -Wall -Wextra)
+    if(NEO_WERROR)
+        target_compile_options(neo_compile_options INTERFACE -Werror)
+    endif()
+elseif(MSVC)
+    target_compile_options(neo_compile_options INTERFACE /W4)
+    if(NEO_WERROR)
+        target_compile_options(neo_compile_options INTERFACE /WX)
+    endif()
+endif()
+
+# Convenience wrapper: declare one static library per src/ module with the
+# canonical include path (repo-root/src) and the shared warning flags.
+function(neo_add_module name)
+    cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+    add_library(${name} STATIC ${ARG_SOURCES})
+    add_library(neo::${name} ALIAS ${name})
+    target_include_directories(${name} PUBLIC "${PROJECT_SOURCE_DIR}/src")
+    target_link_libraries(${name}
+        PUBLIC ${ARG_DEPS}
+        PRIVATE neo::compile_options)
+endfunction()

@@ -10,6 +10,7 @@
  * the three modeled systems (orin | gscore | neo).
  */
 
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>

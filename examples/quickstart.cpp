@@ -57,8 +57,11 @@ main(int argc, char **argv)
 
     // 4. Save the last frame.
     image.clampChannels();
-    if (image.writePpm(out_path))
-        std::printf("wrote %s (%dx%d)\n", out_path, image.width(),
-                    image.height());
+    if (!image.writePpm(out_path)) {
+        std::fprintf(stderr, "error: could not write %s\n", out_path);
+        return 1;
+    }
+    std::printf("wrote %s (%dx%d)\n", out_path, image.width(),
+                image.height());
     return 0;
 }

@@ -9,7 +9,9 @@
  */
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "common/rng.h"
 #include "sort/dynamic_partial.h"

@@ -1,7 +1,10 @@
 #include "common/image.h"
 
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 namespace neo
 {

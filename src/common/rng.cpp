@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include <cmath>
+#include <cstdint>
 
 namespace neo
 {

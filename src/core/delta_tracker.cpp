@@ -1,6 +1,10 @@
 #include "core/delta_tracker.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/stats.h"
 

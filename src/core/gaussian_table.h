@@ -13,6 +13,7 @@
 #ifndef NEO_CORE_GAUSSIAN_TABLE_H
 #define NEO_CORE_GAUSSIAN_TABLE_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -1,5 +1,7 @@
 #include "core/neo_renderer.h"
 
+#include <cstdint>
+
 namespace neo
 {
 

@@ -1,6 +1,10 @@
 #include "core/reuse_update.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace neo
 {

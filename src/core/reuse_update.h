@@ -24,6 +24,7 @@
 #define NEO_CORE_REUSE_UPDATE_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/delta_tracker.h"

@@ -8,6 +8,7 @@
 #ifndef NEO_GS_CULLING_H
 #define NEO_GS_CULLING_H
 
+#include <cstddef>
 #include <vector>
 
 #include "gs/camera.h"

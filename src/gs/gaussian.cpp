@@ -1,6 +1,7 @@
 #include "gs/gaussian.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace neo
 {

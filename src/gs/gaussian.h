@@ -10,6 +10,7 @@
 #define NEO_GS_GAUSSIAN_H
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -1,6 +1,8 @@
 #include "gs/pipeline.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "common/logging.h"
 

@@ -1,5 +1,6 @@
 #include "gs/projection.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "gs/sh.h"

@@ -1,6 +1,8 @@
 #include "gs/prune.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"

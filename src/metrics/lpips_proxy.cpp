@@ -1,6 +1,8 @@
 #include "metrics/lpips_proxy.h"
 
 #include <cmath>
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"

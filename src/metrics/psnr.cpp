@@ -1,6 +1,7 @@
 #include "metrics/psnr.h"
 
 #include <cmath>
+#include <cstddef>
 
 #include "common/logging.h"
 

@@ -1,6 +1,7 @@
 #include "metrics/ssim.h"
 
 #include <cmath>
+#include <cstddef>
 #include <vector>
 
 #include "common/logging.h"

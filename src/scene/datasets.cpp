@@ -1,6 +1,10 @@
 #include "scene/datasets.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "common/logging.h"
 

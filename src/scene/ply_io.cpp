@@ -1,6 +1,8 @@
 #include "scene/ply_io.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <string>

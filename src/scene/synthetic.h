@@ -14,7 +14,9 @@
 #ifndef NEO_SCENE_SYNTHETIC_H
 #define NEO_SCENE_SYNTHETIC_H
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "gs/gaussian.h"
 

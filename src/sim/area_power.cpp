@@ -1,6 +1,7 @@
 #include "sim/area_power.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/logging.h"
 

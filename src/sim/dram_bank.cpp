@@ -1,5 +1,10 @@
 #include "sim/dram_bank.h"
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "common/rng.h"
 
 namespace neo

@@ -1,6 +1,9 @@
 #include "sim/perf_harness.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
 
 #include "core/delta_tracker.h"
 

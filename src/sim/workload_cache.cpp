@@ -1,9 +1,13 @@
 #include "sim/workload_cache.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <sys/stat.h>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "sim/perf_harness.h"

@@ -1,7 +1,10 @@
 #include "sort/bitonic.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "common/logging.h"
 

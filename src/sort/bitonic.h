@@ -10,6 +10,7 @@
 #ifndef NEO_SORT_BITONIC_H
 #define NEO_SORT_BITONIC_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

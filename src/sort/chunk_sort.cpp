@@ -1,6 +1,8 @@
 #include "sort/chunk_sort.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <vector>
 
 #include "common/logging.h"
 

@@ -11,6 +11,7 @@
 #ifndef NEO_SORT_CHUNK_SORT_H
 #define NEO_SORT_CHUNK_SORT_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

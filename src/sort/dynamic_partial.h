@@ -13,7 +13,9 @@
 #ifndef NEO_SORT_DYNAMIC_PARTIAL_H
 #define NEO_SORT_DYNAMIC_PARTIAL_H
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sort/chunk_sort.h"

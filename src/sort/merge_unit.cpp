@@ -1,6 +1,8 @@
 #include "sort/merge_unit.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <vector>
 
 namespace neo
 {

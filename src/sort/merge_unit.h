@@ -11,6 +11,7 @@
 #ifndef NEO_SORT_MERGE_UNIT_H
 #define NEO_SORT_MERGE_UNIT_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -1,6 +1,10 @@
 #include "sort/strategies.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace neo
 {

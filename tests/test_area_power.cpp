@@ -4,6 +4,7 @@
  */
 
 #include <gtest/gtest.h>
+#include <string>
 
 #include "sim/area_power.h"
 

@@ -4,6 +4,8 @@
  */
 
 #include <algorithm>
+#include <cstddef>
+#include <vector>
 
 #include <gtest/gtest.h>
 

@@ -3,6 +3,8 @@
  * Unit tests for the pinhole camera.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "gs/camera.h"

@@ -3,6 +3,10 @@
  * Unit tests for chunk-granular sorting (one Sorting Core operation).
  */
 
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "sort/chunk_sort.h"

@@ -3,6 +3,8 @@
  * Unit tests for frustum culling.
  */
 
+#include <cstddef>
+
 #include <gtest/gtest.h>
 
 #include "gs/culling.h"

@@ -3,6 +3,10 @@
  * Unit tests for per-tile membership delta tracking.
  */
 
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "core/delta_tracker.h"

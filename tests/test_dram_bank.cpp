@@ -5,6 +5,7 @@
  */
 
 #include <algorithm>
+#include <cstdint>
 
 #include <gtest/gtest.h>
 

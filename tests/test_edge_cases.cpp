@@ -7,6 +7,10 @@
  */
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 

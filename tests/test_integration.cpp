@@ -6,6 +6,10 @@
  * strategy quality ordering of Fig. 19.
  */
 
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/stats.h"

@@ -8,7 +8,10 @@
  * safe to ship.
  */
 
+#include <cstddef>
+#include <cstdint>
 #include <unordered_set>
+#include <vector>
 
 #include <gtest/gtest.h>
 

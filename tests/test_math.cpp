@@ -3,6 +3,8 @@
  * Unit tests for the linear-algebra toolkit.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "common/math.h"

@@ -5,6 +5,9 @@
  */
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 

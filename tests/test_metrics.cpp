@@ -4,6 +4,9 @@
  * monotonicity in corruption strength (the property Table 2 relies on).
  */
 
+#include <algorithm>
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "common/image.h"

@@ -8,6 +8,10 @@
  * what §4.4/Fig. 18 say they cost.
  */
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "sim/perf_harness.h"

@@ -3,6 +3,10 @@
  * Unit tests for the end-to-end baseline pipeline.
  */
 
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "gs/pipeline.h"

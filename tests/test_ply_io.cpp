@@ -3,6 +3,8 @@
  * Unit tests for 3DGS PLY import/export.
  */
 
+#include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <unistd.h>
 

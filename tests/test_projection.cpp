@@ -3,6 +3,8 @@
  * Unit tests for EWA projection / feature extraction.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "gs/projection.h"

@@ -3,6 +3,9 @@
  * Unit tests for scene pruning (the §7 composition with Neo).
  */
 
+#include <cstddef>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "gs/prune.h"

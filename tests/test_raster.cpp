@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 

@@ -4,6 +4,9 @@
  */
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <unordered_set>
 
 #include <gtest/gtest.h>

@@ -3,6 +3,9 @@
  * Unit tests for the deterministic RNG.
  */
 
+#include <cmath>
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"

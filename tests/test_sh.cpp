@@ -3,6 +3,8 @@
  * Unit tests for spherical-harmonics color evaluation.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"

@@ -6,6 +6,10 @@
  * consistency with the analytic NeoModel's bandwidth-bound assumption.
  */
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "sim/sorting_engine.h"

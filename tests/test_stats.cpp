@@ -3,6 +3,9 @@
  * Unit tests for the statistics helpers.
  */
 
+#include <cstddef>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"

@@ -3,6 +3,10 @@
  * Unit tests for the baseline sorting-reuse strategies (§4.1 design space).
  */
 
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "gs/pipeline.h"

@@ -3,6 +3,8 @@
  * Unit tests for the synthetic scene generator and dataset presets.
  */
 
+#include <cstddef>
+
 #include <gtest/gtest.h>
 
 #include "scene/datasets.h"

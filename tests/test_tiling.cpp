@@ -3,6 +3,9 @@
  * Unit tests for tile binning / duplication.
  */
 
+#include <cstddef>
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "gs/projection.h"

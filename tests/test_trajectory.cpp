@@ -3,6 +3,9 @@
  * Unit tests for the camera trajectories.
  */
 
+#include <algorithm>
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "scene/trajectory.h"

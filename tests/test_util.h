@@ -7,6 +7,9 @@
 #ifndef NEO_TESTS_TEST_UTIL_H
 #define NEO_TESTS_TEST_UTIL_H
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"

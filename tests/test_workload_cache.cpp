@@ -3,8 +3,12 @@
  * Unit tests for workload serialization and the on-disk cache.
  */
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
