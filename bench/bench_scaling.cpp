@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Thread-scaling bench — first point of the repo's perf trajectory.
+ *
+ * Renders a synthetic-scene orbit end to end (culling + projection + SH,
+ * binning, per-tile sorting, rasterization) through the functional
+ * pipeline at 1/2/4/8 worker threads and reports ms/frame plus the
+ * speedup over the serial baseline. Frame hashes are checked across all
+ * points: a mismatch means the determinism contract of common/parallel.h
+ * is broken and the run fails.
+ *
+ *   ./bench_scaling [--json out.json] [--gaussians N] [--frames N]
+ *                   [--threads-list 1,2,4,8]
+ *
+ * With --json the results are written machine-readable (BENCH_PR2.json
+ * schema) for CI artifact upload and trend tracking.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/parallel.h"
+#include "scene/synthetic.h"
+#include "scene/trajectory.h"
+#include "sim/perf_harness.h"
+
+using namespace neo;
+
+namespace
+{
+
+struct Args
+{
+    std::string json_path;
+    size_t gaussians = 30000;
+    int frames = 5;
+    std::vector<int> threads = {1, 2, 4, 8};
+};
+
+std::vector<int>
+parseThreadList(const char *s)
+{
+    std::vector<int> out;
+    for (const char *p = s; *p;) {
+        int v = std::atoi(p);
+        if (v > 0)
+            out.push_back(v);
+        while (*p && *p != ',')
+            ++p;
+        if (*p == ',')
+            ++p;
+    }
+    return out;
+}
+
+Args
+parse(int argc, char **argv)
+{
+    Args a;
+    for (int i = 1; i < argc; i += 2) {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "flag '%s' needs a value\n", argv[i]);
+            std::exit(2);
+        }
+        if (std::strcmp(argv[i], "--json") == 0)
+            a.json_path = argv[i + 1];
+        else if (std::strcmp(argv[i], "--gaussians") == 0)
+            a.gaussians = static_cast<size_t>(std::atol(argv[i + 1]));
+        else if (std::strcmp(argv[i], "--frames") == 0)
+            a.frames = std::atoi(argv[i + 1]);
+        else if (std::strcmp(argv[i], "--threads-list") == 0)
+            a.threads = parseThreadList(argv[i + 1]);
+        else {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            std::exit(2);
+        }
+    }
+    if (a.threads.empty())
+        a.threads = {1};
+    return a;
+}
+
+bool
+writeJson(const std::string &path, const Args &args, Resolution res,
+          const std::vector<ThreadScalingPoint> &points, bool deterministic)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    double best = 0.0;
+    for (const auto &p : points)
+        best = p.speedup > best ? p.speedup : best;
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"scaling\",\n");
+    std::fprintf(f, "  \"pr\": 2,\n");
+    std::fprintf(f, "  \"pipeline\": \"functional-render\",\n");
+    std::fprintf(f, "  \"scene\": \"synthetic-orbit\",\n");
+    std::fprintf(f, "  \"gaussians\": %zu,\n", args.gaussians);
+    std::fprintf(f, "  \"resolution\": \"%dx%d\",\n", res.width,
+                 res.height);
+    std::fprintf(f, "  \"frames\": %d,\n", args.frames);
+    std::fprintf(f, "  \"machine_cores\": %d,\n", hardwareThreadCount());
+    std::fprintf(f, "  \"deterministic_across_threads\": %s,\n",
+                 deterministic ? "true" : "false");
+    std::fprintf(f, "  \"points\": [\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+        const ThreadScalingPoint &p = points[i];
+        std::fprintf(f,
+                     "    {\"threads\": %d, \"ms_per_frame\": %.3f, "
+                     "\"speedup\": %.3f}%s\n",
+                     p.threads, p.ms_per_frame, p.speedup,
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"max_speedup\": %.3f\n", best);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parse(argc, argv);
+
+    bench::banner("Thread scaling of the functional pipeline",
+                  "perf trajectory, PR 2",
+                  "near-linear scaling of the tile-parallel stages; "
+                  "bit-identical frames at every thread count");
+
+    SyntheticSceneParams params;
+    params.count = args.gaussians;
+    params.clusters = 8;
+    params.extent = 8.0f;
+    params.seed = 2026;
+    params.name = "scaling";
+    GaussianScene scene = generateScene(params);
+    Trajectory orbit(TrajectoryKind::Orbit, scene);
+    const Resolution res{640, 384, "bench"};
+
+    std::printf("scene: %zu gaussians, %d frames @ %dx%d, machine has %d "
+                "hardware thread(s)\n\n",
+                scene.size(), args.frames, res.width, res.height,
+                hardwareThreadCount());
+
+    std::vector<ThreadScalingPoint> points = sweepRenderThreads(
+        scene, orbit, res, args.frames, args.threads);
+
+    bool deterministic = true;
+    for (const auto &p : points)
+        deterministic = deterministic &&
+                        p.frame_hash == points.front().frame_hash;
+
+    std::printf("%-10s %-14s %-10s %s\n", "threads", "ms/frame", "speedup",
+                "frame hash");
+    for (const auto &p : points)
+        std::printf("%-10d %-14.2f %-10.2f %016llx\n", p.threads,
+                    p.ms_per_frame, p.speedup,
+                    static_cast<unsigned long long>(p.frame_hash));
+    std::printf("\ndeterminism across thread counts: %s\n",
+                deterministic ? "OK (bit-identical frames)" : "FAILED");
+
+    if (!args.json_path.empty()) {
+        if (!writeJson(args.json_path, args, res, points, deterministic)) {
+            std::fprintf(stderr, "error: could not write %s\n",
+                         args.json_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", args.json_path.c_str());
+    }
+    return deterministic ? 0 : 1;
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Machine-readable perf trajectory entry point.
+#
+# Runs the thread-scaling bench against an existing build and writes
+# BENCH_PR2.json (schema: see bench_scaling.cpp) into the repo root, so
+# every PR from here on can append a comparable point to the trajectory.
+#
+#   bench/run_benches.sh [BUILD_DIR] [OUTPUT_JSON]
+#
+# BUILD_DIR defaults to ./build; OUTPUT_JSON to ./BENCH_PR2.json.
+# Knobs: NEO_BENCH_GAUSSIANS / NEO_BENCH_FRAMES_SCALING / NEO_BENCH_THREADS
+# shrink or grow the run (CI smoke uses the defaults).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_PR2.json}"
+
+GAUSSIANS="${NEO_BENCH_GAUSSIANS:-30000}"
+FRAMES="${NEO_BENCH_FRAMES_SCALING:-5}"
+THREADS="${NEO_BENCH_THREADS:-1,2,4,8}"
+
+BIN="$BUILD_DIR/bench/bench_scaling"
+if [[ ! -x "$BIN" ]]; then
+    echo "error: $BIN not built (run: cmake --build $BUILD_DIR -t bench_scaling)" >&2
+    exit 1
+fi
+
+"$BIN" --json "$OUT_JSON" \
+       --gaussians "$GAUSSIANS" \
+       --frames "$FRAMES" \
+       --threads-list "$THREADS"
+
+echo "run_benches.sh: wrote $OUT_JSON"

@@ -4,10 +4,13 @@
  * point a downstream user would reach for:
  *
  *   ./neo_sim_cli --scene Train --system neo --res qhd \
- *                 --frames 8 --speed 2 --bandwidth 51.2 --scale 1.0
+ *                 --frames 8 --speed 2 --bandwidth 51.2 --scale 1.0 \
+ *                 --threads 8
  *
  * Prints per-frame latency/traffic and the sequence summary for one of
- * the three modeled systems (orin | gscore | neo).
+ * the three modeled systems (orin | gscore | neo). --threads N drives the
+ * functional workload extraction on a cache miss (0 = NEO_THREADS env,
+ * -1 = all cores); extracted workloads are bit-identical for any value.
  */
 
 #include <cstddef>
@@ -17,6 +20,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "sim/gpu_model.h"
 #include "sim/gscore_model.h"
 #include "sim/neo_model.h"
@@ -37,6 +41,7 @@ struct Args
     float speed = 1.0f;
     double bandwidth = 51.2;
     double scale = 1.0;
+    int threads = 0;
 };
 
 Resolution
@@ -72,6 +77,8 @@ parse(int argc, char **argv)
             a.bandwidth = std::atof(v);
         else if (k == "--scale")
             a.scale = std::atof(v);
+        else if (k == "--threads")
+            a.threads = std::atoi(v);
         else
             fatal("unknown flag '%s'", k.c_str());
     }
@@ -89,7 +96,10 @@ main(int argc, char **argv)
 
     WorkloadKey key{args.scene, args.scale, res, tile_px, args.frames,
                     args.speed};
-    auto seq = cachedWorkloads(key, defaultCacheDir());
+    std::printf("threads: %d effective (requested %d, machine has %d)\n",
+                resolveThreadCount(args.threads), args.threads,
+                hardwareThreadCount());
+    auto seq = cachedWorkloads(key, defaultCacheDir(), args.threads);
 
     SequenceResult result;
     if (args.system == "orin") {

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -92,6 +94,23 @@ Image::writePpm(const std::string &path) const
     }
     std::fclose(f);
     return true;
+}
+
+uint64_t
+Image::contentHash() const
+{
+    uint64_t h = 1469598103934665603ull;
+    for (const Vec3 &px : data_) {
+        for (float c : {px.x, px.y, px.z}) {
+            uint32_t bits;
+            std::memcpy(&bits, &c, sizeof(bits));
+            for (int i = 0; i < 4; ++i) {
+                h ^= (bits >> (8 * i)) & 0xffu;
+                h *= 1099511628211ull;
+            }
+        }
+    }
+    return h;
 }
 
 } // namespace neo

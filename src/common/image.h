@@ -8,6 +8,7 @@
 #define NEO_COMMON_IMAGE_H
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,14 @@ class Image
      * @return true on success.
      */
     bool writePpm(const std::string &path) const;
+
+    /**
+     * FNV-1a over the raw bit pattern of every pixel channel. THE
+     * definition of "bit-identical frames" shared by the determinism
+     * tests and the thread-scaling bench; collisions don't matter,
+     * sensitivity to any single changed bit does.
+     */
+    uint64_t contentHash() const;
 
   private:
     size_t index(int x, int y) const

@@ -1,0 +1,245 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+namespace neo
+{
+
+namespace
+{
+
+thread_local bool t_inside_parallel = false;
+
+/** RAII marker for "this thread is executing a chunk body". */
+struct ParallelRegionGuard
+{
+    ParallelRegionGuard() { t_inside_parallel = true; }
+    ~ParallelRegionGuard() { t_inside_parallel = false; }
+};
+
+} // namespace
+
+int
+hardwareThreadCount()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(std::min<unsigned>(n, kMaxThreads));
+}
+
+int
+resolveThreadCount(int requested)
+{
+    if (requested > 0)
+        return std::min(requested, kMaxThreads);
+    if (requested < 0)
+        return hardwareThreadCount();
+
+    const char *env = std::getenv("NEO_THREADS");
+    if (!env || !*env)
+        return 1;
+    if (std::strcmp(env, "auto") == 0 || std::strcmp(env, "0") == 0)
+        return hardwareThreadCount();
+    int v = std::atoi(env);
+    if (v > 0)
+        return std::min(v, kMaxThreads);
+    return 1;
+}
+
+size_t
+parallelChunkCount(size_t n, int threads)
+{
+    size_t t = threads < 1
+                   ? 1
+                   : static_cast<size_t>(std::min(threads, kMaxThreads));
+    return std::min(n, t);
+}
+
+ParallelRange
+parallelChunkRange(size_t n, size_t chunks, size_t chunk)
+{
+    ParallelRange r;
+    if (chunks == 0 || chunk >= chunks)
+        return r;
+    const size_t base = n / chunks;
+    const size_t extra = n % chunks;
+    r.begin = chunk * base + std::min(chunk, extra);
+    r.end = r.begin + base + (chunk < extra ? 1 : 0);
+    return r;
+}
+
+/**
+ * One dispatched job. Each job owns its claim/completion counters, so a
+ * worker that wakes up late for an already-finished job can never claim
+ * chunks of a newer one: it drains through its own snapshot of the job.
+ */
+struct ThreadPool::Job
+{
+    const std::function<void(size_t)> *fn = nullptr;
+    size_t chunks = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> remaining{0};
+    /** First exception thrown by any chunk of THIS job. */
+    std::mutex error_mutex;
+    std::exception_ptr error;
+};
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+int
+ThreadPool::workerCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(workers_.size());
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+bool
+ThreadPool::insideParallelRegion()
+{
+    return t_inside_parallel;
+}
+
+void
+ThreadPool::ensureWorkers(size_t wanted)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    wanted = std::min(wanted, static_cast<size_t>(kMaxThreads - 1));
+    while (workers_.size() < wanted)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+ThreadPool::drainJob(Job &job)
+{
+    for (;;) {
+        size_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= job.chunks)
+            return;
+        try {
+            ParallelRegionGuard guard;
+            (*job.fn)(chunk);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(job.error_mutex);
+            if (!job.error)
+                job.error = std::current_exception();
+        }
+        if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            // Last chunk done: wake the dispatching thread. The empty
+            // critical section orders the notify after its wait() check.
+            std::lock_guard<std::mutex> lock(mutex_);
+            done_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen_generation = 0;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_cv_.wait(lock, [&] {
+                return stop_ || generation_ != seen_generation;
+            });
+            if (stop_)
+                return;
+            seen_generation = generation_;
+            job = job_;
+        }
+        if (job)
+            drainJob(*job);
+    }
+}
+
+void
+ThreadPool::run(size_t chunks, const std::function<void(size_t)> &fn)
+{
+    if (chunks == 0)
+        return;
+    if (chunks == 1) {
+        ParallelRegionGuard guard;
+        fn(0);
+        return;
+    }
+
+    // One job at a time: concurrent dispatching threads (e.g. two
+    // renderers owned by different application threads) queue here
+    // instead of clobbering each other's job state.
+    std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
+
+    ensureWorkers(chunks - 1);
+
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->chunks = chunks;
+    job->remaining.store(chunks, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = job;
+        ++generation_;
+    }
+    wake_cv_.notify_all();
+
+    drainJob(*job);
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] {
+            return job->remaining.load(std::memory_order_acquire) == 0;
+        });
+        if (job_ == job)
+            job_.reset();
+    }
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+void
+parallelFor(size_t n, int threads,
+            const std::function<void(size_t, size_t, size_t)> &body)
+{
+    if (n == 0)
+        return;
+    const size_t chunks = parallelChunkCount(n, threads);
+    if (chunks <= 1 || ThreadPool::insideParallelRegion()) {
+        body(0, n, 0);
+        return;
+    }
+    ThreadPool::shared().run(chunks, [&](size_t chunk) {
+        ParallelRange r = parallelChunkRange(n, chunks, chunk);
+        body(r.begin, r.end, chunk);
+    });
+}
+
+void
+parallelForEach(size_t n, int threads,
+                const std::function<void(size_t)> &body)
+{
+    parallelFor(n, threads, [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i)
+            body(i);
+    });
+}
+
+} // namespace neo

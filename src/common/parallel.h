@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Deterministic tile-parallel execution layer: a small persistent thread
+ * pool plus parallelFor with *static* chunking.
+ *
+ * Determinism contract (guarded by tests/test_determinism.cpp): for any
+ * thread count, every parallel section of the pipeline produces bit-exact
+ * the same results as the serial path, because
+ *  - the iteration space is split into at most `threads` contiguous
+ *    chunks whose boundaries depend only on (n, threads), never on timing;
+ *  - chunk bodies write disjoint outputs (tiles own disjoint pixel
+ *    rectangles, per-Gaussian slots are index-addressed);
+ *  - accumulators are kept per chunk and merged in fixed chunk order
+ *    after the join.
+ * With threads == 1 the body runs inline on the caller thread and the pool
+ * is never touched, reproducing the historical serial path bit for bit.
+ *
+ * Thread count resolution: an explicit positive request wins; a request of
+ * 0 defers to the NEO_THREADS environment variable ("auto" or a positive
+ * integer); otherwise the pipeline stays serial. A negative request asks
+ * for one thread per hardware core.
+ */
+
+#ifndef NEO_COMMON_PARALLEL_H
+#define NEO_COMMON_PARALLEL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace neo
+{
+
+/** Upper bound on worker threads (sanity cap for bad NEO_THREADS values). */
+constexpr int kMaxThreads = 256;
+
+/** Number of hardware threads, at least 1. */
+int hardwareThreadCount();
+
+/**
+ * Resolve a requested thread count to an effective one in [1, kMaxThreads]:
+ * requested > 0 uses it verbatim (capped); requested == 0 consults
+ * NEO_THREADS (positive integer, or "auto"/"0" for all hardware threads)
+ * and defaults to 1; requested < 0 uses all hardware threads.
+ */
+int resolveThreadCount(int requested);
+
+/** Half-open index range owned by one chunk of a parallel loop. */
+struct ParallelRange
+{
+    size_t begin = 0;
+    size_t end = 0;
+
+    size_t size() const { return end - begin; }
+};
+
+/**
+ * Number of chunks parallelFor uses for @p n items on @p threads threads:
+ * min(n, max(1, threads)). Callers sizing per-chunk accumulators must use
+ * this exact function so accumulator indices match body chunk indices.
+ */
+size_t parallelChunkCount(size_t n, int threads);
+
+/**
+ * Boundaries of chunk @p chunk of @p n items split into @p chunks
+ * contiguous chunks whose sizes differ by at most one (the first
+ * n % chunks chunks get the extra item). Pure function of its arguments.
+ */
+ParallelRange parallelChunkRange(size_t n, size_t chunks, size_t chunk);
+
+/**
+ * Persistent worker pool. One process-wide instance is shared by all
+ * renderers (ThreadPool::shared()); workers are spawned lazily on first
+ * use and park on a condition variable between jobs, so an idle pool
+ * costs nothing and threads == 1 never creates any.
+ */
+class ThreadPool
+{
+  public:
+    ThreadPool() = default;
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Workers currently spawned (excludes the calling thread). */
+    int workerCount() const;
+
+    /**
+     * Execute fn(chunk) for every chunk in [0, chunks) and block until all
+     * complete. The caller participates as a worker. Chunk-to-thread
+     * assignment is dynamic (work claiming), which is safe because chunk
+     * bodies only touch chunk-indexed state. The first exception thrown by
+     * any chunk is rethrown here after the join (tracked per job, so
+     * concurrent jobs cannot observe each other's exceptions).
+     *
+     * Safe to call from multiple application threads: concurrent run()
+     * calls serialize on an internal dispatch lock (one job at a time).
+     * Not reentrant from inside a chunk body — use parallelFor, which
+     * detects that case via insideParallelRegion() and runs inline.
+     */
+    void run(size_t chunks, const std::function<void(size_t)> &fn);
+
+    /** Process-wide shared pool. */
+    static ThreadPool &shared();
+
+    /** True while the current thread is executing a chunk body. */
+    static bool insideParallelRegion();
+
+  private:
+    struct Job;
+
+    void ensureWorkers(size_t wanted);
+    void workerLoop();
+    /** Claim and execute chunks of @p job until none remain. */
+    void drainJob(Job &job);
+
+    /** Serializes whole jobs: one dispatching thread at a time. */
+    std::mutex dispatch_mutex_;
+    mutable std::mutex mutex_;
+    std::condition_variable wake_cv_;
+    std::condition_variable done_cv_;
+    std::vector<std::thread> workers_;
+
+    /** Most recently dispatched job; workers snapshot it under the lock. */
+    std::shared_ptr<Job> job_;
+    uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+/**
+ * Deterministic statically-chunked parallel loop: invoke
+ * body(begin, end, chunk) for every chunk of [0, n). With an effective
+ * thread count <= 1 (or n <= 1, or when already inside a parallel region)
+ * the body runs inline as body(0, n, 0) without touching the pool.
+ *
+ * @param n iteration count
+ * @param threads effective thread count (callers resolve requests via
+ *        resolveThreadCount; values <= 1 mean serial)
+ * @param body chunk body; must only write chunk-owned state
+ */
+void parallelFor(size_t n, int threads,
+                 const std::function<void(size_t, size_t, size_t)> &body);
+
+/** Element-wise convenience wrapper over parallelFor: body(i) per index. */
+void parallelForEach(size_t n, int threads,
+                     const std::function<void(size_t)> &body);
+
+/**
+ * parallelFor with one default-constructed accumulator per chunk:
+ * body(begin, end, acc) runs once per chunk with exclusive access to its
+ * accumulator (counters, scratch buffers, ...). Returns the accumulators
+ * in chunk order so the caller merges them deterministically. The vector
+ * is sized with parallelChunkCount, keeping the accumulator-per-chunk
+ * invariant single-sourced.
+ */
+template <typename Accum, typename Body>
+std::vector<Accum>
+parallelForAccumulate(size_t n, int threads, Body &&body)
+{
+    std::vector<Accum> acc(parallelChunkCount(n, threads));
+    parallelFor(n, threads, [&](size_t begin, size_t end, size_t chunk) {
+        body(begin, end, acc[chunk]);
+    });
+    return acc;
+}
+
+} // namespace neo
+
+#endif // NEO_COMMON_PARALLEL_H

@@ -17,13 +17,17 @@ NeoRenderer::neoDefaultOptions()
 NeoRenderer::NeoRenderer(PipelineOptions opts, DynamicPartialConfig dps)
     : base_(opts), sorter_(dps)
 {
+    // One thread knob drives every stage: binning/projection (binFrame),
+    // reuse-and-update sorting (sorter_), and rasterization (base_).
+    sorter_.setThreads(opts.threads);
 }
 
 Image
 NeoRenderer::renderFrame(const GaussianScene &scene, const Camera &camera,
                          uint64_t frame_index, NeoFrameReport *report)
 {
-    BinnedFrame frame = binFrame(scene, camera, base_.options().tile_px);
+    BinnedFrame frame = binFrame(scene, camera, base_.options().tile_px,
+                                 base_.options().threads);
     sorter_.beginFrame(frame, frame_index);
 
     FrameStats stats;
@@ -44,7 +48,8 @@ FrameWorkload
 NeoRenderer::extractWorkload(const GaussianScene &scene,
                              const Camera &camera, uint64_t frame_index)
 {
-    BinnedFrame frame = binFrame(scene, camera, base_.options().tile_px);
+    BinnedFrame frame = binFrame(scene, camera, base_.options().tile_px,
+                                 base_.options().threads);
     sorter_.beginFrame(frame, frame_index);
 
     FrameWorkload w = base_.workloadFromBinned(frame, camera.resolution());

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/parallel.h"
+
 namespace neo
 {
 
@@ -40,40 +42,66 @@ ReuseUpdateSorter::coldStart(const BinnedFrame &frame)
 {
     // First frame (or a resolution change): build and fully sort every
     // table from scratch, exactly like a conventional pipeline would.
+    // Each tile's table is independent, so the sorts run in parallel with
+    // per-chunk counters merged in fixed chunk order.
     report_.cold_start = true;
     tables_.reset(frame.tiles.size());
-    for (size_t t = 0; t < frame.tiles.size(); ++t) {
-        tables_.table(t) = frame.tiles[t];
-        fullSortTable(tables_.table(t), &stats_);
-    }
+    for (const SortCoreStats &s : parallelForAccumulate<SortCoreStats>(
+             frame.tiles.size(), threads_,
+             [&](size_t begin, size_t end, SortCoreStats &cs) {
+                 for (size_t t = begin; t < end; ++t) {
+                     tables_.table(t) = frame.tiles[t];
+                     fullSortTable(tables_.table(t), &cs);
+                 }
+             }))
+        stats_ += s;
     report_.incoming = delta_.incoming_total;
 }
 
 void
 ReuseUpdateSorter::updateFrame(const BinnedFrame &frame, uint64_t frame_index)
 {
-    std::vector<TileEntry> merged;
-    for (size_t t = 0; t < frame.tiles.size(); ++t) {
-        std::vector<TileEntry> &table = tables_.table(t);
-        TileDelta &td = delta_.tiles[t];
+    // Steps ①-③ touch only tile-local state (the persistent table, the
+    // tile's delta, and a per-worker merge buffer), so tiles process in
+    // parallel; counters accumulate per chunk and merge in chunk order.
+    struct ChunkAccum
+    {
+        SortCoreStats stats;
+        uint64_t incoming = 0;
+        uint64_t deleted = 0;
+    };
+    const size_t tiles = frame.tiles.size();
+    auto acc = parallelForAccumulate<ChunkAccum>(
+        tiles, threads_, [&](size_t begin, size_t end, ChunkAccum &a) {
+        std::vector<TileEntry> merged;
+        for (size_t t = begin; t < end; ++t) {
+            std::vector<TileEntry> &table = tables_.table(t);
+            TileDelta &td = delta_.tiles[t];
 
-        // ① Reordering: Dynamic Partial Sorting of the reused table.
-        dynamicPartialSort(table, frame_index, dps_, &stats_);
+            // ① Reordering: Dynamic Partial Sorting of the reused table.
+            dynamicPartialSort(table, frame_index, dps_, &a.stats);
 
-        // ② Insertion: conventional sort of the (small) incoming table.
-        std::vector<TileEntry> incoming = td.incoming;
-        fullSortTable(incoming, &stats_);
+            // ② Insertion: conventional sort of the (small) incoming
+            // table.
+            std::vector<TileEntry> incoming = td.incoming;
+            fullSortTable(incoming, &a.stats);
 
-        // ③ Deletion happens inside the same MSU+ pass that merges the
-        // incoming table: entries invalidated during the previous frame's
-        // rasterization are dropped without any shifting.
-        const uint64_t invalid_before = stats_.msu.filtered_invalid;
-        msuUpdateTable(table, incoming, merged, &stats_.msu);
-        report_.deleted += stats_.msu.filtered_invalid - invalid_before;
-        table = std::move(merged);
-        merged.clear();
+            // ③ Deletion happens inside the same MSU+ pass that merges
+            // the incoming table: entries invalidated during the previous
+            // frame's rasterization are dropped without any shifting.
+            const uint64_t invalid_before = a.stats.msu.filtered_invalid;
+            msuUpdateTable(table, incoming, merged, &a.stats.msu);
+            a.deleted += a.stats.msu.filtered_invalid - invalid_before;
+            table = std::move(merged);
+            merged.clear();
 
-        report_.incoming += incoming.size();
+            a.incoming += incoming.size();
+        }
+    });
+    for (const ChunkAccum &a : acc) {
+        stats_ += a.stats;
+        report_.incoming += a.incoming;
+        report_.deleted += a.deleted;
     }
 }
 
@@ -86,20 +114,29 @@ ReuseUpdateSorter::deferredDepthUpdate(const BinnedFrame &frame)
     // footprint no longer intersects the tile (cumulative-OR of the ITU
     // bitmaps). Both take effect for the *next* frame's sorting pass.
     static const std::vector<GaussianId> kNoOutgoing;
-    for (size_t t = 0; t < tables_.tileCount(); ++t) {
-        const auto &outgoing = delta_.tiles.size() == tables_.tileCount()
-                                   ? delta_.tiles[t].outgoing_ids
-                                   : kNoOutgoing;
-        for (TileEntry &e : tables_.table(t)) {
-            if (frame.isVisible(e.id))
-                e.depth = frame.featureOf(e.id).depth;
-            if (!outgoing.empty() &&
-                std::binary_search(outgoing.begin(), outgoing.end(), e.id)) {
-                e.valid = false;
-                ++report_.outgoing_marked;
+    const bool soa = frame.hasFeatureArrays();
+    const size_t tiles = tables_.tileCount();
+    for (uint64_t marked : parallelForAccumulate<uint64_t>(
+             tiles, threads_, [&](size_t begin, size_t end,
+                                  uint64_t &m) {
+        for (size_t t = begin; t < end; ++t) {
+            const auto &outgoing = delta_.tiles.size() == tiles
+                                       ? delta_.tiles[t].outgoing_ids
+                                       : kNoOutgoing;
+            for (TileEntry &e : tables_.table(t)) {
+                if (frame.isVisible(e.id))
+                    e.depth = soa ? frame.depth[frame.slotOf(e.id)]
+                                  : frame.featureOf(e.id).depth;
+                if (!outgoing.empty() &&
+                    std::binary_search(outgoing.begin(), outgoing.end(),
+                                       e.id)) {
+                    e.valid = false;
+                    ++m;
+                }
             }
         }
-    }
+    }))
+        report_.outgoing_marked += marked;
 }
 
 } // namespace neo

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
+#include "common/parallel.h"
 #include "gs/projection.h"
 
 namespace neo
@@ -27,15 +29,25 @@ inFrustum(const Gaussian &g, const Camera &camera, float margin)
 }
 
 CullResult
-cullScene(const GaussianScene &scene, const Camera &camera, float margin)
+cullScene(const GaussianScene &scene, const Camera &camera, float margin,
+          int threads)
 {
     CullResult r;
     r.total = scene.size();
+
+    auto parts = parallelForAccumulate<std::vector<GaussianId>>(
+        scene.size(), resolveThreadCount(threads),
+        [&](size_t begin, size_t end, std::vector<GaussianId> &part) {
+            part.reserve(end - begin);
+            for (size_t id = begin; id < end; ++id) {
+                if (inFrustum(scene[id], camera, margin))
+                    part.push_back(static_cast<GaussianId>(id));
+            }
+        });
+
     r.visible.reserve(scene.size());
-    for (GaussianId id = 0; id < scene.size(); ++id) {
-        if (inFrustum(scene[id], camera, margin))
-            r.visible.push_back(id);
-    }
+    for (const auto &part : parts)
+        r.visible.insert(r.visible.end(), part.begin(), part.end());
     return r;
 }
 

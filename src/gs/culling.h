@@ -37,9 +37,17 @@ struct CullResult
  */
 bool inFrustum(const Gaussian &g, const Camera &camera, float margin = 1.0f);
 
-/** Cull an entire scene. */
+/**
+ * Cull an entire scene. The visible list is always in ascending scene
+ * order: with threads > 1 the scene is split into contiguous id chunks
+ * whose per-chunk results are concatenated in chunk order, so the output
+ * is identical for any thread count.
+ *
+ * @param threads requested thread count (resolveThreadCount semantics:
+ *        0 defers to NEO_THREADS, default serial)
+ */
 CullResult cullScene(const GaussianScene &scene, const Camera &camera,
-                     float margin = 1.0f);
+                     float margin = 1.0f, int threads = 0);
 
 } // namespace neo
 

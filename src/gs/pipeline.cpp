@@ -1,10 +1,12 @@
 #include "gs/pipeline.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace neo
 {
@@ -29,9 +31,13 @@ FrameWorkload::meanTileLength() const
 BinnedFrame
 Renderer::prepare(const GaussianScene &scene, const Camera &camera) const
 {
-    BinnedFrame frame = binFrame(scene, camera, opts_.tile_px);
-    for (auto &tile : frame.tiles)
-        std::sort(tile.begin(), tile.end(), entryDepthLess);
+    const int threads = resolveThreadCount(opts_.threads);
+    BinnedFrame frame = binFrame(scene, camera, opts_.tile_px, threads);
+    // Each tile's ordering is independent of every other tile's.
+    parallelForEach(frame.tiles.size(), threads, [&](size_t t) {
+        std::sort(frame.tiles[t].begin(), frame.tiles[t].end(),
+                  entryDepthLess);
+    });
     return frame;
 }
 
@@ -58,17 +64,32 @@ Renderer::renderWithOrdering(
     local.instances = frame.instances;
     local.mean_tile_length = frame.meanTileLength();
 
-    for (int tile = 0; tile < grid.tileCount(); ++tile) {
-        const std::vector<TileEntry> &order =
-            (tile < static_cast<int>(orderings.size()) &&
-             !orderings[tile].empty())
-                ? orderings[tile]
-                : frame.tiles[tile];
-        if (order.empty())
-            continue;
-        local.raster +=
-            rasterizeTile(order, frame, tile, opts_.raster, &image);
-    }
+    // Tiles own disjoint pixel rectangles of the framebuffer, so parallel
+    // rasterization is race-free; counters accumulate per chunk and merge
+    // in fixed chunk order below to stay deterministic.
+    struct RasterAccum
+    {
+        RasterStats stats;
+        RasterScratch scratch;
+    };
+    const int threads = resolveThreadCount(opts_.threads);
+    const size_t tile_count = static_cast<size_t>(grid.tileCount());
+    for (const RasterAccum &a : parallelForAccumulate<RasterAccum>(
+             tile_count, threads,
+             [&](size_t begin, size_t end, RasterAccum &acc) {
+                 for (size_t t = begin; t < end; ++t) {
+                     const std::vector<TileEntry> &order =
+                         (t < orderings.size() && !orderings[t].empty())
+                             ? orderings[t]
+                             : frame.tiles[t];
+                     if (order.empty())
+                         continue;
+                     acc.stats += rasterizeTile(
+                         order, frame, static_cast<int>(t), opts_.raster,
+                         &image, nullptr, &acc.scratch);
+                 }
+             }))
+        local.raster += a.stats;
     if (stats)
         *stats = local;
     return image;
@@ -91,18 +112,35 @@ Renderer::workloadFromBinned(const BinnedFrame &frame, Resolution res) const
     w.scene_gaussians = frame.feature_of_id.size();
     w.visible_gaussians = frame.features.size();
     w.instances = frame.instances;
-    w.tile_lengths.reserve(frame.tiles.size());
     const int subtiles_1d = frame.grid.tile_size / opts_.raster.subtile_size;
-    for (int tile = 0; tile < frame.grid.tileCount(); ++tile) {
-        const auto &entries = frame.tiles[tile];
-        w.tile_lengths.push_back(static_cast<uint32_t>(entries.size()));
-        if (entries.empty())
-            continue;
-        w.blend_ops +=
-            estimateTileBlendOps(entries, frame, tile, opts_.raster);
-        w.intersection_tests += entries.size() *
-                                static_cast<uint64_t>(subtiles_1d) *
-                                subtiles_1d;
+    const int threads = resolveThreadCount(opts_.threads);
+    const size_t tile_count = static_cast<size_t>(frame.grid.tileCount());
+    w.tile_lengths.resize(tile_count);
+
+    struct WorkAccum
+    {
+        uint64_t blend_ops = 0;
+        uint64_t intersection_tests = 0;
+    };
+    for (const WorkAccum &a : parallelForAccumulate<WorkAccum>(
+             tile_count, threads,
+             [&](size_t begin, size_t end, WorkAccum &a) {
+                 for (size_t t = begin; t < end; ++t) {
+                     const auto &entries = frame.tiles[t];
+                     w.tile_lengths[t] =
+                         static_cast<uint32_t>(entries.size());
+                     if (entries.empty())
+                         continue;
+                     a.blend_ops += estimateTileBlendOps(
+                         entries, frame, static_cast<int>(t),
+                         opts_.raster);
+                     a.intersection_tests +=
+                         entries.size() *
+                         static_cast<uint64_t>(subtiles_1d) * subtiles_1d;
+                 }
+             })) {
+        w.blend_ops += a.blend_ops;
+        w.intersection_tests += a.intersection_tests;
     }
     return w;
 }

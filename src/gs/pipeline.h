@@ -30,6 +30,14 @@ struct PipelineOptions
 {
     /** Tile edge in pixels (Neo paper uses 64, GSCore/3DGS use 16). */
     int tile_px = 16;
+    /**
+     * Worker threads for the per-Gaussian and per-tile stages.
+     * 0 defers to the NEO_THREADS environment variable (default: serial),
+     * a positive value is used verbatim, and -1 means one thread per
+     * hardware core (see common/parallel.h). Results are bit-identical
+     * for every setting — threads only changes wall-clock time.
+     */
+    int threads = 0;
     RasterConfig raster;
 };
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
+#include "common/parallel.h"
+#include "gs/culling.h"
 #include "gs/sh.h"
 
 namespace neo
@@ -62,6 +65,23 @@ projectGaussian(const Gaussian &g, GaussianId id, const Camera &camera)
         return std::nullopt;
 
     out.color = shColor(g, camera.viewDirection(g.position));
+    return out;
+}
+
+std::vector<std::optional<ProjectedGaussian>>
+projectScene(const GaussianScene &scene, const Camera &camera, int threads)
+{
+    std::vector<std::optional<ProjectedGaussian>> out(scene.size());
+    parallelFor(scene.size(), resolveThreadCount(threads),
+                [&](size_t begin, size_t end, size_t) {
+                    for (size_t i = begin; i < end; ++i) {
+                        const Gaussian &g = scene[i];
+                        if (!inFrustum(g, camera))
+                            continue;
+                        out[i] = projectGaussian(
+                            g, static_cast<GaussianId>(i), camera);
+                    }
+                });
     return out;
 }
 

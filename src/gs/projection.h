@@ -11,6 +11,7 @@
 #define NEO_GS_PROJECTION_H
 
 #include <optional>
+#include <vector>
 
 #include "gs/camera.h"
 #include "gs/gaussian.h"
@@ -47,6 +48,20 @@ projectGaussian(const Gaussian &g, GaussianId id, const Camera &camera);
  */
 Vec3 ewaCovariance2d(const Mat3 &cov3d_cam, const Vec3 &cam, float focal_x,
                      float focal_y);
+
+/**
+ * Frustum-cull and project every Gaussian of @p scene (pipeline stages
+ * 1-2 for a whole frame, including the SH color evaluation). Slot i of the
+ * result always corresponds to Gaussian i, and each slot is a pure
+ * function of (scene[i], camera), so the output is bit-identical for any
+ * thread count.
+ *
+ * @param threads requested thread count (resolveThreadCount semantics:
+ *        0 defers to NEO_THREADS, default serial)
+ */
+std::vector<std::optional<ProjectedGaussian>>
+projectScene(const GaussianScene &scene, const Camera &camera,
+             int threads = 0);
 
 } // namespace neo
 

@@ -13,22 +13,26 @@ namespace neo
 {
 
 SubtileBitmap
-subtileBitmap(const ProjectedGaussian &pg, Vec2 tile_origin, int tile_size,
+subtileBitmap(Vec2 mean2d, float radius_px, Vec2 tile_origin, int tile_size,
               int subtile_size)
 {
     const int subtiles = tile_size / subtile_size;
+    const float step = static_cast<float>(subtile_size);
+    const float r2 = radius_px * radius_px;
     SubtileBitmap bitmap = 0;
     int bit = 0;
-    for (int sy = 0; sy < subtiles; ++sy) {
-        for (int sx = 0; sx < subtiles; ++sx, ++bit) {
-            // Closest point of the subtile rectangle to the Gaussian center.
-            float x0 = tile_origin.x + sx * subtile_size;
-            float y0 = tile_origin.y + sy * subtile_size;
-            float cx = clamp(pg.mean2d.x, x0, x0 + subtile_size);
-            float cy = clamp(pg.mean2d.y, y0, y0 + subtile_size);
-            float dx = cx - pg.mean2d.x;
-            float dy = cy - pg.mean2d.y;
-            if (dx * dx + dy * dy <= pg.radius_px * pg.radius_px)
+    float y0 = tile_origin.y;
+    for (int sy = 0; sy < subtiles; ++sy, y0 += step) {
+        // Closest point of the subtile rectangle to the Gaussian center;
+        // the y term is constant across the inner row.
+        const float cy = clamp(mean2d.y, y0, y0 + step);
+        const float dy = cy - mean2d.y;
+        const float dy2 = dy * dy;
+        float x0 = tile_origin.x;
+        for (int sx = 0; sx < subtiles; ++sx, ++bit, x0 += step) {
+            float cx = clamp(mean2d.x, x0, x0 + step);
+            float dx = cx - mean2d.x;
+            if (dx * dx + dy2 <= r2)
                 bitmap |= (SubtileBitmap{1} << bit);
         }
     }
@@ -38,7 +42,7 @@ subtileBitmap(const ProjectedGaussian &pg, Vec2 tile_origin, int tile_size,
 RasterStats
 rasterizeTile(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
               int tile, const RasterConfig &cfg, Image *image,
-              std::vector<uint8_t> *valid_out)
+              std::vector<uint8_t> *valid_out, RasterScratch *scratch)
 {
     RasterStats stats;
     const TileGrid &grid = frame.grid;
@@ -52,16 +56,27 @@ rasterizeTile(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
     if (valid_out)
         valid_out->assign(entries.size(), 0);
 
+    RasterScratch local;
+    RasterScratch &scr = scratch ? *scratch : local;
+
+    // SoA footprint arrays when in sync (always, for binFrame output);
+    // fall back to the AoS feature records otherwise.
+    const bool soa = frame.hasFeatureArrays();
+
     // Phase 1 (ITU): subtile bitmaps and valid bits.
-    std::vector<SubtileBitmap> bitmaps(entries.size());
+    std::vector<SubtileBitmap> &bitmaps = scr.bitmaps;
+    bitmaps.assign(entries.size(), 0);
     for (size_t i = 0; i < entries.size(); ++i) {
-        if (!entries[i].valid || !frame.isVisible(entries[i].id)) {
-            bitmaps[i] = 0;
+        if (!entries[i].valid || !frame.isVisible(entries[i].id))
             continue;
-        }
-        const ProjectedGaussian &pg = frame.featureOf(entries[i].id);
+        const int32_t slot = frame.slotOf(entries[i].id);
+        const Vec2 mean = soa ? frame.mean2d[slot]
+                              : frame.features[slot].mean2d;
+        const float radius = soa ? frame.radius_px[slot]
+                                 : frame.features[slot].radius_px;
         bitmaps[i] =
-            subtileBitmap(pg, origin, tile_size, cfg.subtile_size);
+            subtileBitmap(mean, radius, origin, tile_size,
+                          cfg.subtile_size);
         stats.intersection_tests +=
             static_cast<uint64_t>(subtiles) * subtiles;
         if (bitmaps[i]) {
@@ -86,9 +101,12 @@ rasterizeTile(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
     if (w <= 0 || h <= 0)
         return stats;
 
-    std::vector<float> transmittance(static_cast<size_t>(w) * h, 1.0f);
-    std::vector<Vec3> accum(static_cast<size_t>(w) * h, Vec3{});
-    std::vector<uint8_t> done(static_cast<size_t>(w) * h, 0);
+    std::vector<float> &transmittance = scr.transmittance;
+    std::vector<Vec3> &accum = scr.accum;
+    std::vector<uint8_t> &done = scr.done;
+    transmittance.assign(static_cast<size_t>(w) * h, 1.0f);
+    accum.assign(static_cast<size_t>(w) * h, Vec3{});
+    done.assign(static_cast<size_t>(w) * h, 0);
     size_t live_pixels = static_cast<size_t>(w) * h;
 
     for (size_t i = 0; i < entries.size() && live_pixels > 0; ++i) {
@@ -147,6 +165,7 @@ estimateTileBlendOps(const std::vector<TileEntry> &entries,
     // that are still live; the mean alpha over a Gaussian footprint is
     // opacity * E[falloff] with E[falloff] ~= 0.45 for a 3-sigma splat.
     constexpr double kMeanFalloff = 0.45;
+    const bool soa = frame.hasFeatureArrays();
     double transmittance = 1.0;
     double blend_ops = 0.0;
     for (const TileEntry &e : entries) {
@@ -154,9 +173,12 @@ estimateTileBlendOps(const std::vector<TileEntry> &entries,
             break;
         if (!e.valid || !frame.isVisible(e.id))
             continue;
-        const ProjectedGaussian &pg = frame.featureOf(e.id);
-        SubtileBitmap bm =
-            subtileBitmap(pg, origin, tile_size, cfg.subtile_size);
+        const int32_t slot = frame.slotOf(e.id);
+        const ProjectedGaussian &pg = frame.features[slot];
+        SubtileBitmap bm = subtileBitmap(
+            soa ? frame.mean2d[slot] : pg.mean2d,
+            soa ? frame.radius_px[slot] : pg.radius_px, origin, tile_size,
+            cfg.subtile_size);
         if (!bm)
             continue;
         double coverage =

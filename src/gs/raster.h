@@ -65,16 +65,37 @@ struct RasterStats
 using SubtileBitmap = uint64_t;
 
 /**
- * Intersection Test Unit model: conservative test of a projected Gaussian
- * against every subtile of a tile.
- *
- * @param pg projected Gaussian
- * @param tile_origin pixel coordinates of the tile's top-left corner
- * @param tile_size tile edge in pixels
- * @param subtile_size subtile edge in pixels
+ * Intersection Test Unit model: conservative test of a Gaussian footprint
+ * (screen center + radius) against every subtile of a tile. This SoA form
+ * is the hot path; the squared radius is hoisted out of the loop and the
+ * subtile origins advance incrementally (both exact in float, since all
+ * quantities involved are small integers).
  */
-SubtileBitmap subtileBitmap(const ProjectedGaussian &pg, Vec2 tile_origin,
+SubtileBitmap subtileBitmap(Vec2 mean2d, float radius_px, Vec2 tile_origin,
                             int tile_size, int subtile_size);
+
+/** Convenience overload reading the footprint from @p pg. */
+inline SubtileBitmap
+subtileBitmap(const ProjectedGaussian &pg, Vec2 tile_origin, int tile_size,
+              int subtile_size)
+{
+    return subtileBitmap(pg.mean2d, pg.radius_px, tile_origin, tile_size,
+                         subtile_size);
+}
+
+/**
+ * Reusable working memory of rasterizeTile. One instance per worker
+ * thread (or one for the serial path) amortizes the four per-call vector
+ * allocations across all tiles the worker rasterizes; every element is
+ * overwritten before use, so reuse cannot change results.
+ */
+struct RasterScratch
+{
+    std::vector<SubtileBitmap> bitmaps;
+    std::vector<float> transmittance;
+    std::vector<Vec3> accum;
+    std::vector<uint8_t> done;
+};
 
 /**
  * Rasterize one tile.
@@ -86,12 +107,15 @@ SubtileBitmap subtileBitmap(const ProjectedGaussian &pg, Vec2 tile_origin,
  * @param image output framebuffer, or nullptr for a stats-only dry run
  * @param valid_out when non-null, resized to entries.size() and set to the
  *        per-entry valid bit (>=1 subtile intersection)
+ * @param scratch optional reusable working memory; nullptr allocates
+ *        locally (one-shot callers, tests)
  * @return work counters for the tile
  */
 RasterStats rasterizeTile(const std::vector<TileEntry> &entries,
                           const BinnedFrame &frame, int tile,
                           const RasterConfig &cfg, Image *image,
-                          std::vector<uint8_t> *valid_out = nullptr);
+                          std::vector<uint8_t> *valid_out = nullptr,
+                          RasterScratch *scratch = nullptr);
 
 /**
  * Estimate the blend work of a tile without touching pixels. Used by the

@@ -45,8 +45,22 @@ BinnedFrame::meanTileLength() const
     return nonempty ? static_cast<double>(total) / nonempty : 0.0;
 }
 
+void
+BinnedFrame::rebuildFeatureArrays()
+{
+    mean2d.resize(features.size());
+    radius_px.resize(features.size());
+    depth.resize(features.size());
+    for (size_t i = 0; i < features.size(); ++i) {
+        mean2d[i] = features[i].mean2d;
+        radius_px[i] = features[i].radius_px;
+        depth[i] = features[i].depth;
+    }
+}
+
 BinnedFrame
-binFrame(const GaussianScene &scene, const Camera &camera, int tile_px)
+binFrame(const GaussianScene &scene, const Camera &camera, int tile_px,
+         int threads)
 {
     BinnedFrame out;
     out.grid = TileGrid(camera.resolution(), tile_px);
@@ -54,28 +68,33 @@ binFrame(const GaussianScene &scene, const Camera &camera, int tile_px)
     out.feature_of_id.assign(scene.size(), -1);
     out.features.reserve(scene.size() / 2);
 
+    // Stages 1-2 (culling + projection + SH) are per-Gaussian pure
+    // functions; run them in parallel into id-indexed slots.
+    auto projected = projectScene(scene, camera, threads);
+
+    // Duplication stays a serial scatter in ascending id order, so the
+    // feature table, tile lists and instance count come out exactly as the
+    // historical single-thread loop produced them.
     for (GaussianId id = 0; id < scene.size(); ++id) {
-        const Gaussian &g = scene[id];
-        if (!inFrustum(g, camera))
+        if (!projected[id])
             continue;
-        auto pg = projectGaussian(g, id, camera);
-        if (!pg)
-            continue;
-        TileRect rect = tileRectOf(*pg, out.grid);
+        const ProjectedGaussian &pg = *projected[id];
+        TileRect rect = tileRectOf(pg, out.grid);
         if (rect.empty())
             continue;
 
         out.feature_of_id[id] = static_cast<int32_t>(out.features.size());
-        out.features.push_back(*pg);
+        out.features.push_back(pg);
 
         for (int ty = rect.y0; ty <= rect.y1; ++ty) {
             for (int tx = rect.x0; tx <= rect.x1; ++tx) {
                 out.tiles[out.grid.tileIndex(tx, ty)].push_back(
-                    {id, pg->depth, true});
+                    {id, pg.depth, true});
                 ++out.instances;
             }
         }
     }
+    out.rebuildFeatureArrays();
     return out;
 }
 

@@ -93,29 +93,57 @@ struct BinnedFrame
     /** Total duplicated instances (= sum of tile list lengths). */
     uint64_t instances = 0;
 
+    // SoA mirrors of the hot feature fields, indexed by feature slot
+    // (same index as `features`). The intersection-test and depth-refresh
+    // loops stream these small contiguous arrays instead of pulling whole
+    // ProjectedGaussian records through the cache. Kept in sync by
+    // binFrame(); call rebuildFeatureArrays() after mutating `features`.
+    std::vector<Vec2> mean2d;     //!< screen-space centers
+    std::vector<float> radius_px; //!< 3-sigma screen radii
+    std::vector<float> depth;     //!< camera-space depths
+
     const ProjectedGaussian &featureOf(GaussianId id) const
     {
         return features[feature_of_id[id]];
     }
+
+    /** Feature slot of @p id; only valid when isVisible(id). */
+    int32_t slotOf(GaussianId id) const { return feature_of_id[id]; }
 
     bool isVisible(GaussianId id) const
     {
         return id < feature_of_id.size() && feature_of_id[id] >= 0;
     }
 
+    /** True when the SoA arrays match `features` (hot paths require it). */
+    bool hasFeatureArrays() const
+    {
+        return mean2d.size() == features.size() &&
+               radius_px.size() == features.size() &&
+               depth.size() == features.size();
+    }
+
+    /** Regenerate the SoA arrays from `features`. */
+    void rebuildFeatureArrays();
+
     /** Mean tile-list length over non-empty tiles. */
     double meanTileLength() const;
 };
 
 /**
- * Run culling + feature extraction + duplication for one frame.
+ * Run culling + feature extraction + duplication for one frame. Culling,
+ * projection and SH evaluation run per-Gaussian in parallel; the binning
+ * scatter is a serial pass in ascending id order, so the result is
+ * bit-identical for any thread count.
  *
  * @param scene the scene
  * @param camera viewing camera
  * @param tile_px tile edge length in pixels
+ * @param threads requested thread count (resolveThreadCount semantics:
+ *        0 defers to NEO_THREADS, default serial)
  */
 BinnedFrame binFrame(const GaussianScene &scene, const Camera &camera,
-                     int tile_px);
+                     int tile_px, int threads = 0);
 
 } // namespace neo
 

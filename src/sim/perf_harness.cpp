@@ -1,10 +1,13 @@
 #include "sim/perf_harness.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "core/delta_tracker.h"
 
 namespace neo
@@ -70,10 +73,11 @@ namespace
 /** Extract one tile-geometry sequence with delta tracking. */
 std::vector<FrameWorkload>
 extractOne(const GaussianScene &scene, const Trajectory &trajectory,
-           Resolution res, int frames, int tile_px)
+           Resolution res, int frames, int tile_px, int threads)
 {
     PipelineOptions opts;
     opts.tile_px = tile_px;
+    opts.threads = threads;
     Renderer renderer(opts);
     DeltaTracker tracker;
 
@@ -96,14 +100,54 @@ extractOne(const GaussianScene &scene, const Trajectory &trajectory,
 
 WorkloadSequences
 extractSequences(const GaussianScene &scene, const Trajectory &trajectory,
-                 Resolution res, int frames, bool want16, bool want64)
+                 Resolution res, int frames, bool want16, bool want64,
+                 int threads)
 {
     WorkloadSequences seqs;
     if (want16)
-        seqs.tile16 = extractOne(scene, trajectory, res, frames, 16);
+        seqs.tile16 =
+            extractOne(scene, trajectory, res, frames, 16, threads);
     if (want64)
-        seqs.tile64 = extractOne(scene, trajectory, res, frames, 64);
+        seqs.tile64 =
+            extractOne(scene, trajectory, res, frames, 64, threads);
     return seqs;
+}
+
+std::vector<ThreadScalingPoint>
+sweepRenderThreads(const GaussianScene &scene, const Trajectory &trajectory,
+                   Resolution res, int frames,
+                   const std::vector<int> &thread_counts,
+                   PipelineOptions opts)
+{
+    using clock = std::chrono::steady_clock;
+
+    std::vector<ThreadScalingPoint> points;
+    points.reserve(thread_counts.size());
+    for (int requested : thread_counts) {
+        opts.threads = requested;
+        Renderer renderer(opts);
+
+        // One untimed warm-up frame spins up the worker pool and faults
+        // in the scene, so the timed frames measure steady state.
+        Image image = renderer.render(scene, trajectory.cameraAt(0, res));
+
+        auto t0 = clock::now();
+        for (int f = 0; f < frames; ++f)
+            image = renderer.render(scene, trajectory.cameraAt(f, res));
+        auto t1 = clock::now();
+
+        ThreadScalingPoint p;
+        p.threads = resolveThreadCount(requested);
+        p.ms_per_frame =
+            std::chrono::duration<double, std::milli>(t1 - t0).count() /
+            std::max(frames, 1);
+        p.frame_hash = image.contentHash();
+        p.speedup = points.empty()
+                        ? 1.0
+                        : points.front().ms_per_frame / p.ms_per_frame;
+        points.push_back(p);
+    }
+    return points;
 }
 
 SequenceResult

@@ -56,11 +56,40 @@ struct WorkloadSequences
  *
  * @param want16 extract the 16-px tile sequence (GPU/GSCore)
  * @param want64 extract the 64-px tile sequence (Neo)
+ * @param threads worker threads for the functional pipeline
+ *        (resolveThreadCount semantics: 0 defers to NEO_THREADS); the
+ *        extracted workloads are bit-identical for any value
  */
 WorkloadSequences extractSequences(const GaussianScene &scene,
                                    const Trajectory &trajectory,
                                    Resolution res, int frames,
-                                   bool want16 = true, bool want64 = true);
+                                   bool want16 = true, bool want64 = true,
+                                   int threads = 0);
+
+/** One measurement of the thread-scaling sweep. */
+struct ThreadScalingPoint
+{
+    int threads = 1;          //!< effective worker-thread count
+    double ms_per_frame = 0;  //!< mean wall-clock per frame
+    double speedup = 1.0;     //!< vs the sweep's first (baseline) point
+    uint64_t frame_hash = 0;  //!< FNV-1a over the last rendered frame
+};
+
+/**
+ * Thread-scaling sweep over the *functional* pipeline (not the cycle
+ * models): render @p frames frames of @p trajectory at each requested
+ * thread count and report wall-clock per frame plus a frame hash, which
+ * must be identical across all points (determinism contract). The first
+ * entry of @p thread_counts is the speedup baseline.
+ *
+ * @param opts pipeline geometry for the sweep; opts.threads is overridden
+ *        by each sweep point
+ */
+std::vector<ThreadScalingPoint>
+sweepRenderThreads(const GaussianScene &scene, const Trajectory &trajectory,
+                   Resolution res, int frames,
+                   const std::vector<int> &thread_counts,
+                   PipelineOptions opts = {});
 
 /** Simulate a workload sequence on the GPU model. */
 SequenceResult simulateGpu(const GpuModel &model,

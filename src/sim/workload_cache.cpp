@@ -135,7 +135,8 @@ defaultCacheDir()
 }
 
 std::vector<FrameWorkload>
-cachedWorkloads(const WorkloadKey &key, const std::string &cache_dir)
+cachedWorkloads(const WorkloadKey &key, const std::string &cache_dir,
+                int threads)
 {
     ::mkdir(cache_dir.c_str(), 0755);
     std::string path = cache_dir + "/" + key.stem() + ".bin";
@@ -150,7 +151,7 @@ cachedWorkloads(const WorkloadKey &key, const std::string &cache_dir)
 
     WorkloadSequences seqs =
         extractSequences(scene, traj, key.res, key.frames,
-                         key.tile_px == 16, key.tile_px == 64);
+                         key.tile_px == 16, key.tile_px == 64, threads);
     seq = key.tile_px == 16 ? std::move(seqs.tile16)
                             : std::move(seqs.tile64);
     if (seq.empty())

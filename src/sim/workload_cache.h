@@ -45,9 +45,14 @@ std::vector<FrameWorkload> loadWorkloads(const std::string &path);
  * runs the functional pipeline for key.frames frames of the preset's
  * trajectory at key.speed, stores the result under @p cache_dir and
  * returns it.
+ *
+ * @param threads worker threads for the miss-path extraction
+ *        (resolveThreadCount semantics). Not part of the cache key: the
+ *        extracted workloads are bit-identical for any thread count.
  */
 std::vector<FrameWorkload> cachedWorkloads(const WorkloadKey &key,
-                                           const std::string &cache_dir);
+                                           const std::string &cache_dir,
+                                           int threads = 0);
 
 /** Default cache directory (NEO_WORKLOAD_CACHE or .workload_cache). */
 std::string defaultCacheDir();

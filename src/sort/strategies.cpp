@@ -20,6 +20,25 @@ copyTiles(const BinnedFrame &frame,
     tables.assign(frame.tiles.begin(), frame.tiles.end());
 }
 
+/**
+ * Apply @p sort_one to every table in parallel, accumulating the hardware
+ * counters per chunk and merging them into @p stats in fixed chunk order
+ * (each tile's sort is independent of every other tile's).
+ */
+template <typename SortFn>
+void
+sortTablesParallel(std::vector<std::vector<TileEntry>> &tables, int threads,
+                   SortCoreStats &stats, SortFn sort_one)
+{
+    for (const SortCoreStats &s : parallelForAccumulate<SortCoreStats>(
+             tables.size(), threads,
+             [&](size_t begin, size_t end, SortCoreStats &cs) {
+                 for (size_t t = begin; t < end; ++t)
+                     sort_one(tables[t], &cs);
+             }))
+        stats += s;
+}
+
 } // namespace
 
 void
@@ -59,8 +78,10 @@ FullSortStrategy::beginFrame(const BinnedFrame &frame, uint64_t frame_index)
 {
     (void)frame_index;
     copyTiles(frame, tables_);
-    for (auto &table : tables_)
-        fullSortTable(table, &stats_);
+    sortTablesParallel(tables_, threads_, stats_,
+                       [](std::vector<TileEntry> &t, SortCoreStats *s) {
+                           fullSortTable(t, s);
+                       });
 }
 
 void
@@ -69,8 +90,10 @@ HierarchicalSortStrategy::beginFrame(const BinnedFrame &frame,
 {
     (void)frame_index;
     copyTiles(frame, tables_);
-    for (auto &table : tables_)
-        hierarchicalSortTable(table, &stats_);
+    sortTablesParallel(tables_, threads_, stats_,
+                       [](std::vector<TileEntry> &t, SortCoreStats *s) {
+                           hierarchicalSortTable(t, s);
+                       });
 }
 
 void
@@ -87,8 +110,10 @@ PeriodicSortStrategy::beginFrame(const BinnedFrame &frame,
         return;
     }
     copyTiles(frame, tables_);
-    for (auto &table : tables_)
-        fullSortTable(table, &stats_);
+    sortTablesParallel(tables_, threads_, stats_,
+                       [](std::vector<TileEntry> &t, SortCoreStats *s) {
+                           fullSortTable(t, s);
+                       });
 }
 
 void
@@ -102,8 +127,10 @@ BackgroundSortStrategy::beginFrame(const BinnedFrame &frame,
         tables_ = std::move(pending_);
 
     pending_.assign(frame.tiles.begin(), frame.tiles.end());
-    for (auto &table : pending_)
-        fullSortTable(table, &stats_);
+    sortTablesParallel(pending_, threads_, stats_,
+                       [](std::vector<TileEntry> &t, SortCoreStats *s) {
+                           fullSortTable(t, s);
+                       });
 
     if (tables_.empty() || tables_.size() != frame.tiles.size()) {
         // First frame (or resolution change): nothing stale to serve yet.

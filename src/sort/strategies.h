@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "gs/tiling.h"
 #include "sort/chunk_sort.h"
 
@@ -59,8 +60,20 @@ class SortingStrategy
         return s;
     }
 
+    /**
+     * Set the worker-thread count used by beginFrame. Tiles are sorted
+     * independently, so any count produces identical orderings and
+     * counters (per-chunk counter accumulators merge in fixed order).
+     * Accepts resolveThreadCount semantics (0 = NEO_THREADS env).
+     */
+    void setThreads(int threads) { threads_ = resolveThreadCount(threads); }
+
+    /** Effective worker-thread count (>= 1). */
+    int threads() const { return threads_; }
+
   protected:
     SortCoreStats stats_;
+    int threads_ = resolveThreadCount(0);
 };
 
 /**

@@ -80,6 +80,22 @@ TEST(CullingTest, AllVisibleWhenLookingAtBlob)
     EXPECT_EQ(r.visible.size(), 200u);
 }
 
+TEST(CullingTest, ParallelCullMatchesSerialExactly)
+{
+    // The parallel path concatenates per-chunk results in chunk order, so
+    // the visible list must be identical to the serial one for any thread
+    // count — including more threads than hardware cores.
+    GaussianScene scene = test::blobScene(1000, 23);
+    Camera cam = test::frontCamera(4.0f);
+    CullResult serial = cullScene(scene, cam, 1.0f, 1);
+    for (int threads : {2, 8}) {
+        CullResult parallel = cullScene(scene, cam, 1.0f, threads);
+        EXPECT_EQ(parallel.total, serial.total);
+        EXPECT_EQ(parallel.visible, serial.visible)
+            << "threads=" << threads;
+    }
+}
+
 TEST(CullingTest, NothingVisibleFacingAway)
 {
     GaussianScene scene = test::blobScene(200);

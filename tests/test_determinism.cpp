@@ -8,10 +8,11 @@
  */
 
 #include <cstdint>
-#include <cstring>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/neo_renderer.h"
 #include "gs/pipeline.h"
 #include "scene/synthetic.h"
 #include "test_util.h"
@@ -21,25 +22,11 @@ namespace neo::test
 namespace
 {
 
-/** FNV-1a over the raw bit pattern of every pixel channel. */
+/** Canonical bit-pattern hash shared with the scaling bench. */
 uint64_t
 hashImage(const Image &img)
 {
-    uint64_t h = 1469598103934665603ull;
-    auto mix = [&h](uint32_t bits) {
-        for (int i = 0; i < 4; ++i) {
-            h ^= (bits >> (8 * i)) & 0xffu;
-            h *= 1099511628211ull;
-        }
-    };
-    for (const Vec3 &px : img.pixels()) {
-        for (float c : {px.x, px.y, px.z}) {
-            uint32_t bits;
-            std::memcpy(&bits, &c, sizeof(bits));
-            mix(bits);
-        }
-    }
-    return h;
+    return img.contentHash();
 }
 
 struct RunResult
@@ -50,7 +37,7 @@ struct RunResult
 };
 
 RunResult
-runPipeline(uint64_t seed)
+runPipeline(uint64_t seed, int threads = 1)
 {
     SyntheticSceneParams params;
     params.seed = seed;
@@ -58,7 +45,9 @@ runPipeline(uint64_t seed)
     params.name = "determinism";
     GaussianScene scene = generateScene(params);
 
-    Renderer renderer;
+    PipelineOptions opts;
+    opts.threads = threads;
+    Renderer renderer(opts);
     Camera cam = frontCamera();
 
     RunResult out;
@@ -67,18 +56,119 @@ runPipeline(uint64_t seed)
     return out;
 }
 
-TEST(Determinism, SameSeedBitIdenticalFrames)
+void
+expectEqualRuns(const RunResult &a, const RunResult &b)
 {
-    const RunResult a = runPipeline(42);
-    const RunResult b = runPipeline(42);
-
     EXPECT_EQ(a.frame_hash, b.frame_hash);
     EXPECT_EQ(a.stats.scene_gaussians, b.stats.scene_gaussians);
     EXPECT_EQ(a.stats.visible_gaussians, b.stats.visible_gaussians);
     EXPECT_EQ(a.stats.instances, b.stats.instances);
+    EXPECT_EQ(a.stats.raster.gaussians_in, b.stats.raster.gaussians_in);
+    EXPECT_EQ(a.stats.raster.intersection_tests,
+              b.stats.raster.intersection_tests);
+    EXPECT_EQ(a.stats.raster.gaussians_blended,
+              b.stats.raster.gaussians_blended);
+    EXPECT_EQ(a.stats.raster.blend_ops, b.stats.raster.blend_ops);
+    EXPECT_EQ(a.stats.raster.pixels_terminated,
+              b.stats.raster.pixels_terminated);
     EXPECT_EQ(a.workload.instances, b.workload.instances);
     EXPECT_EQ(a.workload.blend_ops, b.workload.blend_ops);
+    EXPECT_EQ(a.workload.intersection_tests,
+              b.workload.intersection_tests);
     EXPECT_EQ(a.workload.tile_lengths, b.workload.tile_lengths);
+}
+
+void
+expectEqualSortStats(const SortCoreStats &a, const SortCoreStats &b)
+{
+    EXPECT_EQ(a.bsu.subchunks, b.bsu.subchunks);
+    EXPECT_EQ(a.bsu.compare_exchanges, b.bsu.compare_exchanges);
+    EXPECT_EQ(a.bsu.stages, b.bsu.stages);
+    EXPECT_EQ(a.msu.merges, b.msu.merges);
+    EXPECT_EQ(a.msu.elements_processed, b.msu.elements_processed);
+    EXPECT_EQ(a.msu.compares, b.msu.compares);
+    EXPECT_EQ(a.msu.filtered_invalid, b.msu.filtered_invalid);
+    EXPECT_EQ(a.chunk_loads, b.chunk_loads);
+    EXPECT_EQ(a.chunk_stores, b.chunk_stores);
+    EXPECT_EQ(a.entries_read, b.entries_read);
+    EXPECT_EQ(a.entries_written, b.entries_written);
+    EXPECT_EQ(a.global_merge_passes, b.global_merge_passes);
+}
+
+TEST(Determinism, SameSeedBitIdenticalFrames)
+{
+    const RunResult a = runPipeline(42);
+    const RunResult b = runPipeline(42);
+    expectEqualRuns(a, b);
+}
+
+TEST(Determinism, ThreadCountDoesNotChangeAnyBit)
+{
+    // The determinism contract of common/parallel.h: the whole pipeline
+    // (frame pixels, FrameWorkload, raster counters) is bit-identical for
+    // threads in {1, 2, 8}, including 8 threads on fewer cores.
+    const RunResult serial = runPipeline(42, 1);
+    expectEqualRuns(serial, runPipeline(42, 2));
+    expectEqualRuns(serial, runPipeline(42, 8));
+}
+
+TEST(Determinism, NeoRendererThreadInvariantAcrossFrames)
+{
+    // Reuse-and-update sorting carries per-tile tables across frames, so
+    // drive several frames and require identical frame hashes, workloads
+    // and sorting-hardware counters for threads in {1, 2, 8}.
+    SyntheticSceneParams params;
+    params.seed = 42;
+    params.count = 4000;
+    params.name = "determinism-neo";
+    GaussianScene scene = generateScene(params);
+    Camera cam = frontCamera();
+
+    struct NeoRun
+    {
+        std::vector<uint64_t> frame_hashes;
+        std::vector<SortCoreStats> sort_stats;
+        FrameWorkload last_workload;
+    };
+    auto run = [&](int threads) {
+        PipelineOptions opts = NeoRenderer::neoDefaultOptions();
+        opts.threads = threads;
+        NeoRenderer renderer(opts);
+        NeoRun out;
+        for (uint64_t f = 0; f < 4; ++f) {
+            NeoFrameReport report;
+            out.frame_hashes.push_back(
+                hashImage(renderer.renderFrame(scene, cam, f, &report)));
+            out.sort_stats.push_back(report.sort);
+        }
+        NeoRenderer extract(opts);
+        for (uint64_t f = 0; f < 4; ++f)
+            out.last_workload = extract.extractWorkload(scene, cam, f);
+        return out;
+    };
+
+    const NeoRun serial = run(1);
+    for (int threads : {2, 8}) {
+        const NeoRun parallel = run(threads);
+        EXPECT_EQ(serial.frame_hashes, parallel.frame_hashes)
+            << "threads=" << threads;
+        ASSERT_EQ(serial.sort_stats.size(), parallel.sort_stats.size());
+        for (size_t f = 0; f < serial.sort_stats.size(); ++f)
+            expectEqualSortStats(serial.sort_stats[f],
+                                 parallel.sort_stats[f]);
+        EXPECT_EQ(serial.last_workload.instances,
+                  parallel.last_workload.instances);
+        EXPECT_EQ(serial.last_workload.blend_ops,
+                  parallel.last_workload.blend_ops);
+        EXPECT_EQ(serial.last_workload.tile_lengths,
+                  parallel.last_workload.tile_lengths);
+        EXPECT_EQ(serial.last_workload.incoming_instances,
+                  parallel.last_workload.incoming_instances);
+        EXPECT_EQ(serial.last_workload.outgoing_instances,
+                  parallel.last_workload.outgoing_instances);
+        EXPECT_EQ(serial.last_workload.mean_tile_retention,
+                  parallel.last_workload.mean_tile_retention);
+    }
 }
 
 TEST(Determinism, DifferentSeedsDiverge)

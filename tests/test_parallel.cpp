@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Unit tests for the deterministic parallel execution layer: static chunk
+ * boundaries, parallelFor edge cases (0 items, fewer items than threads),
+ * thread-count resolution, and pool behaviour under oversubscription.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+
+namespace neo::test
+{
+namespace
+{
+
+TEST(ParallelChunking, ZeroItemsYieldZeroChunks)
+{
+    EXPECT_EQ(parallelChunkCount(0, 1), 0u);
+    EXPECT_EQ(parallelChunkCount(0, 8), 0u);
+}
+
+TEST(ParallelChunking, FewerItemsThanThreadsOneChunkPerItem)
+{
+    EXPECT_EQ(parallelChunkCount(3, 8), 3u);
+    for (size_t c = 0; c < 3; ++c) {
+        ParallelRange r = parallelChunkRange(3, 3, c);
+        EXPECT_EQ(r.begin, c);
+        EXPECT_EQ(r.end, c + 1);
+    }
+}
+
+TEST(ParallelChunking, ChunksAreContiguousBalancedAndExhaustive)
+{
+    for (size_t n : {1u, 2u, 7u, 10u, 64u, 1000u, 1001u}) {
+        for (int threads : {1, 2, 3, 7, 8, 16}) {
+            const size_t chunks = parallelChunkCount(n, threads);
+            ASSERT_GE(chunks, 1u);
+            ASSERT_LE(chunks, n);
+            size_t expect_begin = 0;
+            size_t min_size = n, max_size = 0;
+            for (size_t c = 0; c < chunks; ++c) {
+                ParallelRange r = parallelChunkRange(n, chunks, c);
+                EXPECT_EQ(r.begin, expect_begin)
+                    << "n=" << n << " chunks=" << chunks << " c=" << c;
+                EXPECT_GT(r.size(), 0u);
+                min_size = std::min(min_size, r.size());
+                max_size = std::max(max_size, r.size());
+                expect_begin = r.end;
+            }
+            EXPECT_EQ(expect_begin, n);
+            EXPECT_LE(max_size - min_size, 1u)
+                << "static chunks must be balanced";
+        }
+    }
+}
+
+TEST(ParallelChunking, OutOfRangeChunkIsEmpty)
+{
+    EXPECT_EQ(parallelChunkRange(10, 4, 4).size(), 0u);
+    EXPECT_EQ(parallelChunkRange(10, 0, 0).size(), 0u);
+}
+
+TEST(ParallelFor, ZeroItemsNeverInvokesBody)
+{
+    int calls = 0;
+    parallelFor(0, 8, [&](size_t, size_t, size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SerialFallbackIsSingleInlineChunk)
+{
+    std::vector<size_t> chunk_of(5, 99);
+    parallelFor(5, 1, [&](size_t begin, size_t end, size_t chunk) {
+        for (size_t i = begin; i < end; ++i)
+            chunk_of[i] = chunk;
+    });
+    for (size_t c : chunk_of)
+        EXPECT_EQ(c, 0u);
+}
+
+TEST(ParallelFor, EveryIndexVisitedExactlyOnce)
+{
+    const size_t n = 1000;
+    for (int threads : {2, 3, 8, 16}) {
+        std::vector<std::atomic<int>> visits(n);
+        parallelFor(n, threads, [&](size_t begin, size_t end, size_t) {
+            for (size_t i = begin; i < end; ++i)
+                visits[i].fetch_add(1);
+        });
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ParallelFor, FewerItemsThanThreadsStillCoversAll)
+{
+    std::vector<std::atomic<int>> visits(3);
+    parallelFor(3, 16, [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i)
+            visits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelFor, PerChunkAccumulatorsMergeToSerialResult)
+{
+    const size_t n = 4096;
+    std::vector<uint64_t> values(n);
+    std::iota(values.begin(), values.end(), 1);
+    const uint64_t serial =
+        std::accumulate(values.begin(), values.end(), uint64_t{0});
+
+    const int threads = 8;
+    const size_t chunks = parallelChunkCount(n, threads);
+    std::vector<uint64_t> partial(chunks, 0);
+    parallelFor(n, threads, [&](size_t begin, size_t end, size_t chunk) {
+        for (size_t i = begin; i < end; ++i)
+            partial[chunk] += values[i];
+    });
+    uint64_t merged = 0;
+    for (uint64_t p : partial)
+        merged += p;
+    EXPECT_EQ(merged, serial);
+}
+
+TEST(ParallelFor, NestedCallRunsInline)
+{
+    // A body that itself calls parallelFor must not deadlock the pool;
+    // the inner loop degrades to inline execution.
+    std::vector<std::atomic<int>> visits(64);
+    parallelFor(8, 4, [&](size_t begin, size_t end, size_t) {
+        for (size_t outer = begin; outer < end; ++outer) {
+            parallelFor(8, 4, [&](size_t b, size_t e, size_t) {
+                for (size_t inner = b; inner < e; ++inner)
+                    visits[outer * 8 + inner].fetch_add(1);
+            });
+        }
+    });
+    for (size_t i = 0; i < visits.size(); ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForEach, VisitsEachIndexOnce)
+{
+    std::vector<std::atomic<int>> visits(100);
+    parallelForEach(100, 8, [&](size_t i) { visits[i].fetch_add(1); });
+    for (size_t i = 0; i < 100; ++i)
+        EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ResolveThreadCount, ExplicitRequestWinsAndIsCapped)
+{
+    EXPECT_EQ(resolveThreadCount(4), 4);
+    EXPECT_EQ(resolveThreadCount(1), 1);
+    EXPECT_EQ(resolveThreadCount(kMaxThreads + 50), kMaxThreads);
+}
+
+TEST(ResolveThreadCount, NegativeMeansHardware)
+{
+    EXPECT_EQ(resolveThreadCount(-1), hardwareThreadCount());
+    EXPECT_GE(hardwareThreadCount(), 1);
+}
+
+TEST(ResolveThreadCount, ZeroDefersToEnvironment)
+{
+    // Guard the process-global env var; tests in this binary run serially.
+    const char *saved = std::getenv("NEO_THREADS");
+    std::string saved_copy = saved ? saved : "";
+
+    unsetenv("NEO_THREADS");
+    EXPECT_EQ(resolveThreadCount(0), 1);
+
+    setenv("NEO_THREADS", "3", 1);
+    EXPECT_EQ(resolveThreadCount(0), 3);
+
+    setenv("NEO_THREADS", "auto", 1);
+    EXPECT_EQ(resolveThreadCount(0), hardwareThreadCount());
+
+    setenv("NEO_THREADS", "garbage", 1);
+    EXPECT_EQ(resolveThreadCount(0), 1);
+
+    if (saved)
+        setenv("NEO_THREADS", saved_copy.c_str(), 1);
+    else
+        unsetenv("NEO_THREADS");
+}
+
+TEST(ParallelForAccumulate, ChunkOrderMergeMatchesSerial)
+{
+    const size_t n = 777;
+    std::vector<uint64_t> values(n);
+    std::iota(values.begin(), values.end(), 1);
+    const uint64_t serial =
+        std::accumulate(values.begin(), values.end(), uint64_t{0});
+
+    auto partial = parallelForAccumulate<uint64_t>(
+        n, 8, [&](size_t begin, size_t end, uint64_t &acc) {
+            for (size_t i = begin; i < end; ++i)
+                acc += values[i];
+        });
+    EXPECT_EQ(partial.size(), parallelChunkCount(n, 8));
+    uint64_t merged = 0;
+    for (uint64_t p : partial)
+        merged += p;
+    EXPECT_EQ(merged, serial);
+
+    // Zero items: no accumulators, body never runs.
+    auto empty = parallelForAccumulate<uint64_t>(
+        0, 8, [&](size_t, size_t, uint64_t &) { FAIL(); });
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(ThreadPool, ConcurrentDispatchersSerializeSafely)
+{
+    // Two application threads each drive their own parallel loops against
+    // the shared pool; jobs must not corrupt each other.
+    std::atomic<uint64_t> total{0};
+    auto worker = [&] {
+        for (int round = 0; round < 20; ++round) {
+            auto partial = parallelForAccumulate<uint64_t>(
+                64, 4, [&](size_t begin, size_t end, uint64_t &acc) {
+                    for (size_t i = begin; i < end; ++i)
+                        acc += i;
+                });
+            uint64_t sum = 0;
+            for (uint64_t p : partial)
+                sum += p;
+            total.fetch_add(sum);
+        }
+    };
+    std::thread a(worker), b(worker);
+    a.join();
+    b.join();
+    // Each loop sums 0..63 = 2016; 2 threads x 20 rounds.
+    EXPECT_EQ(total.load(), 2016u * 40u);
+}
+
+TEST(ThreadPool, RepeatedJobsReuseWorkers)
+{
+    // Dispatch many small jobs back to back; worker count must stay
+    // bounded by the largest request, not grow per job.
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<int> sum{0};
+        parallelForEach(16, 4, [&](size_t i) {
+            sum.fetch_add(static_cast<int>(i));
+        });
+        EXPECT_EQ(sum.load(), 120);
+    }
+    EXPECT_LE(ThreadPool::shared().workerCount(), kMaxThreads - 1);
+}
+
+TEST(ThreadPool, BodyExceptionPropagatesToCaller)
+{
+    EXPECT_THROW(
+        parallelForEach(8, 4,
+                        [&](size_t i) {
+                            if (i == 5)
+                                throw std::runtime_error("boom");
+                        }),
+        std::runtime_error);
+
+    // The pool must stay usable afterwards.
+    std::atomic<int> visits{0};
+    parallelForEach(8, 4, [&](size_t) { visits.fetch_add(1); });
+    EXPECT_EQ(visits.load(), 8);
+}
+
+} // namespace
+} // namespace neo::test
