@@ -1,6 +1,6 @@
 /**
  * @file
- * Thread-scaling bench — first point of the repo's perf trajectory.
+ * Thread-scaling bench — the repo's perf trajectory entry point.
  *
  * Renders a synthetic-scene orbit end to end (culling + projection + SH,
  * binning, per-tile sorting, rasterization) through the functional
@@ -10,10 +10,14 @@
  * is broken and the run fails.
  *
  *   ./bench_scaling [--json out.json] [--gaussians N] [--frames N]
- *                   [--threads-list 1,2,4,8]
+ *                   [--threads-list 1,2,4,8] [--stage] [--pr N]
  *
- * With --json the results are written machine-readable (BENCH_PR2.json
- * schema) for CI artifact upload and trend tracking.
+ * With --stage each frame runs the explicit staged loop and the report
+ * (and JSON) carries a per-stage breakdown — bin / sort / raster /
+ * tracker ms per frame — so eliminating a serial stage is visible in the
+ * stage column, not just the total. With --json the results are written
+ * machine-readable (BENCH_PR<n>.json schema) for CI artifact upload,
+ * trend tracking, and the regression gate (bench/diff_bench.sh).
  */
 
 #include <cstdint>
@@ -39,6 +43,8 @@ struct Args
     std::string json_path;
     size_t gaussians = 30000;
     int frames = 5;
+    int pr = 3;
+    bool stage = false;
     std::vector<int> threads = {1, 2, 4, 8};
 };
 
@@ -62,7 +68,12 @@ Args
 parse(int argc, char **argv)
 {
     Args a;
-    for (int i = 1; i < argc; i += 2) {
+    for (int i = 1; i < argc;) {
+        if (std::strcmp(argv[i], "--stage") == 0) {
+            a.stage = true;
+            i += 1;
+            continue;
+        }
         if (i + 1 >= argc) {
             std::fprintf(stderr, "flag '%s' needs a value\n", argv[i]);
             std::exit(2);
@@ -75,10 +86,13 @@ parse(int argc, char **argv)
             a.frames = std::atoi(argv[i + 1]);
         else if (std::strcmp(argv[i], "--threads-list") == 0)
             a.threads = parseThreadList(argv[i + 1]);
+        else if (std::strcmp(argv[i], "--pr") == 0)
+            a.pr = std::atoi(argv[i + 1]);
         else {
             std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
             std::exit(2);
         }
+        i += 2;
     }
     if (a.threads.empty())
         a.threads = {1};
@@ -97,8 +111,10 @@ writeJson(const std::string &path, const Args &args, Resolution res,
         best = p.speedup > best ? p.speedup : best;
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"scaling\",\n");
-    std::fprintf(f, "  \"pr\": 2,\n");
-    std::fprintf(f, "  \"pipeline\": \"functional-render\",\n");
+    std::fprintf(f, "  \"pr\": %d,\n", args.pr);
+    std::fprintf(f, "  \"pipeline\": \"%s\",\n",
+                 args.stage ? "functional-render-staged"
+                            : "functional-render");
     std::fprintf(f, "  \"scene\": \"synthetic-orbit\",\n");
     std::fprintf(f, "  \"gaussians\": %zu,\n", args.gaussians);
     std::fprintf(f, "  \"resolution\": \"%dx%d\",\n", res.width,
@@ -112,9 +128,22 @@ writeJson(const std::string &path, const Args &args, Resolution res,
         const ThreadScalingPoint &p = points[i];
         std::fprintf(f,
                      "    {\"threads\": %d, \"ms_per_frame\": %.3f, "
-                     "\"speedup\": %.3f}%s\n",
-                     p.threads, p.ms_per_frame, p.speedup,
-                     i + 1 < points.size() ? "," : "");
+                     "\"speedup\": %.3f",
+                     p.threads, p.ms_per_frame, p.speedup);
+        if (p.has_stages)
+            // render_ms (bin + sort + raster) is the slice comparable to
+            // the non-staged pipeline of earlier trajectory points, which
+            // did not run the delta tracker; diff_bench.sh prefers it.
+            std::fprintf(f,
+                         ", \"render_ms\": %.3f, "
+                         "\"stages\": {\"bin_ms\": %.3f, "
+                         "\"sort_ms\": %.3f, \"raster_ms\": %.3f, "
+                         "\"tracker_ms\": %.3f}",
+                         p.stages.bin_ms + p.stages.sort_ms +
+                             p.stages.raster_ms,
+                         p.stages.bin_ms, p.stages.sort_ms,
+                         p.stages.raster_ms, p.stages.tracker_ms);
+        std::fprintf(f, "}%s\n", i + 1 < points.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"max_speedup\": %.3f\n", best);
@@ -131,7 +160,7 @@ main(int argc, char **argv)
     Args args = parse(argc, argv);
 
     bench::banner("Thread scaling of the functional pipeline",
-                  "perf trajectory, PR 2",
+                  "perf trajectory",
                   "near-linear scaling of the tile-parallel stages; "
                   "bit-identical frames at every thread count");
 
@@ -150,20 +179,37 @@ main(int argc, char **argv)
                 scene.size(), args.frames, res.width, res.height,
                 hardwareThreadCount());
 
-    std::vector<ThreadScalingPoint> points = sweepRenderThreads(
-        scene, orbit, res, args.frames, args.threads);
+    std::vector<ThreadScalingPoint> points =
+        args.stage ? sweepRenderThreadsStaged(scene, orbit, res,
+                                              args.frames, args.threads)
+                   : sweepRenderThreads(scene, orbit, res, args.frames,
+                                        args.threads);
 
     bool deterministic = true;
     for (const auto &p : points)
         deterministic = deterministic &&
                         p.frame_hash == points.front().frame_hash;
 
-    std::printf("%-10s %-14s %-10s %s\n", "threads", "ms/frame", "speedup",
-                "frame hash");
-    for (const auto &p : points)
-        std::printf("%-10d %-14.2f %-10.2f %016llx\n", p.threads,
-                    p.ms_per_frame, p.speedup,
-                    static_cast<unsigned long long>(p.frame_hash));
+    if (args.stage) {
+        std::printf("%-10s %-12s %-10s %-10s %-10s %-10s %-10s %s\n",
+                    "threads", "ms/frame", "bin", "sort", "raster",
+                    "tracker", "speedup", "frame hash");
+        for (const auto &p : points)
+            std::printf(
+                "%-10d %-12.2f %-10.2f %-10.2f %-10.2f %-10.2f %-10.2f "
+                "%016llx\n",
+                p.threads, p.ms_per_frame, p.stages.bin_ms,
+                p.stages.sort_ms, p.stages.raster_ms, p.stages.tracker_ms,
+                p.speedup,
+                static_cast<unsigned long long>(p.frame_hash));
+    } else {
+        std::printf("%-10s %-14s %-10s %s\n", "threads", "ms/frame",
+                    "speedup", "frame hash");
+        for (const auto &p : points)
+            std::printf("%-10d %-14.2f %-10.2f %016llx\n", p.threads,
+                        p.ms_per_frame, p.speedup,
+                        static_cast<unsigned long long>(p.frame_hash));
+    }
     std::printf("\ndeterminism across thread counts: %s\n",
                 deterministic ? "OK (bit-identical frames)" : "FAILED");
 

@@ -1,25 +1,38 @@
 #!/usr/bin/env bash
 # Machine-readable perf trajectory entry point.
 #
-# Runs the thread-scaling bench against an existing build and writes
-# BENCH_PR2.json (schema: see bench_scaling.cpp) into the repo root, so
-# every PR from here on can append a comparable point to the trajectory.
+# Runs the thread-scaling bench (with the per-stage breakdown) against an
+# existing build and writes the trajectory JSON into the repo root, so
+# every PR appends a comparable point (BENCH_PR<n>.json) that
+# bench/diff_bench.sh can gate against the previous one.
 #
 #   bench/run_benches.sh [BUILD_DIR] [OUTPUT_JSON]
 #
-# BUILD_DIR defaults to ./build; OUTPUT_JSON to ./BENCH_PR2.json.
+# BUILD_DIR defaults to ./build; OUTPUT_JSON to ./BENCH_PR3.json — pass
+# the PR's own filename explicitly from CI.
 # Knobs: NEO_BENCH_GAUSSIANS / NEO_BENCH_FRAMES_SCALING / NEO_BENCH_THREADS
-# shrink or grow the run (CI smoke uses the defaults).
+# shrink or grow the run (CI smoke uses the defaults); NEO_BENCH_PR sets
+# the "pr" field when the output name does not imply it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-OUT_JSON="${2:-BENCH_PR2.json}"
+OUT_JSON="${2:-BENCH_PR3.json}"
 
 GAUSSIANS="${NEO_BENCH_GAUSSIANS:-30000}"
 FRAMES="${NEO_BENCH_FRAMES_SCALING:-5}"
 THREADS="${NEO_BENCH_THREADS:-1,2,4,8}"
+
+# Derive the trajectory point number from the output name when possible.
+PR="${NEO_BENCH_PR:-}"
+if [[ -z "$PR" ]]; then
+    if [[ "$(basename "$OUT_JSON")" =~ BENCH_PR([0-9]+)\.json ]]; then
+        PR="${BASH_REMATCH[1]}"
+    else
+        PR=3
+    fi
+fi
 
 BIN="$BUILD_DIR/bench/bench_scaling"
 if [[ ! -x "$BIN" ]]; then
@@ -30,6 +43,8 @@ fi
 "$BIN" --json "$OUT_JSON" \
        --gaussians "$GAUSSIANS" \
        --frames "$FRAMES" \
-       --threads-list "$THREADS"
+       --threads-list "$THREADS" \
+       --pr "$PR" \
+       --stage
 
 echo "run_benches.sh: wrote $OUT_JSON"

@@ -8,9 +8,14 @@
 #   BUILD_DIR     build directory (default: build)
 #   BUILD_TYPE    explicit CMAKE_BUILD_TYPE, e.g. Release for the
 #                 -O3 -DNDEBUG job (default: project default, Release)
-#   NEO_CI_BENCH  when 1, run the thread-scaling bench after the tests as
-#                 a NON-GATING smoke step, writing BENCH_PR2.json for
-#                 artifact upload (a bench failure does not fail CI)
+#   NEO_CI_BENCH  when 1, run the thread-scaling bench after the tests,
+#                 writing $NEO_BENCH_JSON for artifact upload. A bench
+#                 *crash* is non-gating, but when the JSON is produced and
+#                 the previous trajectory point ($NEO_BENCH_BASELINE) is
+#                 checked in, bench/diff_bench.sh gates the job: >10%
+#                 ms/frame regression at threads=1 fails CI.
+#   NEO_BENCH_JSON      output trajectory point (default: BENCH_PR3.json)
+#   NEO_BENCH_BASELINE  previous trajectory point (default: BENCH_PR2.json)
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -18,6 +23,8 @@ cd "$(dirname "$0")"
 BUILD_DIR="${BUILD_DIR:-build}"
 BUILD_TYPE="${BUILD_TYPE:-}"
 JOBS="${JOBS:-$(nproc)}"
+NEO_BENCH_JSON="${NEO_BENCH_JSON:-BENCH_PR3.json}"
+NEO_BENCH_BASELINE="${NEO_BENCH_BASELINE:-BENCH_PR2.json}"
 
 cmake -B "$BUILD_DIR" -S . -DNEO_WERROR=ON \
     ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"} "$@"
@@ -25,9 +32,12 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 if [[ "${NEO_CI_BENCH:-0}" == "1" ]]; then
-    echo "ci.sh: running thread-scaling bench (non-gating smoke)"
-    if ! bench/run_benches.sh "$BUILD_DIR" BENCH_PR2.json; then
+    echo "ci.sh: running thread-scaling bench"
+    if ! bench/run_benches.sh "$BUILD_DIR" "$NEO_BENCH_JSON"; then
         echo "ci.sh: WARNING scaling bench failed (non-gating)" >&2
+    elif [[ -f "$NEO_BENCH_BASELINE" && "$NEO_BENCH_BASELINE" != "$NEO_BENCH_JSON" ]]; then
+        echo "ci.sh: gating on perf regression vs $NEO_BENCH_BASELINE"
+        bench/diff_bench.sh "$NEO_BENCH_BASELINE" "$NEO_BENCH_JSON"
     fi
 fi
 

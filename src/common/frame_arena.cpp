@@ -1,0 +1,17 @@
+#include "common/frame_arena.h"
+
+#include <cstddef>
+
+namespace neo
+{
+
+size_t
+FrameArena::retainedBytes() const
+{
+    size_t total = 0;
+    for (const Entry &e : slots_)
+        total += e.slot->capacityBytes();
+    return total;
+}
+
+} // namespace neo

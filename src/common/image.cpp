@@ -18,6 +18,14 @@ Image::Image(int width, int height, Vec3 fill)
 }
 
 void
+Image::reset(int width, int height, Vec3 fill)
+{
+    width_ = width;
+    height_ = height;
+    data_.assign(static_cast<size_t>(width) * height, fill);
+}
+
+void
 Image::clampChannels()
 {
     for (auto &p : data_) {

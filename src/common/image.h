@@ -26,6 +26,14 @@ class Image
     /** Allocate a @p width x @p height image cleared to @p fill. */
     Image(int width, int height, Vec3 fill = {0.0f, 0.0f, 0.0f});
 
+    /**
+     * Re-initialize to @p width x @p height with every pixel set to
+     * @p fill, reusing the existing allocation when it is large enough
+     * (the steady-state frame loop re-renders into one Image without
+     * per-frame heap churn).
+     */
+    void reset(int width, int height, Vec3 fill = {0.0f, 0.0f, 0.0f});
+
     int width() const { return width_; }
     int height() const { return height_; }
     size_t pixelCount() const { return data_.size(); }

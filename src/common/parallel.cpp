@@ -215,31 +215,4 @@ ThreadPool::run(size_t chunks, const std::function<void(size_t)> &fn)
         std::rethrow_exception(job->error);
 }
 
-void
-parallelFor(size_t n, int threads,
-            const std::function<void(size_t, size_t, size_t)> &body)
-{
-    if (n == 0)
-        return;
-    const size_t chunks = parallelChunkCount(n, threads);
-    if (chunks <= 1 || ThreadPool::insideParallelRegion()) {
-        body(0, n, 0);
-        return;
-    }
-    ThreadPool::shared().run(chunks, [&](size_t chunk) {
-        ParallelRange r = parallelChunkRange(n, chunks, chunk);
-        body(r.begin, r.end, chunk);
-    });
-}
-
-void
-parallelForEach(size_t n, int threads,
-                const std::function<void(size_t)> &body)
-{
-    parallelFor(n, threads, [&](size_t begin, size_t end, size_t) {
-        for (size_t i = begin; i < end; ++i)
-            body(i);
-    });
-}
-
 } // namespace neo

@@ -140,17 +140,43 @@ class ThreadPool
  * thread count <= 1 (or n <= 1, or when already inside a parallel region)
  * the body runs inline as body(0, n, 0) without touching the pool.
  *
+ * Implemented as a template so the serial path is a direct call: no
+ * std::function is materialized unless the loop actually dispatches to
+ * the pool, which keeps the steady-state frame loop free of per-call
+ * heap allocations at threads == 1.
+ *
  * @param n iteration count
  * @param threads effective thread count (callers resolve requests via
  *        resolveThreadCount; values <= 1 mean serial)
  * @param body chunk body; must only write chunk-owned state
  */
-void parallelFor(size_t n, int threads,
-                 const std::function<void(size_t, size_t, size_t)> &body);
+template <typename Body>
+void
+parallelFor(size_t n, int threads, Body &&body)
+{
+    if (n == 0)
+        return;
+    const size_t chunks = parallelChunkCount(n, threads);
+    if (chunks <= 1 || ThreadPool::insideParallelRegion()) {
+        body(size_t{0}, n, size_t{0});
+        return;
+    }
+    ThreadPool::shared().run(chunks, [&](size_t chunk) {
+        ParallelRange r = parallelChunkRange(n, chunks, chunk);
+        body(r.begin, r.end, chunk);
+    });
+}
 
 /** Element-wise convenience wrapper over parallelFor: body(i) per index. */
-void parallelForEach(size_t n, int threads,
-                     const std::function<void(size_t)> &body);
+template <typename Body>
+void
+parallelForEach(size_t n, int threads, Body &&body)
+{
+    parallelFor(n, threads, [&](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i)
+            body(i);
+    });
+}
 
 /**
  * parallelFor with one default-constructed accumulator per chunk:

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/frame_arena.h"
 #include "common/stats.h"
 
 namespace neo
@@ -20,62 +21,98 @@ FrameDelta::meanRetention() const
 FrameDelta
 DeltaTracker::observe(const BinnedFrame &frame)
 {
-    const size_t tiles = frame.tiles.size();
     FrameDelta delta;
-    delta.tiles.resize(tiles);
+    observe(frame, delta);
+    return delta;
+}
+
+void
+DeltaTracker::observe(const BinnedFrame &frame, FrameDelta &out)
+{
+    const size_t tiles = frame.tiles.size();
+    if (out.tiles.size() != tiles)
+        out.tiles.resize(tiles);
+    out.incoming_total = 0;
+    out.outgoing_total = 0;
+    out.tile_retention.clear();
 
     const bool have_prev = prev_ids_.size() == tiles;
-    std::vector<std::vector<GaussianId>> cur_ids(tiles);
+    clearNested(scratch_ids_, tiles);
 
-    for (size_t t = 0; t < tiles; ++t) {
-        const auto &entries = frame.tiles[t];
-        auto &ids = cur_ids[t];
-        ids.reserve(entries.size());
-        for (const auto &e : entries)
-            ids.push_back(e.id);
-        std::sort(ids.begin(), ids.end());
+    // Tiles write disjoint slots of out.tiles / scratch_ids_, so chunks of
+    // the tile range process concurrently; the totals accumulate per chunk
+    // and the retention samples concatenate in chunk order, which is
+    // tile-index order because chunks cover contiguous ascending ranges.
+    // The accumulators persist across frames (stable chunk indices), so a
+    // warm steady-state loop observes without heap allocation.
+    const size_t chunks = parallelChunkCount(tiles, threads_);
+    if (accum_scratch_.size() != chunks)
+        accum_scratch_.resize(chunks);
+    for (ChunkAccum &a : accum_scratch_) {
+        a.incoming = 0;
+        a.outgoing = 0;
+        a.retention.clear();
+    }
+    parallelFor(tiles, threads_,
+                [&](size_t begin, size_t end, size_t chunk) {
+        ChunkAccum &a = accum_scratch_[chunk];
+        for (size_t t = begin; t < end; ++t) {
+            const auto &entries = frame.tiles[t];
+            auto &ids = scratch_ids_[t];
+            ids.reserve(entries.size());
+            for (const auto &e : entries)
+                ids.push_back(e.id);
+            std::sort(ids.begin(), ids.end());
 
-        TileDelta &td = delta.tiles[t];
-        if (!have_prev) {
-            // Everything is incoming on the first frame.
-            td.incoming = entries;
-            td.prev_size = 0;
-            delta.incoming_total += entries.size();
-            continue;
+            TileDelta &td = out.tiles[t];
+            td.reset();
+            if (!have_prev) {
+                // Everything is incoming on the first frame.
+                td.incoming = entries;
+                a.incoming += entries.size();
+                continue;
+            }
+
+            const auto &prev = prev_ids_[t];
+            td.prev_size = static_cast<uint32_t>(prev.size());
+
+            // Incoming: in cur, not in prev. Walk the entries (not the
+            // sorted ids) so the incoming list carries depths; membership
+            // test via binary search on the sorted previous ids.
+            for (const auto &e : entries) {
+                if (!std::binary_search(prev.begin(), prev.end(), e.id))
+                    td.incoming.push_back(e);
+            }
+            a.incoming += td.incoming.size();
+
+            // Outgoing: in prev, not in cur (prev is sorted, so the
+            // result is sorted as well).
+            for (GaussianId id : prev) {
+                if (!std::binary_search(ids.begin(), ids.end(), id))
+                    td.outgoing_ids.push_back(id);
+            }
+            td.outgoing = static_cast<uint32_t>(td.outgoing_ids.size());
+            a.outgoing += td.outgoing;
+
+            if (!prev.empty()) {
+                uint32_t shared =
+                    static_cast<uint32_t>(prev.size()) - td.outgoing;
+                td.retention = static_cast<double>(shared) /
+                               static_cast<double>(prev.size());
+                a.retention.push_back(td.retention);
+            }
         }
-
-        const auto &prev = prev_ids_[t];
-        td.prev_size = static_cast<uint32_t>(prev.size());
-
-        // Incoming: in cur, not in prev. Walk the entries (not cur_ids) so
-        // the incoming list carries depths; membership test via binary
-        // search on the sorted previous ids.
-        for (const auto &e : entries) {
-            if (!std::binary_search(prev.begin(), prev.end(), e.id))
-                td.incoming.push_back(e);
-        }
-        delta.incoming_total += td.incoming.size();
-
-        // Outgoing: in prev, not in cur (prev is sorted, so the result is
-        // sorted as well).
-        for (GaussianId id : prev) {
-            if (!std::binary_search(ids.begin(), ids.end(), id))
-                td.outgoing_ids.push_back(id);
-        }
-        td.outgoing = static_cast<uint32_t>(td.outgoing_ids.size());
-        delta.outgoing_total += td.outgoing;
-
-        if (!prev.empty()) {
-            uint32_t shared =
-                static_cast<uint32_t>(prev.size()) - td.outgoing;
-            td.retention =
-                static_cast<double>(shared) / static_cast<double>(prev.size());
-            delta.tile_retention.push_back(td.retention);
-        }
+    });
+    for (const ChunkAccum &a : accum_scratch_) {
+        out.incoming_total += a.incoming;
+        out.outgoing_total += a.outgoing;
+        out.tile_retention.insert(out.tile_retention.end(),
+                                  a.retention.begin(), a.retention.end());
     }
 
-    prev_ids_ = std::move(cur_ids);
-    return delta;
+    // Adopt the new membership; the old prev buffers become the next
+    // frame's scratch (capacity retained).
+    std::swap(prev_ids_, scratch_ids_);
 }
 
 } // namespace neo

@@ -9,6 +9,12 @@
  * The tracker also produces the temporal-similarity statistics of the
  * motivation study (Fig. 6: shared-Gaussian proportion per tile; Fig. 7:
  * sort-order displacement percentiles).
+ *
+ * Tile deltas are independent, so observe() runs tile-parallel on the
+ * deterministic execution layer: tiles write disjoint slots, counters
+ * accumulate per chunk, and the `tile_retention` samples are gathered in
+ * tile-index order by concatenating the per-chunk sample lists in chunk
+ * order — bit-identical to the serial pass for any thread count.
  */
 
 #ifndef NEO_CORE_DELTA_TRACKER_H
@@ -17,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "gs/tiling.h"
 
 namespace neo
@@ -35,6 +42,16 @@ struct TileDelta
     double retention = 1.0;
     /** Previous tile population (for weighting). */
     uint32_t prev_size = 0;
+
+    /** Reset to the default state, keeping vector capacity for reuse. */
+    void reset()
+    {
+        incoming.clear();
+        outgoing_ids.clear();
+        outgoing = 0;
+        retention = 1.0;
+        prev_size = 0;
+    }
 };
 
 /** Frame-level aggregation of tile deltas. */
@@ -46,6 +63,17 @@ struct FrameDelta
     /** Retention of each previously non-empty tile (Fig. 6 sample set). */
     std::vector<double> tile_retention;
 
+    /**
+     * Mean of `tile_retention`.
+     *
+     * Convention: returns 1.0 when `tile_retention` is empty — on the
+     * first observed frame (there is no previous membership to compare
+     * against) and whenever every previously tracked tile was empty.
+     * "No evidence of change" deliberately reads as perfect retention so
+     * consumers that scale reuse-repair effort by (1 - retention), such
+     * as the Neo timing model's sort-cost estimate, schedule no repair
+     * work when nothing is known to have changed.
+     */
     double meanRetention() const;
 };
 
@@ -62,12 +90,51 @@ class DeltaTracker
      */
     FrameDelta observe(const BinnedFrame &frame);
 
+    /**
+     * observe() into caller-owned storage: @p out is cleared and refilled
+     * with capacity retained, so a steady-state loop tracks deltas
+     * without re-allocating its per-tile buffers every frame.
+     */
+    void observe(const BinnedFrame &frame, FrameDelta &out);
+
+    /**
+     * Worker threads used by observe (resolveThreadCount semantics:
+     * 0 defers to NEO_THREADS). Deltas and the tile_retention sequence
+     * are bit-identical for any count.
+     */
+    void setThreads(int threads) { threads_ = resolveThreadCount(threads); }
+
+    /** Effective worker-thread count (>= 1). */
+    int threads() const { return threads_; }
+
     /** Forget all state. */
-    void reset() { prev_ids_.clear(); }
+    void reset()
+    {
+        prev_ids_.clear();
+        scratch_ids_.clear();
+        accum_scratch_.clear();
+    }
 
   private:
+    /**
+     * Per-worker-chunk accumulator, persistent across frames (chunk
+     * indices are stable for a fixed tile count and thread count), so
+     * steady-state observation allocates nothing once warm.
+     */
+    struct ChunkAccum
+    {
+        uint64_t incoming = 0;
+        uint64_t outgoing = 0;
+        std::vector<double> retention;
+    };
+
     /** Per tile: sorted Gaussian ids of the last observed frame. */
     std::vector<std::vector<GaussianId>> prev_ids_;
+    /** Reused buffer for the frame being observed (swapped into prev_). */
+    std::vector<std::vector<GaussianId>> scratch_ids_;
+    /** Reused per-chunk accumulators. */
+    std::vector<ChunkAccum> accum_scratch_;
+    int threads_ = resolveThreadCount(0);
 };
 
 } // namespace neo

@@ -26,13 +26,22 @@ Image
 NeoRenderer::renderFrame(const GaussianScene &scene, const Camera &camera,
                          uint64_t frame_index, NeoFrameReport *report)
 {
-    BinnedFrame frame = binFrame(scene, camera, base_.options().tile_px,
-                                 base_.options().threads);
-    sorter_.beginFrame(frame, frame_index);
+    Image image;
+    renderFrameInto(image, scene, camera, frame_index, report);
+    return image;
+}
+
+void
+NeoRenderer::renderFrameInto(Image &out, const GaussianScene &scene,
+                             const Camera &camera, uint64_t frame_index,
+                             NeoFrameReport *report)
+{
+    binFrameInto(frame_, arena_, scene, camera, base_.options().tile_px,
+                 base_.options().threads);
+    sorter_.beginFrame(frame_, frame_index);
 
     FrameStats stats;
-    Image image =
-        base_.renderWithOrdering(frame, sorter_.orderings(), &stats);
+    base_.renderInto(out, frame_, sorter_.orderings(), &stats, &arena_);
 
     if (report) {
         report->frame = stats;
@@ -41,18 +50,17 @@ NeoRenderer::renderFrame(const GaussianScene &scene, const Camera &camera,
     } else {
         sorter_.takeStats();
     }
-    return image;
 }
 
 FrameWorkload
 NeoRenderer::extractWorkload(const GaussianScene &scene,
                              const Camera &camera, uint64_t frame_index)
 {
-    BinnedFrame frame = binFrame(scene, camera, base_.options().tile_px,
-                                 base_.options().threads);
-    sorter_.beginFrame(frame, frame_index);
+    binFrameInto(frame_, arena_, scene, camera, base_.options().tile_px,
+                 base_.options().threads);
+    sorter_.beginFrame(frame_, frame_index);
 
-    FrameWorkload w = base_.workloadFromBinned(frame, camera.resolution());
+    FrameWorkload w = base_.workloadFromBinned(frame_, camera.resolution());
     const FrameDelta &delta = sorter_.lastDelta();
     w.incoming_instances = delta.incoming_total;
     w.outgoing_instances = delta.outgoing_total;

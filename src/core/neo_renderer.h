@@ -10,8 +10,10 @@
 #ifndef NEO_CORE_NEO_RENDERER_H
 #define NEO_CORE_NEO_RENDERER_H
 
+#include <cstddef>
 #include <cstdint>
 
+#include "common/frame_arena.h"
 #include "core/reuse_update.h"
 #include "gs/pipeline.h"
 
@@ -46,6 +48,17 @@ class NeoRenderer
                       uint64_t frame_index, NeoFrameReport *report = nullptr);
 
     /**
+     * renderFrame into a caller-owned image. This is the steady-state
+     * frame loop: the binned frame, the binning/raster scratch, and the
+     * sorter's persistent tables all live in this renderer and are
+     * refilled with capacity retained, so once warm the loop performs
+     * zero per-frame heap allocations on the binning/raster path.
+     */
+    void renderFrameInto(Image &out, const GaussianScene &scene,
+                         const Camera &camera, uint64_t frame_index,
+                         NeoFrameReport *report = nullptr);
+
+    /**
      * Run the pipeline without pixel work and emit the workload descriptor
      * (with incoming/outgoing/retention populated) for the timing models.
      */
@@ -59,9 +72,29 @@ class NeoRenderer
     const ReuseUpdateSorter &sorter() const { return sorter_; }
     const Renderer &base() const { return base_; }
 
+    /** Binned frame of the most recent render/extract (reused storage). */
+    const BinnedFrame &lastBinnedFrame() const { return frame_; }
+
+    /** Scratch arena of the steady-state loop (exposed for tests). */
+    const FrameArena &arena() const { return arena_; }
+
+    /**
+     * Bytes of capacity retained by the steady-state loop (binned frame
+     * plus arena scratch). Constant across a warm loop — the arena-reuse
+     * test asserts no regrowth frame over frame.
+     */
+    size_t retainedScratchBytes() const
+    {
+        return frame_.capacityBytes() + arena_.retainedBytes();
+    }
+
   private:
     Renderer base_;
     ReuseUpdateSorter sorter_;
+    /** Reused per-frame binning output (cleared, never reallocated). */
+    BinnedFrame frame_;
+    /** Reused binning/raster scratch. */
+    FrameArena arena_;
 };
 
 } // namespace neo

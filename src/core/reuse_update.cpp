@@ -18,13 +18,14 @@ ReuseUpdateSorter::reset()
     tracker_.reset();
     delta_ = FrameDelta{};
     report_ = ReuseUpdateReport{};
+    update_scratch_.clear();
 }
 
 void
 ReuseUpdateSorter::beginFrame(const BinnedFrame &frame, uint64_t frame_index)
 {
     report_ = ReuseUpdateReport{};
-    delta_ = tracker_.observe(frame);
+    tracker_.observe(frame, delta_);
     report_.mean_retention = delta_.meanRetention();
 
     if (tables_.tileCount() != frame.tiles.size()) {
@@ -51,7 +52,7 @@ ReuseUpdateSorter::coldStart(const BinnedFrame &frame)
              [&](size_t begin, size_t end, SortCoreStats &cs) {
                  for (size_t t = begin; t < end; ++t) {
                      tables_.table(t) = frame.tiles[t];
-                     fullSortTable(tables_.table(t), &cs);
+                     fullSortTable(tables_.table(t), &cs, threads_);
                  }
              }))
         stats_ += s;
@@ -64,44 +65,53 @@ ReuseUpdateSorter::updateFrame(const BinnedFrame &frame, uint64_t frame_index)
     // Steps ①-③ touch only tile-local state (the persistent table, the
     // tile's delta, and a per-worker merge buffer), so tiles process in
     // parallel; counters accumulate per chunk and merge in chunk order.
-    struct ChunkAccum
-    {
-        SortCoreStats stats;
-        uint64_t incoming = 0;
-        uint64_t deleted = 0;
-    };
+    // The per-chunk scratch persists across frames (chunk indices are
+    // stable), so the steady-state update loop reuses its staging and
+    // merge buffers instead of reallocating them every frame.
     const size_t tiles = frame.tiles.size();
-    auto acc = parallelForAccumulate<ChunkAccum>(
-        tiles, threads_, [&](size_t begin, size_t end, ChunkAccum &a) {
-        std::vector<TileEntry> merged;
+    const size_t chunks = parallelChunkCount(tiles, threads_);
+    if (update_scratch_.size() != chunks)
+        update_scratch_.resize(chunks);
+    for (UpdateScratch &s : update_scratch_) {
+        s.stats = SortCoreStats{};
+        s.incoming = 0;
+        s.deleted = 0;
+    }
+    parallelFor(tiles, threads_,
+                [&](size_t begin, size_t end, size_t chunk) {
+        UpdateScratch &s = update_scratch_[chunk];
         for (size_t t = begin; t < end; ++t) {
             std::vector<TileEntry> &table = tables_.table(t);
             TileDelta &td = delta_.tiles[t];
 
             // ① Reordering: Dynamic Partial Sorting of the reused table.
-            dynamicPartialSort(table, frame_index, dps_, &a.stats);
+            dynamicPartialSort(table, frame_index, dps_, &s.stats);
 
             // ② Insertion: conventional sort of the (small) incoming
-            // table.
-            std::vector<TileEntry> incoming = td.incoming;
-            fullSortTable(incoming, &a.stats);
+            // table, staged in the chunk's reusable buffer.
+            s.incoming_sorted.assign(td.incoming.begin(),
+                                     td.incoming.end());
+            fullSortTable(s.incoming_sorted, &s.stats, threads_);
 
             // ③ Deletion happens inside the same MSU+ pass that merges
             // the incoming table: entries invalidated during the previous
             // frame's rasterization are dropped without any shifting.
-            const uint64_t invalid_before = a.stats.msu.filtered_invalid;
-            msuUpdateTable(table, incoming, merged, &a.stats.msu);
-            a.deleted += a.stats.msu.filtered_invalid - invalid_before;
-            table = std::move(merged);
-            merged.clear();
+            const uint64_t invalid_before = s.stats.msu.filtered_invalid;
+            msuUpdateTable(table, s.incoming_sorted, s.merged,
+                           &s.stats.msu, threads_);
+            s.deleted += s.stats.msu.filtered_invalid - invalid_before;
+            // Swap rather than move: the displaced table storage becomes
+            // the next merge's output buffer.
+            std::swap(table, s.merged);
+            s.merged.clear();
 
-            a.incoming += incoming.size();
+            s.incoming += s.incoming_sorted.size();
         }
     });
-    for (const ChunkAccum &a : acc) {
-        stats_ += a.stats;
-        report_.incoming += a.incoming;
-        report_.deleted += a.deleted;
+    for (const UpdateScratch &s : update_scratch_) {
+        stats_ += s.stats;
+        report_.incoming += s.incoming;
+        report_.deleted += s.deleted;
     }
 }
 

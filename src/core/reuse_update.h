@@ -56,6 +56,13 @@ class ReuseUpdateSorter : public SortingStrategy
 
     void beginFrame(const BinnedFrame &frame, uint64_t frame_index) override;
 
+    /** One knob drives every threaded stage, including delta tracking. */
+    void setThreads(int threads) override
+    {
+        SortingStrategy::setThreads(threads);
+        tracker_.setThreads(threads);
+    }
+
     const std::vector<TileEntry> &tileOrder(int tile) const override
     {
         return tables_.table(tile);
@@ -85,11 +92,29 @@ class ReuseUpdateSorter : public SortingStrategy
     void updateFrame(const BinnedFrame &frame, uint64_t frame_index);
     void deferredDepthUpdate(const BinnedFrame &frame);
 
+    /**
+     * Per-worker-chunk working memory of updateFrame, persistent across
+     * frames: the sorted-incoming staging buffer, the MSU+ merge output
+     * (whose storage is swapped with the tile table each merge, so the
+     * two buffers recycle each other), and the frame's chunk-local
+     * counters. Chunk indices are stable across frames for a fixed
+     * (tile count, threads), which is what makes the reuse sound.
+     */
+    struct UpdateScratch
+    {
+        SortCoreStats stats;
+        uint64_t incoming = 0;
+        uint64_t deleted = 0;
+        std::vector<TileEntry> incoming_sorted;
+        std::vector<TileEntry> merged;
+    };
+
     DynamicPartialConfig dps_;
     TileTableSet tables_;
     DeltaTracker tracker_;
     FrameDelta delta_;
     ReuseUpdateReport report_;
+    std::vector<UpdateScratch> update_scratch_;
 };
 
 } // namespace neo

@@ -5,11 +5,30 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/frame_arena.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 
 namespace neo
 {
+
+namespace
+{
+
+/** Per-chunk rasterization working set (see Renderer::renderInto). */
+struct RasterAccum
+{
+    RasterStats stats;
+    RasterScratch scratch;
+};
+
+/** Arena key of the raster accumulators (see kArenaKeysRaster). */
+enum : int
+{
+    kKeyRasterAccums = kArenaKeysRaster + 0,
+};
+
+} // namespace
 
 uint64_t
 FrameWorkload::nonEmptyTiles() const
@@ -31,14 +50,23 @@ FrameWorkload::meanTileLength() const
 BinnedFrame
 Renderer::prepare(const GaussianScene &scene, const Camera &camera) const
 {
+    BinnedFrame frame;
+    FrameArena arena;
+    prepareInto(frame, arena, scene, camera);
+    return frame;
+}
+
+void
+Renderer::prepareInto(BinnedFrame &frame, FrameArena &arena,
+                      const GaussianScene &scene, const Camera &camera) const
+{
     const int threads = resolveThreadCount(opts_.threads);
-    BinnedFrame frame = binFrame(scene, camera, opts_.tile_px, threads);
+    binFrameInto(frame, arena, scene, camera, opts_.tile_px, threads);
     // Each tile's ordering is independent of every other tile's.
     parallelForEach(frame.tiles.size(), threads, [&](size_t t) {
         std::sort(frame.tiles[t].begin(), frame.tiles[t].end(),
                   entryDepthLess);
     });
-    return frame;
 }
 
 Image
@@ -55,8 +83,19 @@ Renderer::renderWithOrdering(
     const std::vector<std::vector<TileEntry>> &orderings,
     FrameStats *stats) const
 {
+    Image image;
+    renderInto(image, frame, orderings, stats, nullptr);
+    return image;
+}
+
+void
+Renderer::renderInto(Image &image, const BinnedFrame &frame,
+                     const std::vector<std::vector<TileEntry>> &orderings,
+                     FrameStats *stats, FrameArena *arena) const
+{
     const TileGrid &grid = frame.grid;
-    Image image(grid.tiles_x * grid.tile_size, grid.tiles_y * grid.tile_size);
+    image.reset(grid.tiles_x * grid.tile_size,
+                grid.tiles_y * grid.tile_size);
 
     FrameStats local;
     local.scene_gaussians = frame.feature_of_id.size();
@@ -67,32 +106,43 @@ Renderer::renderWithOrdering(
     // Tiles own disjoint pixel rectangles of the framebuffer, so parallel
     // rasterization is race-free; counters accumulate per chunk and merge
     // in fixed chunk order below to stay deterministic.
-    struct RasterAccum
-    {
-        RasterStats stats;
-        RasterScratch scratch;
-    };
     const int threads = resolveThreadCount(opts_.threads);
     const size_t tile_count = static_cast<size_t>(grid.tileCount());
-    for (const RasterAccum &a : parallelForAccumulate<RasterAccum>(
-             tile_count, threads,
-             [&](size_t begin, size_t end, RasterAccum &acc) {
-                 for (size_t t = begin; t < end; ++t) {
-                     const std::vector<TileEntry> &order =
-                         (t < orderings.size() && !orderings[t].empty())
-                             ? orderings[t]
-                             : frame.tiles[t];
-                     if (order.empty())
-                         continue;
-                     acc.stats += rasterizeTile(
-                         order, frame, static_cast<int>(t), opts_.raster,
-                         &image, nullptr, &acc.scratch);
-                 }
-             }))
-        local.raster += a.stats;
+    auto rasterChunk = [&](size_t begin, size_t end, RasterAccum &acc) {
+        for (size_t t = begin; t < end; ++t) {
+            const std::vector<TileEntry> &order =
+                (t < orderings.size() && !orderings[t].empty())
+                    ? orderings[t]
+                    : frame.tiles[t];
+            if (order.empty())
+                continue;
+            acc.stats +=
+                rasterizeTile(order, frame, static_cast<int>(t),
+                              opts_.raster, &image, nullptr, &acc.scratch);
+        }
+    };
+    if (arena) {
+        // Steady-state path: accumulators (and their ITU/blend scratch)
+        // live in the caller's arena and are reused frame after frame.
+        const size_t chunks = parallelChunkCount(tile_count, threads);
+        auto &accums = arena->buffer<RasterAccum>(kKeyRasterAccums);
+        if (accums.size() != chunks)
+            accums.resize(chunks);
+        for (RasterAccum &acc : accums)
+            acc.stats = RasterStats{};
+        parallelFor(tile_count, threads,
+                    [&](size_t begin, size_t end, size_t chunk) {
+                        rasterChunk(begin, end, accums[chunk]);
+                    });
+        for (const RasterAccum &acc : accums)
+            local.raster += acc.stats;
+    } else {
+        for (const RasterAccum &a : parallelForAccumulate<RasterAccum>(
+                 tile_count, threads, rasterChunk))
+            local.raster += a.stats;
+    }
     if (stats)
         *stats = local;
-    return image;
 }
 
 FrameWorkload

@@ -25,6 +25,8 @@
 namespace neo
 {
 
+class FrameArena;
+
 /** Pipeline configuration. */
 struct PipelineOptions
 {
@@ -91,6 +93,14 @@ class Renderer
     BinnedFrame prepare(const GaussianScene &scene,
                         const Camera &camera) const;
 
+    /**
+     * prepare() into caller-owned storage: @p frame and the binning
+     * scratch in @p arena are refilled with capacity retained, so a warm
+     * steady-state loop prepares frames without per-frame heap churn.
+     */
+    void prepareInto(BinnedFrame &frame, FrameArena &arena,
+                     const GaussianScene &scene, const Camera &camera) const;
+
     /** Full render with ground-truth per-tile depth sorting. */
     Image render(const GaussianScene &scene, const Camera &camera,
                  FrameStats *stats = nullptr) const;
@@ -105,6 +115,18 @@ class Renderer
         const BinnedFrame &frame,
         const std::vector<std::vector<TileEntry>> &orderings,
         FrameStats *stats = nullptr) const;
+
+    /**
+     * renderWithOrdering into a caller-owned image. When @p arena is
+     * non-null the per-chunk raster accumulators (counters + ITU/blend
+     * scratch) live there and are reused across frames; with image and
+     * arena reused, a warm steady-state render performs zero per-frame
+     * heap allocations on the raster path.
+     */
+    void renderInto(Image &image, const BinnedFrame &frame,
+                    const std::vector<std::vector<TileEntry>> &orderings,
+                    FrameStats *stats = nullptr,
+                    FrameArena *arena = nullptr) const;
 
     /** Workload extraction without pixel work (see file comment). */
     FrameWorkload extractWorkload(const GaussianScene &scene,

@@ -71,7 +71,17 @@ projectGaussian(const Gaussian &g, GaussianId id, const Camera &camera)
 std::vector<std::optional<ProjectedGaussian>>
 projectScene(const GaussianScene &scene, const Camera &camera, int threads)
 {
-    std::vector<std::optional<ProjectedGaussian>> out(scene.size());
+    std::vector<std::optional<ProjectedGaussian>> out;
+    projectSceneInto(out, scene, camera, threads);
+    return out;
+}
+
+void
+projectSceneInto(std::vector<std::optional<ProjectedGaussian>> &out,
+                 const GaussianScene &scene, const Camera &camera,
+                 int threads)
+{
+    out.assign(scene.size(), std::nullopt);
     parallelFor(scene.size(), resolveThreadCount(threads),
                 [&](size_t begin, size_t end, size_t) {
                     for (size_t i = begin; i < end; ++i) {
@@ -82,7 +92,6 @@ projectScene(const GaussianScene &scene, const Camera &camera, int threads)
                             g, static_cast<GaussianId>(i), camera);
                     }
                 });
-    return out;
 }
 
 } // namespace neo

@@ -63,6 +63,15 @@ std::vector<std::optional<ProjectedGaussian>>
 projectScene(const GaussianScene &scene, const Camera &camera,
              int threads = 0);
 
+/**
+ * projectScene into a caller-owned slot array, reusing its capacity. The
+ * vector is reset to scene.size() nullopt slots first, so stale entries
+ * from a previous frame can never leak through.
+ */
+void projectSceneInto(std::vector<std::optional<ProjectedGaussian>> &out,
+                      const GaussianScene &scene, const Camera &camera,
+                      int threads = 0);
+
 } // namespace neo
 
 #endif // NEO_GS_PROJECTION_H

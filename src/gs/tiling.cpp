@@ -4,7 +4,11 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <vector>
 
+#include "common/frame_arena.h"
+#include "common/parallel.h"
 #include "gs/culling.h"
 #include "gs/projection.h"
 
@@ -58,44 +62,146 @@ BinnedFrame::rebuildFeatureArrays()
     }
 }
 
+size_t
+BinnedFrame::capacityBytes() const
+{
+    size_t total = features.capacity() * sizeof(ProjectedGaussian) +
+                   feature_of_id.capacity() * sizeof(int32_t) +
+                   tiles.capacity() * sizeof(std::vector<TileEntry>) +
+                   mean2d.capacity() * sizeof(Vec2) +
+                   (radius_px.capacity() + depth.capacity()) * sizeof(float);
+    for (const auto &t : tiles)
+        total += t.capacity() * sizeof(TileEntry);
+    return total;
+}
+
+namespace
+{
+
+/** Arena keys of the scatter scratch (see kArenaKeysBinning). */
+enum : int
+{
+    kKeyProjected = kArenaKeysBinning + 0, //!< id-indexed projection slots
+    kKeyRects = kArenaKeysBinning + 1,     //!< id-indexed tile rectangles
+    kKeyCursors = kArenaKeysBinning + 2,   //!< chunks x tiles counts/cursors
+    kKeyFeatureBase = kArenaKeysBinning + 3, //!< per-chunk feature offsets
+};
+
+} // namespace
+
 BinnedFrame
 binFrame(const GaussianScene &scene, const Camera &camera, int tile_px,
          int threads)
 {
     BinnedFrame out;
+    FrameArena arena;
+    binFrameInto(out, arena, scene, camera, tile_px, threads);
+    return out;
+}
+
+void
+binFrameInto(BinnedFrame &out, FrameArena &arena, const GaussianScene &scene,
+             const Camera &camera, int tile_px, int threads)
+{
+    const int t = resolveThreadCount(threads);
     out.grid = TileGrid(camera.resolution(), tile_px);
-    out.tiles.resize(out.grid.tileCount());
-    out.feature_of_id.assign(scene.size(), -1);
-    out.features.reserve(scene.size() / 2);
+    const size_t tile_count = static_cast<size_t>(out.grid.tileCount());
+    const size_t n = scene.size();
+    clearNested(out.tiles, tile_count);
+    out.feature_of_id.assign(n, -1);
+    out.instances = 0;
 
     // Stages 1-2 (culling + projection + SH) are per-Gaussian pure
     // functions; run them in parallel into id-indexed slots.
-    auto projected = projectScene(scene, camera, threads);
+    auto &projected =
+        arena.buffer<std::optional<ProjectedGaussian>>(kKeyProjected);
+    projectSceneInto(projected, scene, camera, t);
 
-    // Duplication stays a serial scatter in ascending id order, so the
-    // feature table, tile lists and instance count come out exactly as the
-    // historical single-thread loop produced them.
-    for (GaussianId id = 0; id < scene.size(); ++id) {
-        if (!projected[id])
-            continue;
-        const ProjectedGaussian &pg = *projected[id];
-        TileRect rect = tileRectOf(pg, out.grid);
-        if (rect.empty())
-            continue;
+    // Duplication runs as a two-phase per-chunk scatter. Each chunk owns a
+    // contiguous ascending id range, so concatenating the chunks' tile
+    // contributions in chunk order reproduces the historical serial
+    // ascending-id pass bit for bit.
+    const size_t chunks = parallelChunkCount(n, t);
+    auto &rects = arena.buffer<TileRect>(kKeyRects);
+    rects.resize(n);
+    auto &cursors = arena.buffer<uint32_t>(kKeyCursors);
+    cursors.assign(chunks * tile_count, 0);
+    auto &feature_base = arena.buffer<uint32_t>(kKeyFeatureBase);
+    feature_base.assign(chunks + 1, 0);
 
-        out.feature_of_id[id] = static_cast<int32_t>(out.features.size());
-        out.features.push_back(pg);
-
-        for (int ty = rect.y0; ty <= rect.y1; ++ty) {
-            for (int tx = rect.x0; tx <= rect.x1; ++tx) {
-                out.tiles[out.grid.tileIndex(tx, ty)].push_back(
-                    {id, pg.depth, true});
-                ++out.instances;
-            }
+    // Phase 1: each chunk computes its Gaussians' tile rectangles and
+    // counts its per-tile instances and visible features. (If this runs
+    // nested inside another parallel region the whole range lands in
+    // chunk 0; the other rows stay zero, which the prefix pass handles.)
+    parallelFor(n, t, [&](size_t begin, size_t end, size_t chunk) {
+        uint32_t *counts = cursors.data() + chunk * tile_count;
+        uint32_t features = 0;
+        for (size_t id = begin; id < end; ++id) {
+            if (!projected[id])
+                continue;
+            const TileRect rect = tileRectOf(projected[id].value(), out.grid);
+            rects[id] = rect;
+            if (rect.empty())
+                continue;
+            ++features;
+            for (int ty = rect.y0; ty <= rect.y1; ++ty)
+                for (int tx = rect.x0; tx <= rect.x1; ++tx)
+                    ++counts[out.grid.tileIndex(tx, ty)];
         }
+        feature_base[chunk + 1] = features;
+    });
+
+    // Prefix pass: turn the per-chunk counts into per-chunk write cursors
+    // (chunk-order concatenation within each tile) and size every output
+    // structure exactly.
+    uint64_t instances = 0;
+    for (size_t tile = 0; tile < tile_count; ++tile) {
+        uint32_t offset = 0;
+        for (size_t c = 0; c < chunks; ++c) {
+            const uint32_t count = cursors[c * tile_count + tile];
+            cursors[c * tile_count + tile] = offset;
+            offset += count;
+        }
+        out.tiles[tile].resize(offset);
+        instances += offset;
     }
-    out.rebuildFeatureArrays();
-    return out;
+    out.instances = instances;
+    for (size_t c = 0; c < chunks; ++c)
+        feature_base[c + 1] += feature_base[c];
+    const size_t visible = feature_base[chunks];
+    out.features.resize(visible);
+    out.mean2d.resize(visible);
+    out.radius_px.resize(visible);
+    out.depth.resize(visible);
+
+    // Phase 2: scatter. Chunks write disjoint feature slots and disjoint
+    // index ranges of each tile list, so the parallel writes are race-free
+    // and land exactly where the serial pass would have put them.
+    parallelFor(n, t, [&](size_t begin, size_t end, size_t chunk) {
+        uint32_t *cursor = cursors.data() + chunk * tile_count;
+        uint32_t slot = feature_base[chunk];
+        for (size_t id = begin; id < end; ++id) {
+            if (!projected[id])
+                continue;
+            const TileRect &rect = rects[id];
+            if (rect.empty())
+                continue;
+            const ProjectedGaussian &pg = projected[id].value();
+            out.feature_of_id[id] = static_cast<int32_t>(slot);
+            out.features[slot] = pg;
+            out.mean2d[slot] = pg.mean2d;
+            out.radius_px[slot] = pg.radius_px;
+            out.depth[slot] = pg.depth;
+            ++slot;
+            for (int ty = rect.y0; ty <= rect.y1; ++ty)
+                for (int tx = rect.x0; tx <= rect.x1; ++tx) {
+                    const int tile = out.grid.tileIndex(tx, ty);
+                    out.tiles[tile][cursor[tile]++] =
+                        TileEntry{static_cast<GaussianId>(id), pg.depth,
+                                  true};
+                }
+        }
+    });
 }
 
 } // namespace neo

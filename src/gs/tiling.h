@@ -128,13 +128,25 @@ struct BinnedFrame
 
     /** Mean tile-list length over non-empty tiles. */
     double meanTileLength() const;
+
+    /**
+     * Bytes of vector capacity currently held (outer containers plus
+     * per-tile lists). Constant across a warm steady-state frame loop;
+     * the arena-reuse test pins that down.
+     */
+    size_t capacityBytes() const;
 };
+
+class FrameArena;
 
 /**
  * Run culling + feature extraction + duplication for one frame. Culling,
- * projection and SH evaluation run per-Gaussian in parallel; the binning
- * scatter is a serial pass in ascending id order, so the result is
- * bit-identical for any thread count.
+ * projection and SH evaluation run per-Gaussian in parallel; the
+ * duplication scatter runs as per-chunk local binning (each worker counts
+ * and then scatters its contiguous id range) with a deterministic
+ * per-tile concatenation in chunk order, so every tile list comes out in
+ * ascending id order — bit-identical to the historical serial pass for
+ * any thread count.
  *
  * @param scene the scene
  * @param camera viewing camera
@@ -144,6 +156,16 @@ struct BinnedFrame
  */
 BinnedFrame binFrame(const GaussianScene &scene, const Camera &camera,
                      int tile_px, int threads = 0);
+
+/**
+ * binFrame into caller-owned storage: @p out and the scatter scratch in
+ * @p arena are cleared and refilled with capacity retained, so a warm
+ * steady-state loop re-bins without any per-frame heap allocation.
+ * Results are bit-identical to binFrame for any thread count.
+ */
+void binFrameInto(BinnedFrame &out, FrameArena &arena,
+                  const GaussianScene &scene, const Camera &camera,
+                  int tile_px, int threads = 0);
 
 } // namespace neo
 

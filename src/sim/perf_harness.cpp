@@ -7,8 +7,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/frame_arena.h"
 #include "common/parallel.h"
 #include "core/delta_tracker.h"
+#include "gs/tiling.h"
 
 namespace neo
 {
@@ -80,13 +82,20 @@ extractOne(const GaussianScene &scene, const Trajectory &trajectory,
     opts.threads = threads;
     Renderer renderer(opts);
     DeltaTracker tracker;
+    tracker.setThreads(threads);
+
+    // Steady-state extraction: the binned frame, scatter scratch and
+    // delta buffers persist across the frame loop with capacity retained.
+    BinnedFrame frame;
+    FrameArena arena;
+    FrameDelta delta;
 
     std::vector<FrameWorkload> out;
     out.reserve(frames);
     for (int f = 0; f < frames; ++f) {
         Camera cam = trajectory.cameraAt(f, res);
-        BinnedFrame frame = renderer.prepare(scene, cam);
-        FrameDelta delta = tracker.observe(frame);
+        renderer.prepareInto(frame, arena, scene, cam);
+        tracker.observe(frame, delta);
         FrameWorkload w = renderer.workloadFromBinned(frame, res);
         w.incoming_instances = delta.incoming_total;
         w.outgoing_instances = delta.outgoing_total;
@@ -126,14 +135,25 @@ sweepRenderThreads(const GaussianScene &scene, const Trajectory &trajectory,
     for (int requested : thread_counts) {
         opts.threads = requested;
         Renderer renderer(opts);
+        BinnedFrame frame;
+        FrameArena arena;
+        Image image;
+        const std::vector<std::vector<TileEntry>> no_orderings;
+        auto renderOnce = [&](int f) {
+            renderer.prepareInto(frame, arena, scene,
+                                 trajectory.cameraAt(f, res));
+            renderer.renderInto(image, frame, no_orderings, nullptr,
+                                &arena);
+        };
 
-        // One untimed warm-up frame spins up the worker pool and faults
-        // in the scene, so the timed frames measure steady state.
-        Image image = renderer.render(scene, trajectory.cameraAt(0, res));
+        // One untimed warm-up frame spins up the worker pool, faults in
+        // the scene and grows the reused buffers to their working size,
+        // so the timed frames measure the allocation-free steady state.
+        renderOnce(0);
 
         auto t0 = clock::now();
         for (int f = 0; f < frames; ++f)
-            image = renderer.render(scene, trajectory.cameraAt(f, res));
+            renderOnce(f);
         auto t1 = clock::now();
 
         ThreadScalingPoint p;
@@ -141,6 +161,83 @@ sweepRenderThreads(const GaussianScene &scene, const Trajectory &trajectory,
         p.ms_per_frame =
             std::chrono::duration<double, std::milli>(t1 - t0).count() /
             std::max(frames, 1);
+        p.frame_hash = image.contentHash();
+        p.speedup = points.empty()
+                        ? 1.0
+                        : points.front().ms_per_frame / p.ms_per_frame;
+        points.push_back(p);
+    }
+    return points;
+}
+
+std::vector<ThreadScalingPoint>
+sweepRenderThreadsStaged(const GaussianScene &scene,
+                         const Trajectory &trajectory, Resolution res,
+                         int frames, const std::vector<int> &thread_counts,
+                         PipelineOptions opts)
+{
+    using clock = std::chrono::steady_clock;
+    auto ms_since = [](clock::time_point t0) {
+        return std::chrono::duration<double, std::milli>(clock::now() - t0)
+            .count();
+    };
+
+    std::vector<ThreadScalingPoint> points;
+    points.reserve(thread_counts.size());
+    for (int requested : thread_counts) {
+        opts.threads = requested;
+        const int threads = resolveThreadCount(requested);
+        Renderer renderer(opts);
+        DeltaTracker tracker;
+        tracker.setThreads(threads);
+        BinnedFrame frame;
+        FrameArena arena;
+        FrameDelta delta;
+        Image image;
+        const std::vector<std::vector<TileEntry>> no_orderings;
+
+        StageTimings acc;
+        auto frameOnce = [&](int f, bool timed) {
+            const Camera cam = trajectory.cameraAt(f, res);
+            auto t0 = clock::now();
+            binFrameInto(frame, arena, scene, cam, opts.tile_px, threads);
+            if (timed)
+                acc.bin_ms += ms_since(t0);
+
+            t0 = clock::now();
+            parallelForEach(frame.tiles.size(), threads, [&](size_t t) {
+                std::sort(frame.tiles[t].begin(), frame.tiles[t].end(),
+                          entryDepthLess);
+            });
+            if (timed)
+                acc.sort_ms += ms_since(t0);
+
+            t0 = clock::now();
+            renderer.renderInto(image, frame, no_orderings, nullptr,
+                                &arena);
+            if (timed)
+                acc.raster_ms += ms_since(t0);
+
+            t0 = clock::now();
+            tracker.observe(frame, delta);
+            if (timed)
+                acc.tracker_ms += ms_since(t0);
+        };
+
+        // Untimed warm-up: pool spin-up, scene faults, buffer growth.
+        frameOnce(0, false);
+        for (int f = 0; f < frames; ++f)
+            frameOnce(f, true);
+
+        const double denom = std::max(frames, 1);
+        ThreadScalingPoint p;
+        p.threads = threads;
+        p.has_stages = true;
+        p.stages.bin_ms = acc.bin_ms / denom;
+        p.stages.sort_ms = acc.sort_ms / denom;
+        p.stages.raster_ms = acc.raster_ms / denom;
+        p.stages.tracker_ms = acc.tracker_ms / denom;
+        p.ms_per_frame = p.stages.totalMs();
         p.frame_hash = image.contentHash();
         p.speedup = points.empty()
                         ? 1.0

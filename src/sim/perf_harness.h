@@ -66,6 +66,24 @@ WorkloadSequences extractSequences(const GaussianScene &scene,
                                    bool want16 = true, bool want64 = true,
                                    int threads = 0);
 
+/**
+ * Per-stage wall-clock of the staged frame loop (sweepRenderThreadsStaged):
+ * binning scatter, per-tile depth sort, rasterization, and delta tracking,
+ * each in mean milliseconds per frame.
+ */
+struct StageTimings
+{
+    double bin_ms = 0.0;
+    double sort_ms = 0.0;
+    double raster_ms = 0.0;
+    double tracker_ms = 0.0;
+
+    double totalMs() const
+    {
+        return bin_ms + sort_ms + raster_ms + tracker_ms;
+    }
+};
+
 /** One measurement of the thread-scaling sweep. */
 struct ThreadScalingPoint
 {
@@ -73,6 +91,8 @@ struct ThreadScalingPoint
     double ms_per_frame = 0;  //!< mean wall-clock per frame
     double speedup = 1.0;     //!< vs the sweep's first (baseline) point
     uint64_t frame_hash = 0;  //!< FNV-1a over the last rendered frame
+    bool has_stages = false;  //!< stage breakdown populated?
+    StageTimings stages;      //!< per-stage ms (staged sweep only)
 };
 
 /**
@@ -80,7 +100,9 @@ struct ThreadScalingPoint
  * models): render @p frames frames of @p trajectory at each requested
  * thread count and report wall-clock per frame plus a frame hash, which
  * must be identical across all points (determinism contract). The first
- * entry of @p thread_counts is the speedup baseline.
+ * entry of @p thread_counts is the speedup baseline. The frame loop runs
+ * steady state: binned frame, scratch arena and framebuffer persist
+ * across frames with capacity retained.
  *
  * @param opts pipeline geometry for the sweep; opts.threads is overridden
  *        by each sweep point
@@ -90,6 +112,20 @@ sweepRenderThreads(const GaussianScene &scene, const Trajectory &trajectory,
                    Resolution res, int frames,
                    const std::vector<int> &thread_counts,
                    PipelineOptions opts = {});
+
+/**
+ * sweepRenderThreads with a per-stage breakdown: each frame runs the
+ * explicit staged loop (binFrameInto -> per-tile sort -> renderInto ->
+ * DeltaTracker::observe) with each stage timed separately, so the
+ * elimination of serial stages is visible per stage and not just in the
+ * frame total. ms_per_frame is the sum of the stage means; hashes obey
+ * the same determinism contract as the plain sweep.
+ */
+std::vector<ThreadScalingPoint>
+sweepRenderThreadsStaged(const GaussianScene &scene,
+                         const Trajectory &trajectory, Resolution res,
+                         int frames, const std::vector<int> &thread_counts,
+                         PipelineOptions opts = {});
 
 /** Simulate a workload sequence on the GPU model. */
 SequenceResult simulateGpu(const GpuModel &model,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace neo
 {
@@ -49,21 +50,41 @@ sortChunk(std::vector<TileEntry> &entries, size_t first, size_t count,
 }
 
 void
-fullSortTable(std::vector<TileEntry> &table, SortCoreStats *stats)
+fullSortTable(std::vector<TileEntry> &table, SortCoreStats *stats,
+              int threads)
 {
     const size_t n = table.size();
     if (n == 0)
         return;
-    for (size_t first = 0; first < n; first += kChunkSize)
-        sortChunk(table, first, std::min(kChunkSize, n - first), stats);
-
     const size_t chunks = (n + kChunkSize - 1) / kChunkSize;
+    if (threads > 1 && chunks > 1 && n >= kMsuParallelMinEntries &&
+        !ThreadPool::insideParallelRegion()) {
+        // The 256-entry chunk sorts touch disjoint slices, so they fan
+        // out over the pool; counters are integer sums per chunk, merged
+        // in fixed chunk order.
+        for (const SortCoreStats &s : parallelForAccumulate<SortCoreStats>(
+                 chunks, threads,
+                 [&](size_t begin, size_t end, SortCoreStats &cs) {
+                     for (size_t c = begin; c < end; ++c) {
+                         const size_t first = c * kChunkSize;
+                         sortChunk(table, first,
+                                   std::min(kChunkSize, n - first),
+                                   stats ? &cs : nullptr);
+                     }
+                 }))
+            if (stats)
+                *stats += s;
+    } else {
+        for (size_t first = 0; first < n; first += kChunkSize)
+            sortChunk(table, first, std::min(kChunkSize, n - first), stats);
+    }
+
     if (chunks > 1) {
         // Global merge across chunks. Functionally we merge in one go; the
         // hardware streams the table through the MSU+ log2(chunks) times,
         // so cost that many extra off-chip passes.
         MsuStats *msu = stats ? &stats->msu : nullptr;
-        msuMergeRuns(table, 0, n, kChunkSize, msu);
+        msuMergeRuns(table, 0, n, kChunkSize, msu, threads);
         size_t passes = 0;
         for (size_t c = 1; c < chunks; c <<= 1)
             ++passes;

@@ -51,9 +51,14 @@ void sortChunk(std::vector<TileEntry> &entries, size_t first, size_t count,
  * then merge chunks globally. The global merge is modeled functionally
  * (result is fully sorted) and its off-chip cost is recorded as
  * ceil(log2(num_chunks)) extra read+write passes over the table.
+ *
+ * With @p threads > 1, long tables split across workers: the independent
+ * 256-entry chunk sorts fan out over the pool, and the global merge runs
+ * the parallel MSU+ merge tree (msuMergeRuns). Results and counters are
+ * bit-identical for any thread count.
  */
 void fullSortTable(std::vector<TileEntry> &table,
-                   SortCoreStats *stats = nullptr);
+                   SortCoreStats *stats = nullptr, int threads = 1);
 
 } // namespace neo
 

@@ -23,7 +23,10 @@ copyTiles(const BinnedFrame &frame,
 /**
  * Apply @p sort_one to every table in parallel, accumulating the hardware
  * counters per chunk and merging them into @p stats in fixed chunk order
- * (each tile's sort is independent of every other tile's).
+ * (each tile's sort is independent of every other tile's). The thread
+ * count is also forwarded to the per-table sort so that frames whose tile
+ * count cannot feed every worker (the single-tile case in particular)
+ * still split the in-tile merge tree across the pool.
  */
 template <typename SortFn>
 void
@@ -34,7 +37,7 @@ sortTablesParallel(std::vector<std::vector<TileEntry>> &tables, int threads,
              tables.size(), threads,
              [&](size_t begin, size_t end, SortCoreStats &cs) {
                  for (size_t t = begin; t < end; ++t)
-                     sort_one(tables[t], &cs);
+                     sort_one(tables[t], &cs, threads);
              }))
         stats += s;
 }
@@ -79,8 +82,9 @@ FullSortStrategy::beginFrame(const BinnedFrame &frame, uint64_t frame_index)
     (void)frame_index;
     copyTiles(frame, tables_);
     sortTablesParallel(tables_, threads_, stats_,
-                       [](std::vector<TileEntry> &t, SortCoreStats *s) {
-                           fullSortTable(t, s);
+                       [](std::vector<TileEntry> &t, SortCoreStats *s,
+                          int threads) {
+                           fullSortTable(t, s, threads);
                        });
 }
 
@@ -91,7 +95,9 @@ HierarchicalSortStrategy::beginFrame(const BinnedFrame &frame,
     (void)frame_index;
     copyTiles(frame, tables_);
     sortTablesParallel(tables_, threads_, stats_,
-                       [](std::vector<TileEntry> &t, SortCoreStats *s) {
+                       [](std::vector<TileEntry> &t, SortCoreStats *s,
+                          int threads) {
+                           (void)threads;
                            hierarchicalSortTable(t, s);
                        });
 }
@@ -111,8 +117,9 @@ PeriodicSortStrategy::beginFrame(const BinnedFrame &frame,
     }
     copyTiles(frame, tables_);
     sortTablesParallel(tables_, threads_, stats_,
-                       [](std::vector<TileEntry> &t, SortCoreStats *s) {
-                           fullSortTable(t, s);
+                       [](std::vector<TileEntry> &t, SortCoreStats *s,
+                          int threads) {
+                           fullSortTable(t, s, threads);
                        });
 }
 
@@ -128,8 +135,9 @@ BackgroundSortStrategy::beginFrame(const BinnedFrame &frame,
 
     pending_.assign(frame.tiles.begin(), frame.tiles.end());
     sortTablesParallel(pending_, threads_, stats_,
-                       [](std::vector<TileEntry> &t, SortCoreStats *s) {
-                           fullSortTable(t, s);
+                       [](std::vector<TileEntry> &t, SortCoreStats *s,
+                          int threads) {
+                           fullSortTable(t, s, threads);
                        });
 
     if (tables_.empty() || tables_.size() != frame.tiles.size()) {

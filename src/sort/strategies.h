@@ -63,10 +63,17 @@ class SortingStrategy
     /**
      * Set the worker-thread count used by beginFrame. Tiles are sorted
      * independently, so any count produces identical orderings and
-     * counters (per-chunk counter accumulators merge in fixed order).
+     * counters (per-chunk counter accumulators merge in fixed order);
+     * single-tile frames additionally split the in-tile chunk sorts and
+     * the MSU+ merge tree across the same workers. Virtual so strategies
+     * with extra threaded stages (reuse-and-update's delta tracker) can
+     * fan the one knob out.
      * Accepts resolveThreadCount semantics (0 = NEO_THREADS env).
      */
-    void setThreads(int threads) { threads_ = resolveThreadCount(threads); }
+    virtual void setThreads(int threads)
+    {
+        threads_ = resolveThreadCount(threads);
+    }
 
     /** Effective worker-thread count (>= 1). */
     int threads() const { return threads_; }

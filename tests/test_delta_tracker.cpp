@@ -129,6 +129,82 @@ TEST(DeltaTrackerTest, ResetForgetsHistory)
     EXPECT_EQ(d.incoming_total, frame.instances);
 }
 
+TEST(DeltaTrackerTest, MeanRetentionOfEmptySampleSetIsOne)
+{
+    // Documented convention: no retention samples reads as perfect
+    // retention (1.0), so consumers scaling repair work by
+    // (1 - retention) schedule nothing when nothing is known to have
+    // changed.
+    FrameDelta empty;
+    EXPECT_TRUE(empty.tile_retention.empty());
+    EXPECT_DOUBLE_EQ(empty.meanRetention(), 1.0);
+
+    // First observed frame: no previous membership, so no samples.
+    GaussianScene scene = test::blobScene(150);
+    DeltaTracker tracker;
+    FrameDelta first = tracker.observe(frameAt(scene, 0.0f));
+    EXPECT_TRUE(first.tile_retention.empty());
+    EXPECT_DOUBLE_EQ(first.meanRetention(), 1.0);
+
+    // Second frame: samples exist, mean leaves the convention value
+    // behind only because real evidence arrived.
+    FrameDelta second = tracker.observe(frameAt(scene, 0.02f));
+    EXPECT_FALSE(second.tile_retention.empty());
+}
+
+TEST(DeltaTrackerTest, ThreadCountDoesNotChangeDeltas)
+{
+    GaussianScene scene = test::blobScene(500);
+    BinnedFrame f0 = frameAt(scene, 0.0f);
+    BinnedFrame f1 = frameAt(scene, 0.05f);
+
+    DeltaTracker serial;
+    serial.setThreads(1);
+    serial.observe(f0);
+    FrameDelta want = serial.observe(f1);
+
+    for (int threads : {2, 8}) {
+        DeltaTracker tracker;
+        tracker.setThreads(threads);
+        tracker.observe(f0);
+        FrameDelta got = tracker.observe(f1);
+        EXPECT_EQ(want.incoming_total, got.incoming_total);
+        EXPECT_EQ(want.outgoing_total, got.outgoing_total);
+        // The Fig. 6 sample sequence must come out in tile-index order,
+        // bit-identical to the serial pass.
+        EXPECT_EQ(want.tile_retention, got.tile_retention);
+        ASSERT_EQ(want.tiles.size(), got.tiles.size());
+        for (size_t t = 0; t < want.tiles.size(); ++t) {
+            EXPECT_EQ(want.tiles[t].outgoing_ids, got.tiles[t].outgoing_ids);
+            EXPECT_EQ(want.tiles[t].prev_size, got.tiles[t].prev_size);
+            EXPECT_EQ(want.tiles[t].retention, got.tiles[t].retention);
+            ASSERT_EQ(want.tiles[t].incoming.size(),
+                      got.tiles[t].incoming.size());
+            for (size_t i = 0; i < want.tiles[t].incoming.size(); ++i) {
+                EXPECT_EQ(want.tiles[t].incoming[i].id,
+                          got.tiles[t].incoming[i].id);
+                EXPECT_EQ(want.tiles[t].incoming[i].depth,
+                          got.tiles[t].incoming[i].depth);
+            }
+        }
+    }
+}
+
+TEST(DeltaTrackerTest, ReuseObserveMatchesAllocatingObserve)
+{
+    GaussianScene scene = test::blobScene(300);
+    DeltaTracker fresh, reusing;
+    FrameDelta reused;
+    for (int f = 0; f < 3; ++f) {
+        BinnedFrame frame = frameAt(scene, 0.03f * f);
+        FrameDelta want = fresh.observe(frame);
+        reusing.observe(frame, reused);
+        EXPECT_EQ(want.incoming_total, reused.incoming_total);
+        EXPECT_EQ(want.outgoing_total, reused.outgoing_total);
+        EXPECT_EQ(want.tile_retention, reused.tile_retention);
+    }
+}
+
 TEST(DeltaTrackerTest, IncomingPlusRetainedEqualsCurrent)
 {
     GaussianScene scene = test::blobScene(400);

@@ -7,14 +7,18 @@
  * this test instead of silently perturbing the paper's figures.
  */
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/delta_tracker.h"
 #include "core/neo_renderer.h"
 #include "gs/pipeline.h"
 #include "scene/synthetic.h"
+#include "sort/merge_unit.h"
 #include "test_util.h"
 
 namespace neo::test
@@ -112,6 +116,134 @@ TEST(Determinism, ThreadCountDoesNotChangeAnyBit)
     expectEqualRuns(serial, runPipeline(42, 8));
 }
 
+void
+expectEqualBinned(const BinnedFrame &a, const BinnedFrame &b)
+{
+    EXPECT_EQ(a.grid.tiles_x, b.grid.tiles_x);
+    EXPECT_EQ(a.grid.tiles_y, b.grid.tiles_y);
+    EXPECT_EQ(a.instances, b.instances);
+    EXPECT_EQ(a.feature_of_id, b.feature_of_id);
+    ASSERT_EQ(a.features.size(), b.features.size());
+    for (size_t i = 0; i < a.features.size(); ++i) {
+        EXPECT_EQ(a.features[i].id, b.features[i].id);
+        EXPECT_EQ(a.features[i].mean2d.x, b.features[i].mean2d.x);
+        EXPECT_EQ(a.features[i].mean2d.y, b.features[i].mean2d.y);
+        EXPECT_EQ(a.features[i].depth, b.features[i].depth);
+        EXPECT_EQ(a.features[i].radius_px, b.features[i].radius_px);
+        EXPECT_EQ(a.mean2d[i].x, b.mean2d[i].x);
+        EXPECT_EQ(a.depth[i], b.depth[i]);
+        EXPECT_EQ(a.radius_px[i], b.radius_px[i]);
+    }
+    ASSERT_EQ(a.tiles.size(), b.tiles.size());
+    for (size_t t = 0; t < a.tiles.size(); ++t) {
+        ASSERT_EQ(a.tiles[t].size(), b.tiles[t].size()) << "tile " << t;
+        for (size_t i = 0; i < a.tiles[t].size(); ++i) {
+            EXPECT_EQ(a.tiles[t][i].id, b.tiles[t][i].id);
+            EXPECT_EQ(a.tiles[t][i].depth, b.tiles[t][i].depth);
+            EXPECT_EQ(a.tiles[t][i].valid, b.tiles[t][i].valid);
+        }
+    }
+}
+
+TEST(Determinism, ParallelBinningScatterBitIdentical)
+{
+    // The per-chunk scatter with chunk-order concatenation must reproduce
+    // the serial ascending-id pass exactly: features in id order, every
+    // tile list in ascending id order, SoA mirrors in sync.
+    GaussianScene scene = test::tinySyntheticScene();
+    Camera cam = test::frontCamera();
+    for (int tile_px : {16, 64}) {
+        const BinnedFrame serial = binFrame(scene, cam, tile_px, 1);
+        for (int threads : {2, 8})
+            expectEqualBinned(serial,
+                              binFrame(scene, cam, tile_px, threads));
+    }
+}
+
+TEST(Determinism, ParallelMsuMergeBitIdentical)
+{
+    // The MSU merge tree and the two-way update merge across threads:
+    // identical entries AND identical hardware counters.
+    auto table = test::randomTable(16384, 97);
+    for (size_t i = 0; i < table.size(); i += 71)
+        table[i].valid = false;
+
+    auto serial = table;
+    MsuStats serial_stats;
+    msuMergeRuns(serial, 0, serial.size(), 1, &serial_stats, 1);
+
+    auto incoming = test::randomTable(3000, 98);
+    for (auto &e : incoming)
+        e.id += 1 << 20;
+    std::sort(incoming.begin(), incoming.end(), entryDepthLess);
+    std::vector<TileEntry> serial_merged;
+    MsuStats serial_update;
+    msuUpdateTable(serial, incoming, serial_merged, &serial_update, 1);
+
+    for (int threads : {2, 8}) {
+        auto t = table;
+        MsuStats stats;
+        msuMergeRuns(t, 0, t.size(), 1, &stats, threads);
+        ASSERT_EQ(serial.size(), t.size());
+        for (size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].id, t[i].id);
+            EXPECT_EQ(serial[i].depth, t[i].depth);
+            EXPECT_EQ(serial[i].valid, t[i].valid);
+        }
+        EXPECT_EQ(serial_stats.compares, stats.compares);
+        EXPECT_EQ(serial_stats.merges, stats.merges);
+        EXPECT_EQ(serial_stats.elements_processed,
+                  stats.elements_processed);
+        EXPECT_EQ(serial_stats.filtered_invalid, stats.filtered_invalid);
+
+        std::vector<TileEntry> merged;
+        MsuStats update;
+        msuUpdateTable(t, incoming, merged, &update, threads);
+        ASSERT_EQ(serial_merged.size(), merged.size());
+        for (size_t i = 0; i < merged.size(); ++i)
+            EXPECT_EQ(serial_merged[i].id, merged[i].id);
+        EXPECT_EQ(serial_update.compares, update.compares);
+        EXPECT_EQ(serial_update.filtered_invalid, update.filtered_invalid);
+    }
+}
+
+TEST(Determinism, ParallelDeltaTrackerBitIdentical)
+{
+    // tile_retention is the Fig. 6 sample set: sequence order (tile-index
+    // order) and every double must match the serial pass exactly.
+    GaussianScene scene = test::tinySyntheticScene();
+    std::vector<Camera> cams;
+    for (int f = 0; f < 3; ++f) {
+        Camera cam(test::smallRes(), deg2rad(50.0f));
+        const float angle = 0.04f * f;
+        cam.lookAt({6.0f * std::sin(angle), 0.5f, -6.0f * std::cos(angle)},
+                   {0.0f, 0.0f, 0.0f});
+        cams.push_back(cam);
+    }
+
+    auto run = [&](int threads) {
+        DeltaTracker tracker;
+        tracker.setThreads(threads);
+        std::vector<FrameDelta> deltas;
+        for (const Camera &cam : cams)
+            deltas.push_back(tracker.observe(binFrame(scene, cam, 16, 1)));
+        return deltas;
+    };
+
+    const auto serial = run(1);
+    for (int threads : {2, 8}) {
+        const auto parallel = run(threads);
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (size_t f = 0; f < serial.size(); ++f) {
+            EXPECT_EQ(serial[f].incoming_total, parallel[f].incoming_total);
+            EXPECT_EQ(serial[f].outgoing_total, parallel[f].outgoing_total);
+            EXPECT_EQ(serial[f].tile_retention, parallel[f].tile_retention);
+            EXPECT_EQ(serial[f].meanRetention(),
+                      parallel[f].meanRetention());
+        }
+    }
+}
+
 TEST(Determinism, NeoRendererThreadInvariantAcrossFrames)
 {
     // Reuse-and-update sorting carries per-tile tables across frames, so
@@ -128,6 +260,7 @@ TEST(Determinism, NeoRendererThreadInvariantAcrossFrames)
     {
         std::vector<uint64_t> frame_hashes;
         std::vector<SortCoreStats> sort_stats;
+        std::vector<std::vector<double>> retention_seqs;
         FrameWorkload last_workload;
     };
     auto run = [&](int threads) {
@@ -140,6 +273,8 @@ TEST(Determinism, NeoRendererThreadInvariantAcrossFrames)
             out.frame_hashes.push_back(
                 hashImage(renderer.renderFrame(scene, cam, f, &report)));
             out.sort_stats.push_back(report.sort);
+            out.retention_seqs.push_back(
+                renderer.sorter().lastDelta().tile_retention);
         }
         NeoRenderer extract(opts);
         for (uint64_t f = 0; f < 4; ++f)
@@ -151,6 +286,8 @@ TEST(Determinism, NeoRendererThreadInvariantAcrossFrames)
     for (int threads : {2, 8}) {
         const NeoRun parallel = run(threads);
         EXPECT_EQ(serial.frame_hashes, parallel.frame_hashes)
+            << "threads=" << threads;
+        EXPECT_EQ(serial.retention_seqs, parallel.retention_seqs)
             << "threads=" << threads;
         ASSERT_EQ(serial.sort_stats.size(), parallel.sort_stats.size());
         for (size_t f = 0; f < serial.sort_stats.size(); ++f)

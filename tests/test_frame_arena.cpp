@@ -1,0 +1,174 @@
+/**
+ * @file
+ * FrameArena and steady-state allocation tests. Two guarantees:
+ *
+ *  1. No capacity regrowth: once warm, the buffers retained by the
+ *     steady-state frame loop (binned frame, scatter/raster scratch)
+ *     never grow again when the workload is stable.
+ *  2. Zero per-frame heap allocations on the binning/raster path at
+ *     threads == 1, verified by counting every operator new call during
+ *     the warm frames. (The pooled path pays one dispatch allocation per
+ *     parallel section by design; the serial path pays none.)
+ *
+ * This translation unit overrides the global allocation functions to
+ * count calls; the override is per-executable, so it cannot leak into
+ * other tests.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/frame_arena.h"
+#include "common/image.h"
+#include "core/neo_renderer.h"
+#include "gs/pipeline.h"
+#include "test_util.h"
+
+namespace
+{
+
+std::atomic<uint64_t> g_news{0};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_news.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace neo
+{
+namespace
+{
+
+TEST(FrameArenaTest, BuffersPersistByKeyAndType)
+{
+    FrameArena arena;
+    auto &a = arena.buffer<int>(1);
+    a.assign(100, 7);
+    auto &b = arena.buffer<float>(2);
+    b.assign(10, 1.0f);
+    EXPECT_EQ(arena.bufferCount(), 2u);
+
+    // Same key -> same storage, contents and capacity intact.
+    auto &a2 = arena.buffer<int>(1);
+    EXPECT_EQ(&a, &a2);
+    EXPECT_EQ(a2.size(), 100u);
+    EXPECT_EQ(a2[99], 7);
+
+    EXPECT_GE(arena.retainedBytes(),
+              100 * sizeof(int) + 10 * sizeof(float));
+    arena.release();
+    EXPECT_EQ(arena.bufferCount(), 0u);
+    EXPECT_EQ(arena.retainedBytes(), 0u);
+}
+
+TEST(FrameArenaTest, ClearNestedKeepsInnerCapacity)
+{
+    std::vector<std::vector<int>> vv;
+    clearNested(vv, 4);
+    vv[2].assign(500, 1);
+    const size_t cap = vv[2].capacity();
+    const int *data = vv[2].data();
+    clearNested(vv, 4);
+    EXPECT_TRUE(vv[2].empty());
+    EXPECT_EQ(vv[2].capacity(), cap);
+    EXPECT_EQ(vv[2].data(), data);
+}
+
+TEST(ArenaReuseTest, NoCapacityRegrowthAcrossTenFrames)
+{
+    // A static viewpoint makes every frame's working set identical, so
+    // after the warm-up frames the retained capacity must never move.
+    GaussianScene scene = test::tinySyntheticScene();
+    Camera cam = test::frontCamera();
+    for (int threads : {1, 2}) {
+        PipelineOptions opts = NeoRenderer::neoDefaultOptions();
+        opts.threads = threads;
+        NeoRenderer renderer(opts);
+        Image image;
+        renderer.renderFrameInto(image, scene, cam, 0);
+        renderer.renderFrameInto(image, scene, cam, 1);
+        const size_t warm = renderer.retainedScratchBytes();
+        EXPECT_GT(warm, 0u);
+        for (uint64_t f = 2; f < 10; ++f) {
+            renderer.renderFrameInto(image, scene, cam, f);
+            EXPECT_EQ(renderer.retainedScratchBytes(), warm)
+                << "threads=" << threads << " frame=" << f;
+        }
+    }
+}
+
+TEST(ArenaReuseTest, SteadyStateBinRasterPathIsAllocationFree)
+{
+    // The acceptance bar of the allocation-free frame loop: at
+    // threads == 1 (serial path — the pool dispatch itself allocates by
+    // design), a warm prepareInto + renderInto loop must perform zero
+    // heap allocations.
+    GaussianScene scene = test::tinySyntheticScene();
+    Camera cam = test::frontCamera();
+    PipelineOptions opts;
+    opts.threads = 1;
+    Renderer renderer(opts);
+    BinnedFrame frame;
+    FrameArena arena;
+    Image image;
+    const std::vector<std::vector<TileEntry>> no_orderings;
+
+    auto renderOnce = [&] {
+        renderer.prepareInto(frame, arena, scene, cam);
+        renderer.renderInto(image, frame, no_orderings, nullptr, &arena);
+    };
+
+    renderOnce();
+    renderOnce();
+    const uint64_t warm = g_news.load(std::memory_order_relaxed);
+    for (int f = 0; f < 8; ++f)
+        renderOnce();
+    const uint64_t after = g_news.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - warm, 0u)
+        << "steady-state frames allocated " << (after - warm) << " times";
+}
+
+} // namespace
+} // namespace neo

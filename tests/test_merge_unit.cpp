@@ -162,5 +162,130 @@ TEST(MsuTest, InvalidIncomingEntriesAlsoFiltered)
     EXPECT_EQ(out.size(), 13u);
 }
 
+// --- worker-parallel merge paths (bit-identical to serial) ---
+
+void
+expectSameEntries(const std::vector<TileEntry> &a,
+                  const std::vector<TileEntry> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id) << "index " << i;
+        EXPECT_EQ(a[i].depth, b[i].depth) << "index " << i;
+        EXPECT_EQ(a[i].valid, b[i].valid) << "index " << i;
+    }
+}
+
+void
+expectSameMsuStats(const MsuStats &a, const MsuStats &b)
+{
+    EXPECT_EQ(a.merges, b.merges);
+    EXPECT_EQ(a.elements_processed, b.elements_processed);
+    EXPECT_EQ(a.compares, b.compares);
+    EXPECT_EQ(a.filtered_invalid, b.filtered_invalid);
+}
+
+TEST(MsuParallelTest, TwoWayMergeMatchesSerialBitForBit)
+{
+    // Large enough to clear kMsuParallelMinEntries and actually split.
+    auto a = sortedTable(6000, 60);
+    auto b = sortedTable(4500, 61);
+    for (auto &e : b)
+        e.id += 100000;
+    for (size_t i = 0; i < a.size(); i += 97)
+        a[i].valid = false;
+    for (size_t i = 0; i < b.size(); i += 131)
+        b[i].valid = false;
+
+    std::vector<TileEntry> serial_out;
+    MsuStats serial_stats;
+    msuMerge(a, b, serial_out, &serial_stats, 1);
+    EXPECT_TRUE(test::isSorted(serial_out));
+
+    for (int threads : {2, 3, 8}) {
+        std::vector<TileEntry> out;
+        MsuStats stats;
+        msuMerge(a, b, out, &stats, threads);
+        expectSameEntries(serial_out, out);
+        expectSameMsuStats(serial_stats, stats);
+    }
+}
+
+TEST(MsuParallelTest, TwoWayMergeWithDuplicateKeysMatchesSerial)
+{
+    // Equal depths across both inputs stress the tie-break (ties emit
+    // from the first input) in the merge-path partitioning.
+    auto a = sortedTable(3000, 62);
+    auto b = a;
+    for (auto &e : b)
+        e.id += 100000;
+    std::sort(b.begin(), b.end(), entryDepthLess);
+
+    std::vector<TileEntry> serial_out, out;
+    MsuStats serial_stats, stats;
+    msuMerge(a, b, serial_out, &serial_stats, 1);
+    msuMerge(a, b, out, &stats, 8);
+    expectSameEntries(serial_out, out);
+    expectSameMsuStats(serial_stats, stats);
+}
+
+TEST(MsuParallelTest, UnsortedInputsFallBackToSerialBehavior)
+{
+    // The reused table under Dynamic Partial Sorting is only nearly
+    // sorted; the parallel path must not change the serial interleaving.
+    auto a = test::nearlySortedTable(4000, 5.0f, 63);
+    auto b = sortedTable(2000, 64);
+    for (auto &e : b)
+        e.id += 100000;
+
+    std::vector<TileEntry> serial_out, out;
+    MsuStats serial_stats, stats;
+    msuUpdateTable(a, b, serial_out, &serial_stats, 1);
+    msuUpdateTable(a, b, out, &stats, 8);
+    expectSameEntries(serial_out, out);
+    expectSameMsuStats(serial_stats, stats);
+}
+
+TEST(MsuParallelTest, MergeTreeMatchesSerialBitForBit)
+{
+    // msuMergeRuns with run=1 is a full bottom-up merge sort; 20k entries
+    // give the tree several parallel-eligible passes.
+    auto base = test::randomTable(20000, 65);
+    for (size_t i = 0; i < base.size(); i += 53)
+        base[i].valid = false;
+
+    auto serial = base;
+    MsuStats serial_stats;
+    const int serial_passes =
+        msuMergeRuns(serial, 0, serial.size(), 1, &serial_stats, 1);
+    EXPECT_TRUE(test::isSorted(serial));
+
+    for (int threads : {2, 8}) {
+        auto t = base;
+        MsuStats stats;
+        const int passes = msuMergeRuns(t, 0, t.size(), 1, &stats, threads);
+        EXPECT_EQ(serial_passes, passes);
+        expectSameEntries(serial, t);
+        expectSameMsuStats(serial_stats, stats);
+    }
+}
+
+TEST(MsuParallelTest, MergeTreeSubrangeMatchesSerial)
+{
+    // first/count offsets must survive the parallel pair fan-out.
+    auto base = test::randomTable(8192, 66);
+    const size_t first = 1000, count = 6000;
+
+    auto serial = base;
+    MsuStats serial_stats;
+    msuMergeRuns(serial, first, count, 1, &serial_stats, 1);
+
+    auto t = base;
+    MsuStats stats;
+    msuMergeRuns(t, first, count, 1, &stats, 8);
+    expectSameEntries(serial, t);
+    expectSameMsuStats(serial_stats, stats);
+}
+
 } // namespace
 } // namespace neo
