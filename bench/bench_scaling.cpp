@@ -11,13 +11,19 @@
  *
  *   ./bench_scaling [--json out.json] [--gaussians N] [--frames N]
  *                   [--threads-list 1,2,4,8] [--stage] [--pr N]
+ *                   [--raster-mode blocked|reference|both]
  *
  * With --stage each frame runs the explicit staged loop and the report
  * (and JSON) carries a per-stage breakdown — bin / sort / raster /
  * tracker ms per frame — so eliminating a serial stage is visible in the
- * stage column, not just the total. With --json the results are written
- * machine-readable (BENCH_PR<n>.json schema) for CI artifact upload,
- * trend tracking, and the regression gate (bench/diff_bench.sh).
+ * stage column, not just the total. --raster-mode selects the blend
+ * implementation (subtile-blocked kernel, default, or the scalar
+ * reference); "both" runs the staged sweep twice and prints an A/B
+ * column with the reference raster_ms next to the blocked one, failing
+ * if the two paths disagree on a single frame bit or raster counter.
+ * With --json the results are written machine-readable (BENCH_PR<n>.json
+ * schema) for CI artifact upload, trend tracking, and the regression
+ * gate (bench/diff_bench.sh).
  */
 
 #include <cstdint>
@@ -43,8 +49,9 @@ struct Args
     std::string json_path;
     size_t gaussians = 30000;
     int frames = 5;
-    int pr = 3;
+    int pr = 4;
     bool stage = false;
+    std::string raster_mode = "blocked";
     std::vector<int> threads = {1, 2, 4, 8};
 };
 
@@ -88,6 +95,8 @@ parse(int argc, char **argv)
             a.threads = parseThreadList(argv[i + 1]);
         else if (std::strcmp(argv[i], "--pr") == 0)
             a.pr = std::atoi(argv[i + 1]);
+        else if (std::strcmp(argv[i], "--raster-mode") == 0)
+            a.raster_mode = argv[i + 1];
         else {
             std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
             std::exit(2);
@@ -96,12 +105,25 @@ parse(int argc, char **argv)
     }
     if (a.threads.empty())
         a.threads = {1};
+    if (a.raster_mode != "blocked" && a.raster_mode != "reference" &&
+        a.raster_mode != "both") {
+        std::fprintf(stderr,
+                     "--raster-mode must be blocked, reference or both\n");
+        std::exit(2);
+    }
+    if (a.raster_mode == "both" && !a.stage) {
+        // The A/B column compares raster_ms, which only the staged loop
+        // measures.
+        a.stage = true;
+    }
     return a;
 }
 
 bool
 writeJson(const std::string &path, const Args &args, Resolution res,
-          const std::vector<ThreadScalingPoint> &points, bool deterministic)
+          const std::vector<ThreadScalingPoint> &points,
+          const std::vector<ThreadScalingPoint> *reference_points,
+          bool deterministic)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
@@ -115,6 +137,8 @@ writeJson(const std::string &path, const Args &args, Resolution res,
     std::fprintf(f, "  \"pipeline\": \"%s\",\n",
                  args.stage ? "functional-render-staged"
                             : "functional-render");
+    std::fprintf(f, "  \"raster_mode\": \"%s\",\n",
+                 args.raster_mode.c_str());
     std::fprintf(f, "  \"scene\": \"synthetic-orbit\",\n");
     std::fprintf(f, "  \"gaussians\": %zu,\n", args.gaussians);
     std::fprintf(f, "  \"resolution\": \"%dx%d\",\n", res.width,
@@ -143,6 +167,9 @@ writeJson(const std::string &path, const Args &args, Resolution res,
                              p.stages.raster_ms,
                          p.stages.bin_ms, p.stages.sort_ms,
                          p.stages.raster_ms, p.stages.tracker_ms);
+        if (reference_points && i < reference_points->size())
+            std::fprintf(f, ", \"raster_ms_reference\": %.3f",
+                         (*reference_points)[i].stages.raster_ms);
         std::fprintf(f, "}%s\n", i + 1 < points.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
@@ -150,6 +177,21 @@ writeJson(const std::string &path, const Args &args, Resolution res,
     std::fprintf(f, "}\n");
     std::fclose(f);
     return true;
+}
+
+/** A/B contract: identical frames and identical raster counters. */
+bool
+abPointsMatch(const ThreadScalingPoint &blocked,
+              const ThreadScalingPoint &reference)
+{
+    const RasterStats &b = blocked.last_frame.raster;
+    const RasterStats &r = reference.last_frame.raster;
+    return blocked.frame_hash == reference.frame_hash &&
+           b.gaussians_in == r.gaussians_in &&
+           b.intersection_tests == r.intersection_tests &&
+           b.gaussians_blended == r.gaussians_blended &&
+           b.blend_ops == r.blend_ops &&
+           b.pixels_terminated == r.pixels_terminated;
 }
 
 } // namespace
@@ -175,22 +217,55 @@ main(int argc, char **argv)
     const Resolution res{640, 384, "bench"};
 
     std::printf("scene: %zu gaussians, %d frames @ %dx%d, machine has %d "
-                "hardware thread(s)\n\n",
+                "hardware thread(s), raster mode %s\n\n",
                 scene.size(), args.frames, res.width, res.height,
-                hardwareThreadCount());
+                hardwareThreadCount(), args.raster_mode.c_str());
 
+    PipelineOptions opts;
+    opts.raster.reference_path = (args.raster_mode == "reference");
     std::vector<ThreadScalingPoint> points =
-        args.stage ? sweepRenderThreadsStaged(scene, orbit, res,
-                                              args.frames, args.threads)
-                   : sweepRenderThreads(scene, orbit, res, args.frames,
-                                        args.threads);
+        args.stage
+            ? sweepRenderThreadsStaged(scene, orbit, res, args.frames,
+                                       args.threads, opts)
+            : sweepRenderThreads(scene, orbit, res, args.frames,
+                                 args.threads, opts);
+
+    // A/B: same sweep through the scalar reference rasterizer.
+    std::vector<ThreadScalingPoint> reference_points;
+    bool ab_ok = true;
+    if (args.raster_mode == "both") {
+        PipelineOptions ref_opts = opts;
+        ref_opts.raster.reference_path = true;
+        reference_points = sweepRenderThreadsStaged(
+            scene, orbit, res, args.frames, args.threads, ref_opts);
+        for (size_t i = 0; i < points.size(); ++i)
+            ab_ok = ab_ok && abPointsMatch(points[i], reference_points[i]);
+    }
 
     bool deterministic = true;
     for (const auto &p : points)
         deterministic = deterministic &&
                         p.frame_hash == points.front().frame_hash;
 
-    if (args.stage) {
+    if (args.raster_mode == "both") {
+        std::printf("%-10s %-12s %-12s %-12s %-10s %s\n", "threads",
+                    "ms/frame", "raster(blk)", "raster(ref)", "ref/blk",
+                    "frame hash");
+        for (size_t i = 0; i < points.size(); ++i) {
+            const auto &p = points[i];
+            const double ref_ms = reference_points[i].stages.raster_ms;
+            std::printf("%-10d %-12.2f %-12.2f %-12.2f %-10.2f %016llx\n",
+                        p.threads, p.ms_per_frame, p.stages.raster_ms,
+                        ref_ms,
+                        p.stages.raster_ms > 0.0
+                            ? ref_ms / p.stages.raster_ms
+                            : 0.0,
+                        static_cast<unsigned long long>(p.frame_hash));
+        }
+        std::printf("\nblocked vs reference: %s\n",
+                    ab_ok ? "OK (bit-identical frames and counters)"
+                          : "FAILED");
+    } else if (args.stage) {
         std::printf("%-10s %-12s %-10s %-10s %-10s %-10s %-10s %s\n",
                     "threads", "ms/frame", "bin", "sort", "raster",
                     "tracker", "speedup", "frame hash");
@@ -214,12 +289,15 @@ main(int argc, char **argv)
                 deterministic ? "OK (bit-identical frames)" : "FAILED");
 
     if (!args.json_path.empty()) {
-        if (!writeJson(args.json_path, args, res, points, deterministic)) {
+        if (!writeJson(args.json_path, args, res, points,
+                       reference_points.empty() ? nullptr
+                                                : &reference_points,
+                       deterministic)) {
             std::fprintf(stderr, "error: could not write %s\n",
                          args.json_path.c_str());
             return 1;
         }
         std::printf("wrote %s\n", args.json_path.c_str());
     }
-    return deterministic ? 0 : 1;
+    return deterministic && ab_ok ? 0 : 1;
 }

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Auto-vectorization smoke check for the subtile-blocked rasterizer.
+#
+# The blocked kernel's whole point is that its inner loops compile to
+# SIMD: this script recompiles src/gs/raster.cpp with the Release flags
+# plus -fopt-info-vec-optimized and asserts that
+#
+#   1. the conic-power loop (the line writing `pw[p] = -0.5f * ...` in
+#      blendBlocked) is reported "loop vectorized", and
+#   2. at least MIN_VECTORIZED loops of raster.cpp vectorize overall.
+#
+# A silent vectorization regression (e.g. an accidental loop-carried
+# dependency or a call in the inner loop) fails here long before it is
+# visible as a wall-clock regression on a loaded CI box.
+#
+#   bench/check_vectorization.sh [CXX]
+#
+# CXX defaults to ${CXX:-g++}; requires GCC-style -fopt-info. Exits 0 on
+# pass, 1 on a vectorization regression, 2 when the toolchain cannot
+# produce a report (e.g. non-GCC compiler) — callers may treat 2 as skip.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CXX_BIN="${1:-${CXX:-g++}}"
+SRC="src/gs/raster.cpp"
+MIN_VECTORIZED=2
+
+if ! "$CXX_BIN" --version 2>/dev/null | grep -qiE "gcc|g\+\+"; then
+    echo "check_vectorization.sh: SKIP — $CXX_BIN is not GCC," \
+         "-fopt-info unavailable" >&2
+    exit 2
+fi
+
+# The line of the blocked kernel's power loop body: the vectorization
+# target the report must mention (match on the assignment, which is
+# unique to that loop).
+power_line="$(grep -n 'pw\[p\] = conicPower' "$SRC" | head -1 | cut -d: -f1)"
+if [[ -z "$power_line" ]]; then
+    echo "check_vectorization.sh: FAIL — power-loop marker not found" \
+         "in $SRC (kernel restructured? update this script)" >&2
+    exit 1
+fi
+
+report="$("$CXX_BIN" -std=c++20 -O3 -DNDEBUG -Wall -Isrc -c "$SRC" \
+          -o /dev/null -fopt-info-vec-optimized 2>&1 | grep -F "$SRC" \
+          || true)"
+
+vectorized_lines="$(printf '%s\n' "$report" |
+    grep -E "optimized: *loop vectorized" |
+    sed -E "s|.*$SRC:([0-9]+):.*|\1|" | sort -un || true)"
+
+count="$(printf '%s\n' "$vectorized_lines" | grep -c . || true)"
+
+# The reported loop line is the `for` header, a few lines above the body
+# marker; accept a report within 8 lines upstream of it.
+power_ok=0
+for line in $vectorized_lines; do
+    if ((line <= power_line && line >= power_line - 8)); then
+        power_ok=1
+    fi
+done
+
+echo "check_vectorization.sh: $count vectorized loop line(s) in $SRC:" \
+     $(printf '%s ' $vectorized_lines)
+if ((!power_ok)); then
+    echo "check_vectorization.sh: FAIL — the blocked kernel's conic-power" \
+         "loop (near $SRC:$power_line) did not vectorize" >&2
+    exit 1
+fi
+if ((count < MIN_VECTORIZED)); then
+    echo "check_vectorization.sh: FAIL — only $count vectorized loop(s)," \
+         "expected >= $MIN_VECTORIZED" >&2
+    exit 1
+fi
+echo "check_vectorization.sh: OK (power loop near line $power_line" \
+     "vectorized)"

@@ -8,21 +8,25 @@
 #
 #   bench/run_benches.sh [BUILD_DIR] [OUTPUT_JSON]
 #
-# BUILD_DIR defaults to ./build; OUTPUT_JSON to ./BENCH_PR3.json — pass
+# BUILD_DIR defaults to ./build; OUTPUT_JSON to ./BENCH_PR4.json — pass
 # the PR's own filename explicitly from CI.
 # Knobs: NEO_BENCH_GAUSSIANS / NEO_BENCH_FRAMES_SCALING / NEO_BENCH_THREADS
 # shrink or grow the run (CI smoke uses the defaults); NEO_BENCH_PR sets
-# the "pr" field when the output name does not imply it.
+# the "pr" field when the output name does not imply it;
+# NEO_BENCH_RASTER_MODE ({blocked,reference,both}, default blocked)
+# selects the rasterizer blend path — "both" also runs the scalar
+# reference sweep and records its raster_ms for the A/B column.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-OUT_JSON="${2:-BENCH_PR3.json}"
+OUT_JSON="${2:-BENCH_PR4.json}"
 
 GAUSSIANS="${NEO_BENCH_GAUSSIANS:-30000}"
 FRAMES="${NEO_BENCH_FRAMES_SCALING:-5}"
 THREADS="${NEO_BENCH_THREADS:-1,2,4,8}"
+RASTER_MODE="${NEO_BENCH_RASTER_MODE:-blocked}"
 
 # Derive the trajectory point number from the output name when possible.
 PR="${NEO_BENCH_PR:-}"
@@ -30,7 +34,7 @@ if [[ -z "$PR" ]]; then
     if [[ "$(basename "$OUT_JSON")" =~ BENCH_PR([0-9]+)\.json ]]; then
         PR="${BASH_REMATCH[1]}"
     else
-        PR=3
+        PR=4
     fi
 fi
 
@@ -45,6 +49,7 @@ fi
        --frames "$FRAMES" \
        --threads-list "$THREADS" \
        --pr "$PR" \
+       --raster-mode "$RASTER_MODE" \
        --stage
 
 echo "run_benches.sh: wrote $OUT_JSON"

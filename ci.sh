@@ -13,9 +13,12 @@
 #                 *crash* is non-gating, but when the JSON is produced and
 #                 the previous trajectory point ($NEO_BENCH_BASELINE) is
 #                 checked in, bench/diff_bench.sh gates the job: >10%
-#                 ms/frame regression at threads=1 fails CI.
-#   NEO_BENCH_JSON      output trajectory point (default: BENCH_PR3.json)
-#   NEO_BENCH_BASELINE  previous trajectory point (default: BENCH_PR2.json)
+#                 ms/frame or raster_ms regression at threads=1 fails CI.
+#                 The rasterizer auto-vectorization smoke check
+#                 (bench/check_vectorization.sh) also runs; it gates on a
+#                 vectorization regression and skips on non-GCC.
+#   NEO_BENCH_JSON      output trajectory point (default: BENCH_PR4.json)
+#   NEO_BENCH_BASELINE  previous trajectory point (default: BENCH_PR3.json)
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -23,8 +26,8 @@ cd "$(dirname "$0")"
 BUILD_DIR="${BUILD_DIR:-build}"
 BUILD_TYPE="${BUILD_TYPE:-}"
 JOBS="${JOBS:-$(nproc)}"
-NEO_BENCH_JSON="${NEO_BENCH_JSON:-BENCH_PR3.json}"
-NEO_BENCH_BASELINE="${NEO_BENCH_BASELINE:-BENCH_PR2.json}"
+NEO_BENCH_JSON="${NEO_BENCH_JSON:-BENCH_PR4.json}"
+NEO_BENCH_BASELINE="${NEO_BENCH_BASELINE:-BENCH_PR3.json}"
 
 cmake -B "$BUILD_DIR" -S . -DNEO_WERROR=ON \
     ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"} "$@"
@@ -32,6 +35,16 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 if [[ "${NEO_CI_BENCH:-0}" == "1" ]]; then
+    echo "ci.sh: checking rasterizer auto-vectorization"
+    rc=0
+    bench/check_vectorization.sh || rc=$?
+    # Fail-closed: 0 = pass, 2 = documented skip (non-GCC toolchain);
+    # anything else — including a missing or broken script — gates.
+    if [[ "$rc" != "0" && "$rc" != "2" ]]; then
+        echo "ci.sh: FAIL — rasterizer vectorization check failed (rc=$rc)" >&2
+        exit 1
+    fi
+
     echo "ci.sh: running thread-scaling bench"
     if ! bench/run_benches.sh "$BUILD_DIR" "$NEO_BENCH_JSON"; then
         echo "ci.sh: WARNING scaling bench failed (non-gating)" >&2

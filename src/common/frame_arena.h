@@ -77,10 +77,12 @@ class FrameArena
     size_t bufferCount() const { return slots_.size(); }
 
     /**
-     * Bytes of capacity currently retained across all buffers (top-level
-     * vector capacity only; nested containers count their own headers,
-     * not their elements). Steady-state frame loops keep this constant —
-     * the arena-reuse test asserts exactly that.
+     * Bytes of capacity currently retained across all buffers. Element
+     * types that expose a `size_t capacityBytes() const` member (e.g.
+     * the rasterizer's per-chunk scratch) contribute their nested heap
+     * capacity too; other nested containers count only their headers.
+     * Steady-state frame loops keep this constant — the arena-reuse test
+     * asserts exactly that.
      */
     size_t retainedBytes() const;
 
@@ -100,7 +102,12 @@ class FrameArena
         std::vector<T> v;
         size_t capacityBytes() const override
         {
-            return v.capacity() * sizeof(T);
+            size_t total = v.capacity() * sizeof(T);
+            if constexpr (requires(const T &t) { t.capacityBytes(); }) {
+                for (const T &t : v)
+                    total += t.capacityBytes();
+            }
+            return total;
         }
     };
 

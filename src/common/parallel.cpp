@@ -4,7 +4,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
-#include <memory>
+
+#include "common/logging.h"
 
 namespace neo
 {
@@ -71,22 +72,6 @@ parallelChunkRange(size_t n, size_t chunks, size_t chunk)
     return r;
 }
 
-/**
- * One dispatched job. Each job owns its claim/completion counters, so a
- * worker that wakes up late for an already-finished job can never claim
- * chunks of a newer one: it drains through its own snapshot of the job.
- */
-struct ThreadPool::Job
-{
-    const std::function<void(size_t)> *fn = nullptr;
-    size_t chunks = 0;
-    std::atomic<size_t> next{0};
-    std::atomic<size_t> remaining{0};
-    /** First exception thrown by any chunk of THIS job. */
-    std::mutex error_mutex;
-    std::exception_ptr error;
-};
-
 ThreadPool::~ThreadPool()
 {
     {
@@ -128,26 +113,44 @@ ThreadPool::ensureWorkers(size_t wanted)
 }
 
 void
-ThreadPool::drainJob(Job &job)
+ThreadPool::drainJob(JobFn fn, void *ctx, size_t chunks, uint64_t epoch)
 {
+    // Truncate to the epoch bits actually stored in the claim word.
+    epoch &= (uint64_t{1} << (64 - kClaimChunkBits)) - 1;
+    uint64_t cur = claim_.load(std::memory_order_relaxed);
     for (;;) {
-        size_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
-        if (chunk >= job.chunks)
+        // The claim word packs {epoch, next chunk}. A successful CAS both
+        // claims a chunk and proves the slot still holds the job this
+        // thread saw — once the slot is reused for a newer job the epoch
+        // bits differ, the CAS cannot succeed, and this thread backs out
+        // without ever touching the new job's counters.
+        if ((cur >> kClaimChunkBits) != epoch)
             return;
+        const size_t chunk =
+            cur & ((uint64_t{1} << kClaimChunkBits) - 1);
+        if (chunk >= chunks)
+            return;
+        if (!claim_.compare_exchange_weak(cur, cur + 1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed))
+            continue; // cur reloaded by the failed CAS
         try {
             ParallelRegionGuard guard;
-            (*job.fn)(chunk);
+            fn(ctx, chunk);
         } catch (...) {
-            std::lock_guard<std::mutex> lock(job.error_mutex);
-            if (!job.error)
-                job.error = std::current_exception();
+            // Only current-epoch claimants reach here, so this records
+            // into the job that is actually running.
+            std::lock_guard<std::mutex> lock(error_mutex_);
+            if (!error_)
+                error_ = std::current_exception();
         }
-        if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
             // Last chunk done: wake the dispatching thread. The empty
             // critical section orders the notify after its wait() check.
             std::lock_guard<std::mutex> lock(mutex_);
             done_cv_.notify_all();
         }
+        cur = claim_.load(std::memory_order_relaxed);
     }
 }
 
@@ -156,7 +159,10 @@ ThreadPool::workerLoop()
 {
     uint64_t seen_generation = 0;
     for (;;) {
-        std::shared_ptr<Job> job;
+        JobFn fn = nullptr;
+        void *ctx = nullptr;
+        size_t chunks = 0;
+        uint64_t epoch = 0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wake_cv_.wait(lock, [&] {
@@ -165,23 +171,30 @@ ThreadPool::workerLoop()
             if (stop_)
                 return;
             seen_generation = generation_;
-            job = job_;
+            epoch = generation_;
+            fn = fn_;
+            ctx = ctx_;
+            chunks = chunks_;
         }
-        if (job)
-            drainJob(*job);
+        if (fn)
+            drainJob(fn, ctx, chunks, epoch);
     }
 }
 
 void
-ThreadPool::run(size_t chunks, const std::function<void(size_t)> &fn)
+ThreadPool::run(size_t chunks, JobFn fn, void *ctx)
 {
     if (chunks == 0)
         return;
     if (chunks == 1) {
         ParallelRegionGuard guard;
-        fn(0);
+        fn(ctx, 0);
         return;
     }
+    if (chunks >= (uint64_t{1} << kClaimChunkBits))
+        panic("ThreadPool::run: chunk count %zu exceeds the claim-word "
+              "limit",
+              chunks);
 
     // One job at a time: concurrent dispatching threads (e.g. two
     // renderers owned by different application threads) queue here
@@ -190,29 +203,41 @@ ThreadPool::run(size_t chunks, const std::function<void(size_t)> &fn)
 
     ensureWorkers(chunks - 1);
 
-    auto job = std::make_shared<Job>();
-    job->fn = &fn;
-    job->chunks = chunks;
-    job->remaining.store(chunks, std::memory_order_relaxed);
+    // Refill the preallocated job slot *inside* the lock: workers only
+    // read the slot fields under mutex_ (on wake), but a freshly spawned
+    // or spuriously woken worker may do so at any moment — writing the
+    // fields and bumping the generation in one critical section
+    // guarantees every snapshot is internally consistent. A consistent
+    // snapshot of an already-completed job is harmless: its claim word
+    // is saturated (next == chunks) until this store replaces it, so the
+    // epoch-checked CAS in drainJob can never claim through it.
+    uint64_t epoch;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        job_ = job;
-        ++generation_;
+        fn_ = fn;
+        ctx_ = ctx;
+        chunks_ = chunks;
+        error_ = nullptr;
+        remaining_.store(chunks, std::memory_order_relaxed);
+        epoch = ++generation_;
+        claim_.store(epoch << kClaimChunkBits,
+                     std::memory_order_release);
     }
     wake_cv_.notify_all();
 
-    drainJob(*job);
+    drainJob(fn, ctx, chunks, epoch);
 
     {
         std::unique_lock<std::mutex> lock(mutex_);
         done_cv_.wait(lock, [&] {
-            return job->remaining.load(std::memory_order_acquire) == 0;
+            return remaining_.load(std::memory_order_acquire) == 0;
         });
-        if (job_ == job)
-            job_.reset();
     }
-    if (job->error)
-        std::rethrow_exception(job->error);
+    if (error_) {
+        std::exception_ptr e = error_;
+        error_ = nullptr;
+        std::rethrow_exception(e);
+    }
 }
 
 } // namespace neo

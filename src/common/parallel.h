@@ -24,14 +24,15 @@
 #ifndef NEO_COMMON_PARALLEL_H
 #define NEO_COMMON_PARALLEL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace neo
@@ -79,10 +80,20 @@ ParallelRange parallelChunkRange(size_t n, size_t chunks, size_t chunk);
  * renderers (ThreadPool::shared()); workers are spawned lazily on first
  * use and park on a condition variable between jobs, so an idle pool
  * costs nothing and threads == 1 never creates any.
+ *
+ * Dispatch is heap-allocation-free: the one-at-a-time job lives in a
+ * preallocated slot inside the pool (no per-run job record), and the
+ * chunk body is passed as a function pointer plus context pointer (no
+ * std::function), so the steady-state frame loop performs zero
+ * allocations per parallel section at any thread count (guarded by
+ * tests/test_frame_arena.cpp).
  */
 class ThreadPool
 {
   public:
+    /** Chunk body: fn(ctx, chunk). */
+    using JobFn = void (*)(void *ctx, size_t chunk);
+
     ThreadPool() = default;
     ~ThreadPool();
 
@@ -93,19 +104,33 @@ class ThreadPool
     int workerCount() const;
 
     /**
-     * Execute fn(chunk) for every chunk in [0, chunks) and block until all
-     * complete. The caller participates as a worker. Chunk-to-thread
+     * Execute fn(ctx, chunk) for every chunk in [0, chunks) and block
+     * until all complete. The caller participates as a worker. Chunk
      * assignment is dynamic (work claiming), which is safe because chunk
-     * bodies only touch chunk-indexed state. The first exception thrown by
-     * any chunk is rethrown here after the join (tracked per job, so
-     * concurrent jobs cannot observe each other's exceptions).
+     * bodies only touch chunk-indexed state. The first exception thrown
+     * by any chunk is rethrown here after the join; only claimants of the
+     * current job can record one, so concurrent callers cannot observe
+     * each other's exceptions.
      *
      * Safe to call from multiple application threads: concurrent run()
      * calls serialize on an internal dispatch lock (one job at a time).
      * Not reentrant from inside a chunk body — use parallelFor, which
      * detects that case via insideParallelRegion() and runs inline.
      */
-    void run(size_t chunks, const std::function<void(size_t)> &fn);
+    void run(size_t chunks, JobFn fn, void *ctx);
+
+    /** Allocation-free convenience overload for any callable. */
+    template <typename F>
+    void run(size_t chunks, F &&f)
+    {
+        using Fn = std::remove_reference_t<F>;
+        run(chunks,
+            [](void *ctx, size_t chunk) {
+                (*static_cast<Fn *>(ctx))(chunk);
+            },
+            const_cast<void *>(
+                static_cast<const void *>(std::addressof(f))));
+    }
 
     /** Process-wide shared pool. */
     static ThreadPool &shared();
@@ -114,12 +139,13 @@ class ThreadPool
     static bool insideParallelRegion();
 
   private:
-    struct Job;
+    /** Bits of the claim word holding the next-chunk counter. */
+    static constexpr int kClaimChunkBits = 20;
 
     void ensureWorkers(size_t wanted);
     void workerLoop();
-    /** Claim and execute chunks of @p job until none remain. */
-    void drainJob(Job &job);
+    /** Claim and execute chunks of the job tagged @p epoch. */
+    void drainJob(JobFn fn, void *ctx, size_t chunks, uint64_t epoch);
 
     /** Serializes whole jobs: one dispatching thread at a time. */
     std::mutex dispatch_mutex_;
@@ -128,8 +154,21 @@ class ThreadPool
     std::condition_variable done_cv_;
     std::vector<std::thread> workers_;
 
-    /** Most recently dispatched job; workers snapshot it under the lock. */
-    std::shared_ptr<Job> job_;
+    // Preallocated job slot, reused by every dispatch. fn_/ctx_/chunks_
+    // are written before the generation bump under mutex_, so a worker
+    // that wakes for generation G reads G's fields. claim_ packs
+    // {epoch : 64 - kClaimChunkBits, next_chunk : kClaimChunkBits}; the
+    // epoch-checked CAS in drainJob guarantees a worker holding a stale
+    // snapshot can never claim (or account against) a newer job that
+    // reuses the slot.
+    JobFn fn_ = nullptr;
+    void *ctx_ = nullptr;
+    size_t chunks_ = 0;
+    std::atomic<uint64_t> claim_{0};
+    std::atomic<size_t> remaining_{0};
+    std::mutex error_mutex_;
+    /** First exception thrown by any chunk of the current job. */
+    std::exception_ptr error_;
     uint64_t generation_ = 0;
     bool stop_ = false;
 };
@@ -140,10 +179,10 @@ class ThreadPool
  * thread count <= 1 (or n <= 1, or when already inside a parallel region)
  * the body runs inline as body(0, n, 0) without touching the pool.
  *
- * Implemented as a template so the serial path is a direct call: no
- * std::function is materialized unless the loop actually dispatches to
- * the pool, which keeps the steady-state frame loop free of per-call
- * heap allocations at threads == 1.
+ * Implemented as a template so the serial path is a direct call, and the
+ * pooled path hands the pool a function pointer + context (never a
+ * std::function), so the steady-state frame loop performs no per-call
+ * heap allocations at any thread count.
  *
  * @param n iteration count
  * @param threads effective thread count (callers resolve requests via

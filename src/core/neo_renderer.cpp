@@ -32,13 +32,20 @@ NeoRenderer::renderFrame(const GaussianScene &scene, const Camera &camera,
 }
 
 void
-NeoRenderer::renderFrameInto(Image &out, const GaussianScene &scene,
-                             const Camera &camera, uint64_t frame_index,
-                             NeoFrameReport *report)
+NeoRenderer::prepareFrame(const GaussianScene &scene, const Camera &camera,
+                          uint64_t frame_index)
 {
     binFrameInto(frame_, arena_, scene, camera, base_.options().tile_px,
                  base_.options().threads);
     sorter_.beginFrame(frame_, frame_index);
+}
+
+void
+NeoRenderer::renderFrameInto(Image &out, const GaussianScene &scene,
+                             const Camera &camera, uint64_t frame_index,
+                             NeoFrameReport *report)
+{
+    prepareFrame(scene, camera, frame_index);
 
     FrameStats stats;
     base_.renderInto(out, frame_, sorter_.orderings(), &stats, &arena_);
@@ -56,9 +63,7 @@ FrameWorkload
 NeoRenderer::extractWorkload(const GaussianScene &scene,
                              const Camera &camera, uint64_t frame_index)
 {
-    binFrameInto(frame_, arena_, scene, camera, base_.options().tile_px,
-                 base_.options().threads);
-    sorter_.beginFrame(frame_, frame_index);
+    prepareFrame(scene, camera, frame_index);
 
     FrameWorkload w = base_.workloadFromBinned(frame_, camera.resolution());
     const FrameDelta &delta = sorter_.lastDelta();

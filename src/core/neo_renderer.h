@@ -89,6 +89,11 @@ class NeoRenderer
     }
 
   private:
+    /** Shared frame preamble: rebin into the reused storage and hand the
+        frame to the reuse-and-update sorter. */
+    void prepareFrame(const GaussianScene &scene, const Camera &camera,
+                      uint64_t frame_index);
+
     Renderer base_;
     ReuseUpdateSorter sorter_;
     /** Reused per-frame binning output (cleared, never reallocated). */

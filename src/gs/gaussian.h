@@ -65,6 +65,20 @@ struct GaussianScene
 };
 
 /**
+ * Exponent of the Gaussian falloff at pixel offset (dx, dy): the negated
+ * conic quadratic form for inverse-covariance coefficients (a, b, c).
+ * Every blend path (ProjectedGaussian::falloff, the rasterizer's scalar
+ * reference and its subtile-blocked kernel) MUST evaluate this one
+ * function — the operation order is part of the bit-equality contract
+ * between them.
+ */
+inline float
+conicPower(float a, float b, float c, float dx, float dy)
+{
+    return -0.5f * (a * dx * dx + c * dy * dy) - b * dx * dy;
+}
+
+/**
  * A Gaussian after frustum culling and feature extraction: projected to the
  * image plane with view-dependent color resolved. This is the "feature
  * table" record the rasterizer consumes.
@@ -82,12 +96,18 @@ struct ProjectedGaussian
     Vec3 color;             //!< view-dependent RGB from SH
     float opacity = 0.0f;
 
+    /** conicPower of this Gaussian's coefficients (see above). */
+    float
+    falloffPower(float dx, float dy) const
+    {
+        return conicPower(conic_a, conic_b, conic_c, dx, dy);
+    }
+
     /** Unnormalized Gaussian falloff at pixel offset (dx, dy) from center. */
     float
     falloff(float dx, float dy) const
     {
-        float power = -0.5f * (conic_a * dx * dx + conic_c * dy * dy) -
-                      conic_b * dx * dy;
+        float power = falloffPower(dx, dy);
         return power > 0.0f ? 0.0f : std::exp(power);
     }
 };

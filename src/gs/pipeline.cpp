@@ -20,6 +20,9 @@ struct RasterAccum
 {
     RasterStats stats;
     RasterScratch scratch;
+
+    /** Nested heap capacity, surfaced to FrameArena::retainedBytes. */
+    size_t capacityBytes() const { return scratch.capacityBytes(); }
 };
 
 /** Arena key of the raster accumulators (see kArenaKeysRaster). */

@@ -33,12 +33,20 @@ ewaCovariance2d(const Mat3 &cov3d_cam, const Vec3 &cam, float focal_x,
 std::optional<ProjectedGaussian>
 projectGaussian(const Gaussian &g, GaussianId id, const Camera &camera)
 {
+    return projectGaussian(g, id, camera,
+                           camera.worldToCamera().rotationBlock());
+}
+
+std::optional<ProjectedGaussian>
+projectGaussian(const Gaussian &g, GaussianId id, const Camera &camera,
+                const Mat3 &cam_rotation)
+{
     Vec3 cam = camera.toCameraSpace(g.position);
     if (cam.z <= kNearPlane)
         return std::nullopt;
 
     // Rotate the world covariance into camera space.
-    Mat3 w = camera.worldToCamera().rotationBlock();
+    const Mat3 &w = cam_rotation;
     Mat3 cov_cam = w * g.covariance() * w.transposed();
     Vec3 cov2d =
         ewaCovariance2d(cov_cam, cam, camera.focalX(), camera.focalY());
@@ -82,6 +90,7 @@ projectSceneInto(std::vector<std::optional<ProjectedGaussian>> &out,
                  int threads)
 {
     out.assign(scene.size(), std::nullopt);
+    const Mat3 cam_rotation = camera.worldToCamera().rotationBlock();
     parallelFor(scene.size(), resolveThreadCount(threads),
                 [&](size_t begin, size_t end, size_t) {
                     for (size_t i = begin; i < end; ++i) {
@@ -89,7 +98,8 @@ projectSceneInto(std::vector<std::optional<ProjectedGaussian>> &out,
                         if (!inFrustum(g, camera))
                             continue;
                         out[i] = projectGaussian(
-                            g, static_cast<GaussianId>(i), camera);
+                            g, static_cast<GaussianId>(i), camera,
+                            cam_rotation);
                     }
                 });
 }

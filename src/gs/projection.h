@@ -38,6 +38,15 @@ std::optional<ProjectedGaussian>
 projectGaussian(const Gaussian &g, GaussianId id, const Camera &camera);
 
 /**
+ * projectGaussian with the camera's world-to-camera rotation block
+ * precomputed — per-frame loops hoist it out of the per-Gaussian body
+ * (it only depends on the camera). Results are identical.
+ */
+std::optional<ProjectedGaussian>
+projectGaussian(const Gaussian &g, GaussianId id, const Camera &camera,
+                const Mat3 &cam_rotation);
+
+/**
  * EWA 2D covariance of a camera-space Gaussian.
  *
  * @param cov3d_cam covariance already rotated into camera space

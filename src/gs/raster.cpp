@@ -39,6 +39,357 @@ subtileBitmap(Vec2 mean2d, float radius_px, Vec2 tile_origin, int tile_size,
     return bitmap;
 }
 
+float
+fastExpNegative(float x)
+{
+    // exp(-87.3) already underflows float; below that the answer is 0.
+    // (The negated comparison also catches NaN, which propagates as in
+    // std::exp.)
+    if (!(x >= -87.0f))
+        return x != x ? x : 0.0f;
+
+    // exp(x) = 2^n * e^u with n = round(x log2 e) and u = x - n ln 2
+    // reduced Cody-Waite style (ln 2 split into an exactly-representable
+    // high part and a small correction, so u keeps full precision even
+    // when |x| is large); e^u is a degree-6 Taylor polynomial
+    // (|u| <= 0.347, truncation ~1e-8) and 2^n comes from the exponent
+    // bits. Every operation is plain float arithmetic in a fixed order,
+    // so the result is a pure function of x on any thread.
+    const float n = std::floor(x * 1.44269504f + 0.5f); // log2(e)
+    const float u = (x - n * 0.693359375f) + n * 2.12194440e-4f;
+    float p = 1.38888889e-3f;               // 1/720
+    p = p * u + 8.33333333e-3f;             // 1/120
+    p = p * u + 4.16666667e-2f;             // 1/24
+    p = p * u + 1.66666667e-1f;             // 1/6
+    p = p * u + 0.5f;
+    p = p * u + 1.0f;
+    p = p * u + 1.0f;
+    const int32_t ni = static_cast<int32_t>(n); // in [-126, 1]
+    const float scale =
+        std::bit_cast<float>(static_cast<uint32_t>(127 + ni) << 23);
+    return p * scale;
+}
+
+size_t
+RasterScratch::capacityBytes() const
+{
+    return bitmaps.capacity() * sizeof(SubtileBitmap) +
+           accum.capacity() * sizeof(Vec3) +
+           done.capacity() * sizeof(uint8_t) +
+           gauss_color.capacity() * sizeof(Vec3) +
+           (bucket_offsets.capacity() + bucket_entries.capacity()) *
+               sizeof(uint32_t) +
+           (transmittance.capacity() + gauss_mean_x.capacity() +
+            gauss_mean_y.capacity() + gauss_conic_a.capacity() +
+            gauss_conic_b.capacity() + gauss_conic_c.capacity() +
+            gauss_opacity.capacity() + gauss_power_cut.capacity() +
+            block_power.capacity() + block_t.capacity() +
+            block_r.capacity() + block_g.capacity() + block_b.capacity() +
+            block_cx.capacity() + block_cy.capacity()) *
+               sizeof(float);
+}
+
+namespace
+{
+
+/**
+ * Scalar Gaussian-major blend loop — the historical implementation, kept
+ * behind RasterConfig::reference_path as the A/B baseline and as the
+ * fallback when the frame has no SoA feature arrays or the subtile size
+ * does not divide the tile size.
+ */
+void
+blendReference(const std::vector<TileEntry> &entries,
+               const BinnedFrame &frame, const RasterConfig &cfg,
+               Image *image, RasterScratch &scr, RasterStats &stats,
+               int px0, int py0, int w, int h, int subtiles)
+{
+    const bool soa = frame.hasFeatureArrays();
+    const std::vector<SubtileBitmap> &bitmaps = scr.bitmaps;
+
+    std::vector<float> &transmittance = scr.transmittance;
+    std::vector<Vec3> &accum = scr.accum;
+    std::vector<uint8_t> &done = scr.done;
+    transmittance.assign(static_cast<size_t>(w) * h, 1.0f);
+    accum.assign(static_cast<size_t>(w) * h, Vec3{});
+    done.assign(static_cast<size_t>(w) * h, 0);
+    size_t live_pixels = static_cast<size_t>(w) * h;
+
+    for (size_t i = 0; i < entries.size() && live_pixels > 0; ++i) {
+        if (!bitmaps[i])
+            continue;
+        const int32_t slot = frame.slotOf(entries[i].id);
+        const ProjectedGaussian &pg = frame.features[slot];
+        const Vec2 mean = soa ? frame.mean2d[slot] : pg.mean2d;
+        const Vec3 conic = soa ? frame.conic[slot]
+                               : Vec3{pg.conic_a, pg.conic_b, pg.conic_c};
+        const float opacity = soa ? frame.opacity[slot] : pg.opacity;
+        const Vec3 color = soa ? frame.color[slot] : pg.color;
+        for (int y = 0; y < h; ++y) {
+            int sub_y = y / cfg.subtile_size;
+            for (int x = 0; x < w; ++x) {
+                int sub_x = x / cfg.subtile_size;
+                int bit = sub_y * subtiles + sub_x;
+                if (!(bitmaps[i] >> bit & 1))
+                    continue;
+                size_t pi = static_cast<size_t>(y) * w + x;
+                if (done[pi])
+                    continue;
+                float dx = (px0 + x + 0.5f) - mean.x;
+                float dy = (py0 + y + 0.5f) - mean.y;
+                float power =
+                    conicPower(conic.x, conic.y, conic.z, dx, dy);
+                float falloff =
+                    power > 0.0f
+                        ? 0.0f
+                        : (cfg.fast_exp ? fastExpNegative(power)
+                                        : std::exp(power));
+                float alpha = opacity * falloff;
+                if (alpha < cfg.alpha_threshold)
+                    continue;
+                alpha = std::min(alpha, cfg.alpha_max);
+                ++stats.blend_ops;
+                accum[pi] += color * (alpha * transmittance[pi]);
+                transmittance[pi] *= (1.0f - alpha);
+                if (transmittance[pi] < cfg.transmittance_cutoff) {
+                    done[pi] = 1;
+                    --live_pixels;
+                    ++stats.pixels_terminated;
+                }
+            }
+        }
+    }
+
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            image->at(px0 + x, py0 + y) =
+                accum[static_cast<size_t>(y) * w + x];
+}
+
+/**
+ * Subtile-blocked blend kernel. Instead of scanning every tile pixel for
+ * every Gaussian, the tile's valid entries are bucketed per subtile
+ * (CSR, driven by the phase-1 bitmaps) and each subtile's pixel block is
+ * blended to completion in contiguous SoA planes:
+ *
+ *  1. compact the covering Gaussians' hot fields into per-field arrays
+ *     (front-to-back order preserved) and build the CSR buckets;
+ *  2. per block: one vectorizable pass evaluates the conic power for all
+ *     block pixels from precomputed pixel-center coordinates (no divides,
+ *     no bitmap tests in the inner loop), then a blend pass touches only
+ *     pixels above the log-domain threshold cut;
+ *  3. a per-block live counter retires all remaining Gaussians at once
+ *     when every pixel of the block has saturated.
+ *
+ * Per-pixel blend order and arithmetic are exactly those of
+ * blendReference — a pixel's result depends only on the ordered set of
+ * Gaussians covering its subtile, which the buckets preserve — so pixels
+ * and stats come out bit-identical (the done[] test is replaced by the
+ * equivalent transmittance < cutoff predicate).
+ */
+void
+blendBlocked(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
+             const RasterConfig &cfg, Image *image, RasterScratch &scr,
+             RasterStats &stats, int px0, int py0, int w, int h,
+             int subtiles)
+{
+    const std::vector<SubtileBitmap> &bitmaps = scr.bitmaps;
+    const int sub = cfg.subtile_size;
+    const int subtile_count = subtiles * subtiles;
+    const size_t block_cap = static_cast<size_t>(sub) * sub;
+
+    // --- Bucket sizes and the compacted-Gaussian count. Entries whose
+    // peak alpha cannot reach the threshold (opacity < threshold implies
+    // alpha = opacity * falloff <= opacity for falloff in [0, 1]) never
+    // blend in the reference loop either and are dropped here.
+    std::vector<uint32_t> &offsets = scr.bucket_offsets;
+    offsets.assign(static_cast<size_t>(subtile_count) + 1, 0);
+    uint32_t active = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        SubtileBitmap bm = bitmaps[i];
+        if (!bm)
+            continue;
+        if (frame.opacity[frame.slotOf(entries[i].id)] <
+            cfg.alpha_threshold)
+            continue;
+        ++active;
+        while (bm) {
+            ++offsets[std::countr_zero(bm) + 1];
+            bm &= bm - 1;
+        }
+    }
+    for (int b = 0; b < subtile_count; ++b)
+        offsets[b + 1] += offsets[b];
+    const uint32_t total_refs = offsets[subtile_count];
+
+    // --- Compact the hot Gaussian fields into SoA arrays (front-to-back
+    // order) and scatter the bucket entries; afterwards bucket b spans
+    // [b ? offsets[b-1] : 0, offsets[b]).
+    scr.gauss_mean_x.resize(active);
+    scr.gauss_mean_y.resize(active);
+    scr.gauss_conic_a.resize(active);
+    scr.gauss_conic_b.resize(active);
+    scr.gauss_conic_c.resize(active);
+    scr.gauss_opacity.resize(active);
+    scr.gauss_power_cut.resize(active);
+    scr.gauss_color.resize(active);
+    scr.bucket_entries.resize(total_refs);
+    // The skip cut: power < log(threshold / opacity) - 1 guarantees
+    // alpha < threshold with an e-fold margin that swamps both float
+    // rounding and the fast-exp error bound, so skipping the exp there
+    // cannot change which pixels blend.
+    const float log_threshold = std::log(cfg.alpha_threshold);
+    uint32_t j = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        SubtileBitmap bm = bitmaps[i];
+        if (!bm)
+            continue;
+        const int32_t slot = frame.slotOf(entries[i].id);
+        const float opacity = frame.opacity[slot];
+        if (opacity < cfg.alpha_threshold)
+            continue;
+        const Vec2 mean = frame.mean2d[slot];
+        const Vec3 conic = frame.conic[slot];
+        scr.gauss_mean_x[j] = mean.x;
+        scr.gauss_mean_y[j] = mean.y;
+        scr.gauss_conic_a[j] = conic.x;
+        scr.gauss_conic_b[j] = conic.y;
+        scr.gauss_conic_c[j] = conic.z;
+        scr.gauss_opacity[j] = opacity;
+        scr.gauss_color[j] = frame.color[slot];
+        scr.gauss_power_cut[j] =
+            log_threshold - std::log(opacity) - 1.0f;
+        while (bm) {
+            scr.bucket_entries[offsets[std::countr_zero(bm)]++] = j;
+            bm &= bm - 1;
+        }
+        ++j;
+    }
+
+    scr.block_power.resize(block_cap);
+    scr.block_t.resize(block_cap);
+    scr.block_r.resize(block_cap);
+    scr.block_g.resize(block_cap);
+    scr.block_b.resize(block_cap);
+    scr.block_cx.resize(block_cap);
+    scr.block_cy.resize(block_cap);
+
+    const int sub_cols = (w + sub - 1) / sub;
+    const int sub_rows = (h + sub - 1) / sub;
+    for (int sy = 0; sy < sub_rows; ++sy) {
+        const int y0 = sy * sub;
+        const int bh = std::min(sub, h - y0);
+        for (int sx = 0; sx < sub_cols; ++sx) {
+            const int x0 = sx * sub;
+            const int bw = std::min(sub, w - x0);
+            const int npix = bw * bh;
+            const int bit = sy * subtiles + sx;
+            const uint32_t begin = bit ? offsets[bit - 1] : 0;
+            const uint32_t end = offsets[bit];
+
+            if (begin == end) {
+                // No Gaussian covers this subtile: background pixels.
+                for (int by = 0; by < bh; ++by) {
+                    Vec3 *row = &image->at(px0 + x0, py0 + y0 + by);
+                    std::fill_n(row, bw, Vec3{});
+                }
+                continue;
+            }
+
+            // Pixel-center coordinates of the block, flattened row-major.
+            // Same construction as the reference ((int + int) converted,
+            // then + 0.5f), so the centers are bit-identical.
+            float *const cx = scr.block_cx.data();
+            float *const cy = scr.block_cy.data();
+            for (int by = 0; by < bh; ++by) {
+                const float fy =
+                    static_cast<float>(py0 + y0 + by) + 0.5f;
+                for (int bx = 0; bx < bw; ++bx) {
+                    cx[by * bw + bx] =
+                        static_cast<float>(px0 + x0 + bx) + 0.5f;
+                    cy[by * bw + bx] = fy;
+                }
+            }
+
+            float *const pw = scr.block_power.data();
+            float *const bt = scr.block_t.data();
+            float *const br = scr.block_r.data();
+            float *const bg = scr.block_g.data();
+            float *const bb = scr.block_b.data();
+            std::fill_n(bt, npix, 1.0f);
+            std::fill_n(br, npix, 0.0f);
+            std::fill_n(bg, npix, 0.0f);
+            std::fill_n(bb, npix, 0.0f);
+            int live = npix;
+
+            for (uint32_t k = begin; k < end; ++k) {
+                const uint32_t g = scr.bucket_entries[k];
+                const float mx = scr.gauss_mean_x[g];
+                const float my = scr.gauss_mean_y[g];
+                const float ca = scr.gauss_conic_a[g];
+                const float cb = scr.gauss_conic_b[g];
+                const float cc = scr.gauss_conic_c[g];
+
+                // Conic power for every block pixel: contiguous streams,
+                // no branches — the auto-vectorization target (see
+                // bench/check_vectorization.sh).
+                for (int p = 0; p < npix; ++p) {
+                    const float dx = cx[p] - mx;
+                    const float dy = cy[p] - my;
+                    pw[p] = conicPower(ca, cb, cc, dx, dy);
+                }
+
+                const float opacity = scr.gauss_opacity[g];
+                const float cut = scr.gauss_power_cut[g];
+                const Vec3 color = scr.gauss_color[g];
+                uint64_t ops = 0;
+                for (int p = 0; p < npix; ++p) {
+                    const float power = pw[p];
+                    // Below the cut alpha cannot reach the threshold;
+                    // above zero the falloff is defined as 0. (NaN fails
+                    // both tests and flows through the exact path, as in
+                    // the reference.)
+                    if (power < cut || power > 0.0f)
+                        continue;
+                    const float t = bt[p];
+                    if (t < cfg.transmittance_cutoff)
+                        continue; // == the reference's done[] test
+                    float alpha =
+                        opacity * (cfg.fast_exp ? fastExpNegative(power)
+                                                : std::exp(power));
+                    if (alpha < cfg.alpha_threshold)
+                        continue;
+                    alpha = std::min(alpha, cfg.alpha_max);
+                    ++ops;
+                    const float wgt = alpha * t;
+                    br[p] += color.x * wgt;
+                    bg[p] += color.y * wgt;
+                    bb[p] += color.z * wgt;
+                    const float nt = t * (1.0f - alpha);
+                    bt[p] = nt;
+                    if (nt < cfg.transmittance_cutoff) {
+                        --live;
+                        ++stats.pixels_terminated;
+                    }
+                }
+                stats.blend_ops += ops;
+                if (live == 0)
+                    break; // block saturated: retire the remaining list
+            }
+
+            for (int by = 0; by < bh; ++by) {
+                Vec3 *row = &image->at(px0 + x0, py0 + y0 + by);
+                for (int bx = 0; bx < bw; ++bx) {
+                    const int p = by * bw + bx;
+                    row[bx] = Vec3{br[p], bg[p], bb[p]};
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
 RasterStats
 rasterizeTile(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
               int tile, const RasterConfig &cfg, Image *image,
@@ -101,50 +452,14 @@ rasterizeTile(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
     if (w <= 0 || h <= 0)
         return stats;
 
-    std::vector<float> &transmittance = scr.transmittance;
-    std::vector<Vec3> &accum = scr.accum;
-    std::vector<uint8_t> &done = scr.done;
-    transmittance.assign(static_cast<size_t>(w) * h, 1.0f);
-    accum.assign(static_cast<size_t>(w) * h, Vec3{});
-    done.assign(static_cast<size_t>(w) * h, 0);
-    size_t live_pixels = static_cast<size_t>(w) * h;
-
-    for (size_t i = 0; i < entries.size() && live_pixels > 0; ++i) {
-        if (!bitmaps[i])
-            continue;
-        const ProjectedGaussian &pg = frame.featureOf(entries[i].id);
-        for (int y = 0; y < h; ++y) {
-            int sub_y = y / cfg.subtile_size;
-            for (int x = 0; x < w; ++x) {
-                int sub_x = x / cfg.subtile_size;
-                int bit = sub_y * subtiles + sub_x;
-                if (!(bitmaps[i] >> bit & 1))
-                    continue;
-                size_t pi = static_cast<size_t>(y) * w + x;
-                if (done[pi])
-                    continue;
-                float dx = (px0 + x + 0.5f) - pg.mean2d.x;
-                float dy = (py0 + y + 0.5f) - pg.mean2d.y;
-                float alpha = pg.opacity * pg.falloff(dx, dy);
-                if (alpha < cfg.alpha_threshold)
-                    continue;
-                alpha = std::min(alpha, cfg.alpha_max);
-                ++stats.blend_ops;
-                accum[pi] += pg.color * (alpha * transmittance[pi]);
-                transmittance[pi] *= (1.0f - alpha);
-                if (transmittance[pi] < cfg.transmittance_cutoff) {
-                    done[pi] = 1;
-                    --live_pixels;
-                    ++stats.pixels_terminated;
-                }
-            }
-        }
-    }
-
-    for (int y = 0; y < h; ++y)
-        for (int x = 0; x < w; ++x)
-            image->at(px0 + x, py0 + y) =
-                accum[static_cast<size_t>(y) * w + x];
+    const bool blocked = soa && !cfg.reference_path &&
+                         tile_size % cfg.subtile_size == 0;
+    if (blocked)
+        blendBlocked(entries, frame, cfg, image, scr, stats, px0, py0, w,
+                     h, subtiles);
+    else
+        blendReference(entries, frame, cfg, image, scr, stats, px0, py0,
+                       w, h, subtiles);
     return stats;
 }
 
@@ -174,17 +489,18 @@ estimateTileBlendOps(const std::vector<TileEntry> &entries,
         if (!e.valid || !frame.isVisible(e.id))
             continue;
         const int32_t slot = frame.slotOf(e.id);
-        const ProjectedGaussian &pg = frame.features[slot];
+        const float opacity =
+            soa ? frame.opacity[slot] : frame.features[slot].opacity;
         SubtileBitmap bm = subtileBitmap(
-            soa ? frame.mean2d[slot] : pg.mean2d,
-            soa ? frame.radius_px[slot] : pg.radius_px, origin, tile_size,
-            cfg.subtile_size);
+            soa ? frame.mean2d[slot] : frame.features[slot].mean2d,
+            soa ? frame.radius_px[slot] : frame.features[slot].radius_px,
+            origin, tile_size, cfg.subtile_size);
         if (!bm)
             continue;
         double coverage =
             static_cast<double>(std::popcount(bm)) / subtile_count;
         double alpha_eff = std::min(
-            static_cast<double>(pg.opacity) * kMeanFalloff,
+            static_cast<double>(opacity) * kMeanFalloff,
             static_cast<double>(cfg.alpha_max));
         if (alpha_eff < cfg.alpha_threshold)
             continue;

@@ -9,6 +9,18 @@
  * computed (the Intersection Test Unit in hardware), and per-pixel work is
  * skipped for subtiles the Gaussian does not touch. The cumulative OR of
  * the bitmaps yields the valid bit Neo uses to flag outgoing Gaussians.
+ *
+ * Two software implementations of the blend phase share that contract:
+ *
+ *  - the **subtile-blocked kernel** (default): entries are bucketed per
+ *    subtile from the bitmaps, and each subtile's pixel block is blended
+ *    to completion in contiguous SoA scratch planes — branch-light,
+ *    divide-free, auto-vectorizable inner loops (see raster.cpp);
+ *  - the **scalar reference** (RasterConfig::reference_path): the
+ *    historical Gaussian-major full-tile scan, kept for A/B testing.
+ *
+ * Both produce bit-identical pixels and RasterStats for any input; the
+ * blocked-vs-reference tests in tests/test_raster.cpp pin that down.
  */
 
 #ifndef NEO_GS_RASTER_H
@@ -34,6 +46,20 @@ struct RasterConfig
     float transmittance_cutoff = 1e-4f;
     /** Alpha is clamped to this maximum, as in the reference renderer. */
     float alpha_max = 0.99f;
+    /**
+     * Evaluate the falloff exponential with the deterministic polynomial
+     * fastExpNegative() instead of std::exp. Changes pixel values within
+     * the tested relative-error bound, but is a pure per-pixel function,
+     * so frames stay bit-identical across thread counts and across the
+     * blocked/reference paths (both honor the knob).
+     */
+    bool fast_exp = false;
+    /**
+     * Force the scalar Gaussian-major reference blend loop instead of the
+     * subtile-blocked kernel (A/B testing and perf archaeology). Output
+     * is bit-identical either way.
+     */
+    bool reference_path = false;
 };
 
 /** Work counters produced by rasterizing one tile. */
@@ -84,21 +110,76 @@ subtileBitmap(const ProjectedGaussian &pg, Vec2 tile_origin, int tile_size,
 }
 
 /**
+ * Deterministic polynomial approximation of std::exp for x <= 0, used by
+ * the blend loops when RasterConfig::fast_exp is set. Pure float
+ * arithmetic in a fixed operation order — the result depends only on x,
+ * never on thread count or call site. Relative error is bounded by
+ * kFastExpMaxRelError (asserted by tests against std::exp over the whole
+ * falloff range); exact at x == 0 and exactly 0 below the flush point.
+ */
+float fastExpNegative(float x);
+
+/** Tested relative-error bound of fastExpNegative on [-87, 0]. */
+constexpr float kFastExpMaxRelError = 2e-6f;
+
+/**
  * Reusable working memory of rasterizeTile. One instance per worker
- * thread (or one for the serial path) amortizes the four per-call vector
+ * thread (or one for the serial path) amortizes the per-call vector
  * allocations across all tiles the worker rasterizes; every element is
  * overwritten before use, so reuse cannot change results.
+ *
+ * The first block of vectors serves the ITU pass and the scalar reference
+ * blend; the rest is the subtile-blocked kernel's working set: one SoA
+ * array per hot Gaussian field (compacted over the entries that hit at
+ * least one subtile), the CSR subtile buckets, and the per-block pixel
+ * planes (transmittance / r / g / b / falloff power), each
+ * subtile_size^2 floats and contiguous by construction.
  */
 struct RasterScratch
 {
     std::vector<SubtileBitmap> bitmaps;
+    // Scalar reference blend planes.
     std::vector<float> transmittance;
     std::vector<Vec3> accum;
     std::vector<uint8_t> done;
+    // Blocked kernel: compacted per-Gaussian SoA (front-to-back order).
+    std::vector<float> gauss_mean_x;
+    std::vector<float> gauss_mean_y;
+    std::vector<float> gauss_conic_a;
+    std::vector<float> gauss_conic_b;
+    std::vector<float> gauss_conic_c;
+    std::vector<float> gauss_opacity;
+    std::vector<float> gauss_power_cut;
+    std::vector<Vec3> gauss_color;
+    // Blocked kernel: CSR buckets mapping subtile -> covering Gaussians.
+    std::vector<uint32_t> bucket_offsets;
+    std::vector<uint32_t> bucket_entries;
+    // Blocked kernel: per-block SoA pixel planes and pixel-center coords.
+    std::vector<float> block_power;
+    std::vector<float> block_t;
+    std::vector<float> block_r;
+    std::vector<float> block_g;
+    std::vector<float> block_b;
+    std::vector<float> block_cx;
+    std::vector<float> block_cy;
+
+    /**
+     * Bytes of heap capacity currently held by every member vector.
+     * Surfaced through FrameArena::retainedBytes (the raster accumulators
+     * expose it), so the steady-state no-regrowth test also covers this
+     * nested scratch.
+     */
+    size_t capacityBytes() const;
 };
 
 /**
  * Rasterize one tile.
+ *
+ * Blend order is per pixel, front to back in entry order; the blocked and
+ * reference paths produce bit-identical pixels and stats (see file
+ * comment). The blocked kernel requires the frame's SoA feature arrays
+ * and a subtile size dividing the tile size; otherwise the call falls
+ * back to the reference loop.
  *
  * @param entries depth-sorted tile entries (front to back)
  * @param frame binned frame carrying the feature table

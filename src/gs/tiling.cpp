@@ -55,10 +55,17 @@ BinnedFrame::rebuildFeatureArrays()
     mean2d.resize(features.size());
     radius_px.resize(features.size());
     depth.resize(features.size());
+    opacity.resize(features.size());
+    color.resize(features.size());
+    conic.resize(features.size());
     for (size_t i = 0; i < features.size(); ++i) {
-        mean2d[i] = features[i].mean2d;
-        radius_px[i] = features[i].radius_px;
-        depth[i] = features[i].depth;
+        const ProjectedGaussian &pg = features[i];
+        mean2d[i] = pg.mean2d;
+        radius_px[i] = pg.radius_px;
+        depth[i] = pg.depth;
+        opacity[i] = pg.opacity;
+        color[i] = pg.color;
+        conic[i] = {pg.conic_a, pg.conic_b, pg.conic_c};
     }
 }
 
@@ -69,7 +76,10 @@ BinnedFrame::capacityBytes() const
                    feature_of_id.capacity() * sizeof(int32_t) +
                    tiles.capacity() * sizeof(std::vector<TileEntry>) +
                    mean2d.capacity() * sizeof(Vec2) +
-                   (radius_px.capacity() + depth.capacity()) * sizeof(float);
+                   (color.capacity() + conic.capacity()) * sizeof(Vec3) +
+                   (radius_px.capacity() + depth.capacity() +
+                    opacity.capacity()) *
+                       sizeof(float);
     for (const auto &t : tiles)
         total += t.capacity() * sizeof(TileEntry);
     return total;
@@ -173,6 +183,9 @@ binFrameInto(BinnedFrame &out, FrameArena &arena, const GaussianScene &scene,
     out.mean2d.resize(visible);
     out.radius_px.resize(visible);
     out.depth.resize(visible);
+    out.opacity.resize(visible);
+    out.color.resize(visible);
+    out.conic.resize(visible);
 
     // Phase 2: scatter. Chunks write disjoint feature slots and disjoint
     // index ranges of each tile list, so the parallel writes are race-free
@@ -192,6 +205,9 @@ binFrameInto(BinnedFrame &out, FrameArena &arena, const GaussianScene &scene,
             out.mean2d[slot] = pg.mean2d;
             out.radius_px[slot] = pg.radius_px;
             out.depth[slot] = pg.depth;
+            out.opacity[slot] = pg.opacity;
+            out.color[slot] = pg.color;
+            out.conic[slot] = {pg.conic_a, pg.conic_b, pg.conic_c};
             ++slot;
             for (int ty = rect.y0; ty <= rect.y1; ++ty)
                 for (int tx = rect.x0; tx <= rect.x1; ++tx) {

@@ -94,13 +94,16 @@ struct BinnedFrame
     uint64_t instances = 0;
 
     // SoA mirrors of the hot feature fields, indexed by feature slot
-    // (same index as `features`). The intersection-test and depth-refresh
-    // loops stream these small contiguous arrays instead of pulling whole
-    // ProjectedGaussian records through the cache. Kept in sync by
+    // (same index as `features`). The intersection-test, depth-refresh and
+    // blend loops stream these small contiguous arrays instead of pulling
+    // whole ProjectedGaussian records through the cache. Kept in sync by
     // binFrame(); call rebuildFeatureArrays() after mutating `features`.
     std::vector<Vec2> mean2d;     //!< screen-space centers
     std::vector<float> radius_px; //!< 3-sigma screen radii
     std::vector<float> depth;     //!< camera-space depths
+    std::vector<float> opacity;   //!< blend opacities
+    std::vector<Vec3> color;      //!< view-dependent RGB from SH
+    std::vector<Vec3> conic;      //!< inverse-covariance (a, b, c)
 
     const ProjectedGaussian &featureOf(GaussianId id) const
     {
@@ -120,7 +123,10 @@ struct BinnedFrame
     {
         return mean2d.size() == features.size() &&
                radius_px.size() == features.size() &&
-               depth.size() == features.size();
+               depth.size() == features.size() &&
+               opacity.size() == features.size() &&
+               color.size() == features.size() &&
+               conic.size() == features.size();
     }
 
     /** Regenerate the SoA arrays from `features`. */

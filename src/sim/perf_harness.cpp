@@ -197,6 +197,7 @@ sweepRenderThreadsStaged(const GaussianScene &scene,
         const std::vector<std::vector<TileEntry>> no_orderings;
 
         StageTimings acc;
+        FrameStats last_stats;
         auto frameOnce = [&](int f, bool timed) {
             const Camera cam = trajectory.cameraAt(f, res);
             auto t0 = clock::now();
@@ -213,7 +214,7 @@ sweepRenderThreadsStaged(const GaussianScene &scene,
                 acc.sort_ms += ms_since(t0);
 
             t0 = clock::now();
-            renderer.renderInto(image, frame, no_orderings, nullptr,
+            renderer.renderInto(image, frame, no_orderings, &last_stats,
                                 &arena);
             if (timed)
                 acc.raster_ms += ms_since(t0);
@@ -239,6 +240,7 @@ sweepRenderThreadsStaged(const GaussianScene &scene,
         p.stages.tracker_ms = acc.tracker_ms / denom;
         p.ms_per_frame = p.stages.totalMs();
         p.frame_hash = image.contentHash();
+        p.last_frame = last_stats;
         p.speedup = points.empty()
                         ? 1.0
                         : points.front().ms_per_frame / p.ms_per_frame;

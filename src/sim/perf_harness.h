@@ -93,6 +93,13 @@ struct ThreadScalingPoint
     uint64_t frame_hash = 0;  //!< FNV-1a over the last rendered frame
     bool has_stages = false;  //!< stage breakdown populated?
     StageTimings stages;      //!< per-stage ms (staged sweep only)
+    /**
+     * Functional counters of the last rendered frame (staged sweep only).
+     * The blocked/reference rasterizer A/B in bench_scaling compares
+     * these field by field — the two paths must agree exactly, not just
+     * on the frame hash.
+     */
+    FrameStats last_frame;
 };
 
 /**

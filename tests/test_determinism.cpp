@@ -41,7 +41,7 @@ struct RunResult
 };
 
 RunResult
-runPipeline(uint64_t seed, int threads = 1)
+runPipeline(uint64_t seed, int threads = 1, bool reference_raster = false)
 {
     SyntheticSceneParams params;
     params.seed = seed;
@@ -51,6 +51,7 @@ runPipeline(uint64_t seed, int threads = 1)
 
     PipelineOptions opts;
     opts.threads = threads;
+    opts.raster.reference_path = reference_raster;
     Renderer renderer(opts);
     Camera cam = frontCamera();
 
@@ -114,6 +115,16 @@ TEST(Determinism, ThreadCountDoesNotChangeAnyBit)
     const RunResult serial = runPipeline(42, 1);
     expectEqualRuns(serial, runPipeline(42, 2));
     expectEqualRuns(serial, runPipeline(42, 8));
+}
+
+TEST(Determinism, BlockedAndReferenceRasterizersInterchangeable)
+{
+    // The two blend implementations and the thread count can be varied
+    // together without changing a bit: the serial blocked run is the
+    // anchor, compared against the scalar reference at 1 and 8 threads.
+    const RunResult blocked = runPipeline(42, 1, false);
+    expectEqualRuns(blocked, runPipeline(42, 1, true));
+    expectEqualRuns(blocked, runPipeline(42, 8, true));
 }
 
 void

@@ -5,10 +5,11 @@
  *  1. No capacity regrowth: once warm, the buffers retained by the
  *     steady-state frame loop (binned frame, scatter/raster scratch)
  *     never grow again when the workload is stable.
- *  2. Zero per-frame heap allocations on the binning/raster path at
- *     threads == 1, verified by counting every operator new call during
- *     the warm frames. (The pooled path pays one dispatch allocation per
- *     parallel section by design; the serial path pays none.)
+ *  2. Zero per-frame heap allocations on the binning/raster path,
+ *     verified by counting every operator new call during the warm
+ *     frames — at threads == 1 (serial inline path) and at threads == 2
+ *     (pooled path: the preallocated job slot and fn-pointer dispatch of
+ *     ThreadPool::run make parallel sections allocation-free too).
  *
  * This translation unit overrides the global allocation functions to
  * count calls; the override is per-executable, so it cannot leak into
@@ -141,33 +142,39 @@ TEST(ArenaReuseTest, NoCapacityRegrowthAcrossTenFrames)
 
 TEST(ArenaReuseTest, SteadyStateBinRasterPathIsAllocationFree)
 {
-    // The acceptance bar of the allocation-free frame loop: at
-    // threads == 1 (serial path — the pool dispatch itself allocates by
-    // design), a warm prepareInto + renderInto loop must perform zero
-    // heap allocations.
+    // The acceptance bar of the allocation-free frame loop: a warm
+    // prepareInto + renderInto loop must perform zero heap allocations —
+    // serially (threads == 1) and through the pool (threads == 2), whose
+    // dispatch path reuses a preallocated job slot instead of allocating
+    // a job record + std::function per parallel section.
     GaussianScene scene = test::tinySyntheticScene();
     Camera cam = test::frontCamera();
-    PipelineOptions opts;
-    opts.threads = 1;
-    Renderer renderer(opts);
-    BinnedFrame frame;
-    FrameArena arena;
-    Image image;
-    const std::vector<std::vector<TileEntry>> no_orderings;
+    for (int threads : {1, 2}) {
+        PipelineOptions opts;
+        opts.threads = threads;
+        Renderer renderer(opts);
+        BinnedFrame frame;
+        FrameArena arena;
+        Image image;
+        const std::vector<std::vector<TileEntry>> no_orderings;
 
-    auto renderOnce = [&] {
-        renderer.prepareInto(frame, arena, scene, cam);
-        renderer.renderInto(image, frame, no_orderings, nullptr, &arena);
-    };
+        auto renderOnce = [&] {
+            renderer.prepareInto(frame, arena, scene, cam);
+            renderer.renderInto(image, frame, no_orderings, nullptr,
+                                &arena);
+        };
 
-    renderOnce();
-    renderOnce();
-    const uint64_t warm = g_news.load(std::memory_order_relaxed);
-    for (int f = 0; f < 8; ++f)
+        // Warm-up: spawn pool workers, grow every reused buffer.
         renderOnce();
-    const uint64_t after = g_news.load(std::memory_order_relaxed);
-    EXPECT_EQ(after - warm, 0u)
-        << "steady-state frames allocated " << (after - warm) << " times";
+        renderOnce();
+        const uint64_t warm = g_news.load(std::memory_order_relaxed);
+        for (int f = 0; f < 8; ++f)
+            renderOnce();
+        const uint64_t after = g_news.load(std::memory_order_relaxed);
+        EXPECT_EQ(after - warm, 0u)
+            << "threads=" << threads << ": steady-state frames allocated "
+            << (after - warm) << " times";
+    }
 }
 
 } // namespace

@@ -5,11 +5,14 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/neo_renderer.h"
+#include "gs/pipeline.h"
 #include "gs/raster.h"
 #include "test_util.h"
 
@@ -218,6 +221,203 @@ TEST(RasterizeTest, EstimateTracksActualWithinFactor)
     double ratio = static_cast<double>(estimated) / actual;
     EXPECT_GT(ratio, 0.2) << "estimate too low";
     EXPECT_LT(ratio, 5.0) << "estimate too high";
+}
+
+// --- Subtile-blocked kernel vs scalar reference -------------------------
+//
+// The blocked kernel restructures the blend loop but must reproduce the
+// reference bit for bit: identical pixels (frame hash) and identical
+// RasterStats, field by field, on every input.
+
+void
+expectEqualStats(const RasterStats &a, const RasterStats &b)
+{
+    EXPECT_EQ(a.gaussians_in, b.gaussians_in);
+    EXPECT_EQ(a.intersection_tests, b.intersection_tests);
+    EXPECT_EQ(a.gaussians_blended, b.gaussians_blended);
+    EXPECT_EQ(a.blend_ops, b.blend_ops);
+    EXPECT_EQ(a.pixels_terminated, b.pixels_terminated);
+}
+
+/**
+ * Rasterize every tile of @p frame into an exact-resolution image (which
+ * makes the right/bottom tiles partial when the resolution is not a tile
+ * multiple) and return the summed stats.
+ */
+RasterStats
+renderAllTiles(const BinnedFrame &frame, const RasterConfig &cfg,
+               Resolution res, Image &image)
+{
+    image = Image(res.width, res.height);
+    RasterStats total;
+    for (int tile = 0; tile < frame.grid.tileCount(); ++tile) {
+        auto entries = frame.tiles[tile];
+        if (entries.empty())
+            continue;
+        std::sort(entries.begin(), entries.end(), entryDepthLess);
+        total += rasterizeTile(entries, frame, tile, cfg, &image);
+    }
+    return total;
+}
+
+void
+expectBlockedMatchesReference(const GaussianScene &scene, Resolution res,
+                              int tile_px, int subtile, bool fast_exp)
+{
+    Camera cam = test::frontCamera(5.0f, res);
+    BinnedFrame frame = binFrame(scene, cam, tile_px);
+
+    RasterConfig cfg;
+    cfg.subtile_size = subtile;
+    cfg.fast_exp = fast_exp;
+
+    RasterConfig ref_cfg = cfg;
+    ref_cfg.reference_path = true;
+
+    Image blocked_img, ref_img;
+    RasterStats blocked = renderAllTiles(frame, cfg, res, blocked_img);
+    RasterStats ref = renderAllTiles(frame, ref_cfg, res, ref_img);
+
+    ASSERT_GT(blocked.blend_ops, 0u);
+    expectEqualStats(blocked, ref);
+    EXPECT_EQ(blocked_img.contentHash(), ref_img.contentHash())
+        << "tile=" << tile_px << " subtile=" << subtile
+        << " fast_exp=" << fast_exp;
+}
+
+TEST(BlockedVsReference, BitIdenticalAcrossSubtileSizes)
+{
+    GaussianScene scene = test::blobScene(400, 17);
+    for (int tile_px : {16, 64})
+        for (int subtile : {4, 8, 16}) {
+            const int per_side = tile_px / subtile;
+            if (per_side * per_side > 64 || per_side < 1)
+                continue; // over the 64-bit bitmap (4-px subtiles @ 64)
+            expectBlockedMatchesReference(scene, test::smallRes(),
+                                          tile_px, subtile, false);
+        }
+}
+
+TEST(BlockedVsReference, PartialEdgeTilesBitIdentical)
+{
+    // A resolution that is a multiple of neither tile size: the right and
+    // bottom tiles are partial, and with 8-px subtiles their edge blocks
+    // are partial too (250 % 8 == 2, 187 % 8 == 3).
+    const Resolution res{250, 187, "ragged"};
+    GaussianScene scene = test::blobScene(300, 23);
+    for (int tile_px : {16, 64})
+        expectBlockedMatchesReference(scene, res, tile_px, 8, false);
+}
+
+TEST(BlockedVsReference, SaturatedEarlyExitBitIdentical)
+{
+    // An opaque wall saturates whole subtile blocks: the blocked kernel's
+    // block-level retirement must not change any counter or pixel.
+    GaussianScene scene;
+    for (int i = 0; i < 50; ++i)
+        scene.gaussians.push_back(test::makeGaussian(
+            {0.0f, 0.0f, 0.1f * i}, 0.6f, 0.95f, {0.2f, 0.8f, 0.2f}));
+    recomputeBounds(scene);
+    Camera cam = test::frontCamera();
+    BinnedFrame frame = binFrame(scene, cam, 64);
+
+    RasterConfig cfg;
+    RasterConfig ref_cfg;
+    ref_cfg.reference_path = true;
+
+    Image blocked_img, ref_img;
+    RasterStats blocked =
+        renderAllTiles(frame, cfg, test::smallRes(), blocked_img);
+    RasterStats ref =
+        renderAllTiles(frame, ref_cfg, test::smallRes(), ref_img);
+
+    ASSERT_GT(blocked.pixels_terminated, 0u)
+        << "scene must exercise the saturation path";
+    expectEqualStats(blocked, ref);
+    EXPECT_EQ(blocked_img.contentHash(), ref_img.contentHash());
+}
+
+TEST(BlockedVsReference, FullRendererAndNeoRendererMatch)
+{
+    // End to end through both renderers: the blocked default and the
+    // reference path must produce bit-identical frames and raster
+    // counters, including through reuse-and-update orderings.
+    GaussianScene scene = test::tinySyntheticScene();
+    Camera cam = test::frontCamera();
+
+    PipelineOptions opts;
+    PipelineOptions ref_opts;
+    ref_opts.raster.reference_path = true;
+
+    FrameStats stats, ref_stats;
+    Renderer renderer(opts), reference(ref_opts);
+    Image img = renderer.render(scene, cam, &stats);
+    Image ref_img = reference.render(scene, cam, &ref_stats);
+    EXPECT_EQ(img.contentHash(), ref_img.contentHash());
+    expectEqualStats(stats.raster, ref_stats.raster);
+
+    PipelineOptions neo_opts = NeoRenderer::neoDefaultOptions();
+    PipelineOptions neo_ref_opts = neo_opts;
+    neo_ref_opts.raster.reference_path = true;
+    NeoRenderer neo(neo_opts), neo_ref(neo_ref_opts);
+    for (uint64_t f = 0; f < 3; ++f) {
+        NeoFrameReport rep, ref_rep;
+        Image a = neo.renderFrame(scene, cam, f, &rep);
+        Image b = neo_ref.renderFrame(scene, cam, f, &ref_rep);
+        EXPECT_EQ(a.contentHash(), b.contentHash()) << "frame " << f;
+        expectEqualStats(rep.frame.raster, ref_rep.frame.raster);
+    }
+}
+
+// --- Deterministic polynomial fast-exp ----------------------------------
+
+TEST(FastExpTest, AccuracyBoundAgainstStdExp)
+{
+    // Dense sweep over the whole falloff range: relative error must stay
+    // inside the documented bound.
+    float max_rel = 0.0f;
+    for (double x = -87.0; x <= 0.0; x += 1.0 / 512.0) {
+        const float xf = static_cast<float>(x);
+        const float approx = fastExpNegative(xf);
+        const float exact = std::exp(xf);
+        const float rel = std::fabs(approx - exact) / exact;
+        max_rel = std::max(max_rel, rel);
+    }
+    EXPECT_LE(max_rel, kFastExpMaxRelError);
+
+    // Anchors: exact at 0, flushed to 0 below the underflow point.
+    EXPECT_EQ(fastExpNegative(0.0f), 1.0f);
+    EXPECT_EQ(fastExpNegative(-90.0f), 0.0f);
+    EXPECT_EQ(fastExpNegative(-1000.0f), 0.0f);
+}
+
+TEST(FastExpTest, BlockedAndReferencePathsAgree)
+{
+    // With fast_exp on, pixel values change (within the error bound) but
+    // the blocked/reference bit-equality contract must still hold: both
+    // paths evaluate the same polynomial.
+    GaussianScene scene = test::blobScene(300, 31);
+    expectBlockedMatchesReference(scene, test::smallRes(), 16, 8, true);
+    expectBlockedMatchesReference(scene, test::smallRes(), 64, 8, true);
+}
+
+TEST(FastExpTest, DeterministicAcrossThreadCounts)
+{
+    // fast_exp is a pure per-pixel function, so the threads∈{1,2,8}
+    // bit-equality contract holds with it enabled.
+    GaussianScene scene = test::tinySyntheticScene();
+    Camera cam = test::frontCamera();
+
+    auto hashAt = [&](int threads) {
+        PipelineOptions opts;
+        opts.threads = threads;
+        opts.raster.fast_exp = true;
+        Renderer renderer(opts);
+        return renderer.render(scene, cam).contentHash();
+    };
+    const uint64_t serial = hashAt(1);
+    EXPECT_EQ(serial, hashAt(2));
+    EXPECT_EQ(serial, hashAt(8));
 }
 
 TEST(RasterizeTest, DryRunDoesOnlyItuWork)
