@@ -11,7 +11,7 @@
  *
  *   ./bench_scaling [--json out.json] [--gaussians N] [--frames N]
  *                   [--threads-list 1,2,4,8] [--stage] [--pr N]
- *                   [--raster-mode blocked|reference|both]
+ *                   [--raster-mode blocked|reference|both] [--fast-exp]
  *
  * With --stage each frame runs the explicit staged loop and the report
  * (and JSON) carries a per-stage breakdown — bin / sort / raster /
@@ -21,9 +21,12 @@
  * reference); "both" runs the staged sweep twice and prints an A/B
  * column with the reference raster_ms next to the blocked one, failing
  * if the two paths disagree on a single frame bit or raster counter.
- * With --json the results are written machine-readable (BENCH_PR<n>.json
- * schema) for CI artifact upload, trend tracking, and the regression
- * gate (bench/diff_bench.sh).
+ * --fast-exp enables the deterministic polynomial exp
+ * (RasterConfig::fast_exp) for the sweep. With --json the results are
+ * written machine-readable (BENCH_PR<n>.json schema) for CI artifact
+ * upload, trend tracking, and the regression gate (bench/diff_bench.sh);
+ * the JSON records the raster kernel variant and fast_exp mode, so every
+ * trajectory point is self-describing about what exactly it measured.
  */
 
 #include <cstdint>
@@ -49,8 +52,9 @@ struct Args
     std::string json_path;
     size_t gaussians = 30000;
     int frames = 5;
-    int pr = 4;
+    int pr = 5;
     bool stage = false;
+    bool fast_exp = false;
     std::string raster_mode = "blocked";
     std::vector<int> threads = {1, 2, 4, 8};
 };
@@ -78,6 +82,11 @@ parse(int argc, char **argv)
     for (int i = 1; i < argc;) {
         if (std::strcmp(argv[i], "--stage") == 0) {
             a.stage = true;
+            i += 1;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--fast-exp") == 0) {
+            a.fast_exp = true;
             i += 1;
             continue;
         }
@@ -139,6 +148,10 @@ writeJson(const std::string &path, const Args &args, Resolution res,
                             : "functional-render");
     std::fprintf(f, "  \"raster_mode\": \"%s\",\n",
                  args.raster_mode.c_str());
+    std::fprintf(f, "  \"raster_kernel\": \"%s\",\n",
+                 kRasterKernelVariant);
+    std::fprintf(f, "  \"fast_exp\": %s,\n",
+                 args.fast_exp ? "true" : "false");
     std::fprintf(f, "  \"scene\": \"synthetic-orbit\",\n");
     std::fprintf(f, "  \"gaussians\": %zu,\n", args.gaussians);
     std::fprintf(f, "  \"resolution\": \"%dx%d\",\n", res.width,
@@ -217,12 +230,14 @@ main(int argc, char **argv)
     const Resolution res{640, 384, "bench"};
 
     std::printf("scene: %zu gaussians, %d frames @ %dx%d, machine has %d "
-                "hardware thread(s), raster mode %s\n\n",
+                "hardware thread(s), raster mode %s, fast_exp %s\n\n",
                 scene.size(), args.frames, res.width, res.height,
-                hardwareThreadCount(), args.raster_mode.c_str());
+                hardwareThreadCount(), args.raster_mode.c_str(),
+                args.fast_exp ? "on" : "off");
 
     PipelineOptions opts;
     opts.raster.reference_path = (args.raster_mode == "reference");
+    opts.raster.fast_exp = args.fast_exp;
     std::vector<ThreadScalingPoint> points =
         args.stage
             ? sweepRenderThreadsStaged(scene, orbit, res, args.frames,

@@ -1,17 +1,26 @@
 #!/usr/bin/env bash
-# Auto-vectorization smoke check for the subtile-blocked rasterizer.
+# Auto-vectorization smoke check for the SIMD hot loops.
 #
-# The blocked kernel's whole point is that its inner loops compile to
-# SIMD: this script recompiles src/gs/raster.cpp with the Release flags
-# plus -fopt-info-vec-optimized and asserts that
+# The blocked rasterizer and the delta tracker exist to keep their inner
+# loops SIMD: this script recompiles the hot translation units with the
+# Release flags plus -fopt-info-vec-optimized and asserts that each
+# named marker loop is reported "loop vectorized":
 #
-#   1. the conic-power loop (the line writing `pw[p] = -0.5f * ...` in
-#      blendBlocked) is reported "loop vectorized", and
-#   2. at least MIN_VECTORIZED loops of raster.cpp vectorize overall.
+#   src/gs/raster.cpp
+#     1. the fused conic-power + block-retire pass of blendBlocked
+#        (the line computing `power = conicPower(...)`);
+#     2. the survivor exp batch loop
+#        (the line writing `sexp[i] = fastExpNegativeLane(...)`);
+#     and at least MIN_VECTORIZED_RASTER loops overall.
+#   src/core/delta_tracker.cpp
+#     3. the SoA sorted-id extract scan of observe()
+#        (the line writing `ids[i] = ...`);
+#     and at least MIN_VECTORIZED_TRACKER loops overall.
 #
 # A silent vectorization regression (e.g. an accidental loop-carried
-# dependency or a call in the inner loop) fails here long before it is
-# visible as a wall-clock regression on a loaded CI box.
+# dependency, a call in the inner loop, or a select turned back into a
+# branch) fails here long before it is visible as a wall-clock
+# regression on a loaded CI box.
 #
 #   bench/check_vectorization.sh [CXX]
 #
@@ -23,8 +32,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CXX_BIN="${1:-${CXX:-g++}}"
-SRC="src/gs/raster.cpp"
-MIN_VECTORIZED=2
+MIN_VECTORIZED_RASTER=3
+MIN_VECTORIZED_TRACKER=1
 
 if ! "$CXX_BIN" --version 2>/dev/null | grep -qiE "gcc|g\+\+"; then
     echo "check_vectorization.sh: SKIP — $CXX_BIN is not GCC," \
@@ -32,46 +41,77 @@ if ! "$CXX_BIN" --version 2>/dev/null | grep -qiE "gcc|g\+\+"; then
     exit 2
 fi
 
-# The line of the blocked kernel's power loop body: the vectorization
-# target the report must mention (match on the assignment, which is
-# unique to that loop).
-power_line="$(grep -n 'pw\[p\] = conicPower' "$SRC" | head -1 | cut -d: -f1)"
-if [[ -z "$power_line" ]]; then
-    echo "check_vectorization.sh: FAIL — power-loop marker not found" \
-         "in $SRC (kernel restructured? update this script)" >&2
-    exit 1
-fi
+fail=0
 
-report="$("$CXX_BIN" -std=c++20 -O3 -DNDEBUG -Wall -Isrc -c "$SRC" \
-          -o /dev/null -fopt-info-vec-optimized 2>&1 | grep -F "$SRC" \
-          || true)"
+# vectorized_lines SRC -> unique source lines reported "loop vectorized"
+vectorized_lines() {
+    local src="$1"
+    "$CXX_BIN" -std=c++20 -O3 -DNDEBUG -Wall -Isrc -c "$src" \
+        -o /dev/null -fopt-info-vec-optimized 2>&1 |
+        grep -F "$src" |
+        grep -E "optimized: *loop vectorized" |
+        sed -E "s|.*$src:([0-9]+):.*|\1|" | sort -un || true
+}
 
-vectorized_lines="$(printf '%s\n' "$report" |
-    grep -E "optimized: *loop vectorized" |
-    sed -E "s|.*$SRC:([0-9]+):.*|\1|" | sort -un || true)"
-
-count="$(printf '%s\n' "$vectorized_lines" | grep -c . || true)"
-
-# The reported loop line is the `for` header, a few lines above the body
-# marker; accept a report within 8 lines upstream of it.
-power_ok=0
-for line in $vectorized_lines; do
-    if ((line <= power_line && line >= power_line - 8)); then
-        power_ok=1
+# require_marker SRC LINES MARKER_REGEX LABEL
+#
+# The marker line is the loop-body statement; -fopt-info reports the
+# `for` header a few lines above it, so accept a vectorized-loop report
+# within 8 lines upstream of the marker.
+require_marker() {
+    local src="$1" lines="$2" marker="$3" label="$4"
+    local marker_line
+    marker_line="$(grep -n "$marker" "$src" | head -1 | cut -d: -f1)"
+    if [[ -z "$marker_line" ]]; then
+        echo "check_vectorization.sh: FAIL — marker '$label' not found" \
+             "in $src (loop restructured? update this script)" >&2
+        fail=1
+        return
     fi
-done
+    local line ok=0
+    for line in $lines; do
+        if ((line <= marker_line && line >= marker_line - 8)); then
+            ok=1
+        fi
+    done
+    if ((!ok)); then
+        echo "check_vectorization.sh: FAIL — the $label loop (near" \
+             "$src:$marker_line) did not vectorize" >&2
+        fail=1
+    else
+        echo "check_vectorization.sh: OK — $label loop (near" \
+             "$src:$marker_line) vectorized"
+    fi
+}
 
-echo "check_vectorization.sh: $count vectorized loop line(s) in $SRC:" \
-     $(printf '%s ' $vectorized_lines)
-if ((!power_ok)); then
-    echo "check_vectorization.sh: FAIL — the blocked kernel's conic-power" \
-         "loop (near $SRC:$power_line) did not vectorize" >&2
+# require_count SRC LINES MIN_COUNT — runs in the main shell so a
+# failure reaches the gate's exit status.
+require_count() {
+    local src="$1" lines="$2" min="$3" count
+    count="$(printf '%s\n' "$lines" | grep -c . || true)"
+    echo "check_vectorization.sh: $count vectorized loop line(s) in" \
+         "$src:" $(printf '%s ' $lines)
+    if ((count < min)); then
+        echo "check_vectorization.sh: FAIL — only $count vectorized" \
+             "loop(s) in $src, expected >= $min" >&2
+        fail=1
+    fi
+}
+
+raster_lines="$(vectorized_lines src/gs/raster.cpp)"
+require_count src/gs/raster.cpp "$raster_lines" "$MIN_VECTORIZED_RASTER"
+require_marker src/gs/raster.cpp "$raster_lines" \
+    'power = conicPower' "blocked kernel conic-power"
+require_marker src/gs/raster.cpp "$raster_lines" \
+    'sexp\[i\] = fastExpNegativeLane' "survivor exp batch"
+
+tracker_lines="$(vectorized_lines src/core/delta_tracker.cpp)"
+require_count src/core/delta_tracker.cpp "$tracker_lines" \
+    "$MIN_VECTORIZED_TRACKER"
+require_marker src/core/delta_tracker.cpp "$tracker_lines" \
+    'ids\[i\] = static_cast<GaussianId>' "delta-tracker sorted-id scan"
+
+if ((fail)); then
     exit 1
 fi
-if ((count < MIN_VECTORIZED)); then
-    echo "check_vectorization.sh: FAIL — only $count vectorized loop(s)," \
-         "expected >= $MIN_VECTORIZED" >&2
-    exit 1
-fi
-echo "check_vectorization.sh: OK (power loop near line $power_line" \
-     "vectorized)"
+echo "check_vectorization.sh: OK (all marker loops vectorized)"

@@ -8,25 +8,30 @@
 #
 #   bench/run_benches.sh [BUILD_DIR] [OUTPUT_JSON]
 #
-# BUILD_DIR defaults to ./build; OUTPUT_JSON to ./BENCH_PR4.json — pass
+# BUILD_DIR defaults to ./build; OUTPUT_JSON to ./BENCH_PR5.json — pass
 # the PR's own filename explicitly from CI.
 # Knobs: NEO_BENCH_GAUSSIANS / NEO_BENCH_FRAMES_SCALING / NEO_BENCH_THREADS
 # shrink or grow the run (CI smoke uses the defaults); NEO_BENCH_PR sets
 # the "pr" field when the output name does not imply it;
 # NEO_BENCH_RASTER_MODE ({blocked,reference,both}, default blocked)
 # selects the rasterizer blend path — "both" also runs the scalar
-# reference sweep and records its raster_ms for the A/B column.
+# reference sweep and records its raster_ms for the A/B column;
+# NEO_BENCH_FAST_EXP=1 switches the falloff exp to the deterministic
+# polynomial (RasterConfig::fast_exp; recorded in the JSON either way,
+# keep it off for points meant to be comparable with the pre-PR5
+# std::exp trajectory).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-OUT_JSON="${2:-BENCH_PR4.json}"
+OUT_JSON="${2:-BENCH_PR5.json}"
 
 GAUSSIANS="${NEO_BENCH_GAUSSIANS:-30000}"
 FRAMES="${NEO_BENCH_FRAMES_SCALING:-5}"
 THREADS="${NEO_BENCH_THREADS:-1,2,4,8}"
 RASTER_MODE="${NEO_BENCH_RASTER_MODE:-blocked}"
+FAST_EXP="${NEO_BENCH_FAST_EXP:-0}"
 
 # Derive the trajectory point number from the output name when possible.
 PR="${NEO_BENCH_PR:-}"
@@ -34,7 +39,7 @@ if [[ -z "$PR" ]]; then
     if [[ "$(basename "$OUT_JSON")" =~ BENCH_PR([0-9]+)\.json ]]; then
         PR="${BASH_REMATCH[1]}"
     else
-        PR=4
+        PR=5
     fi
 fi
 
@@ -44,12 +49,18 @@ if [[ ! -x "$BIN" ]]; then
     exit 1
 fi
 
+FAST_EXP_FLAG=()
+if [[ "$FAST_EXP" == "1" ]]; then
+    FAST_EXP_FLAG=(--fast-exp)
+fi
+
 "$BIN" --json "$OUT_JSON" \
        --gaussians "$GAUSSIANS" \
        --frames "$FRAMES" \
        --threads-list "$THREADS" \
        --pr "$PR" \
        --raster-mode "$RASTER_MODE" \
+       ${FAST_EXP_FLAG[@]+"${FAST_EXP_FLAG[@]}"} \
        --stage
 
 echo "run_benches.sh: wrote $OUT_JSON"

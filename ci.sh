@@ -17,8 +17,8 @@
 #                 The rasterizer auto-vectorization smoke check
 #                 (bench/check_vectorization.sh) also runs; it gates on a
 #                 vectorization regression and skips on non-GCC.
-#   NEO_BENCH_JSON      output trajectory point (default: BENCH_PR4.json)
-#   NEO_BENCH_BASELINE  previous trajectory point (default: BENCH_PR3.json)
+#   NEO_BENCH_JSON      output trajectory point (default: BENCH_PR5.json)
+#   NEO_BENCH_BASELINE  previous trajectory point (default: BENCH_PR4.json)
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -26,8 +26,8 @@ cd "$(dirname "$0")"
 BUILD_DIR="${BUILD_DIR:-build}"
 BUILD_TYPE="${BUILD_TYPE:-}"
 JOBS="${JOBS:-$(nproc)}"
-NEO_BENCH_JSON="${NEO_BENCH_JSON:-BENCH_PR4.json}"
-NEO_BENCH_BASELINE="${NEO_BENCH_BASELINE:-BENCH_PR3.json}"
+NEO_BENCH_JSON="${NEO_BENCH_JSON:-BENCH_PR5.json}"
+NEO_BENCH_BASELINE="${NEO_BENCH_BASELINE:-BENCH_PR4.json}"
 
 cmake -B "$BUILD_DIR" -S . -DNEO_WERROR=ON \
     ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"} "$@"

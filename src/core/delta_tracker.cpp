@@ -58,41 +58,90 @@ DeltaTracker::observe(const BinnedFrame &frame, FrameDelta &out)
         ChunkAccum &a = accum_scratch_[chunk];
         for (size_t t = begin; t < end; ++t) {
             const auto &entries = frame.tiles[t];
+            const size_t n = entries.size();
             auto &ids = scratch_ids_[t];
-            ids.reserve(entries.size());
-            for (const auto &e : entries)
-                ids.push_back(e.id);
-            std::sort(ids.begin(), ids.end());
+
+            // Sort keys {id : 32 | entry index : 32}: tile ids are
+            // unique (the binning scatter replicates a Gaussian at most
+            // once per tile), so a plain uint64 compare orders by id
+            // and the low half carries the permutation back to the
+            // entry-order list. Freshly binned frames arrive already
+            // id-ascending and skip the sort via the is_sorted scan.
+            std::vector<uint64_t> &keys = a.keys;
+            keys.resize(n);
+            for (size_t i = 0; i < n; ++i)
+                keys[i] =
+                    (static_cast<uint64_t>(entries[i].id) << 32) | i;
+            if (!std::is_sorted(keys.begin(), keys.end()))
+                std::sort(keys.begin(), keys.end());
+
+            // SoA sorted-id extract scan — vectorized (gated by
+            // bench/check_vectorization.sh); the result is the tile's
+            // reference membership for the next frame.
+            ids.resize(n);
+            for (size_t i = 0; i < n; ++i)
+                ids[i] = static_cast<GaussianId>(keys[i] >> 32);
 
             TileDelta &td = out.tiles[t];
             td.reset();
             if (!have_prev) {
                 // Everything is incoming on the first frame.
                 td.incoming = entries;
-                a.incoming += entries.size();
+                a.incoming += n;
                 continue;
             }
 
             const auto &prev = prev_ids_[t];
-            td.prev_size = static_cast<uint32_t>(prev.size());
+            const size_t m = prev.size();
+            td.prev_size = static_cast<uint32_t>(m);
 
-            // Incoming: in cur, not in prev. Walk the entries (not the
-            // sorted ids) so the incoming list carries depths; membership
-            // test via binary search on the sorted previous ids.
-            for (const auto &e : entries) {
-                if (!std::binary_search(prev.begin(), prev.end(), e.id))
-                    td.incoming.push_back(e);
+            // One branch-free two-pointer merge over the two sorted id
+            // arrays replaces the historical per-entry binary-search
+            // probing: it emits the outgoing ids (in prev, not in cur —
+            // prev order, so ascending) and marks per-entry shared
+            // membership through the key permutation. The loop body is
+            // straight-line — advances, the outgoing emit and the flag
+            // write all commit unconditionally and are sized by the
+            // comparison masks; a slot written early (while its side
+            // has not advanced) is simply overwritten on the advancing
+            // visit, so the last write wins with the exact value.
+            std::vector<uint8_t> &shared_flag = a.shared_flag;
+            shared_flag.resize(n);
+            td.outgoing_ids.resize(m); // worst case; shrunk below
+            const uint64_t *const kp = keys.data();
+            const GaussianId *const pp = prev.data();
+            uint8_t *const fp = shared_flag.data();
+            GaussianId *const outp = td.outgoing_ids.data();
+            size_t i = 0, j = 0, nout = 0;
+            while (i < n && j < m) {
+                const GaussianId a_id =
+                    static_cast<GaussianId>(kp[i] >> 32);
+                const GaussianId b_id = pp[j];
+                const unsigned le = a_id <= b_id;
+                const unsigned ge = b_id <= a_id;
+                fp[kp[i] & 0xffffffffu] =
+                    static_cast<uint8_t>(le & ge);
+                outp[nout] = b_id;
+                i += le;
+                nout += ge & (le ^ 1u); // b < a: b left the tile
+                j += ge;
             }
-            a.incoming += td.incoming.size();
+            for (; i < n; ++i)
+                fp[kp[i] & 0xffffffffu] = 0; // cur tail: all incoming
+            for (; j < m; ++j)
+                outp[nout++] = pp[j]; // prev tail: all outgoing
 
-            // Outgoing: in prev, not in cur (prev is sorted, so the
-            // result is sorted as well).
-            for (GaussianId id : prev) {
-                if (!std::binary_search(ids.begin(), ids.end(), id))
-                    td.outgoing_ids.push_back(id);
-            }
-            td.outgoing = static_cast<uint32_t>(td.outgoing_ids.size());
+            td.outgoing_ids.resize(nout);
+            td.outgoing = static_cast<uint32_t>(nout);
             a.outgoing += td.outgoing;
+
+            // Incoming: walk the entries in their original order so the
+            // list carries depths in entry order, exactly as the
+            // probing implementation did.
+            for (size_t e = 0; e < n; ++e)
+                if (!fp[e])
+                    td.incoming.push_back(entries[e]);
+            a.incoming += td.incoming.size();
 
             if (!prev.empty()) {
                 uint32_t shared =

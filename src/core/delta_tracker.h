@@ -15,6 +15,14 @@
  * accumulate per chunk, and the `tile_retention` samples are gathered in
  * tile-index order by concatenating the per-chunk sample lists in chunk
  * order — bit-identical to the serial pass for any thread count.
+ *
+ * Per tile the set differences are computed SoA-style: the entry ids are
+ * lifted into {id, entry-index} sort keys (skipping the sort when the
+ * list is already id-ascending, as freshly binned frames are), the
+ * sorted ids are extracted in a vectorized scan, and one branch-free
+ * two-pointer merge against the previous frame's sorted ids emits the
+ * outgoing list and the per-entry shared-membership flags in a single
+ * O(cur + prev) pass — no per-entry binary-search probing.
  */
 
 #ifndef NEO_CORE_DELTA_TRACKER_H
@@ -126,6 +134,12 @@ class DeltaTracker
         uint64_t incoming = 0;
         uint64_t outgoing = 0;
         std::vector<double> retention;
+        /** Reused {id:32 | entry index:32} sort keys of the tile in
+         *  flight (worker-local, capacity retained across frames). */
+        std::vector<uint64_t> keys;
+        /** Reused per-entry shared-membership flags of the tile in
+         *  flight, indexed by original entry position. */
+        std::vector<uint8_t> shared_flag;
     };
 
     /** Per tile: sorted Gaussian ids of the last observed frame. */

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/logging.h"
@@ -77,15 +78,18 @@ RasterScratch::capacityBytes() const
            accum.capacity() * sizeof(Vec3) +
            done.capacity() * sizeof(uint8_t) +
            gauss_color.capacity() * sizeof(Vec3) +
-           (bucket_offsets.capacity() + bucket_entries.capacity()) *
+           (bucket_offsets.capacity() + bucket_entries.capacity() +
+            surv_idx.capacity()) *
                sizeof(uint32_t) +
            (transmittance.capacity() + gauss_mean_x.capacity() +
             gauss_mean_y.capacity() + gauss_conic_a.capacity() +
             gauss_conic_b.capacity() + gauss_conic_c.capacity() +
             gauss_opacity.capacity() + gauss_power_cut.capacity() +
+            gauss_dx_bound_sq.capacity() + gauss_dy_bound_sq.capacity() +
             block_power.capacity() + block_t.capacity() +
             block_r.capacity() + block_g.capacity() + block_b.capacity() +
-            block_cx.capacity() + block_cy.capacity()) *
+            block_cx.capacity() + block_cy.capacity() +
+            surv_pow.capacity() + surv_exp.capacity()) *
                sizeof(float);
 }
 
@@ -174,18 +178,34 @@ blendReference(const std::vector<TileEntry> &entries,
  *
  *  1. compact the covering Gaussians' hot fields into per-field arrays
  *     (front-to-back order preserved) and build the CSR buckets;
- *  2. per block: one vectorizable pass evaluates the conic power for all
- *     block pixels from precomputed pixel-center coordinates (no divides,
- *     no bitmap tests in the inner loop), then a blend pass touches only
- *     pixels above the log-domain threshold cut;
+ *  2. per block and Gaussian, a survivor-batched pipeline replaces the
+ *     historical test->exp->blend pixel loop:
+ *       a. one vectorizable pass evaluates the conic power for all block
+ *          pixels from precomputed pixel-center coordinates (no divides,
+ *          no bitmap tests in the inner loop);
+ *       b. a branch-free compaction gathers the indices and powers of
+ *          the pixels that reach the exp — inside the log-domain
+ *          threshold cut and not yet saturated — into a dense survivor
+ *          list;
+ *       c. the falloff exp is evaluated over the whole survivor batch in
+ *          one contiguous loop: with fast_exp the branchless
+ *          fastExpNegativeLane polynomial over lists tail-padded with
+ *          neutral lanes to a kSurvivorExpBatch multiple (fixed-width
+ *          groups, no scalar epilogue — the SIMD target of
+ *          bench/check_vectorization.sh), otherwise std::exp over the
+ *          same dense list;
+ *       d. alpha/transmittance/color blends apply in survivor order.
  *  3. a per-block live counter retires all remaining Gaussians at once
  *     when every pixel of the block has saturated.
  *
  * Per-pixel blend order and arithmetic are exactly those of
  * blendReference — a pixel's result depends only on the ordered set of
- * Gaussians covering its subtile, which the buckets preserve — so pixels
- * and stats come out bit-identical (the done[] test is replaced by the
- * equivalent transmittance < cutoff predicate).
+ * Gaussians covering its subtile, which the buckets preserve, and the
+ * survivor list keeps ascending pixel order with each pixel appearing at
+ * most once per Gaussian, so splitting the test from the blend cannot
+ * reorder or change any float operation — and pixels and stats come out
+ * bit-identical (the done[] test is replaced by the equivalent
+ * transmittance < cutoff predicate, applied at compaction time).
  */
 void
 blendBlocked(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
@@ -232,12 +252,18 @@ blendBlocked(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
     scr.gauss_conic_c.resize(active);
     scr.gauss_opacity.resize(active);
     scr.gauss_power_cut.resize(active);
+    scr.gauss_dx_bound_sq.resize(active);
+    scr.gauss_dy_bound_sq.resize(active);
     scr.gauss_color.resize(active);
     scr.bucket_entries.resize(total_refs);
-    // The skip cut: power < log(threshold / opacity) - 1 guarantees
-    // alpha < threshold with an e-fold margin that swamps both float
-    // rounding and the fast-exp error bound, so skipping the exp there
-    // cannot change which pixels blend.
+    // The skip cut: power < log(threshold / opacity) - 1/16 guarantees
+    // alpha < threshold, so skipping the exp there cannot change which
+    // pixels blend. The 2^-4 margin (exact in float) is ~4 orders of
+    // magnitude above everything it must swamp — the <= 1-ulp rounding
+    // of the two logs and the subtractions, and the relative error of
+    // the falloff exp itself (std::exp <= 1 ulp, fastExpNegative <=
+    // kFastExpMaxRelError = 2e-6): a skipped pixel's alpha is below
+    // e^(-1/16) * threshold * (1 + ~1e-5) < 0.94 * threshold.
     const float log_threshold = std::log(cfg.alpha_threshold);
     uint32_t j = 0;
     for (size_t i = 0; i < entries.size(); ++i) {
@@ -257,8 +283,39 @@ blendBlocked(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
         scr.gauss_conic_c[j] = conic.z;
         scr.gauss_opacity[j] = opacity;
         scr.gauss_color[j] = frame.color[slot];
-        scr.gauss_power_cut[j] =
-            log_threshold - std::log(opacity) - 1.0f;
+        const float cut_j = log_threshold - std::log(opacity) - 0.0625f;
+        scr.gauss_power_cut[j] = cut_j;
+        // Conservative squared half-extents of the cut ellipse: for a
+        // fixed dy the power maximizes (over real dx) at
+        // -dy^2 * det / (2a), so rows with dy^2 > -2a*cut/det cannot
+        // contain a pixel reaching the cut (columns symmetrically with
+        // c). Two safeguards keep the prune strictly conservative
+        // against float rounding of the kernel's power evaluation:
+        // the products and det are computed in double (exact for float
+        // inputs, so the notorious a*c - b*b cancellation cannot
+        // amplify error), and pruning is enabled only when
+        // det >= 2^-10 * (a*c). That conditioning guard bounds the
+        // magnitude of the power terms at any near-cut pixel by
+        // ~2 * (a*c/det) * |cut| <= 2^11 * |cut|; with ~8 roundings of
+        // <= 2^-24 each in conicPower, the float evaluation's absolute
+        // error stays below ~2^-10 * |cut|, and the 1 + 2^-7 bound
+        // inflation leaves an 8x margin over that worst case (|cut| >=
+        // the 2^-4 cut margin by construction). Ill-conditioned,
+        // degenerate or NaN conics get infinite bounds (no pruning)
+        // and flow through the full-block path.
+        const double ad = conic.x, bd = conic.y, cd = conic.z;
+        const double det = ad * cd - bd * bd;
+        float dx_bound_sq = std::numeric_limits<float>::infinity();
+        float dy_bound_sq = dx_bound_sq;
+        if (conic.x > 0.0f && conic.z > 0.0f &&
+            det > 0x1p-10 * (ad * cd) && cut_j < 0.0f) {
+            const double s =
+                -2.0 * static_cast<double>(cut_j) / det * 1.0078125;
+            dy_bound_sq = static_cast<float>(ad * s);
+            dx_bound_sq = static_cast<float>(cd * s);
+        }
+        scr.gauss_dx_bound_sq[j] = dx_bound_sq;
+        scr.gauss_dy_bound_sq[j] = dy_bound_sq;
         while (bm) {
             scr.bucket_entries[offsets[std::countr_zero(bm)]++] = j;
             bm &= bm - 1;
@@ -273,6 +330,10 @@ blendBlocked(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
     scr.block_b.resize(block_cap);
     scr.block_cx.resize(block_cap);
     scr.block_cy.resize(block_cap);
+    // Survivor batch, with slack for the neutral tail padding.
+    scr.surv_idx.resize(block_cap + kSurvivorExpBatch);
+    scr.surv_pow.resize(block_cap + kSurvivorExpBatch);
+    scr.surv_exp.resize(block_cap + kSurvivorExpBatch);
 
     const int sub_cols = (w + sub - 1) / sub;
     const int sub_rows = (h + sub - 1) / sub;
@@ -299,8 +360,8 @@ blendBlocked(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
             // Pixel-center coordinates of the block, flattened row-major.
             // Same construction as the reference ((int + int) converted,
             // then + 0.5f), so the centers are bit-identical.
-            float *const cx = scr.block_cx.data();
-            float *const cy = scr.block_cy.data();
+            float *const __restrict cx = scr.block_cx.data();
+            float *const __restrict cy = scr.block_cy.data();
             for (int by = 0; by < bh; ++by) {
                 const float fy =
                     static_cast<float>(py0 + y0 + by) + 0.5f;
@@ -311,11 +372,19 @@ blendBlocked(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
                 }
             }
 
-            float *const pw = scr.block_power.data();
-            float *const bt = scr.block_t.data();
-            float *const br = scr.block_r.data();
-            float *const bg = scr.block_g.data();
-            float *const bb = scr.block_b.data();
+            // __restrict: the scratch planes are distinct vectors, and
+            // telling the compiler so spares every vectorized loop its
+            // runtime aliasing version.
+            float *const __restrict pw = scr.block_power.data();
+            float *const __restrict bt = scr.block_t.data();
+            float *const __restrict br = scr.block_r.data();
+            float *const __restrict bg = scr.block_g.data();
+            float *const __restrict bb = scr.block_b.data();
+            uint32_t *const __restrict sidx = scr.surv_idx.data();
+            float *const __restrict spow = scr.surv_pow.data();
+            float *const __restrict sexp = scr.surv_exp.data();
+            const float cx0f = static_cast<float>(px0 + x0) + 0.5f;
+            const float cy0f = static_cast<float>(py0 + y0) + 0.5f;
             std::fill_n(bt, npix, 1.0f);
             std::fill_n(br, npix, 0.0f);
             std::fill_n(bg, npix, 0.0f);
@@ -329,38 +398,128 @@ blendBlocked(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
                 const float ca = scr.gauss_conic_a[g];
                 const float cb = scr.gauss_conic_b[g];
                 const float cc = scr.gauss_conic_c[g];
-
-                // Conic power for every block pixel: contiguous streams,
-                // no branches — the auto-vectorization target (see
-                // bench/check_vectorization.sh).
-                for (int p = 0; p < npix; ++p) {
-                    const float dx = cx[p] - mx;
-                    const float dy = cy[p] - my;
-                    pw[p] = conicPower(ca, cb, cc, dx, dy);
-                }
-
                 const float opacity = scr.gauss_opacity[g];
                 const float cut = scr.gauss_power_cut[g];
+
+                // Ellipse-extent prune. The phase-1 bitmap tests the
+                // circumscribed 3-sigma circle, but the conic is
+                // anisotropic — a thin ellipse often misses most (or
+                // all) pixels of a subtile whose corner clips the
+                // circle. The conservative squared half-extents bound
+                // which pixels can reach the cut: first the nearest
+                // column decides whether the block can contain a
+                // survivor at all, then the row scan narrows the pixel
+                // range to the rows the cut ellipse touches — all
+                // before any power is evaluated. Every comparison is
+                // written so NaN keeps the pixel (prune only on a
+                // provable miss).
+                const float dxn =
+                    clamp(mx, cx0f,
+                          cx0f + static_cast<float>(bw - 1)) -
+                    mx;
+                if (dxn * dxn > scr.gauss_dx_bound_sq[g])
+                    continue; // no column can reach the cut
+                const float dy_bsq = scr.gauss_dy_bound_sq[g];
+                int by_lo = 0;
+                while (by_lo < bh) {
+                    const float dy =
+                        (cy0f + static_cast<float>(by_lo)) - my;
+                    if (!(dy * dy > dy_bsq))
+                        break;
+                    ++by_lo;
+                }
+                if (by_lo == bh)
+                    continue; // no row can reach the cut
+                int by_hi = bh - 1;
+                while (by_hi > by_lo) {
+                    const float dy =
+                        (cy0f + static_cast<float>(by_hi)) - my;
+                    if (!(dy * dy > dy_bsq))
+                        break;
+                    --by_hi;
+                }
+                const int p_lo = by_lo * bw;
+                const int p_hi = (by_hi + 1) * bw;
+
+                // Conic power for every candidate pixel: contiguous
+                // streams, no branches — an auto-vectorization target
+                // (see bench/check_vectorization.sh). The same pass
+                // OR-folds the block-level retire predicate for the
+                // rows that survived the extent prune; NaN powers
+                // conservatively read as reaching (!(NaN < cut) is
+                // true), exactly like the per-pixel test below.
+                unsigned any_reach = 0;
+                for (int p = p_lo; p < p_hi; ++p) {
+                    const float dx = cx[p] - mx;
+                    const float dy = cy[p] - my;
+                    const float power = conicPower(ca, cb, cc, dx, dy);
+                    pw[p] = power;
+                    any_reach |= static_cast<unsigned>(!(power < cut));
+                }
+                if (!any_reach)
+                    continue;
+
+                // Survivor compaction: gather the pixels that reach the
+                // exp. Below the cut alpha cannot reach the threshold;
+                // above zero the falloff is defined as 0; a saturated
+                // pixel (== the reference's done[] test) never blends.
+                // NaN fails every < / > test and so survives, flowing
+                // through the exact path as in the reference. The write
+                // is unconditional and the index advances by the
+                // predicate — no branch to mispredict, and each pixel
+                // appears at most once, in ascending order.
+                uint32_t n_surv = 0;
+                for (int p = p_lo; p < p_hi; ++p) {
+                    const float power = pw[p];
+                    const unsigned keep =
+                        static_cast<unsigned>(!(power < cut)) &
+                        static_cast<unsigned>(!(power > 0.0f)) &
+                        static_cast<unsigned>(
+                            !(bt[p] < cfg.transmittance_cutoff));
+                    sidx[n_surv] = static_cast<uint32_t>(p);
+                    spow[n_surv] = power;
+                    n_surv += keep;
+                }
+                if (n_surv == 0)
+                    continue;
+
+                // Falloff exp across the whole survivor batch. The fast
+                // path pads the tail with neutral lanes up to a
+                // kSurvivorExpBatch multiple, so the polynomial loop
+                // runs whole fixed-width groups — the auto-vectorization
+                // target (see bench/check_vectorization.sh). The exact
+                // path calls std::exp over the same dense list (scalar,
+                // but with the test branches already resolved).
+                if (cfg.fast_exp) {
+                    const uint32_t n_pad =
+                        (n_surv + kSurvivorExpBatch - 1) &
+                        ~(kSurvivorExpBatch - 1);
+                    for (uint32_t i = n_surv; i < n_pad; ++i)
+                        spow[i] = -1.0f;
+                    // One flat loop over the padded batch: GCC 12
+                    // vectorizes this form, but not a nested
+                    // fixed-width-inner version (the unrolled inner
+                    // body defeats its data-ref analysis).
+                    for (uint32_t i = 0; i < n_pad; ++i)
+                        sexp[i] = fastExpNegativeLane(spow[i]);
+                } else {
+                    for (uint32_t i = 0; i < n_surv; ++i)
+                        sexp[i] = std::exp(spow[i]);
+                }
+
+                // Blend in survivor order — identical per-pixel float
+                // sequence as the historical fused loop, only the
+                // already-false tests are gone.
                 const Vec3 color = scr.gauss_color[g];
                 uint64_t ops = 0;
-                for (int p = 0; p < npix; ++p) {
-                    const float power = pw[p];
-                    // Below the cut alpha cannot reach the threshold;
-                    // above zero the falloff is defined as 0. (NaN fails
-                    // both tests and flows through the exact path, as in
-                    // the reference.)
-                    if (power < cut || power > 0.0f)
-                        continue;
-                    const float t = bt[p];
-                    if (t < cfg.transmittance_cutoff)
-                        continue; // == the reference's done[] test
-                    float alpha =
-                        opacity * (cfg.fast_exp ? fastExpNegative(power)
-                                                : std::exp(power));
+                for (uint32_t i = 0; i < n_surv; ++i) {
+                    const uint32_t p = sidx[i];
+                    float alpha = opacity * sexp[i];
                     if (alpha < cfg.alpha_threshold)
                         continue;
                     alpha = std::min(alpha, cfg.alpha_max);
                     ++ops;
+                    const float t = bt[p];
                     const float wgt = alpha * t;
                     br[p] += color.x * wgt;
                     bg[p] += color.y * wgt;

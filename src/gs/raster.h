@@ -14,8 +14,10 @@
  *
  *  - the **subtile-blocked kernel** (default): entries are bucketed per
  *    subtile from the bitmaps, and each subtile's pixel block is blended
- *    to completion in contiguous SoA scratch planes — branch-light,
- *    divide-free, auto-vectorizable inner loops (see raster.cpp);
+ *    to completion in contiguous SoA scratch planes through a survivor-
+ *    batched pipeline — vectorized conic-power plane, survivor
+ *    compaction, a batched branchless exp over the dense survivor list,
+ *    then blending in survivor order (see raster.cpp);
  *  - the **scalar reference** (RasterConfig::reference_path): the
  *    historical Gaussian-major full-tile scan, kept for A/B testing.
  *
@@ -26,6 +28,7 @@
 #ifndef NEO_GS_RASTER_H
 #define NEO_GS_RASTER_H
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -123,6 +126,77 @@ float fastExpNegative(float x);
 constexpr float kFastExpMaxRelError = 2e-6f;
 
 /**
+ * Lane width (floats) the survivor exp batch is padded to: the blocked
+ * kernel rounds each survivor list up to a multiple of this with neutral
+ * lanes, so the batch loop runs whole fixed-width groups and the
+ * compiler vectorizes it without a scalar epilogue.
+ */
+constexpr uint32_t kSurvivorExpBatch = 8;
+
+/**
+ * Branchless single-lane form of fastExpNegative, bit-identical to it
+ * on the function's whole specified domain — x <= 0 (including -0.0,
+ * denormals and -inf) and NaN — which is asserted exhaustively by
+ * tests; that is also the only domain the survivor batch can produce
+ * (the compaction predicate rejects positive powers). Written so the
+ * exp batch loop of the blocked kernel auto-vectorizes: the range/NaN
+ * conditionals are explicit bit-mask selects (a plain ternary is
+ * turned back into a branch by GCC, which then refuses to vectorize
+ * the loop), and std::floor is replaced by the exact
+ * truncate-and-adjust idiom — everything lowers to SIMD compares,
+ * logicals and integer conversions. Defined for every input: underflow
+ * and NaN lanes run the polynomial on a clamped stand-in (keeping the
+ * float->int conversion defined) with the genuine result (0, or the
+ * propagated NaN with its payload) selected at the end, and positive
+ * inputs — outside the specified domain, where the scalar form would
+ * overflow its exponent arithmetic — clamp to +0 and so saturate to
+ * exp(0) == 1.
+ */
+inline float
+fastExpNegativeLane(float x)
+{
+    // All-ones when the polynomial path applies (false for NaN too).
+    const uint32_t in_range = 0u - static_cast<uint32_t>(x >= -87.0f);
+    // All-ones for positive x (out of domain): clamped to +0 below.
+    const uint32_t positive = 0u - static_cast<uint32_t>(x > 0.0f);
+    // xs = positive ? +0.0f : (in_range ? x : -1.0f), as bits.
+    const float xs = std::bit_cast<float>(
+        ((std::bit_cast<uint32_t>(x) & in_range) |
+         (std::bit_cast<uint32_t>(-1.0f) & ~in_range)) &
+        ~positive);
+    const float y = xs * 1.44269504f + 0.5f; // x * log2(e), pre-floor
+    int32_t ni = static_cast<int32_t>(y);    // truncation toward zero
+    ni -= static_cast<float>(ni) > y;        // exact floor for y < 2^31
+    const float n = static_cast<float>(ni);
+    const float u = (xs - n * 0.693359375f) + n * 2.12194440e-4f;
+    float p = 1.38888889e-3f;               // 1/720
+    p = p * u + 8.33333333e-3f;             // 1/120
+    p = p * u + 4.16666667e-2f;             // 1/24
+    p = p * u + 1.66666667e-1f;             // 1/6
+    p = p * u + 0.5f;
+    p = p * u + 1.0f;
+    p = p * u + 1.0f;
+    const float scale =
+        std::bit_cast<float>(static_cast<uint32_t>(127 + ni) << 23);
+    const float r = p * scale;
+    // Select: in-range -> r, underflow -> +0.0f, NaN -> x (payload kept,
+    // as in std::exp).
+    const uint32_t nan_mask = 0u - static_cast<uint32_t>(x != x);
+    const uint32_t ri =
+        (std::bit_cast<uint32_t>(r) & in_range & ~nan_mask) |
+        (std::bit_cast<uint32_t>(x) & nan_mask);
+    return std::bit_cast<float>(ri);
+}
+
+/**
+ * Identifier of the blocked blend kernel generation, recorded in the
+ * trajectory JSON (bench_scaling --json) so every BENCH_PR<n>.json is
+ * self-describing about which kernel produced its numbers.
+ */
+constexpr const char *kRasterKernelVariant =
+    "subtile-blocked/survivor-batched";
+
+/**
  * Reusable working memory of rasterizeTile. One instance per worker
  * thread (or one for the serial path) amortizes the per-call vector
  * allocations across all tiles the worker rasterizes; every element is
@@ -150,10 +224,21 @@ struct RasterScratch
     std::vector<float> gauss_conic_c;
     std::vector<float> gauss_opacity;
     std::vector<float> gauss_power_cut;
+    // Conservative squared half-extents of the cut ellipse (see
+    // blendBlocked): pixels farther than these from the center along an
+    // axis provably cannot reach the skip cut.
+    std::vector<float> gauss_dx_bound_sq;
+    std::vector<float> gauss_dy_bound_sq;
     std::vector<Vec3> gauss_color;
     // Blocked kernel: CSR buckets mapping subtile -> covering Gaussians.
     std::vector<uint32_t> bucket_offsets;
     std::vector<uint32_t> bucket_entries;
+    // Blocked kernel: survivor batch — pixel indices that reach the exp,
+    // their powers gathered dense (tail-padded to kSurvivorExpBatch),
+    // and the evaluated falloffs.
+    std::vector<uint32_t> surv_idx;
+    std::vector<float> surv_pow;
+    std::vector<float> surv_exp;
     // Blocked kernel: per-block SoA pixel planes and pixel-center coords.
     std::vector<float> block_power;
     std::vector<float> block_t;

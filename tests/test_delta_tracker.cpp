@@ -3,9 +3,13 @@
  * Unit tests for per-tile membership delta tracking.
  */
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -202,6 +206,165 @@ TEST(DeltaTrackerTest, ReuseObserveMatchesAllocatingObserve)
         EXPECT_EQ(want.incoming_total, reused.incoming_total);
         EXPECT_EQ(want.outgoing_total, reused.outgoing_total);
         EXPECT_EQ(want.tile_retention, reused.tile_retention);
+    }
+}
+
+// --- Randomized set-difference oracle -----------------------------------
+//
+// The merge-based observe() must agree field for field (and byte for
+// byte on tile_retention) with a naive sorted set-difference oracle on
+// arbitrary tile membership — including shuffled (depth-ordered) entry
+// lists, empty tiles, full turnover, and no change — at every thread
+// count.
+
+/** Naive per-tile delta: sorted-vector set operations, no shortcuts. */
+struct OracleDelta
+{
+    std::vector<std::vector<TileEntry>> incoming;
+    std::vector<std::vector<GaussianId>> outgoing;
+    std::vector<double> retention_by_tile; // 1.0 when prev empty
+    std::vector<uint32_t> prev_size;
+    uint64_t incoming_total = 0;
+    uint64_t outgoing_total = 0;
+    std::vector<double> tile_retention;
+};
+
+OracleDelta
+oracleObserve(const std::vector<std::vector<GaussianId>> &prev_sorted,
+              const BinnedFrame &frame, bool have_prev)
+{
+    const size_t tiles = frame.tiles.size();
+    OracleDelta d;
+    d.incoming.resize(tiles);
+    d.outgoing.resize(tiles);
+    d.retention_by_tile.assign(tiles, 1.0);
+    d.prev_size.assign(tiles, 0);
+    for (size_t t = 0; t < tiles; ++t) {
+        const auto &entries = frame.tiles[t];
+        std::vector<GaussianId> cur;
+        for (const auto &e : entries)
+            cur.push_back(e.id);
+        std::sort(cur.begin(), cur.end());
+        if (!have_prev) {
+            d.incoming[t] = entries;
+            d.incoming_total += entries.size();
+            continue;
+        }
+        const auto &prev = prev_sorted[t];
+        d.prev_size[t] = static_cast<uint32_t>(prev.size());
+        for (const auto &e : entries)
+            if (!std::binary_search(prev.begin(), prev.end(), e.id))
+                d.incoming[t].push_back(e);
+        d.incoming_total += d.incoming[t].size();
+        std::set_difference(prev.begin(), prev.end(), cur.begin(),
+                            cur.end(),
+                            std::back_inserter(d.outgoing[t]));
+        d.outgoing_total += d.outgoing[t].size();
+        if (!prev.empty()) {
+            const uint32_t shared =
+                static_cast<uint32_t>(prev.size()) -
+                static_cast<uint32_t>(d.outgoing[t].size());
+            d.retention_by_tile[t] =
+                static_cast<double>(shared) /
+                static_cast<double>(prev.size());
+            d.tile_retention.push_back(d.retention_by_tile[t]);
+        }
+    }
+    return d;
+}
+
+TEST(DeltaTrackerTest, MatchesSetDifferenceOracleOnRandomFrames)
+{
+    constexpr size_t kTiles = 37;    // not a multiple of any chunk count
+    constexpr uint32_t kUniverse = 500;
+
+    for (int threads : {1, 2, 8}) {
+        Rng rng(913);
+        DeltaTracker tracker;
+        tracker.setThreads(threads);
+
+        std::vector<std::vector<GaussianId>> prev_sorted;
+        std::vector<std::vector<TileEntry>> last_tiles;
+        bool have_prev = false;
+        for (int f = 0; f < 6; ++f) {
+            // Random membership per tile, presented in random order (as
+            // a depth-sorted pipeline would); frame 3 repeats frame 2's
+            // membership exactly (the no-change case), tile 0 is often
+            // empty.
+            BinnedFrame frame;
+            frame.grid = TileGrid(Resolution{16 * 8, 16 * 5, "oracle"},
+                                  16); // 8x5 = 40 >= kTiles
+            frame.tiles.resize(kTiles);
+            if (f == 3) {
+                frame.tiles = last_tiles;
+            } else {
+                for (size_t t = 0; t < kTiles; ++t) {
+                    auto &list = frame.tiles[t];
+                    if (t == 0 && f % 2 == 0)
+                        continue; // empty tile
+                    const size_t count = rng.below(40);
+                    std::vector<GaussianId> ids;
+                    while (ids.size() < count) {
+                        GaussianId id = static_cast<GaussianId>(
+                            rng.below(kUniverse));
+                        if (std::find(ids.begin(), ids.end(), id) ==
+                            ids.end())
+                            ids.push_back(id);
+                    }
+                    for (GaussianId id : ids)
+                        list.push_back(TileEntry{
+                            id, rng.uniform(0.1f, 50.0f), true});
+                }
+            }
+            last_tiles = frame.tiles;
+
+            OracleDelta want =
+                oracleObserve(prev_sorted, frame, have_prev);
+            FrameDelta got = tracker.observe(frame);
+
+            EXPECT_EQ(want.incoming_total, got.incoming_total)
+                << "threads=" << threads << " frame=" << f;
+            EXPECT_EQ(want.outgoing_total, got.outgoing_total);
+            // Byte-identical Fig. 6 sample sequence.
+            ASSERT_EQ(want.tile_retention.size(),
+                      got.tile_retention.size());
+            for (size_t i = 0; i < want.tile_retention.size(); ++i)
+                EXPECT_EQ(std::bit_cast<uint64_t>(
+                              want.tile_retention[i]),
+                          std::bit_cast<uint64_t>(
+                              got.tile_retention[i]))
+                    << "threads=" << threads << " frame=" << f
+                    << " sample=" << i;
+            ASSERT_EQ(got.tiles.size(), kTiles);
+            for (size_t t = 0; t < kTiles; ++t) {
+                const TileDelta &td = got.tiles[t];
+                EXPECT_EQ(want.outgoing[t], td.outgoing_ids)
+                    << "tile " << t;
+                EXPECT_EQ(want.outgoing[t].size(), td.outgoing);
+                EXPECT_EQ(want.prev_size[t], td.prev_size);
+                EXPECT_EQ(std::bit_cast<uint64_t>(
+                              want.retention_by_tile[t]),
+                          std::bit_cast<uint64_t>(td.retention))
+                    << "tile " << t;
+                ASSERT_EQ(want.incoming[t].size(), td.incoming.size())
+                    << "tile " << t;
+                for (size_t i = 0; i < td.incoming.size(); ++i) {
+                    EXPECT_EQ(want.incoming[t][i].id,
+                              td.incoming[i].id);
+                    EXPECT_EQ(want.incoming[t][i].depth,
+                              td.incoming[i].depth);
+                }
+            }
+
+            // The oracle's next reference membership.
+            prev_sorted.assign(kTiles, {});
+            for (size_t t = 0; t < kTiles; ++t) {
+                for (const auto &e : frame.tiles[t])
+                    prev_sorted[t].push_back(e.id);
+                std::sort(prev_sorted[t].begin(), prev_sorted[t].end());
+            }
+            have_prev = true;
+        }
     }
 }
 

@@ -277,5 +277,81 @@ TEST(ThreadPool, BodyExceptionPropagatesToCaller)
     EXPECT_EQ(visits.load(), 8);
 }
 
+// --- Opt-in worker CPU affinity -----------------------------------------
+
+TEST(ThreadAffinity, ParseRecognizesModes)
+{
+    EXPECT_EQ(parseThreadAffinity("compact"), ThreadAffinity::Compact);
+    EXPECT_EQ(parseThreadAffinity("scatter"), ThreadAffinity::Scatter);
+    EXPECT_EQ(parseThreadAffinity(""), ThreadAffinity::None);
+    EXPECT_EQ(parseThreadAffinity("garbage"), ThreadAffinity::None);
+    EXPECT_EQ(parseThreadAffinity(nullptr), ThreadAffinity::None);
+}
+
+TEST(ThreadAffinity, CompactMapsConsecutiveCpusSkippingSlotZero)
+{
+    // Worker w lands on cpu (w + 1) % cpus: consecutive cores, cpu 0
+    // left to the dispatching thread until the range wraps.
+    EXPECT_EQ(affinityCpuForWorker(ThreadAffinity::Compact, 0, 8), 1);
+    EXPECT_EQ(affinityCpuForWorker(ThreadAffinity::Compact, 1, 8), 2);
+    EXPECT_EQ(affinityCpuForWorker(ThreadAffinity::Compact, 6, 8), 7);
+    EXPECT_EQ(affinityCpuForWorker(ThreadAffinity::Compact, 7, 8), 0);
+    EXPECT_EQ(affinityCpuForWorker(ThreadAffinity::Compact, 0, 2), 1);
+    EXPECT_EQ(affinityCpuForWorker(ThreadAffinity::Compact, 1, 2), 0);
+}
+
+TEST(ThreadAffinity, ScatterAlternatesIndexRangeHalves)
+{
+    // Odd slots take the upper half, even slots the lower half, each
+    // walked in order — alternating sockets on the common two-socket
+    // cpu enumeration.
+    EXPECT_EQ(affinityCpuForWorker(ThreadAffinity::Scatter, 0, 8), 4);
+    EXPECT_EQ(affinityCpuForWorker(ThreadAffinity::Scatter, 1, 8), 1);
+    EXPECT_EQ(affinityCpuForWorker(ThreadAffinity::Scatter, 2, 8), 5);
+    EXPECT_EQ(affinityCpuForWorker(ThreadAffinity::Scatter, 3, 8), 2);
+    EXPECT_EQ(affinityCpuForWorker(ThreadAffinity::Scatter, 4, 8), 6);
+
+    // Odd cpu counts: each half wraps within itself, so the first
+    // (cpus - 1) workers land on distinct cpus — no worker pair shares
+    // a core while another core sits idle.
+    std::vector<int> seen;
+    for (int w = 0; w < 6; ++w)
+        seen.push_back(
+            affinityCpuForWorker(ThreadAffinity::Scatter, w, 7));
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(ThreadAffinity, SingleCpuAlwaysZero)
+{
+    for (auto mode : {ThreadAffinity::None, ThreadAffinity::Compact,
+                      ThreadAffinity::Scatter})
+        for (int w : {0, 1, 5})
+            EXPECT_EQ(affinityCpuForWorker(mode, w, 1), 0);
+}
+
+TEST(ThreadAffinity, PinnedPoolStillComputesCorrectly)
+{
+    // Smoke test: with NEO_THREAD_AFFINITY set, a fresh pool spawns
+    // pinned workers (sampled at spawn time) and the deterministic
+    // chunking contract is untouched. Results must be identical either
+    // way — pinning is scheduling-only.
+    const char *saved = std::getenv("NEO_THREAD_AFFINITY");
+    const std::string saved_copy = saved ? saved : "";
+    for (const char *mode : {"compact", "scatter"}) {
+        setenv("NEO_THREAD_AFFINITY", mode, 1);
+        ThreadPool pool;
+        std::vector<int> hits(16, 0);
+        pool.run(hits.size(), [&](size_t chunk) { hits[chunk] = 1; });
+        EXPECT_GT(pool.workerCount(), 0) << mode;
+        for (size_t c = 0; c < hits.size(); ++c)
+            EXPECT_EQ(hits[c], 1) << mode << " chunk " << c;
+    }
+    if (saved)
+        setenv("NEO_THREAD_AFFINITY", saved_copy.c_str(), 1);
+    else
+        unsetenv("NEO_THREAD_AFFINITY");
+}
+
 } // namespace
 } // namespace neo::test

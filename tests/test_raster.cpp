@@ -7,6 +7,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -418,6 +419,177 @@ TEST(FastExpTest, DeterministicAcrossThreadCounts)
     const uint64_t serial = hashAt(1);
     EXPECT_EQ(serial, hashAt(2));
     EXPECT_EQ(serial, hashAt(8));
+}
+
+TEST(FastExpTest, LaneBitIdenticalToScalar)
+{
+    // The survivor exp batch evaluates fastExpNegativeLane (branchless,
+    // auto-vectorizable); the scalar fastExpNegative is the reference.
+    // The bit-equality contract requires them to agree on every input
+    // the batch can see: the whole negative range, zero, the underflow
+    // boundary, denormals, -inf and NaN (payload preserved).
+    auto expectSame = [](float x) {
+        const float a = fastExpNegative(x);
+        const float b = fastExpNegativeLane(x);
+        EXPECT_EQ(std::bit_cast<uint32_t>(a), std::bit_cast<uint32_t>(b))
+            << "x=" << x << " scalar=" << a << " lane=" << b;
+    };
+    for (double x = -100.0; x <= 0.0; x += 1.0 / 1024.0)
+        expectSame(static_cast<float>(x));
+    expectSame(0.0f);
+    expectSame(-0.0f);
+    expectSame(-87.0f);
+    expectSame(std::nextafter(-87.0f, 0.0f));
+    expectSame(std::nextafter(-87.0f, -100.0f));
+    expectSame(-1.0f); // the neutral pad lane
+    expectSame(-1e30f);
+    expectSame(-std::numeric_limits<float>::infinity());
+    expectSame(-std::numeric_limits<float>::denorm_min());
+    expectSame(std::numeric_limits<float>::quiet_NaN());
+    // Random negative bit patterns (incl. NaNs and denormals): the two
+    // forms must agree bit for bit everywhere below zero.
+    Rng rng(2027);
+    for (int i = 0; i < 200000; ++i) {
+        const uint32_t bits =
+            static_cast<uint32_t>(rng.next()) | 0x80000000u;
+        expectSame(std::bit_cast<float>(bits));
+    }
+}
+
+TEST(FastExpTest, LanePositiveInputsSaturateDefined)
+{
+    // Positive inputs sit outside the specified (x <= 0) domain; the
+    // lane form must still be defined — it clamps them to +0 and
+    // saturates to exp(0) == 1 instead of running the scalar form's
+    // exponent arithmetic out of range.
+    EXPECT_EQ(fastExpNegativeLane(1.0f), 1.0f);
+    EXPECT_EQ(fastExpNegativeLane(100.0f), 1.0f);
+    EXPECT_EQ(fastExpNegativeLane(1e30f), 1.0f);
+    EXPECT_EQ(fastExpNegativeLane(std::numeric_limits<float>::infinity()),
+              1.0f);
+    EXPECT_EQ(fastExpNegativeLane(std::numeric_limits<float>::denorm_min()),
+              1.0f);
+}
+
+// --- Survivor-batch edge cases ------------------------------------------
+//
+// The batched pipeline (compaction -> batch exp -> blend in survivor
+// order) has boundary shapes the random scenes may not hit reliably:
+// blocks where no pixel survives the cut, blocks where every pixel
+// survives, blocks whose pixel count is not a multiple of the batch
+// width (tail lanes), and blocks that saturate midway through a
+// survivor list. Each must stay bit-identical to the reference in both
+// fast_exp modes.
+
+TEST(BlockedVsReference, AllSkipBlocksBitIdentical)
+{
+    // Near-threshold opacity: the cut ellipse is much smaller than the
+    // 3-sigma circle the phase-1 bitmap tests, so many bucketed
+    // Gaussian x block pairs compact to an empty survivor list.
+    GaussianScene scene;
+    Rng rng(11);
+    for (int i = 0; i < 120; ++i)
+        scene.gaussians.push_back(test::makeGaussian(
+            {rng.uniform(-1.2f, 1.2f), rng.uniform(-0.9f, 0.9f),
+             rng.uniform(-0.5f, 0.5f)},
+            rng.uniform(0.05f, 0.2f), rng.uniform(0.005f, 0.02f),
+            {0.9f, 0.4f, 0.1f}));
+    recomputeBounds(scene);
+    for (bool fast_exp : {false, true})
+        expectBlockedMatchesReference(scene, test::smallRes(), 16, 8,
+                                      fast_exp);
+}
+
+TEST(BlockedVsReference, AllPassBlocksBitIdentical)
+{
+    // Huge opaque splats cover whole tiles: every pixel of every block
+    // survives, so the survivor list is the full block (and with an
+    // 8-px subtile its length is already a batch-width multiple — the
+    // padding loop must run zero times without disturbing anything).
+    GaussianScene scene;
+    for (int i = 0; i < 8; ++i)
+        scene.gaussians.push_back(test::makeGaussian(
+            {0.1f * i, -0.05f * i, 0.3f * i}, 1.5f, 0.9f,
+            {0.2f, 0.5f, 0.9f}));
+    recomputeBounds(scene);
+    for (bool fast_exp : {false, true})
+        expectBlockedMatchesReference(scene, test::smallRes(), 16, 8,
+                                      fast_exp);
+}
+
+TEST(BlockedVsReference, TailLanesBitIdentical)
+{
+    // A resolution that is a multiple of neither the tile nor the
+    // subtile size: the right/bottom edge blocks are 2x3 pixels, so the
+    // survivor batch is shorter than kSurvivorExpBatch and the fast-exp
+    // loop runs entirely on a padded tail.
+    const Resolution res{250, 187, "ragged"};
+    GaussianScene scene = test::blobScene(300, 23);
+    for (bool fast_exp : {false, true})
+        for (int tile_px : {16, 64})
+            expectBlockedMatchesReference(scene, res, tile_px, 8,
+                                          fast_exp);
+}
+
+TEST(BlockedVsReference, ExtremeAnisotropyBitIdentical)
+{
+    // Thin, hugely anisotropic splats at oblique rotations: the conic's
+    // a*c - b*b cancels catastrophically in float, exactly the case the
+    // extent prune's conditioning guard must detect (det below the
+    // 2^-10 * a*c floor disables pruning for that Gaussian) so the
+    // bit-equality contract survives ill-conditioned covariances.
+    GaussianScene scene;
+    Rng rng(77);
+    for (int i = 0; i < 30; ++i) {
+        Gaussian g = test::makeGaussian(
+            {rng.uniform(-1.0f, 1.0f), rng.uniform(-0.8f, 0.8f),
+             rng.uniform(-0.4f, 0.4f)},
+            1.0f, rng.uniform(0.2f, 0.9f), {0.8f, 0.3f, 0.6f});
+        g.scale = {rng.uniform(1.0f, 3.0f),
+                   rng.uniform(0.001f, 0.004f),
+                   rng.uniform(0.005f, 0.02f)};
+        const float half = 0.5f * rng.uniform(0.2f, 1.4f);
+        g.rotation = {std::cos(half), 0.0f, 0.0f, std::sin(half)};
+        scene.gaussians.push_back(g);
+    }
+    recomputeBounds(scene);
+    for (bool fast_exp : {false, true})
+        expectBlockedMatchesReference(scene, test::smallRes(), 16, 8,
+                                      fast_exp);
+}
+
+TEST(BlockedVsReference, SaturatedMidBatchBitIdentical)
+{
+    // An opaque wall saturates block pixels partway through the
+    // front-to-back survivor lists: the per-block live counter must
+    // retire the remaining Gaussians at exactly the same point as the
+    // reference, in both exp modes.
+    GaussianScene scene;
+    for (int i = 0; i < 50; ++i)
+        scene.gaussians.push_back(test::makeGaussian(
+            {0.0f, 0.0f, 0.1f * i}, 0.6f, 0.95f, {0.2f, 0.8f, 0.2f}));
+    recomputeBounds(scene);
+    Camera cam = test::frontCamera();
+    BinnedFrame frame = binFrame(scene, cam, 64);
+
+    for (bool fast_exp : {false, true}) {
+        RasterConfig cfg;
+        cfg.fast_exp = fast_exp;
+        RasterConfig ref_cfg = cfg;
+        ref_cfg.reference_path = true;
+
+        Image blocked_img, ref_img;
+        RasterStats blocked =
+            renderAllTiles(frame, cfg, test::smallRes(), blocked_img);
+        RasterStats ref =
+            renderAllTiles(frame, ref_cfg, test::smallRes(), ref_img);
+
+        ASSERT_GT(blocked.pixels_terminated, 0u)
+            << "scene must exercise the saturation path";
+        expectEqualStats(blocked, ref);
+        EXPECT_EQ(blocked_img.contentHash(), ref_img.contentHash())
+            << "fast_exp=" << fast_exp;
+    }
 }
 
 TEST(RasterizeTest, DryRunDoesOnlyItuWork)
