@@ -12,6 +12,7 @@
  *   ./bench_scaling [--json out.json] [--gaussians N] [--frames N]
  *                   [--threads-list 1,2,4,8] [--stage] [--pr N]
  *                   [--raster-mode blocked|reference|both] [--fast-exp]
+ *                   [--integrity off|check|recover]
  *
  * With --stage each frame runs the explicit staged loop and the report
  * (and JSON) carries a per-stage breakdown — bin / sort / raster /
@@ -56,6 +57,7 @@ struct Args
     bool stage = false;
     bool fast_exp = false;
     std::string raster_mode = "blocked";
+    std::string integrity = "off";
     std::vector<int> threads = {1, 2, 4, 8};
 };
 
@@ -106,6 +108,8 @@ parse(int argc, char **argv)
             a.pr = std::atoi(argv[i + 1]);
         else if (std::strcmp(argv[i], "--raster-mode") == 0)
             a.raster_mode = argv[i + 1];
+        else if (std::strcmp(argv[i], "--integrity") == 0)
+            a.integrity = argv[i + 1];
         else {
             std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
             std::exit(2);
@@ -124,6 +128,12 @@ parse(int argc, char **argv)
         // The A/B column compares raster_ms, which only the staged loop
         // measures.
         a.stage = true;
+    }
+    if (a.integrity != "off" && a.integrity != "check" &&
+        a.integrity != "recover") {
+        std::fprintf(stderr,
+                     "--integrity must be off, check or recover\n");
+        std::exit(2);
     }
     return a;
 }
@@ -152,6 +162,8 @@ writeJson(const std::string &path, const Args &args, Resolution res,
                  kRasterKernelVariant);
     std::fprintf(f, "  \"fast_exp\": %s,\n",
                  args.fast_exp ? "true" : "false");
+    std::fprintf(f, "  \"integrity_mode\": \"%s\",\n",
+                 args.integrity.c_str());
     std::fprintf(f, "  \"scene\": \"synthetic-orbit\",\n");
     std::fprintf(f, "  \"gaussians\": %zu,\n", args.gaussians);
     std::fprintf(f, "  \"resolution\": \"%dx%d\",\n", res.width,
@@ -230,14 +242,20 @@ main(int argc, char **argv)
     const Resolution res{640, 384, "bench"};
 
     std::printf("scene: %zu gaussians, %d frames @ %dx%d, machine has %d "
-                "hardware thread(s), raster mode %s, fast_exp %s\n\n",
+                "hardware thread(s), raster mode %s, fast_exp %s, "
+                "integrity %s\n\n",
                 scene.size(), args.frames, res.width, res.height,
                 hardwareThreadCount(), args.raster_mode.c_str(),
-                args.fast_exp ? "on" : "off");
+                args.fast_exp ? "on" : "off", args.integrity.c_str());
 
     PipelineOptions opts;
     opts.raster.reference_path = (args.raster_mode == "reference");
     opts.raster.fast_exp = args.fast_exp;
+    opts.integrity = args.integrity == "check"
+                         ? IntegrityMode::Check
+                         : (args.integrity == "recover"
+                                ? IntegrityMode::Recover
+                                : IntegrityMode::Off);
     std::vector<ThreadScalingPoint> points =
         args.stage
             ? sweepRenderThreadsStaged(scene, orbit, res, args.frames,

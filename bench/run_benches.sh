@@ -8,7 +8,7 @@
 #
 #   bench/run_benches.sh [BUILD_DIR] [OUTPUT_JSON]
 #
-# BUILD_DIR defaults to ./build; OUTPUT_JSON to ./BENCH_PR5.json — pass
+# BUILD_DIR defaults to ./build; OUTPUT_JSON to ./BENCH_PR6.json — pass
 # the PR's own filename explicitly from CI.
 # Knobs: NEO_BENCH_GAUSSIANS / NEO_BENCH_FRAMES_SCALING / NEO_BENCH_THREADS
 # shrink or grow the run (CI smoke uses the defaults); NEO_BENCH_PR sets
@@ -19,19 +19,23 @@
 # NEO_BENCH_FAST_EXP=1 switches the falloff exp to the deterministic
 # polynomial (RasterConfig::fast_exp; recorded in the JSON either way,
 # keep it off for points meant to be comparable with the pre-PR5
-# std::exp trajectory).
+# std::exp trajectory); NEO_BENCH_INTEGRITY ({off,check,recover},
+# default off) runs the sweep with the integrity fences enabled — the
+# mode is recorded as "integrity_mode" in the JSON, and trajectory
+# points meant to be comparable across PRs must keep it off.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-OUT_JSON="${2:-BENCH_PR5.json}"
+OUT_JSON="${2:-BENCH_PR6.json}"
 
 GAUSSIANS="${NEO_BENCH_GAUSSIANS:-30000}"
 FRAMES="${NEO_BENCH_FRAMES_SCALING:-5}"
 THREADS="${NEO_BENCH_THREADS:-1,2,4,8}"
 RASTER_MODE="${NEO_BENCH_RASTER_MODE:-blocked}"
 FAST_EXP="${NEO_BENCH_FAST_EXP:-0}"
+INTEGRITY="${NEO_BENCH_INTEGRITY:-off}"
 
 # Derive the trajectory point number from the output name when possible.
 PR="${NEO_BENCH_PR:-}"
@@ -60,6 +64,7 @@ fi
        --threads-list "$THREADS" \
        --pr "$PR" \
        --raster-mode "$RASTER_MODE" \
+       --integrity "$INTEGRITY" \
        ${FAST_EXP_FLAG[@]+"${FAST_EXP_FLAG[@]}"} \
        --stage
 

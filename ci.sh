@@ -16,9 +16,12 @@
 #                 ms/frame or raster_ms regression at threads=1 fails CI.
 #                 The rasterizer auto-vectorization smoke check
 #                 (bench/check_vectorization.sh) also runs; it gates on a
-#                 vectorization regression and skips on non-GCC.
-#   NEO_BENCH_JSON      output trajectory point (default: BENCH_PR5.json)
-#   NEO_BENCH_BASELINE  previous trajectory point (default: BENCH_PR4.json)
+#                 vectorization regression and skips on non-GCC. After the
+#                 trajectory point, one NEO_INTEGRITY=check sweep is
+#                 recorded (…_integrity.json) and gated against the off
+#                 point: >10% check-mode overhead at threads=1 fails.
+#   NEO_BENCH_JSON      output trajectory point (default: BENCH_PR6.json)
+#   NEO_BENCH_BASELINE  previous trajectory point (default: BENCH_PR5.json)
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -26,13 +29,19 @@ cd "$(dirname "$0")"
 BUILD_DIR="${BUILD_DIR:-build}"
 BUILD_TYPE="${BUILD_TYPE:-}"
 JOBS="${JOBS:-$(nproc)}"
-NEO_BENCH_JSON="${NEO_BENCH_JSON:-BENCH_PR5.json}"
-NEO_BENCH_BASELINE="${NEO_BENCH_BASELINE:-BENCH_PR4.json}"
+NEO_BENCH_JSON="${NEO_BENCH_JSON:-BENCH_PR6.json}"
+NEO_BENCH_BASELINE="${NEO_BENCH_BASELINE:-BENCH_PR5.json}"
 
 cmake -B "$BUILD_DIR" -S . -DNEO_WERROR=ON \
     ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"} "$@"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# The integrity suite (bit-flip injection matrix, NEO_INTEGRITY modes) is
+# part of the default ctest run above; re-running the label by itself makes
+# a fault-detection regression unmissable in the CI log.
+echo "ci.sh: re-running integrity-labelled tests"
+ctest --test-dir "$BUILD_DIR" -L integrity --output-on-failure -j "$JOBS"
 
 if [[ "${NEO_CI_BENCH:-0}" == "1" ]]; then
     echo "ci.sh: checking rasterizer auto-vectorization"
@@ -48,9 +57,25 @@ if [[ "${NEO_CI_BENCH:-0}" == "1" ]]; then
     echo "ci.sh: running thread-scaling bench"
     if ! bench/run_benches.sh "$BUILD_DIR" "$NEO_BENCH_JSON"; then
         echo "ci.sh: WARNING scaling bench failed (non-gating)" >&2
-    elif [[ -f "$NEO_BENCH_BASELINE" && "$NEO_BENCH_BASELINE" != "$NEO_BENCH_JSON" ]]; then
-        echo "ci.sh: gating on perf regression vs $NEO_BENCH_BASELINE"
-        bench/diff_bench.sh "$NEO_BENCH_BASELINE" "$NEO_BENCH_JSON"
+    else
+        if [[ -f "$NEO_BENCH_BASELINE" && "$NEO_BENCH_BASELINE" != "$NEO_BENCH_JSON" ]]; then
+            echo "ci.sh: gating on perf regression vs $NEO_BENCH_BASELINE"
+            bench/diff_bench.sh "$NEO_BENCH_BASELINE" "$NEO_BENCH_JSON"
+        fi
+
+        # One check-mode point alongside the trajectory point: its JSON is
+        # an artifact, and diff_bench.sh gates the *fenced* sweep against
+        # the integrity-off point just recorded on this same machine —
+        # check-mode overhead above 10% ms/frame at threads=1 fails CI.
+        NEO_INTEGRITY_JSON="${NEO_BENCH_JSON%.json}_integrity.json"
+        echo "ci.sh: running check-mode integrity bench point"
+        if ! NEO_BENCH_INTEGRITY=check NEO_BENCH_PR="${NEO_BENCH_PR:-6}" \
+             bench/run_benches.sh "$BUILD_DIR" "$NEO_INTEGRITY_JSON"; then
+            echo "ci.sh: WARNING integrity bench failed (non-gating)" >&2
+        else
+            echo "ci.sh: gating check-mode overhead vs $NEO_BENCH_JSON"
+            bench/diff_bench.sh "$NEO_BENCH_JSON" "$NEO_INTEGRITY_JSON"
+        fi
     fi
 fi
 

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Digest64 — a fast xxhash-style 64-bit streaming digest used by the
+ * integrity fences (common/integrity.h) to cross-check control-critical
+ * per-frame state against its shadow copy. Not cryptographic: the goal is
+ * detecting random corruption (single-event upsets, stray writes), where
+ * any single flipped bit must change the digest.
+ *
+ * The main accumulator is four independent lanes fed round-robin: each
+ * 64-bit word gets one multiply-rotate round (as in xxhash), but
+ * consecutive words land in different lanes, so the per-word dependency
+ * chain is a quarter of the single-lane length and the fence cost over an
+ * instance-sized array pipelines instead of serializing — this is what
+ * keeps check-mode overhead inside its ≤10 % ms/frame budget. A separate
+ * flag lane accumulates bools multiplicatively (base-3, so any flipped
+ * flag in a sequence of up to 2^40 flags changes the lane value). Types
+ * with padding bytes implement digestInto() over their semantic fields
+ * only — hashing raw object bytes would fold uninitialized padding into
+ * the digest and break determinism.
+ */
+
+#ifndef NEO_COMMON_DIGEST_H
+#define NEO_COMMON_DIGEST_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace neo
+{
+
+/** Streaming 64-bit digest (see file comment). */
+class Digest64
+{
+  public:
+    explicit Digest64(uint64_t seed = 0)
+    {
+        lanes_[0] = seed + kPrime1 + kPrime2;
+        lanes_[1] = seed + kPrime2;
+        lanes_[2] = seed + kPrime5;
+        lanes_[3] = seed - kPrime1;
+    }
+
+    /** Mix one 64-bit word into the next main lane (round-robin). */
+    void u64v(uint64_t v)
+    {
+        uint64_t &h = lanes_[next_ & 3u];
+        h = std::rotl(h ^ (v * kPrime2), 27) * kPrime1 + kPrime4;
+        ++next_;
+    }
+
+    void u32v(uint32_t v) { u64v(v); }
+    void f32v(float v) { u64v(std::bit_cast<uint32_t>(v)); }
+
+    /** Accumulate a bool into the flag lane (order-sensitive). */
+    void flag(bool b) { flags_ = flags_ * 3 + (b ? 2 : 1); }
+
+    /** Mix a raw byte range, 8 bytes per main-lane round. */
+    void bytes(const void *data, size_t n)
+    {
+        const unsigned char *p = static_cast<const unsigned char *>(data);
+        size_t i = 0;
+        for (; i + 8 <= n; i += 8) {
+            uint64_t v;
+            std::memcpy(&v, p + i, 8);
+            u64v(v);
+        }
+        if (i < n) {
+            uint64_t tail = 0;
+            for (int shift = 0; i < n; ++i, shift += 8)
+                tail |= static_cast<uint64_t>(p[i]) << shift;
+            u64v(tail);
+        }
+    }
+
+    /** Finalize: avalanche every lane into one value. */
+    uint64_t finish() const
+    {
+        // Word count folded in: lane assignment is positional, so two
+        // streams whose words collapse to the same lane states but have
+        // different lengths still digest apart.
+        uint64_t h = std::rotl(lanes_[0], 1) + std::rotl(lanes_[1], 7) +
+                     std::rotl(lanes_[2], 12) + std::rotl(lanes_[3], 18) +
+                     next_;
+        h ^= flags_ * kPrime2;
+        h ^= h >> 33;
+        h *= kPrime2;
+        h ^= h >> 29;
+        h *= kPrime3;
+        h ^= h >> 32;
+        return h;
+    }
+
+  private:
+    static constexpr uint64_t kPrime1 = 0x9e3779b185ebca87ull;
+    static constexpr uint64_t kPrime2 = 0xc2b2ae3d27d4eb4full;
+    static constexpr uint64_t kPrime3 = 0x165667b19e3779f9ull;
+    static constexpr uint64_t kPrime4 = 0x85ebca77c2b2ae63ull;
+    static constexpr uint64_t kPrime5 = 0x27d4eb2f165667c5ull;
+
+    uint64_t lanes_[4];
+    uint64_t next_ = 0;
+    uint64_t flags_ = 1;
+};
+
+/**
+ * Digest of @p n elements at @p data. Types that provide
+ * `digestInto(Digest64&) const` are hashed field by field (required for
+ * structs with padding, whose raw bytes are not deterministic); all other
+ * types must have unique object representations and are hashed as raw
+ * bytes. The element count is folded in, so a truncated span never
+ * collides with its prefix.
+ */
+template <typename T>
+uint64_t
+digestSpan(const T *data, size_t n)
+{
+    Digest64 d;
+    d.u64v(static_cast<uint64_t>(n));
+    if constexpr (requires(const T &t, Digest64 &dd) { t.digestInto(dd); }) {
+        for (size_t i = 0; i < n; ++i)
+            data[i].digestInto(d);
+    } else {
+        static_assert(std::has_unique_object_representations_v<T>,
+                      "digestSpan over a padded type needs digestInto()");
+        d.bytes(data, n * sizeof(T));
+    }
+    return d.finish();
+}
+
+} // namespace neo
+
+#endif // NEO_COMMON_DIGEST_H

@@ -1,0 +1,105 @@
+#include "common/faultinject.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+namespace neo::faultinject
+{
+
+namespace
+{
+
+/** splitmix64 step — the deterministic element/byte/bit selector. */
+uint64_t
+splitmix(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+// Fast-path gate (checked without the lock) plus the armed-flip record.
+std::atomic<bool> g_pending{false};
+std::mutex g_mutex;
+std::string g_point;
+int64_t g_index = -1;
+uint64_t g_seed = 1;
+uint64_t g_count = 0;
+Injection g_last;
+bool g_has_last = false;
+
+} // namespace
+
+void
+armBitFlip(const char *point, int64_t index, uint64_t seed)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_point = point;
+    g_index = index;
+    g_seed = seed;
+    g_pending.store(true, std::memory_order_release);
+}
+
+void
+disarm()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_pending.store(false, std::memory_order_release);
+}
+
+bool
+pending()
+{
+    return g_pending.load(std::memory_order_acquire);
+}
+
+uint64_t
+injectionCount()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    return g_count;
+}
+
+bool
+lastInjection(Injection *out)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (!g_has_last)
+        return false;
+    if (out)
+        *out = g_last;
+    return true;
+}
+
+void
+corrupt(const char *point, int64_t index, void *data, size_t elems,
+        size_t stride, size_t semantic_bytes)
+{
+    if (!g_pending.load(std::memory_order_acquire))
+        return;
+    if (!data || elems == 0 || semantic_bytes == 0 ||
+        semantic_bytes > stride)
+        return;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (!g_pending.load(std::memory_order_relaxed))
+        return; // another worker fired the flip first
+    if (g_point != point || (g_index >= 0 && g_index != index))
+        return;
+
+    uint64_t state = g_seed;
+    const size_t elem = static_cast<size_t>(splitmix(state) % elems);
+    const size_t byte =
+        static_cast<size_t>(splitmix(state) % semantic_bytes);
+    const int bit = static_cast<int>(splitmix(state) % 8);
+    static_cast<unsigned char *>(data)[elem * stride + byte] ^=
+        static_cast<unsigned char>(1u << bit);
+
+    g_last = Injection{point, index, elem, byte, bit};
+    g_has_last = true;
+    ++g_count;
+    g_pending.store(false, std::memory_order_release);
+}
+
+} // namespace neo::faultinject

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * neo::faultinject — deterministic bit-flip injection into named control
+ * arrays, the test hook of the integrity-hardened serving mode
+ * (common/integrity.h). Production code marks its injection points with
+ * corrupt()/corruptTiles() calls between the seal and verify fences of a
+ * control structure; a test arms one flip with armBitFlip() and the next
+ * matching point execution flips exactly one RNG-chosen bit, then
+ * disarms itself. Disarmed, a point costs one relaxed atomic load.
+ *
+ * Determinism: the flipped (element, byte, bit) is a pure function of the
+ * arming seed. For points executed inside parallel regions (the per-tile
+ * CSR fence), arm with an explicit element index — "first execution wins"
+ * would race between workers; with a pinned (point, index) the flip lands
+ * identically at any thread count.
+ */
+
+#ifndef NEO_COMMON_FAULTINJECT_H
+#define NEO_COMMON_FAULTINJECT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neo::faultinject
+{
+
+/** Description of the most recent injected flip (for test assertions). */
+struct Injection
+{
+    std::string point;
+    int64_t index = -1;
+    size_t elem = 0; //!< element whose bytes were flipped
+    size_t byte = 0; //!< byte offset within the element
+    int bit = 0;     //!< flipped bit within that byte
+};
+
+/**
+ * Arm one single-bit flip at injection point @p point. The flip fires on
+ * the next corrupt() call whose point name matches and whose index
+ * matches @p index (or on the first non-empty call when @p index < 0),
+ * then the hook disarms itself. @p seed selects the element/byte/bit
+ * deterministically.
+ */
+void armBitFlip(const char *point, int64_t index = -1, uint64_t seed = 1);
+
+/** Cancel a pending flip. */
+void disarm();
+
+/** True while a flip is armed and has not fired yet. */
+bool pending();
+
+/** Total flips fired since process start. */
+uint64_t injectionCount();
+
+/** Copy the most recent injection into @p out; false if none fired yet. */
+bool lastInjection(Injection *out);
+
+/**
+ * Injection point: when armed for (@p point, @p index), flip one bit of
+ * @p data and disarm. The array is @p elems elements of @p stride bytes;
+ * only the first @p semantic_bytes of each element are candidate targets,
+ * so padding bytes (invisible to field-aware digests) and trap-prone
+ * fields can be excluded. No-op while disarmed.
+ */
+void corrupt(const char *point, int64_t index, void *data, size_t elems,
+             size_t stride, size_t semantic_bytes);
+
+/**
+ * Byte count of an element that is a legitimate flip target. Defaults to
+ * the whole element; specialized for padded types (e.g. TileEntry flips
+ * only its id/depth bytes — padding is not covered by the digest, and a
+ * multi-bit bool is undefined behavior, so neither is a valid fault
+ * model target).
+ */
+template <typename T>
+struct SemanticBytes
+{
+    static constexpr size_t value = sizeof(T);
+};
+
+/**
+ * Injection point over a per-tile structure: element index = tile index,
+ * one corrupt() call per non-empty tile. The pending() fast path keeps
+ * the disarmed cost at one atomic load for the whole structure.
+ */
+template <typename T>
+void
+corruptTiles(const char *point, std::vector<std::vector<T>> &tiles)
+{
+    if (!pending())
+        return;
+    for (size_t t = 0; t < tiles.size(); ++t)
+        if (!tiles[t].empty())
+            corrupt(point, static_cast<int64_t>(t), tiles[t].data(),
+                    tiles[t].size(), sizeof(T), SemanticBytes<T>::value);
+}
+
+} // namespace neo::faultinject
+
+#endif // NEO_COMMON_FAULTINJECT_H

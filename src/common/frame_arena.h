@@ -33,9 +33,10 @@ namespace neo
  */
 enum : int
 {
-    kArenaKeysBinning = 0x100, //!< gs/tiling.cpp (scatter scratch)
-    kArenaKeysRaster = 0x200,  //!< gs/pipeline.cpp (raster accumulators)
-    kArenaKeysHarness = 0x300, //!< sim/perf_harness.cpp
+    kArenaKeysBinning = 0x100,   //!< gs/tiling.cpp (scatter scratch)
+    kArenaKeysRaster = 0x200,    //!< gs/pipeline.cpp (raster accumulators)
+    kArenaKeysHarness = 0x300,   //!< sim/perf_harness.cpp
+    kArenaKeysIntegrity = 0x400, //!< common/integrity.cpp (shadow copies)
 };
 
 /** Keyed set of reusable, capacity-retaining scratch vectors. */

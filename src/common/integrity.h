@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Integrity-hardened serving mode — application-level selective
+ * duplication in the spirit of ASPIS, applied to the renderer's
+ * control-critical per-frame state rather than to every instruction.
+ *
+ * Fault model: random single/few-bit corruption of in-memory control
+ * state (SEUs, stray writes) between the point where a pipeline stage
+ * produces a structure and the point where the next stage consumes it.
+ * Pixel data is excluded by design — a flipped pixel is transient and
+ * self-healing next frame, while a flipped control word (a tile-table id,
+ * a CSR bucket bound, a tracker membership id) silently corrupts every
+ * subsequent frame through the reuse-and-update state.
+ *
+ * Mechanism: each protected structure is *sealed* at its producer fence
+ * (per-tile Digest64 digests; in recover mode also a full shadow copy in
+ * a FrameArena) and *verified* at its consumer fence. On mismatch a
+ * FaultReport is recorded into FrameStats and the registered FaultHandler
+ * runs; in recover mode the structure is first restored from the
+ * digest-verified shadow copy and the frame is re-rendered through the
+ * retained scalar reference rasterizer (bit-identical to the blocked
+ * kernel by the repo's determinism contract), so the delivered frame hash
+ * equals the uncorrupted reference. The existing frame content hash
+ * doubles as end-to-end attestation.
+ *
+ * Selected by NEO_INTEGRITY={off,check,recover} or programmatically via
+ * PipelineOptions::integrity. Off costs nothing: every fence is behind an
+ * enabled() branch on the caller side.
+ */
+
+#ifndef NEO_COMMON_INTEGRITY_H
+#define NEO_COMMON_INTEGRITY_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/digest.h"
+#include "common/frame_arena.h"
+
+namespace neo
+{
+
+/** Operating mode of the integrity machinery. */
+enum class IntegrityMode : uint8_t
+{
+    /** Defer to the NEO_INTEGRITY environment variable (options default). */
+    Unset,
+    /** No duplication, no checks — zero overhead (the default). */
+    Off,
+    /** Digest fences at stage boundaries; faults are recorded and the
+        frame continues with the corrupted (memory-safe) data. */
+    Check,
+    /** Check plus shadow copies: faulted structures are restored from the
+        verified shadow and the frame is re-rendered through the scalar
+        reference path. */
+    Recover,
+};
+
+/** Parse an NEO_INTEGRITY value; Unset for an unrecognized non-empty one. */
+IntegrityMode parseIntegrityMode(const char *value);
+
+/** Mode from the environment (Off when unset; warns once on unknown). */
+IntegrityMode integrityModeFromEnv();
+
+/** Resolve a requested mode: Unset defers to NEO_INTEGRITY. */
+IntegrityMode resolveIntegrityMode(IntegrityMode requested);
+
+/** Lower-case mode name ("off", "check", "recover"). */
+const char *integrityModeName(IntegrityMode mode);
+
+/** Pipeline stage a fence (and hence a detected fault) belongs to. */
+enum class IntegrityStage : uint8_t
+{
+    Binning,     //!< per-tile binned (id, depth) lists
+    Sorting,     //!< persistent sorted tables / per-tile permutations
+    Tracking,    //!< DeltaTracker previous-frame membership ids
+    Raster,      //!< CSR subtile bucket bounds inside the blocked kernel
+    Attestation, //!< end-to-end frame-hash comparison
+};
+
+/** Stage name for reports and logs. */
+const char *integrityStageName(IntegrityStage stage);
+
+/** One detected cross-check mismatch. */
+struct FaultReport
+{
+    IntegrityStage stage = IntegrityStage::Binning;
+    const char *structure = "";  //!< canonical structure name
+    uint64_t frame_index = 0;    //!< frame whose fence detected it
+    int tile = -1;               //!< tile index, -1 when frame-global
+    uint64_t expected_digest = 0;
+    uint64_t actual_digest = 0;
+    /** True when the structure was restored from its verified shadow (or
+        the faulted tile was re-rendered through the reference path). */
+    bool recovered = false;
+};
+
+/** Callback invoked (on the detecting thread) for every fault. */
+using FaultHandler = std::function<void(const FaultReport &)>;
+
+/** Per-frame integrity summary, carried inside FrameStats. */
+struct IntegrityFrameStats
+{
+    IntegrityMode mode = IntegrityMode::Off;
+    uint32_t checks = 0; //!< fences verified this frame
+    uint32_t faults = 0; //!< mismatches detected this frame
+    /** True when the whole frame was re-rendered through the reference
+        path after a detected fault (recover mode). */
+    bool frame_recovered = false;
+    std::vector<FaultReport> reports;
+};
+
+// Canonical structure names — also the fault-injection point names
+// (see common/faultinject.h).
+inline constexpr const char *kIntegrityBinTiles = "bin.tiles";
+inline constexpr const char *kIntegritySortTables = "sort.tables";
+inline constexpr const char *kIntegrityTrackerPrevIds = "tracker.prev_ids";
+inline constexpr const char *kIntegrityRasterCsr = "raster.csr";
+
+/**
+ * Per-renderer integrity state: the seal/verify fences over per-tile
+ * structures, the shadow copies (held in an owned FrameArena, capacity
+ * retained across frames), and the frame's fault reports.
+ *
+ * Seal/verify run on the frame-control thread; recordFault()/noteCheck()
+ * are additionally safe from inside parallel raster regions.
+ */
+class IntegrityContext
+{
+  public:
+    void configure(IntegrityMode mode) { mode_ = mode; }
+    IntegrityMode mode() const { return mode_; }
+    bool enabled() const
+    {
+        return mode_ == IntegrityMode::Check ||
+               mode_ == IntegrityMode::Recover;
+    }
+
+    /** Register the fault callback (replaces any previous one). */
+    void setFaultHandler(FaultHandler handler);
+
+    /** Start a frame: reset the per-frame counters and reports. */
+    void beginFrame(uint64_t frame_index);
+
+    /**
+     * Producer fence: record per-tile digests of @p tiles under @p name
+     * (and, in recover mode, refresh its shadow copy). Overwrites the
+     * previous seal of the same structure.
+     */
+    template <typename T>
+    void sealTiles(IntegrityStage stage, const char *name,
+                   const std::vector<std::vector<T>> &tiles);
+
+    /**
+     * Consumer fence: recompute the per-tile digests of @p tiles and
+     * compare against the seal. Every mismatching tile is reported (and,
+     * in recover mode, restored from the shadow copy first — restoration
+     * only happens when the shadow itself still matches the sealed
+     * digest, so a doubly-corrupted structure is reported as
+     * unrecovered). A structure that was never sealed, or whose tile
+     * count changed (reset, resolution change), passes vacuously.
+     * Returns true when everything matched.
+     */
+    template <typename T>
+    bool verifyTiles(IntegrityStage stage, const char *name,
+                     std::vector<std::vector<T>> &tiles);
+
+    /** Record one fault and invoke the handler (thread-safe). */
+    void recordFault(IntegrityStage stage, const char *structure, int tile,
+                     uint64_t expected, uint64_t actual, bool recovered);
+
+    /** Count one passed cross-check (thread-safe). */
+    void noteCheck() { checks_.fetch_add(1, std::memory_order_relaxed); }
+
+    /** True when any fault was recorded since beginFrame(). */
+    bool frameFaulted() const;
+
+    /** Mark that the frame was re-rendered through the reference path. */
+    void markFrameRecovered() { frame_recovered_ = true; }
+
+    uint64_t frameIndex() const { return frame_index_; }
+
+    /** Copy the frame's counters and reports into @p out. */
+    void exportStats(IntegrityFrameStats &out) const;
+
+    /** Drop all seals (renderer reset / new trajectory). */
+    void forgetSeals();
+
+  private:
+    /** Seal record of one protected structure. */
+    struct Structure
+    {
+        const char *name = "";
+        IntegrityStage stage = IntegrityStage::Binning;
+        bool sealed = false;
+        int shadow_key = 0; //!< arena keys {data, offsets} of the shadow
+        std::vector<uint64_t> digests; //!< per tile
+        std::vector<uint32_t> sizes;   //!< per tile element counts
+    };
+
+    Structure &structureFor(IntegrityStage stage, const char *name);
+    Structure *findStructure(const char *name);
+
+    template <typename T>
+    bool restoreTile(Structure &s, size_t t,
+                     std::vector<std::vector<T>> &tiles);
+
+    IntegrityMode mode_ = IntegrityMode::Off;
+    uint64_t frame_index_ = 0;
+    std::atomic<uint32_t> checks_{0};
+    bool frame_recovered_ = false;
+    std::vector<Structure> structures_;
+    /** Shadow copies (recover mode), capacity retained across frames. */
+    FrameArena shadow_;
+    mutable std::mutex fault_mutex_;
+    FaultHandler handler_;
+    std::vector<FaultReport> faults_;
+};
+
+template <typename T>
+void
+IntegrityContext::sealTiles(IntegrityStage stage, const char *name,
+                            const std::vector<std::vector<T>> &tiles)
+{
+    if (!enabled())
+        return;
+    Structure &s = structureFor(stage, name);
+    const size_t n = tiles.size();
+    s.digests.resize(n);
+    s.sizes.resize(n);
+    for (size_t t = 0; t < n; ++t) {
+        s.digests[t] = digestSpan(tiles[t].data(), tiles[t].size());
+        s.sizes[t] = static_cast<uint32_t>(tiles[t].size());
+    }
+    if (mode_ == IntegrityMode::Recover) {
+        // Shadow layout: one concatenated element array plus tile offsets,
+        // both reused frame over frame with capacity retained.
+        auto &data = shadow_.buffer<T>(s.shadow_key);
+        auto &offsets = shadow_.buffer<uint64_t>(s.shadow_key + 1);
+        offsets.resize(n + 1);
+        uint64_t total = 0;
+        for (size_t t = 0; t < n; ++t) {
+            offsets[t] = total;
+            total += tiles[t].size();
+        }
+        offsets[n] = total;
+        data.resize(total);
+        for (size_t t = 0; t < n; ++t)
+            std::copy(tiles[t].begin(), tiles[t].end(),
+                      data.begin() + static_cast<ptrdiff_t>(offsets[t]));
+    }
+    s.sealed = true;
+}
+
+template <typename T>
+bool
+IntegrityContext::verifyTiles(IntegrityStage stage, const char *name,
+                              std::vector<std::vector<T>> &tiles)
+{
+    if (!enabled())
+        return true;
+    Structure *s = findStructure(name);
+    if (!s || !s->sealed || s->sizes.size() != tiles.size())
+        return true; // never sealed, or legitimately reshaped
+    bool ok = true;
+    for (size_t t = 0; t < tiles.size(); ++t) {
+        const uint64_t d = digestSpan(tiles[t].data(), tiles[t].size());
+        if (d == s->digests[t] &&
+            tiles[t].size() == s->sizes[t])
+            continue;
+        ok = false;
+        bool restored = false;
+        if (mode_ == IntegrityMode::Recover)
+            restored = restoreTile(*s, t, tiles);
+        recordFault(stage, name, static_cast<int>(t), s->digests[t], d,
+                    restored);
+    }
+    noteCheck();
+    return ok;
+}
+
+template <typename T>
+bool
+IntegrityContext::restoreTile(Structure &s, size_t t,
+                              std::vector<std::vector<T>> &tiles)
+{
+    auto &data = shadow_.buffer<T>(s.shadow_key);
+    auto &offsets = shadow_.buffer<uint64_t>(s.shadow_key + 1);
+    if (offsets.size() != s.sizes.size() + 1 || t + 1 >= offsets.size())
+        return false;
+    const uint64_t begin = offsets[t];
+    const uint64_t end = offsets[t + 1];
+    if (end < begin || end > data.size() || end - begin != s.sizes[t])
+        return false;
+    if (digestSpan(data.data() + begin, static_cast<size_t>(end - begin)) !=
+        s.digests[t])
+        return false; // shadow corrupted too: unrecoverable
+    tiles[t].assign(data.begin() + static_cast<ptrdiff_t>(begin),
+                    data.begin() + static_cast<ptrdiff_t>(end));
+    return true;
+}
+
+} // namespace neo
+
+#endif // NEO_COMMON_INTEGRITY_H

@@ -49,7 +49,19 @@ parseThreadAffinity(const char *value)
 ThreadAffinity
 threadAffinityMode()
 {
-    return parseThreadAffinity(std::getenv("NEO_THREAD_AFFINITY"));
+    const char *env = std::getenv("NEO_THREAD_AFFINITY");
+    const ThreadAffinity mode = parseThreadAffinity(env);
+    // An unrecognized value (e.g. a "compat" typo) silently behaving
+    // like None cost real debugging time — diagnose it, once.
+    if (mode == ThreadAffinity::None && env && *env &&
+        std::strcmp(env, "none") != 0) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn("NEO_THREAD_AFFINITY=%s is not one of "
+                 "{none,compact,scatter}; running unpinned",
+                 env);
+    }
+    return mode;
 }
 
 int
@@ -111,10 +123,20 @@ resolveThreadCount(int requested)
         return 1;
     if (std::strcmp(env, "auto") == 0 || std::strcmp(env, "0") == 0)
         return hardwareThreadCount();
-    int v = std::atoi(env);
-    if (v > 0)
-        return std::min(v, kMaxThreads);
-    return 1;
+    char *end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    // Full-string consumption: "4garbage" must not silently run with 4
+    // threads (nor "garbage" with 1 and no diagnostic).
+    if (end == env || *end != '\0' || v <= 0) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn("NEO_THREADS=%s is not a positive integer or \"auto\"; "
+                 "using 1 thread",
+                 env);
+        return 1;
+    }
+    return std::min(static_cast<int>(std::min<long>(v, kMaxThreads)),
+                    kMaxThreads);
 }
 
 size_t

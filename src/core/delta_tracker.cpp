@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/frame_arena.h"
+#include "common/integrity.h"
 #include "common/stats.h"
 
 namespace neo
@@ -35,6 +36,14 @@ DeltaTracker::observe(const BinnedFrame &frame, FrameDelta &out)
     out.incoming_total = 0;
     out.outgoing_total = 0;
     out.tile_retention.clear();
+
+    // Consumer fence: the previous membership was sealed when the last
+    // observe() adopted it, and nothing may have touched it since — any
+    // mismatch here is inter-frame corruption (restored from the shadow
+    // in recover mode, before the merge below consumes the ids).
+    if (integrity_ && integrity_->enabled())
+        integrity_->verifyTiles(IntegrityStage::Tracking,
+                                kIntegrityTrackerPrevIds, prev_ids_);
 
     const bool have_prev = prev_ids_.size() == tiles;
     clearNested(scratch_ids_, tiles);
@@ -162,6 +171,15 @@ DeltaTracker::observe(const BinnedFrame &frame, FrameDelta &out)
     // Adopt the new membership; the old prev buffers become the next
     // frame's scratch (capacity retained).
     std::swap(prev_ids_, scratch_ids_);
+
+    // Producer fence: seal what the next frame will compare against.
+    // The injection point sits after the seal, so an armed flip lands
+    // inside the fenced inter-frame window.
+    if (integrity_ && integrity_->enabled()) {
+        integrity_->sealTiles(IntegrityStage::Tracking,
+                              kIntegrityTrackerPrevIds, prev_ids_);
+        faultinject::corruptTiles(kIntegrityTrackerPrevIds, prev_ids_);
+    }
 }
 
 } // namespace neo

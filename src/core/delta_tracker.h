@@ -37,6 +37,8 @@
 namespace neo
 {
 
+class IntegrityContext;
+
 /** Membership delta of one tile between consecutive frames. */
 struct TileDelta
 {
@@ -115,6 +117,15 @@ class DeltaTracker
     /** Effective worker-thread count (>= 1). */
     int threads() const { return threads_; }
 
+    /**
+     * Attach an integrity context (nullptr detaches). When enabled, the
+     * previous-frame membership buffers are sealed as observe() adopts
+     * them and verified at the next observe() entry — the fence spans the
+     * whole inter-frame window in which nothing should touch them, so a
+     * bit flip there is detected at the start of the following frame.
+     */
+    void setIntegrity(IntegrityContext *ctx) { integrity_ = ctx; }
+
     /** Forget all state. */
     void reset()
     {
@@ -149,6 +160,8 @@ class DeltaTracker
     /** Reused per-chunk accumulators. */
     std::vector<ChunkAccum> accum_scratch_;
     int threads_ = resolveThreadCount(0);
+    /** Optional integrity fences around prev_ids_ (not owned). */
+    IntegrityContext *integrity_ = nullptr;
 };
 
 } // namespace neo

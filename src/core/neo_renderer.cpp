@@ -14,12 +14,28 @@ NeoRenderer::neoDefaultOptions()
     return opts;
 }
 
+namespace
+{
+
+/** base_'s options with the scalar reference blend forced on. */
+PipelineOptions
+referenceOptions(PipelineOptions opts)
+{
+    opts.raster.reference_path = true;
+    return opts;
+}
+
+} // namespace
+
 NeoRenderer::NeoRenderer(PipelineOptions opts, DynamicPartialConfig dps)
-    : base_(opts), sorter_(dps)
+    : base_(opts), reference_(referenceOptions(opts)), sorter_(dps)
 {
     // One thread knob drives every stage: binning/projection (binFrame),
     // reuse-and-update sorting (sorter_), and rasterization (base_).
     sorter_.setThreads(opts.threads);
+    integrity_.configure(resolveIntegrityMode(opts.integrity));
+    if (integrity_.enabled())
+        sorter_.setIntegrity(&integrity_);
 }
 
 Image
@@ -35,9 +51,38 @@ void
 NeoRenderer::prepareFrame(const GaussianScene &scene, const Camera &camera,
                           uint64_t frame_index)
 {
+    const bool fenced = integrity_.enabled();
+    if (fenced)
+        integrity_.beginFrame(frame_index);
+
     binFrameInto(frame_, arena_, scene, camera, base_.options().tile_px,
                  base_.options().threads);
+    if (fenced) {
+        // Binning fence: seal the fresh tile lists, expose the injection
+        // window, and verify before the sorter consumes them. In recover
+        // mode a mismatching tile is restored from the shadow here, so
+        // corruption never reaches the persistent tables.
+        integrity_.sealTiles(IntegrityStage::Binning, kIntegrityBinTiles,
+                             frame_.tiles);
+        faultinject::corruptTiles(kIntegrityBinTiles, frame_.tiles);
+        integrity_.verifyTiles(IntegrityStage::Binning, kIntegrityBinTiles,
+                               frame_.tiles);
+    }
+
+    // (The tracker's prev-id fence runs inside beginFrame: verified on
+    // entry to observe(), re-sealed when the new membership is adopted.)
     sorter_.beginFrame(frame_, frame_index);
+    if (fenced) {
+        // Sorting fence: the persistent tables are final for this frame
+        // once beginFrame returns (the deferred depth update runs inside
+        // it); they are the orderings rasterization consumes.
+        auto &tables = sorter_.mutableTables().tables();
+        integrity_.sealTiles(IntegrityStage::Sorting, kIntegritySortTables,
+                             tables);
+        faultinject::corruptTiles(kIntegritySortTables, tables);
+        integrity_.verifyTiles(IntegrityStage::Sorting,
+                               kIntegritySortTables, tables);
+    }
 }
 
 void
@@ -48,7 +93,31 @@ NeoRenderer::renderFrameInto(Image &out, const GaussianScene &scene,
     prepareFrame(scene, camera, frame_index);
 
     FrameStats stats;
-    base_.renderInto(out, frame_, sorter_.orderings(), &stats, &arena_);
+    IntegrityContext *ctx = integrity_.enabled() ? &integrity_ : nullptr;
+    base_.renderInto(out, frame_, sorter_.orderings(), &stats, &arena_,
+                     ctx);
+
+    if (integrity_.mode() == IntegrityMode::Recover &&
+        integrity_.frameFaulted()) {
+        // Every faulted structure has already been restored from its
+        // digest-verified shadow (or, for the CSR, the tile fell back to
+        // the reference blend before any pixel write). Re-rendering the
+        // whole frame through the scalar reference path — bit-identical
+        // to the blocked kernel by the determinism contract — and
+        // re-verifying the fenced inputs turns that contract into
+        // end-to-end attestation: the delivered frame hash equals the
+        // uncorrupted reference.
+        reference_.renderInto(out, frame_, sorter_.orderings(), &stats,
+                              nullptr, &integrity_);
+        integrity_.verifyTiles(IntegrityStage::Binning, kIntegrityBinTiles,
+                               frame_.tiles);
+        integrity_.verifyTiles(IntegrityStage::Sorting,
+                               kIntegritySortTables,
+                               sorter_.mutableTables().tables());
+        integrity_.markFrameRecovered();
+    }
+    if (ctx)
+        integrity_.exportStats(stats.integrity);
 
     if (report) {
         report->frame = stats;

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 
 #include "common/frame_arena.h"
 #include "core/reuse_update.h"
@@ -67,10 +68,27 @@ class NeoRenderer
                                   uint64_t frame_index);
 
     /** Reset all cross-frame state (e.g., before a new trajectory). */
-    void reset() { sorter_.reset(); }
+    void reset()
+    {
+        sorter_.reset();
+        integrity_.forgetSeals();
+    }
 
     const ReuseUpdateSorter &sorter() const { return sorter_; }
     const Renderer &base() const { return base_; }
+
+    /** Effective integrity mode (resolved at construction). */
+    IntegrityMode integrityMode() const { return integrity_.mode(); }
+
+    /** Integrity state of this renderer (checks/faults of the last frame
+        are also exported into FrameStats::integrity each frame). */
+    const IntegrityContext &integrity() const { return integrity_; }
+
+    /** Register a callback invoked for every detected fault. */
+    void setFaultHandler(FaultHandler handler)
+    {
+        integrity_.setFaultHandler(std::move(handler));
+    }
 
     /** Binned frame of the most recent render/extract (reused storage). */
     const BinnedFrame &lastBinnedFrame() const { return frame_; }
@@ -95,11 +113,16 @@ class NeoRenderer
                       uint64_t frame_index);
 
     Renderer base_;
+    /** Scalar reference-path twin of base_ (bit-identical output by the
+        determinism contract) — the recovery re-render target. */
+    Renderer reference_;
     ReuseUpdateSorter sorter_;
     /** Reused per-frame binning output (cleared, never reallocated). */
     BinnedFrame frame_;
     /** Reused binning/raster scratch. */
     FrameArena arena_;
+    /** Integrity fences, shadow copies and fault reports. */
+    IntegrityContext integrity_;
 };
 
 } // namespace neo

@@ -63,6 +63,13 @@ class ReuseUpdateSorter : public SortingStrategy
         tracker_.setThreads(threads);
     }
 
+    /** Fences the tracker's prev-id buffers (tables are fenced by the
+        owner, which knows the stage boundaries around beginFrame). */
+    void setIntegrity(IntegrityContext *ctx) override
+    {
+        tracker_.setIntegrity(ctx);
+    }
+
     const std::vector<TileEntry> &tileOrder(int tile) const override
     {
         return tables_.table(tile);
@@ -83,6 +90,10 @@ class ReuseUpdateSorter : public SortingStrategy
 
     /** Persistent tables (exposed for tests and the workload harness). */
     const TileTableSet &tables() const { return tables_; }
+
+    /** Mutable tables — the integrity owner's restore path needs to be
+        able to write a recovered tile back in place. */
+    TileTableSet &mutableTables() { return tables_; }
 
     /** Forget all cross-frame state. */
     void reset();

@@ -77,7 +77,29 @@ Renderer::render(const GaussianScene &scene, const Camera &camera,
                  FrameStats *stats) const
 {
     BinnedFrame frame = prepare(scene, camera);
-    return renderWithOrdering(frame, {}, stats ? stats : nullptr);
+    const IntegrityMode mode = resolveIntegrityMode(opts_.integrity);
+    if (mode == IntegrityMode::Off)
+        return renderWithOrdering(frame, {}, stats ? stats : nullptr);
+
+    // One-shot integrity path: fence the binned tile lists between
+    // prepare and rasterization, and let the blocked kernel cross-check
+    // its CSR bounds. (The serving loop in NeoRenderer carries a
+    // persistent context instead.)
+    IntegrityContext ctx;
+    ctx.configure(mode);
+    ctx.beginFrame(0);
+    ctx.sealTiles(IntegrityStage::Binning, kIntegrityBinTiles,
+                  frame.tiles);
+    faultinject::corruptTiles(kIntegrityBinTiles, frame.tiles);
+    ctx.verifyTiles(IntegrityStage::Binning, kIntegrityBinTiles,
+                    frame.tiles);
+    Image image;
+    FrameStats local;
+    renderInto(image, frame, {}, &local, nullptr, &ctx);
+    ctx.exportStats(local.integrity);
+    if (stats)
+        *stats = local;
+    return image;
 }
 
 Image
@@ -94,8 +116,11 @@ Renderer::renderWithOrdering(
 void
 Renderer::renderInto(Image &image, const BinnedFrame &frame,
                      const std::vector<std::vector<TileEntry>> &orderings,
-                     FrameStats *stats, FrameArena *arena) const
+                     FrameStats *stats, FrameArena *arena,
+                     IntegrityContext *integrity) const
 {
+    if (integrity && !integrity->enabled())
+        integrity = nullptr;
     const TileGrid &grid = frame.grid;
     image.reset(grid.tiles_x * grid.tile_size,
                 grid.tiles_y * grid.tile_size);
@@ -121,7 +146,8 @@ Renderer::renderInto(Image &image, const BinnedFrame &frame,
                 continue;
             acc.stats +=
                 rasterizeTile(order, frame, static_cast<int>(t),
-                              opts_.raster, &image, nullptr, &acc.scratch);
+                              opts_.raster, &image, nullptr, &acc.scratch,
+                              integrity);
         }
     };
     if (arena) {

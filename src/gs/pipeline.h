@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/image.h"
+#include "common/integrity.h"
 #include "gs/camera.h"
 #include "gs/raster.h"
 #include "gs/tiling.h"
@@ -41,6 +42,11 @@ struct PipelineOptions
      */
     int threads = 0;
     RasterConfig raster;
+    /**
+     * Integrity-hardened serving mode (see common/integrity.h). Unset
+     * defers to the NEO_INTEGRITY environment variable (default: off).
+     */
+    IntegrityMode integrity = IntegrityMode::Unset;
 };
 
 /**
@@ -79,6 +85,8 @@ struct FrameStats
     uint64_t instances = 0;
     RasterStats raster;
     double mean_tile_length = 0.0;
+    /** Integrity cross-check summary (mode Off, empty when disabled). */
+    IntegrityFrameStats integrity;
 };
 
 /** Baseline renderer that re-sorts every tile from scratch each frame. */
@@ -121,12 +129,16 @@ class Renderer
      * non-null the per-chunk raster accumulators (counters + ITU/blend
      * scratch) live there and are reused across frames; with image and
      * arena reused, a warm steady-state render performs zero per-frame
-     * heap allocations on the raster path.
+     * heap allocations on the raster path. When @p integrity is non-null
+     * and enabled, the blocked kernel cross-checks its CSR bucket bounds
+     * and falls back to the scalar reference blend for any tile whose
+     * check fails (the fault is detected before any pixel is written).
      */
     void renderInto(Image &image, const BinnedFrame &frame,
                     const std::vector<std::vector<TileEntry>> &orderings,
                     FrameStats *stats = nullptr,
-                    FrameArena *arena = nullptr) const;
+                    FrameArena *arena = nullptr,
+                    IntegrityContext *integrity = nullptr) const;
 
     /** Workload extraction without pixel work (see file comment). */
     FrameWorkload extractWorkload(const GaussianScene &scene,

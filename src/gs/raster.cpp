@@ -8,6 +8,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/integrity.h"
 #include "common/logging.h"
 
 namespace neo
@@ -206,12 +207,21 @@ blendReference(const std::vector<TileEntry> &entries,
  * reorder or change any float operation — and pixels and stats come out
  * bit-identical (the done[] test is replaced by the equivalent
  * transmittance < cutoff predicate, applied at compaction time).
+ *
+ * Integrity: with an enabled context, the CSR bucket bounds are fenced
+ * right after the scatter (digest recomputation plus monotonicity /
+ * bounds invariants). A corrupted CSR cannot be consumed safely — its
+ * bounds index the bucket array — so on mismatch the function records
+ * the fault and returns false *before any pixel write*; the caller then
+ * blends the tile through the scalar reference path, which depends only
+ * on the (separately fenced) tile entry list and produces bit-identical
+ * pixels. Returns true when the tile was blended here.
  */
-void
+bool
 blendBlocked(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
              const RasterConfig &cfg, Image *image, RasterScratch &scr,
              RasterStats &stats, int px0, int py0, int w, int h,
-             int subtiles)
+             int subtiles, int tile, IntegrityContext *integrity)
 {
     const std::vector<SubtileBitmap> &bitmaps = scr.bitmaps;
     const int sub = cfg.subtile_size;
@@ -321,6 +331,42 @@ blendBlocked(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
             bm &= bm - 1;
         }
         ++j;
+    }
+
+    if (integrity) {
+        // CSR fence: duplicate-compute the bounds digest across the
+        // injection window, then check the structural invariants the
+        // block loops rely on. Everything below is O(subtiles + refs)
+        // over data already hot in cache.
+        const uint64_t d0 = digestSpan(offsets.data(), offsets.size());
+        faultinject::corrupt(kIntegrityRasterCsr, tile, offsets.data(),
+                             offsets.size(), sizeof(uint32_t),
+                             sizeof(uint32_t));
+        const uint64_t d1 = digestSpan(offsets.data(), offsets.size());
+        bool ok = d0 == d1;
+        // After the scatter, bucket b spans [b ? offsets[b-1] : 0,
+        // offsets[b]): bounds must be monotone, end at total_refs, and
+        // every bucket entry must index a compacted Gaussian.
+        uint32_t prev = 0;
+        for (int b = 0; ok && b < subtile_count; ++b) {
+            if (offsets[b] < prev || offsets[b] > total_refs)
+                ok = false;
+            prev = offsets[b];
+        }
+        ok = ok && offsets[subtile_count] == total_refs;
+        for (uint32_t k = 0; ok && k < total_refs; ++k)
+            if (scr.bucket_entries[k] >= active)
+                ok = false;
+        if (!ok) {
+            // Detected before any pixel write; the reference fallback
+            // re-blends the tile from intact inputs, so the tile is
+            // recovered regardless of mode.
+            integrity->recordFault(IntegrityStage::Raster,
+                                   kIntegrityRasterCsr, tile, d0, d1,
+                                   true);
+            return false;
+        }
+        integrity->noteCheck();
     }
 
     scr.block_power.resize(block_cap);
@@ -545,6 +591,7 @@ blendBlocked(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
             }
         }
     }
+    return true;
 }
 
 } // namespace
@@ -552,8 +599,11 @@ blendBlocked(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
 RasterStats
 rasterizeTile(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
               int tile, const RasterConfig &cfg, Image *image,
-              std::vector<uint8_t> *valid_out, RasterScratch *scratch)
+              std::vector<uint8_t> *valid_out, RasterScratch *scratch,
+              IntegrityContext *integrity)
 {
+    if (integrity && !integrity->enabled())
+        integrity = nullptr;
     RasterStats stats;
     const TileGrid &grid = frame.grid;
     const Vec2 origin = grid.tileOrigin(tile);
@@ -613,10 +663,12 @@ rasterizeTile(const std::vector<TileEntry> &entries, const BinnedFrame &frame,
 
     const bool blocked = soa && !cfg.reference_path &&
                          tile_size % cfg.subtile_size == 0;
-    if (blocked)
-        blendBlocked(entries, frame, cfg, image, scr, stats, px0, py0, w,
-                     h, subtiles);
-    else
+    // blendBlocked returns false only when its integrity fence caught a
+    // corrupted CSR (before any pixel write); the reference blend then
+    // re-renders the tile from the intact entry list.
+    if (!blocked ||
+        !blendBlocked(entries, frame, cfg, image, scr, stats, px0, py0, w,
+                      h, subtiles, tile, integrity))
         blendReference(entries, frame, cfg, image, scr, stats, px0, py0,
                        w, h, subtiles);
     return stats;

@@ -275,13 +275,21 @@ struct RasterScratch
  *        per-entry valid bit (>=1 subtile intersection)
  * @param scratch optional reusable working memory; nullptr allocates
  *        locally (one-shot callers, tests)
+ * @param integrity when non-null and enabled, the blocked kernel fences
+ *        its CSR bucket bounds (digest + monotonicity/bounds invariants)
+ *        after the scatter and falls back to the scalar reference blend
+ *        on mismatch — before any pixel is written, so a corrupted CSR is
+ *        never consumed
  * @return work counters for the tile
  */
+class IntegrityContext;
+
 RasterStats rasterizeTile(const std::vector<TileEntry> &entries,
                           const BinnedFrame &frame, int tile,
                           const RasterConfig &cfg, Image *image,
                           std::vector<uint8_t> *valid_out = nullptr,
-                          RasterScratch *scratch = nullptr);
+                          RasterScratch *scratch = nullptr,
+                          IntegrityContext *integrity = nullptr);
 
 /**
  * Estimate the blend work of a tile without touching pixels. Used by the

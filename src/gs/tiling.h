@@ -10,9 +10,12 @@
 #ifndef NEO_GS_TILING_H
 #define NEO_GS_TILING_H
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
+#include "common/digest.h"
+#include "common/faultinject.h"
 #include "gs/camera.h"
 #include "gs/gaussian.h"
 
@@ -26,6 +29,30 @@ struct TileEntry
     float depth = 0.0f;
     /** Cleared by rasterization when the Gaussian leaves the tile. */
     bool valid = true;
+
+    /**
+     * Integrity digest over the semantic fields only — the struct has
+     * three padding bytes after `valid`, so hashing raw object bytes
+     * would fold indeterminate memory into the digest.
+     */
+    void digestInto(Digest64 &d) const
+    {
+        d.u64v(static_cast<uint64_t>(id) |
+               (static_cast<uint64_t>(std::bit_cast<uint32_t>(depth))
+                << 32));
+        d.flag(valid);
+    }
+};
+
+/**
+ * Bit flips are injected into the id/depth fields only: the padding
+ * bytes are invisible to the field-aware digest, and a multi-bit bool
+ * is undefined behavior — neither is a meaningful fault-model target.
+ */
+template <>
+struct faultinject::SemanticBytes<TileEntry>
+{
+    static constexpr size_t value = 8;
 };
 
 /** Depth-ascending comparison used everywhere a tile list is sorted. */

@@ -106,7 +106,13 @@ benchSceneScale()
     const char *env = std::getenv("NEO_SCENE_SCALE");
     if (!env)
         return 1.0;
-    double v = std::atof(env);
+    // Full-string consumption: atof would quietly read "2x" as 2.
+    char *end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end == env || *end != '\0') {
+        warn("ignoring NEO_SCENE_SCALE=%s (not a number)", env);
+        return 1.0;
+    }
     if (v <= 0.0 || v > 4.0) {
         warn("ignoring NEO_SCENE_SCALE=%s (want 0 < scale <= 4)", env);
         return 1.0;
@@ -120,12 +126,18 @@ benchFrameCount(int default_frames)
     const char *env = std::getenv("NEO_BENCH_FRAMES");
     if (!env)
         return default_frames;
-    int v = std::atoi(env);
+    // Full-string consumption: atoi would quietly read "10garbage" as 10.
+    char *end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0') {
+        warn("ignoring NEO_BENCH_FRAMES=%s (not an integer)", env);
+        return default_frames;
+    }
     if (v < 2 || v > 100000) {
         warn("ignoring NEO_BENCH_FRAMES=%s", env);
         return default_frames;
     }
-    return v;
+    return static_cast<int>(v);
 }
 
 } // namespace neo

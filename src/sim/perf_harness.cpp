@@ -7,7 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/faultinject.h"
 #include "common/frame_arena.h"
+#include "common/integrity.h"
 #include "common/parallel.h"
 #include "core/delta_tracker.h"
 #include "gs/tiling.h"
@@ -196,12 +198,32 @@ sweepRenderThreadsStaged(const GaussianScene &scene,
         Image image;
         const std::vector<std::vector<TileEntry>> no_orderings;
 
+        // Integrity fences run inside the timed stage sections, so a
+        // check/recover sweep point measures the mode's true per-stage
+        // overhead (this is where BENCH_PR6's check-vs-off delta comes
+        // from); with the mode off every fence is a no-op branch.
+        IntegrityContext integrity;
+        integrity.configure(resolveIntegrityMode(opts.integrity));
+        const bool fenced = integrity.enabled();
+        IntegrityContext *ctx = fenced ? &integrity : nullptr;
+        if (fenced)
+            tracker.setIntegrity(ctx);
+
         StageTimings acc;
         FrameStats last_stats;
         auto frameOnce = [&](int f, bool timed) {
             const Camera cam = trajectory.cameraAt(f, res);
             auto t0 = clock::now();
+            if (fenced)
+                integrity.beginFrame(static_cast<uint64_t>(f));
             binFrameInto(frame, arena, scene, cam, opts.tile_px, threads);
+            if (fenced) {
+                integrity.sealTiles(IntegrityStage::Binning,
+                                    kIntegrityBinTiles, frame.tiles);
+                faultinject::corruptTiles(kIntegrityBinTiles, frame.tiles);
+                integrity.verifyTiles(IntegrityStage::Binning,
+                                      kIntegrityBinTiles, frame.tiles);
+            }
             if (timed)
                 acc.bin_ms += ms_since(t0);
 
@@ -210,12 +232,23 @@ sweepRenderThreadsStaged(const GaussianScene &scene,
                 std::sort(frame.tiles[t].begin(), frame.tiles[t].end(),
                           entryDepthLess);
             });
+            if (fenced) {
+                // The sorted tile lists are the orderings rasterization
+                // consumes — the staged loop's analogue of the sorter's
+                // persistent tables.
+                integrity.sealTiles(IntegrityStage::Sorting,
+                                    kIntegritySortTables, frame.tiles);
+                faultinject::corruptTiles(kIntegritySortTables,
+                                          frame.tiles);
+                integrity.verifyTiles(IntegrityStage::Sorting,
+                                      kIntegritySortTables, frame.tiles);
+            }
             if (timed)
                 acc.sort_ms += ms_since(t0);
 
             t0 = clock::now();
             renderer.renderInto(image, frame, no_orderings, &last_stats,
-                                &arena);
+                                &arena, ctx);
             if (timed)
                 acc.raster_ms += ms_since(t0);
 
@@ -223,6 +256,8 @@ sweepRenderThreadsStaged(const GaussianScene &scene,
             tracker.observe(frame, delta);
             if (timed)
                 acc.tracker_ms += ms_since(t0);
+            if (fenced)
+                integrity.exportStats(last_stats.integrity);
         };
 
         // Untimed warm-up: pool spin-up, scene faults, buffer growth.

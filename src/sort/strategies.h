@@ -27,6 +27,8 @@
 namespace neo
 {
 
+class IntegrityContext;
+
 /** Base interface of a per-tile sorting strategy. */
 class SortingStrategy
 {
@@ -77,6 +79,14 @@ class SortingStrategy
 
     /** Effective worker-thread count (>= 1). */
     int threads() const { return threads_; }
+
+    /**
+     * Attach an integrity context (nullptr detaches). The base class
+     * ignores it; strategies with cross-frame state worth fencing
+     * (reuse-and-update's persistent tables and delta tracker) override
+     * this to thread the context into their stages.
+     */
+    virtual void setIntegrity(IntegrityContext *) {}
 
   protected:
     SortCoreStats stats_;

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the dataset preset helpers, focused on the environment
+ * knob parsing: NEO_SCENE_SCALE and NEO_BENCH_FRAMES must consume their
+ * whole value (regressions: atof read "2x" as 2, atoi read "10garbage"
+ * as 10) and fall back to the default on junk or out-of-range input.
+ */
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "scene/datasets.h"
+
+namespace neo::test
+{
+namespace
+{
+
+/** Save/restore one env var for the duration of a test body. */
+class ScopedEnv
+{
+  public:
+    explicit ScopedEnv(const char *name) : name_(name)
+    {
+        const char *cur = std::getenv(name);
+        had_ = cur != nullptr;
+        saved_ = cur ? cur : "";
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            setenv(name_, saved_.c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+    void set(const char *value) { setenv(name_, value, 1); }
+    void unset() { unsetenv(name_); }
+
+  private:
+    const char *name_;
+    bool had_ = false;
+    std::string saved_;
+};
+
+TEST(BenchSceneScale, UnsetAndValidValues)
+{
+    ScopedEnv env("NEO_SCENE_SCALE");
+    env.unset();
+    EXPECT_DOUBLE_EQ(benchSceneScale(), 1.0);
+    env.set("2");
+    EXPECT_DOUBLE_EQ(benchSceneScale(), 2.0);
+    env.set("0.25");
+    EXPECT_DOUBLE_EQ(benchSceneScale(), 0.25);
+    env.set("4");
+    EXPECT_DOUBLE_EQ(benchSceneScale(), 4.0);
+}
+
+TEST(BenchSceneScale, TrailingJunkFallsBackToDefault)
+{
+    // Regression: atof("2x") == 2 silently doubled the scene.
+    ScopedEnv env("NEO_SCENE_SCALE");
+    env.set("2x");
+    EXPECT_DOUBLE_EQ(benchSceneScale(), 1.0);
+    env.set("1.5 ");
+    EXPECT_DOUBLE_EQ(benchSceneScale(), 1.0);
+    env.set("scale");
+    EXPECT_DOUBLE_EQ(benchSceneScale(), 1.0);
+    env.set("");
+    EXPECT_DOUBLE_EQ(benchSceneScale(), 1.0);
+}
+
+TEST(BenchSceneScale, OutOfRangeFallsBackToDefault)
+{
+    ScopedEnv env("NEO_SCENE_SCALE");
+    env.set("0");
+    EXPECT_DOUBLE_EQ(benchSceneScale(), 1.0);
+    env.set("-1");
+    EXPECT_DOUBLE_EQ(benchSceneScale(), 1.0);
+    env.set("4.5");
+    EXPECT_DOUBLE_EQ(benchSceneScale(), 1.0);
+}
+
+TEST(BenchFrameCount, UnsetAndValidValues)
+{
+    ScopedEnv env("NEO_BENCH_FRAMES");
+    env.unset();
+    EXPECT_EQ(benchFrameCount(30), 30);
+    env.set("10");
+    EXPECT_EQ(benchFrameCount(30), 10);
+    env.set("2");
+    EXPECT_EQ(benchFrameCount(30), 2);
+}
+
+TEST(BenchFrameCount, TrailingJunkFallsBackToDefault)
+{
+    // Regression: atoi("10garbage") == 10 silently honoured the prefix.
+    ScopedEnv env("NEO_BENCH_FRAMES");
+    env.set("10garbage");
+    EXPECT_EQ(benchFrameCount(30), 30);
+    env.set("ten");
+    EXPECT_EQ(benchFrameCount(30), 30);
+    env.set("10.5");
+    EXPECT_EQ(benchFrameCount(30), 30);
+    env.set("");
+    EXPECT_EQ(benchFrameCount(30), 30);
+}
+
+TEST(BenchFrameCount, OutOfRangeFallsBackToDefault)
+{
+    ScopedEnv env("NEO_BENCH_FRAMES");
+    env.set("1");
+    EXPECT_EQ(benchFrameCount(30), 30);
+    env.set("0");
+    EXPECT_EQ(benchFrameCount(30), 30);
+    env.set("-5");
+    EXPECT_EQ(benchFrameCount(30), 30);
+    env.set("100001");
+    EXPECT_EQ(benchFrameCount(30), 30);
+}
+
+TEST(BuildScene, ScaleFloorsAtMinimumCount)
+{
+    // buildScene clamps the scaled count at 1000 so a tiny scale still
+    // produces a usable scene.
+    ScenePreset preset = tanksAndTemplesPresets().front();
+    GaussianScene scene = buildScene(preset, 1e-6);
+    EXPECT_GE(scene.size(), 1000u);
+}
+
+} // namespace
+} // namespace neo::test

@@ -197,6 +197,31 @@ TEST(ResolveThreadCount, ZeroDefersToEnvironment)
         unsetenv("NEO_THREADS");
 }
 
+TEST(ResolveThreadCount, PartiallyNumericEnvFallsBackToOneThread)
+{
+    // Regression: atoi-style parsing accepted "4garbage" as 4 threads.
+    // Full-string consumption must reject trailing junk (warn-once) and
+    // run serial rather than silently honouring the numeric prefix.
+    const char *saved = std::getenv("NEO_THREADS");
+    const std::string saved_copy = saved ? saved : "";
+
+    setenv("NEO_THREADS", "4garbage", 1);
+    EXPECT_EQ(resolveThreadCount(0), 1);
+    setenv("NEO_THREADS", "2.5", 1);
+    EXPECT_EQ(resolveThreadCount(0), 1);
+    setenv("NEO_THREADS", "-3", 1);
+    EXPECT_EQ(resolveThreadCount(0), 1);
+    setenv("NEO_THREADS", " 4", 1);
+    EXPECT_EQ(resolveThreadCount(0), 4); // strtol skips leading space
+    setenv("NEO_THREADS", "4 ", 1);
+    EXPECT_EQ(resolveThreadCount(0), 1); // trailing space is junk
+
+    if (saved)
+        setenv("NEO_THREADS", saved_copy.c_str(), 1);
+    else
+        unsetenv("NEO_THREADS");
+}
+
 TEST(ParallelForAccumulate, ChunkOrderMergeMatchesSerial)
 {
     const size_t n = 777;
@@ -286,6 +311,26 @@ TEST(ThreadAffinity, ParseRecognizesModes)
     EXPECT_EQ(parseThreadAffinity(""), ThreadAffinity::None);
     EXPECT_EQ(parseThreadAffinity("garbage"), ThreadAffinity::None);
     EXPECT_EQ(parseThreadAffinity(nullptr), ThreadAffinity::None);
+}
+
+TEST(ThreadAffinity, UnrecognizedEnvValueRunsUnpinned)
+{
+    // Regression: a typo like "compat" must degrade to None (with a
+    // once-only diagnostic), never crash or pin arbitrarily.
+    const char *saved = std::getenv("NEO_THREAD_AFFINITY");
+    const std::string saved_copy = saved ? saved : "";
+
+    setenv("NEO_THREAD_AFFINITY", "compat", 1);
+    EXPECT_EQ(threadAffinityMode(), ThreadAffinity::None);
+    setenv("NEO_THREAD_AFFINITY", "none", 1);
+    EXPECT_EQ(threadAffinityMode(), ThreadAffinity::None);
+    setenv("NEO_THREAD_AFFINITY", "scatter", 1);
+    EXPECT_EQ(threadAffinityMode(), ThreadAffinity::Scatter);
+
+    if (saved)
+        setenv("NEO_THREAD_AFFINITY", saved_copy.c_str(), 1);
+    else
+        unsetenv("NEO_THREAD_AFFINITY");
 }
 
 TEST(ThreadAffinity, CompactMapsConsecutiveCpusSkippingSlotZero)
