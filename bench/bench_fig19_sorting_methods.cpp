@@ -25,8 +25,10 @@
 #include "bench_common.h"
 #include "common/stats.h"
 #include "core/reuse_update.h"
+#include "gs/tile_sort.h"
 #include "metrics/psnr.h"
 #include "sim/dram.h"
+#include "sort/merge_unit.h"
 #include "sort/strategies.h"
 
 using namespace neo;
@@ -79,6 +81,36 @@ frameLatencyMs(const std::string &method, const FrameWorkload &w,
     return std::max(mem_ms, blend_ms);
 }
 
+/**
+ * Guard the figure's counters against batching/speculation drift: the
+ * fused-batch dispatch (sortTablesParallel) and the speculative parallel
+ * merge must report exactly the per-tile compares/moves of the serial
+ * unbatched path, or the paper-figure traffic numbers silently skew.
+ */
+bool
+countersMatch(const SortCoreStats &serial, const SortCoreStats &threaded,
+              const char *label)
+{
+    const bool ok =
+        serial.bsu.subchunks == threaded.bsu.subchunks &&
+        serial.bsu.compare_exchanges == threaded.bsu.compare_exchanges &&
+        serial.bsu.stages == threaded.bsu.stages &&
+        serial.msu.merges == threaded.msu.merges &&
+        serial.msu.elements_processed == threaded.msu.elements_processed &&
+        serial.msu.compares == threaded.msu.compares &&
+        serial.msu.filtered_invalid == threaded.msu.filtered_invalid &&
+        serial.chunk_loads == threaded.chunk_loads &&
+        serial.chunk_stores == threaded.chunk_stores &&
+        serial.entries_read == threaded.entries_read &&
+        serial.entries_written == threaded.entries_written &&
+        serial.global_merge_passes == threaded.global_merge_passes;
+    std::printf("%-28s %s (compares %llu vs %llu)\n", label,
+                ok ? "OK" : "DRIFT",
+                static_cast<unsigned long long>(serial.msu.compares),
+                static_cast<unsigned long long>(threaded.msu.compares));
+    return ok;
+}
+
 } // namespace
 
 int
@@ -128,12 +160,15 @@ main()
 
     const int q_frames = std::min(frames, 48);
     std::vector<std::vector<double>> psnr_series(4);
+    BatchSortScratch ref_sort_scratch;
     for (int f = 0; f < q_frames; ++f) {
         Camera cam = traj.cameraAt(f, res);
         BinnedFrame frame = binFrame(scene, cam, opts.tile_px);
         BinnedFrame sorted = frame;
-        for (auto &tile : sorted.tiles)
-            std::sort(tile.begin(), tile.end(), entryDepthLess);
+        // The exact per-frame reference ordering, via the same fused
+        // batched key-sort the pipeline uses (bit-identical to per-tile
+        // std::sort(entryDepthLess)).
+        sortTablesBatched(sorted.tiles, 1, ref_sort_scratch);
         Image ref = renderer.renderWithOrdering(sorted, {});
         for (int s = 0; s < 4; ++s) {
             strategies[s]->beginFrame(frame, f);
@@ -147,6 +182,53 @@ main()
                     strategies[s]->name().c_str(), mean(psnr_series[s]),
                     percentile(psnr_series[s], 0.0),
                     sparkline(psnr_series[s]).c_str());
+    }
+
+    // ---- counter drift cross-check --------------------------------------
+    bool drift_ok = true;
+    std::printf("\n(c) counter drift: batched/speculative vs serial\n");
+    {
+        Camera cam0 = traj.cameraAt(0, res);
+        BinnedFrame f0 = binFrame(scene, cam0, opts.tile_px);
+
+        FullSortStrategy serial_full, batched_full;
+        serial_full.setThreads(1);
+        batched_full.setThreads(4);
+        serial_full.beginFrame(f0, 0);
+        batched_full.beginFrame(f0, 0);
+        drift_ok &= countersMatch(serial_full.stats(), batched_full.stats(),
+                                  "full-sort fused batches");
+
+        // Speculative merge, accept outcome (sorted inputs) and fallback
+        // outcome (the reused table is not sorted): both must report the
+        // serial interleaving's counters.
+        std::vector<TileEntry> big_a, big_b;
+        for (uint32_t i = 0; i < 4096; ++i) {
+            big_a.push_back({2 * i, static_cast<float>(2 * i), true});
+            big_b.push_back({2 * i + 1, static_cast<float>(2 * i + 1),
+                             true});
+        }
+        std::vector<TileEntry> merged_serial, merged_spec;
+        MsuStats serial_m, spec_m;
+        msuMerge(big_a, big_b, merged_serial, &serial_m, 1);
+        msuMerge(big_a, big_b, merged_spec, &spec_m, 8);
+        SortCoreStats sc_serial, sc_spec;
+        sc_serial.msu = serial_m;
+        sc_spec.msu = spec_m;
+        drift_ok &= countersMatch(sc_serial, sc_spec,
+                                  "speculative merge (accept)");
+
+        std::swap(big_a.front(), big_a.back()); // refute the speculation
+        msuMerge(big_a, big_b, merged_serial, &serial_m, 1);
+        msuMerge(big_a, big_b, merged_spec, &spec_m, 8);
+        sc_serial.msu = serial_m;
+        sc_spec.msu = spec_m;
+        drift_ok &= countersMatch(sc_serial, sc_spec,
+                                  "speculative merge (fallback)");
+    }
+    if (!drift_ok) {
+        std::printf("counter drift detected — figure numbers unreliable\n");
+        return 1;
     }
     return 0;
 }

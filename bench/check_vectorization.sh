@@ -16,6 +16,10 @@
 #     3. the SoA sorted-id extract scan of observe()
 #        (the line writing `ids[i] = ...`);
 #     and at least MIN_VECTORIZED_TRACKER loops overall.
+#   src/gs/tile_sort.cpp
+#     4. the key unpack/reconstruct loop of the fused small-sort batch
+#        kernel keySortTable (the line writing `out[i].id = ...`);
+#     and at least MIN_VECTORIZED_SORT loops overall.
 #
 # A silent vectorization regression (e.g. an accidental loop-carried
 # dependency, a call in the inner loop, or a select turned back into a
@@ -34,6 +38,7 @@ cd "$(dirname "$0")/.."
 CXX_BIN="${1:-${CXX:-g++}}"
 MIN_VECTORIZED_RASTER=3
 MIN_VECTORIZED_TRACKER=1
+MIN_VECTORIZED_SORT=1
 
 if ! "$CXX_BIN" --version 2>/dev/null | grep -qiE "gcc|g\+\+"; then
     echo "check_vectorization.sh: SKIP — $CXX_BIN is not GCC," \
@@ -110,6 +115,11 @@ require_count src/core/delta_tracker.cpp "$tracker_lines" \
     "$MIN_VECTORIZED_TRACKER"
 require_marker src/core/delta_tracker.cpp "$tracker_lines" \
     'ids\[i\] = static_cast<GaussianId>' "delta-tracker sorted-id scan"
+
+sort_lines="$(vectorized_lines src/gs/tile_sort.cpp)"
+require_count src/gs/tile_sort.cpp "$sort_lines" "$MIN_VECTORIZED_SORT"
+require_marker src/gs/tile_sort.cpp "$sort_lines" \
+    'out\[i\].id = static_cast<uint32_t>' "key-sort unpack"
 
 if ((fail)); then
     exit 1

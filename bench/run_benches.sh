@@ -8,7 +8,7 @@
 #
 #   bench/run_benches.sh [BUILD_DIR] [OUTPUT_JSON]
 #
-# BUILD_DIR defaults to ./build; OUTPUT_JSON to ./BENCH_PR6.json — pass
+# BUILD_DIR defaults to ./build; OUTPUT_JSON to ./BENCH_PR7.json — pass
 # the PR's own filename explicitly from CI.
 # Knobs: NEO_BENCH_GAUSSIANS / NEO_BENCH_FRAMES_SCALING / NEO_BENCH_THREADS
 # shrink or grow the run (CI smoke uses the defaults); NEO_BENCH_PR sets
@@ -28,7 +28,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-OUT_JSON="${2:-BENCH_PR6.json}"
+OUT_JSON="${2:-BENCH_PR7.json}"
 
 GAUSSIANS="${NEO_BENCH_GAUSSIANS:-30000}"
 FRAMES="${NEO_BENCH_FRAMES_SCALING:-5}"

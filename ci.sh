@@ -20,8 +20,8 @@
 #                 trajectory point, one NEO_INTEGRITY=check sweep is
 #                 recorded (…_integrity.json) and gated against the off
 #                 point: >10% check-mode overhead at threads=1 fails.
-#   NEO_BENCH_JSON      output trajectory point (default: BENCH_PR6.json)
-#   NEO_BENCH_BASELINE  previous trajectory point (default: BENCH_PR5.json)
+#   NEO_BENCH_JSON      output trajectory point (default: BENCH_PR7.json)
+#   NEO_BENCH_BASELINE  previous trajectory point (default: BENCH_PR6.json)
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -29,8 +29,8 @@ cd "$(dirname "$0")"
 BUILD_DIR="${BUILD_DIR:-build}"
 BUILD_TYPE="${BUILD_TYPE:-}"
 JOBS="${JOBS:-$(nproc)}"
-NEO_BENCH_JSON="${NEO_BENCH_JSON:-BENCH_PR6.json}"
-NEO_BENCH_BASELINE="${NEO_BENCH_BASELINE:-BENCH_PR5.json}"
+NEO_BENCH_JSON="${NEO_BENCH_JSON:-BENCH_PR7.json}"
+NEO_BENCH_BASELINE="${NEO_BENCH_BASELINE:-BENCH_PR6.json}"
 
 cmake -B "$BUILD_DIR" -S . -DNEO_WERROR=ON \
     ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"} "$@"
@@ -69,7 +69,7 @@ if [[ "${NEO_CI_BENCH:-0}" == "1" ]]; then
         # check-mode overhead above 10% ms/frame at threads=1 fails CI.
         NEO_INTEGRITY_JSON="${NEO_BENCH_JSON%.json}_integrity.json"
         echo "ci.sh: running check-mode integrity bench point"
-        if ! NEO_BENCH_INTEGRITY=check NEO_BENCH_PR="${NEO_BENCH_PR:-6}" \
+        if ! NEO_BENCH_INTEGRITY=check NEO_BENCH_PR="${NEO_BENCH_PR:-7}" \
              bench/run_benches.sh "$BUILD_DIR" "$NEO_INTEGRITY_JSON"; then
             echo "ci.sh: WARNING integrity bench failed (non-gating)" >&2
         else

@@ -253,6 +253,70 @@ parallelForEach(size_t n, int threads, Body &&body)
 }
 
 /**
+ * Pack the items of [0, n) into contiguous weighted batches: each batch
+ * is either a single item whose weight reaches @p grain on its own, or a
+ * maximal run of smaller items whose combined weight stays at (about)
+ * @p grain. The result is a pure function of (n, grain, weights) — batch
+ * boundaries never depend on the thread count — so batched dispatch
+ * preserves the determinism contract. @p out is reused (cleared first);
+ * zero-weight items simply join the current batch, and a batch always
+ * holds at least one item.
+ *
+ * This is the dispatch-granularity fix for stages made of thousands of
+ * tiny independent problems (per-tile sorts): instead of one work item
+ * per tile — where the per-item bookkeeping dwarfs a 3-entry sort — the
+ * pool sees fused ~grain-sized batches of roughly equal cost, so static
+ * chunking over batches is weight-balanced even when tile sizes span
+ * four orders of magnitude.
+ */
+template <typename WeightFn>
+void
+buildWeightedBatchesInto(std::vector<ParallelRange> &out, size_t n,
+                         size_t grain, WeightFn &&weight)
+{
+    out.clear();
+    size_t begin = 0;
+    size_t acc = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const size_t w = weight(i);
+        if (i > begin && acc + w > grain) {
+            out.push_back({begin, i});
+            begin = i;
+            acc = 0;
+        }
+        acc += w;
+        if (acc >= grain) {
+            out.push_back({begin, i + 1});
+            begin = i + 1;
+            acc = 0;
+        }
+    }
+    if (begin < n)
+        out.push_back({begin, n});
+}
+
+/**
+ * Fused batched dispatch: invoke body(begin, end, chunk) once per batch
+ * (item range [begin, end)), where @p chunk is the pool-chunk index the
+ * batch executes under — the index callers use for per-chunk scratch and
+ * accumulators, sized with parallelChunkCount(batches.size(), threads).
+ * Batches are statically chunked in batch order exactly like parallelFor
+ * items, so with weight-equalized batches every chunk carries roughly
+ * equal work; the serial path runs the batches in order inline.
+ */
+template <typename Body>
+void
+parallelForBatched(const std::vector<ParallelRange> &batches, int threads,
+                   Body &&body)
+{
+    parallelFor(batches.size(), threads,
+                [&](size_t b_begin, size_t b_end, size_t chunk) {
+                    for (size_t b = b_begin; b < b_end; ++b)
+                        body(batches[b].begin, batches[b].end, chunk);
+                });
+}
+
+/**
  * parallelFor with one default-constructed accumulator per chunk:
  * body(begin, end, acc) runs once per chunk with exclusive access to its
  * accumulator (counters, scratch buffers, ...). Returns the accumulators

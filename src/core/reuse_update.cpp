@@ -19,6 +19,7 @@ ReuseUpdateSorter::reset()
     delta_ = FrameDelta{};
     report_ = ReuseUpdateReport{};
     update_scratch_.clear();
+    batches_.clear();
 }
 
 void
@@ -43,18 +44,25 @@ ReuseUpdateSorter::coldStart(const BinnedFrame &frame)
 {
     // First frame (or a resolution change): build and fully sort every
     // table from scratch, exactly like a conventional pipeline would.
-    // Each tile's table is independent, so the sorts run in parallel with
-    // per-chunk counters merged in fixed chunk order.
+    // Each tile's table is independent, so tiles pack into fused weighted
+    // batches (one pool dispatch per ~256 entries instead of per tile)
+    // with per-chunk counters merged in fixed chunk order — totals are
+    // bit-identical to the per-tile loop at any thread count.
     report_.cold_start = true;
     tables_.reset(frame.tiles.size());
-    for (const SortCoreStats &s : parallelForAccumulate<SortCoreStats>(
-             frame.tiles.size(), threads_,
-             [&](size_t begin, size_t end, SortCoreStats &cs) {
-                 for (size_t t = begin; t < end; ++t) {
-                     tables_.table(t) = frame.tiles[t];
-                     fullSortTable(tables_.table(t), &cs, threads_);
-                 }
-             }))
+    buildWeightedBatchesInto(batches_, frame.tiles.size(), kSortBatchGrain,
+                             [&](size_t t) { return frame.tiles[t].size(); });
+    std::vector<SortCoreStats> acc(
+        parallelChunkCount(batches_.size(), threads_));
+    parallelForBatched(batches_, threads_,
+                       [&](size_t begin, size_t end, size_t chunk) {
+                           for (size_t t = begin; t < end; ++t) {
+                               tables_.table(t) = frame.tiles[t];
+                               fullSortTable(tables_.table(t), &acc[chunk],
+                                             threads_);
+                           }
+                       });
+    for (const SortCoreStats &s : acc)
         stats_ += s;
     report_.incoming = delta_.incoming_total;
 }
@@ -64,21 +72,29 @@ ReuseUpdateSorter::updateFrame(const BinnedFrame &frame, uint64_t frame_index)
 {
     // Steps ①-③ touch only tile-local state (the persistent table, the
     // tile's delta, and a per-worker merge buffer), so tiles process in
-    // parallel; counters accumulate per chunk and merge in chunk order.
-    // The per-chunk scratch persists across frames (chunk indices are
-    // stable), so the steady-state update loop reuses its staging and
-    // merge buffers instead of reallocating them every frame.
+    // parallel — packed into fused weighted batches (weight = persistent
+    // table + incoming entries, i.e. the tile's actual update cost) so
+    // the pool dispatches per ~256-entry batch instead of per tile;
+    // counters accumulate per chunk and merge in chunk order. The
+    // per-chunk scratch persists across frames (grown, never shrunk), so
+    // the steady-state update loop reuses its staging and merge buffers
+    // instead of reallocating them every frame.
     const size_t tiles = frame.tiles.size();
-    const size_t chunks = parallelChunkCount(tiles, threads_);
-    if (update_scratch_.size() != chunks)
+    buildWeightedBatchesInto(batches_, tiles, kSortBatchGrain,
+                             [&](size_t t) {
+                                 return tables_.table(t).size() +
+                                        delta_.tiles[t].incoming.size();
+                             });
+    const size_t chunks = parallelChunkCount(batches_.size(), threads_);
+    if (update_scratch_.size() < chunks)
         update_scratch_.resize(chunks);
     for (UpdateScratch &s : update_scratch_) {
         s.stats = SortCoreStats{};
         s.incoming = 0;
         s.deleted = 0;
     }
-    parallelFor(tiles, threads_,
-                [&](size_t begin, size_t end, size_t chunk) {
+    parallelForBatched(batches_, threads_,
+                       [&](size_t begin, size_t end, size_t chunk) {
         UpdateScratch &s = update_scratch_[chunk];
         for (size_t t = begin; t < end; ++t) {
             std::vector<TileEntry> &table = tables_.table(t);

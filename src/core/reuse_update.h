@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "core/delta_tracker.h"
 #include "core/gaussian_table.h"
 #include "sort/dynamic_partial.h"
@@ -126,6 +127,10 @@ class ReuseUpdateSorter : public SortingStrategy
     FrameDelta delta_;
     ReuseUpdateReport report_;
     std::vector<UpdateScratch> update_scratch_;
+    /** Fused tile batches of the current frame (see parallelForBatched):
+        rebuilt each frame from the per-tile work weights, reusing
+        capacity. */
+    std::vector<ParallelRange> batches_;
 };
 
 } // namespace neo

@@ -8,6 +8,7 @@
 #include "common/frame_arena.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "gs/tile_sort.h"
 
 namespace neo
 {
@@ -25,10 +26,12 @@ struct RasterAccum
     size_t capacityBytes() const { return scratch.capacityBytes(); }
 };
 
-/** Arena key of the raster accumulators (see kArenaKeysRaster). */
+/** Arena keys of the raster accumulators and the batched tile-sort
+ *  scratch (see kArenaKeysRaster). */
 enum : int
 {
     kKeyRasterAccums = kArenaKeysRaster + 0,
+    kKeySortScratch = kArenaKeysRaster + 1,
 };
 
 } // namespace
@@ -65,11 +68,14 @@ Renderer::prepareInto(BinnedFrame &frame, FrameArena &arena,
 {
     const int threads = resolveThreadCount(opts_.threads);
     binFrameInto(frame, arena, scene, camera, opts_.tile_px, threads);
-    // Each tile's ordering is independent of every other tile's.
-    parallelForEach(frame.tiles.size(), threads, [&](size_t t) {
-        std::sort(frame.tiles[t].begin(), frame.tiles[t].end(),
-                  entryDepthLess);
-    });
+    // Each tile's ordering is independent of every other tile's; tiny
+    // tiles fuse into ~256-entry batches so the pool dispatches per
+    // batch, and each batch sorts through the key kernel — bit-identical
+    // to per-tile std::sort(entryDepthLess) at any thread count.
+    auto &sort_scratch = arena.buffer<BatchSortScratch>(kKeySortScratch);
+    if (sort_scratch.empty())
+        sort_scratch.resize(1);
+    sortTablesBatched(frame.tiles, threads, sort_scratch.front());
 }
 
 Image

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
+#include "gs/tile_sort.h"
 #include "sort/bitonic.h"
 #include "sort/merge_unit.h"
 
@@ -23,6 +25,13 @@ namespace neo
 
 /** Default hardware chunk capacity (entries), per the paper. */
 constexpr size_t kChunkSize = 256;
+
+// The fused cross-tile batching grain (gs/tile_sort.h) deliberately
+// reuses the chunk-sort granularity: one batch ≈ one hardware chunk of
+// entries, the size below which per-problem bookkeeping dominates the
+// sort itself. Keep the two in lockstep.
+static_assert(kSortBatchGrain == kChunkSize,
+              "fused sort batches must stay chunk-sized");
 
 /** Combined counters of a sorting-core operation. */
 struct SortCoreStats

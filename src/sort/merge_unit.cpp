@@ -1,6 +1,7 @@
 #include "sort/merge_unit.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -111,18 +112,32 @@ mergePathSplit(const std::vector<TileEntry> &a,
 }
 
 /**
- * Parallel two-way merge of sorted inputs: split the merged output into
- * one span per chunk at merge-path partition points, merge the spans
- * concurrently into per-chunk buffers, and concatenate in chunk order.
- * The interleaving (and therefore the output) matches the serial loop
- * exactly; counters are reconstructed to the serial values — compares
- * analytically (serialMergeCompares) and the invalid filter from the
- * emitted-element deficit.
+ * Speculative parallel two-way merge. Assume both inputs are sorted:
+ * split the merged output into one span per chunk at merge-path partition
+ * points, merge the spans concurrently into per-chunk buffers, and
+ * concatenate in chunk order — verifying the assumption along the way
+ * instead of paying two upfront serial std::is_sorted scans.
+ *
+ * The speculation is refuted in two places. (1) Pre-flight: on unsorted
+ * input the blind merge-path searches can yield non-monotone split
+ * points; those reject immediately, before any parallel work. (2) Fused
+ * verification: each chunk first scans the adjacent pairs of its own
+ * input spans, including the pair that crosses into the previous span —
+ * collectively that is exactly std::is_sorted of both inputs, but it runs
+ * in parallel — and raises the shared `failed` flag on the first
+ * inversion, which later chunks poll to cut their work short.
+ *
+ * Returns true on acceptance, with `out` and the counters bit-identical
+ * to the serial loop (compares reconstructed analytically via
+ * serialMergeCompares, the invalid filter from the emitted-element
+ * deficit). Returns false on refutation with `out` and the counters
+ * untouched — the caller falls back to the serial interleaving.
  */
-void
-msuMergeParallel(const std::vector<TileEntry> &a,
-                 const std::vector<TileEntry> &b,
-                 std::vector<TileEntry> &out, MsuStats *stats, int threads)
+bool
+msuMergeSpeculative(const std::vector<TileEntry> &a,
+                    const std::vector<TileEntry> &b,
+                    std::vector<TileEntry> &out, MsuStats *stats,
+                    int threads)
 {
     const size_t total = a.size() + b.size();
     const size_t chunks = parallelChunkCount(total, threads);
@@ -134,9 +149,25 @@ msuMergeParallel(const std::vector<TileEntry> &a,
         ia[c] = mergePathSplit(a, b, k);
         jb[c] = k - ia[c];
     }
+    for (size_t c = 0; c < chunks; ++c)
+        if (ia[c] > ia[c + 1] || jb[c] > jb[c + 1])
+            return false;
 
+    std::atomic<bool> failed{false};
     std::vector<std::vector<TileEntry>> parts(chunks);
     parallelForEach(chunks, threads, [&](size_t c) {
+        for (size_t x = std::max(ia[c], size_t{1}); x < ia[c + 1]; ++x)
+            if (entryDepthLess(a[x], a[x - 1])) {
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        for (size_t x = std::max(jb[c], size_t{1}); x < jb[c + 1]; ++x)
+            if (entryDepthLess(b[x], b[x - 1])) {
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        if (failed.load(std::memory_order_relaxed))
+            return; // another span already refuted the speculation
         std::vector<TileEntry> &dst = parts[c];
         dst.reserve((ia[c + 1] - ia[c]) + (jb[c + 1] - jb[c]));
         size_t i = ia[c], j = jb[c];
@@ -152,6 +183,8 @@ msuMergeParallel(const std::vector<TileEntry> &a,
         while (j < j_end)
             emit(b[j++], dst, nullptr);
     });
+    if (failed.load(std::memory_order_relaxed))
+        return false;
 
     out.clear();
     size_t emitted = 0;
@@ -167,6 +200,7 @@ msuMergeParallel(const std::vector<TileEntry> &a,
         stats->elements_processed += total;
         stats->filtered_invalid += total - emitted;
     }
+    return true;
 }
 
 } // namespace
@@ -177,11 +211,8 @@ msuMerge(const std::vector<TileEntry> &a, const std::vector<TileEntry> &b,
 {
     if (threads > 1 && a.size() + b.size() >= kMsuParallelMinEntries &&
         !ThreadPool::insideParallelRegion() &&
-        std::is_sorted(a.begin(), a.end(), entryDepthLess) &&
-        std::is_sorted(b.begin(), b.end(), entryDepthLess)) {
-        msuMergeParallel(a, b, out, stats, threads);
+        msuMergeSpeculative(a, b, out, stats, threads))
         return;
-    }
 
     out.clear();
     out.reserve(a.size() + b.size());

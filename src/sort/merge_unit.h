@@ -10,10 +10,12 @@
  * Long tables can additionally split across worker threads: the merge
  * tree of msuMergeRuns fans its independent pairwise merges of each pass
  * out over the pool (fixed tree shape, disjoint output ranges), and the
- * two-way msuMerge / msuUpdateTable splits the merged output at
- * merge-path partition points when both inputs are sorted. Both paths
- * recombine in fixed chunk order and keep every hardware counter
- * bit-identical to the serial pass for any thread count.
+ * two-way msuMerge / msuUpdateTable *speculatively* splits the merged
+ * output at merge-path partition points assuming both inputs are sorted,
+ * verifying the assumption inside the parallel spans and falling back to
+ * the serial interleaving when it is refuted. Both paths recombine in
+ * fixed chunk order and keep every hardware counter bit-identical to the
+ * serial pass for any thread count.
  */
 
 #ifndef NEO_SORT_MERGE_UNIT_H
@@ -59,12 +61,16 @@ constexpr size_t kMsuParallelMinEntries = 2048;
  * Entries with valid == false in either input are filtered out, modeling
  * the MSU+ invalid-bit filter on its local input buffers.
  *
- * With @p threads > 1 and inputs that really are sorted, the merged
- * output is split at merge-path partition points and the spans merge on
- * the pool concurrently; inputs that are only approximately sorted (the
- * reused table under Dynamic Partial Sorting) take the serial path, whose
- * element interleaving is the behavioral contract. Output and counters
- * are bit-identical either way.
+ * With @p threads > 1 and enough entries, the merge runs *speculatively*:
+ * the output is split at merge-path partition points computed as if both
+ * inputs were sorted, the spans merge on the pool concurrently, and each
+ * span verifies the sortedness of its own slice of the inputs as it goes
+ * (collectively a full std::is_sorted of both inputs, without the two
+ * upfront serial scans). If any span finds an inversion — the reused
+ * table under Dynamic Partial Sorting is only approximately sorted — the
+ * speculative result is discarded and the serial loop, whose element
+ * interleaving is the behavioral contract, runs instead. Output and
+ * counters are bit-identical to the serial pass in both outcomes.
  */
 void msuMerge(const std::vector<TileEntry> &a, const std::vector<TileEntry> &b,
               std::vector<TileEntry> &out, MsuStats *stats = nullptr,

@@ -21,24 +21,34 @@ copyTiles(const BinnedFrame &frame,
 }
 
 /**
- * Apply @p sort_one to every table in parallel, accumulating the hardware
- * counters per chunk and merging them into @p stats in fixed chunk order
- * (each tile's sort is independent of every other tile's). The thread
- * count is also forwarded to the per-table sort so that frames whose tile
- * count cannot feed every worker (the single-tile case in particular)
- * still split the in-tile merge tree across the pool.
+ * Apply @p sort_one to every table through the fused batched dispatch:
+ * tiles pack into ~kSortBatchGrain-entry weighted batches and the pool
+ * executes batches, not tiles, so frames made of thousands of tiny tiles
+ * pay one dispatch per ~256 entries instead of one per tile. Hardware
+ * counters accumulate per pool chunk and merge into @p stats in fixed
+ * chunk order; because per-tile counters are integer sums, the totals are
+ * bit-identical to the unbatched per-tile loop at any thread count. The
+ * thread count is also forwarded to the per-table sort so that frames
+ * whose tile count cannot feed every worker (the single-tile case in
+ * particular — then the whole frame is one batch and the dispatch runs
+ * inline) still split the in-tile merge tree across the pool.
  */
 template <typename SortFn>
 void
 sortTablesParallel(std::vector<std::vector<TileEntry>> &tables, int threads,
                    SortCoreStats &stats, SortFn sort_one)
 {
-    for (const SortCoreStats &s : parallelForAccumulate<SortCoreStats>(
-             tables.size(), threads,
-             [&](size_t begin, size_t end, SortCoreStats &cs) {
-                 for (size_t t = begin; t < end; ++t)
-                     sort_one(tables[t], &cs, threads);
-             }))
+    std::vector<ParallelRange> batches;
+    buildWeightedBatchesInto(batches, tables.size(), kSortBatchGrain,
+                             [&](size_t t) { return tables[t].size(); });
+    std::vector<SortCoreStats> acc(
+        parallelChunkCount(batches.size(), threads));
+    parallelForBatched(batches, threads,
+                       [&](size_t begin, size_t end, size_t chunk) {
+                           for (size_t t = begin; t < end; ++t)
+                               sort_one(tables[t], &acc[chunk], threads);
+                       });
+    for (const SortCoreStats &s : acc)
         stats += s;
 }
 

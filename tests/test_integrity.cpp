@@ -19,6 +19,8 @@
 #include "common/digest.h"
 #include "common/faultinject.h"
 #include "common/integrity.h"
+#include "common/parallel.h"
+#include "gs/tile_sort.h"
 #include "core/neo_renderer.h"
 #include "scene/trajectory.h"
 #include "test_util.h"
@@ -524,6 +526,66 @@ TEST(IntegrityInjectionMatrix, SortTablesFlipDetectedAtSortingFence)
                        /*include_reference_kernel=*/true,
                        /*check_hash_on_detect_frame=*/false,
                        /*inject_index=*/-1, /*seed=*/202);
+}
+
+TEST(IntegrityInjectionMatrix, SortTablesFlipInsideFusedBatchDetected)
+{
+    // The sort stage now dispatches small tiles in fused cross-tile
+    // batches (gs/tile_sort.h): runs of tiny tables share one parallel
+    // invocation instead of getting a chunk each. The sort.tables fence
+    // must still attribute a flip landing in one of those fused tiles.
+    // Pin the flip to an explicit tile index — the fused dispatch runs
+    // inside a parallel region, where "first execution wins" would race
+    // between workers, while a pinned (point, tile) lands identically at
+    // any thread count.
+    const GaussianScene &scene = integrityScene();
+    Trajectory traj(TrajectoryKind::Orbit, scene);
+
+    // Probe frame 1's tile sizes, recompute the weighted batch packing
+    // the sorter uses, and pick a non-empty tile from a batch that fused
+    // at least two tiles.
+    int64_t fused_tile = -1;
+    {
+        NeoRenderer probe(integrityOpts(1, false, IntegrityMode::Off));
+        Image img;
+        for (int f = 0; f <= 1; ++f)
+            probe.renderFrameInto(img, scene,
+                                  traj.cameraAt(f, smallRes()),
+                                  static_cast<uint64_t>(f));
+        const auto &tiles = probe.lastBinnedFrame().tiles;
+        std::vector<ParallelRange> batches;
+        buildWeightedBatchesInto(
+            batches, tiles.size(), kSortBatchGrain,
+            [&](size_t t) { return tiles[t].size(); });
+        for (const ParallelRange &b : batches) {
+            if (b.size() < 2)
+                continue;
+            for (size_t t = b.begin; t < b.end; ++t)
+                if (!tiles[t].empty()) {
+                    fused_tile = static_cast<int64_t>(t);
+                    break;
+                }
+            if (fused_tile >= 0)
+                break;
+        }
+        ASSERT_GE(fused_tile, 0)
+            << "frame 1 packs no multi-tile sort batch with a non-empty "
+            << "tile; the fused-batch injection case needs one";
+        ASSERT_LT(tiles[static_cast<size_t>(fused_tile)].size(),
+                  kSortBatchGrain);
+    }
+
+    runInjectionMatrix(kIntegritySortTables, IntegrityStage::Sorting,
+                       /*detect_frame=*/1,
+                       /*include_reference_kernel=*/true,
+                       /*check_hash_on_detect_frame=*/false,
+                       /*inject_index=*/fused_tile, /*seed=*/505);
+
+    // The flip really landed in the pinned fused tile.
+    faultinject::Injection last;
+    ASSERT_TRUE(faultinject::lastInjection(&last));
+    EXPECT_EQ(last.point, kIntegritySortTables);
+    EXPECT_EQ(last.index, fused_tile);
 }
 
 TEST(IntegrityInjectionMatrix, TrackerPrevIdsFlipDetectedNextFrame)

@@ -287,5 +287,108 @@ TEST(MsuParallelTest, MergeTreeSubrangeMatchesSerial)
     expectSameMsuStats(serial_stats, stats);
 }
 
+// --- speculative merge-path split (accept and fallback outcomes) ---
+
+/**
+ * The speculative contract in one assertion: whatever the outcome
+ * (accepted merge-path parallelism or serial fallback), output and
+ * counters are bit-identical to the serial interleaving at every thread
+ * count.
+ */
+void
+expectSpeculativeMatchesSerial(const std::vector<TileEntry> &a,
+                               const std::vector<TileEntry> &b)
+{
+    std::vector<TileEntry> serial_out;
+    MsuStats serial_stats;
+    msuMerge(a, b, serial_out, &serial_stats, 1);
+    for (int threads : {1, 2, 8}) {
+        std::vector<TileEntry> out;
+        MsuStats stats;
+        msuMerge(a, b, out, &stats, threads);
+        expectSameEntries(serial_out, out);
+        expectSameMsuStats(serial_stats, stats);
+    }
+}
+
+TEST(MsuSpeculativeTest, SortedInputsAcceptBitExact)
+{
+    // The accept outcome: speculation verifies and the merge-path spans
+    // stand. Heavy cross-input ties plus invalid entries stress the
+    // tie-break and the filtered-counter reconstruction.
+    auto a = sortedTable(5000, 70);
+    auto b = a;
+    for (auto &e : b)
+        e.id += 100000;
+    for (size_t i = 0; i < a.size(); i += 61)
+        a[i].valid = false;
+    expectSpeculativeMatchesSerial(a, b);
+}
+
+TEST(MsuSpeculativeTest, AlmostSortedReusedTableFallsBackBitExact)
+{
+    // The common steady-state fallback: the reused table under Dynamic
+    // Partial Sorting is only approximately sorted, so verification must
+    // refute the speculation and the serial interleaving must stand.
+    auto a = test::nearlySortedTable(6000, 2.0f, 71);
+    auto b = sortedTable(3000, 72);
+    for (auto &e : b)
+        e.id += 100000;
+    expectSpeculativeMatchesSerial(a, b);
+    expectSpeculativeMatchesSerial(b, a);
+}
+
+TEST(MsuSpeculativeTest, SingleInversionAtBoundaryPositionsFallsBack)
+{
+    // A single swapped adjacent pair is the hardest violation to catch:
+    // the merge-path splits look plausible and only one chunk's span scan
+    // sees the inversion. Place it at the first pair, the last pair, and
+    // around likely span boundaries for 2 and 8 chunks.
+    const size_t n = 6000;
+    auto b = sortedTable(3000, 73);
+    for (auto &e : b)
+        e.id += 100000;
+    for (size_t pos : {size_t{0}, n / 8 - 1, n / 8, n / 2, n - 2}) {
+        auto a = sortedTable(n, 74);
+        std::swap(a[pos], a[pos + 1]);
+        ASSERT_FALSE(
+            std::is_sorted(a.begin(), a.end(), entryDepthLess));
+        expectSpeculativeMatchesSerial(a, b);
+        expectSpeculativeMatchesSerial(b, a);
+    }
+}
+
+TEST(MsuSpeculativeTest, FullyUnsortedInputsFallBackBitExact)
+{
+    // Fully unsorted input: the blind merge-path searches usually yield
+    // non-monotone splits here, exercising the pre-flight reject before
+    // any parallel work (and the span scans when they happen to pass).
+    auto a = sortedTable(4000, 75);
+    std::reverse(a.begin(), a.end());
+    auto b = test::randomTable(4000, 76);
+    for (auto &e : b)
+        e.id += 100000;
+    expectSpeculativeMatchesSerial(a, b);
+    expectSpeculativeMatchesSerial(b, a);
+}
+
+TEST(MsuSpeculativeTest, UpdateTableSpeculatesAcrossOutcomes)
+{
+    // msuUpdateTable is the speculative path's production caller: reused
+    // tables arrive almost sorted (fallback) right after a cold start
+    // left them fully sorted (accept). Exercise both through the public
+    // entry point with invalid entries in flight.
+    auto reused = sortedTable(4000, 77);
+    for (size_t i = 0; i < reused.size(); i += 83)
+        reused[i].valid = false;
+    auto incoming = sortedTable(500, 78);
+    for (auto &e : incoming)
+        e.id += 100000;
+    expectSpeculativeMatchesSerial(reused, incoming);
+
+    std::swap(reused[1234], reused[1235]);
+    expectSpeculativeMatchesSerial(reused, incoming);
+}
+
 } // namespace
 } // namespace neo

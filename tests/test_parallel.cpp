@@ -375,6 +375,103 @@ TEST(ThreadAffinity, SingleCpuAlwaysZero)
             EXPECT_EQ(affinityCpuForWorker(mode, w, 1), 0);
 }
 
+// --- fused weighted batching (buildWeightedBatchesInto) ---
+
+std::vector<ParallelRange>
+batchesFor(const std::vector<size_t> &weights, size_t grain)
+{
+    std::vector<ParallelRange> out;
+    buildWeightedBatchesInto(out, weights.size(), grain,
+                             [&](size_t i) { return weights[i]; });
+    return out;
+}
+
+/** Every batching must partition [0, n) into contiguous non-empty runs. */
+void
+expectPartition(const std::vector<ParallelRange> &batches, size_t n)
+{
+    size_t cursor = 0;
+    for (const ParallelRange &b : batches) {
+        EXPECT_EQ(b.begin, cursor);
+        EXPECT_GT(b.end, b.begin);
+        cursor = b.end;
+    }
+    EXPECT_EQ(cursor, n);
+}
+
+TEST(WeightedBatches, EmptyInputYieldsNoBatches)
+{
+    EXPECT_TRUE(batchesFor({}, 256).empty());
+}
+
+TEST(WeightedBatches, TinyItemsFuseUpToGrain)
+{
+    // 100 items of weight 1, grain 10 -> exactly 10 batches of 10.
+    auto batches = batchesFor(std::vector<size_t>(100, 1), 10);
+    expectPartition(batches, 100);
+    ASSERT_EQ(batches.size(), 10u);
+    for (const ParallelRange &b : batches)
+        EXPECT_EQ(b.size(), 10u);
+}
+
+TEST(WeightedBatches, HeavyItemIsItsOwnBatch)
+{
+    // A grain-clearing item must not drag neighbors into its batch.
+    auto batches = batchesFor({1, 1, 500, 1, 1}, 10);
+    expectPartition(batches, 5);
+    ASSERT_EQ(batches.size(), 3u);
+    EXPECT_EQ(batches[1].begin, 2u);
+    EXPECT_EQ(batches[1].end, 3u);
+}
+
+TEST(WeightedBatches, ZeroWeightItemsJoinTheCurrentBatch)
+{
+    // All-zero weights (a frame of empty tiles) collapse to one batch.
+    auto batches = batchesFor(std::vector<size_t>(50, 0), 256);
+    expectPartition(batches, 50);
+    EXPECT_EQ(batches.size(), 1u);
+}
+
+TEST(WeightedBatches, PartitionHoldsForMixedWeights)
+{
+    std::vector<size_t> weights;
+    for (size_t i = 0; i < 400; ++i)
+        weights.push_back(i % 7 == 0 ? 300 : i % 7);
+    for (size_t grain : {size_t{1}, size_t{64}, size_t{256},
+                         size_t{1u << 20}}) {
+        auto batches = batchesFor(weights, grain);
+        expectPartition(batches, weights.size());
+    }
+}
+
+TEST(WeightedBatches, BatchBoundariesIgnoreThreadCount)
+{
+    // Determinism hinges on batches being a pure function of
+    // (n, grain, weights); parallelForBatched must visit every item of
+    // every batch exactly once at any thread count, with the serial
+    // chunk order reproduced by the per-chunk merge.
+    std::vector<size_t> weights;
+    for (size_t i = 0; i < 300; ++i)
+        weights.push_back(1 + i % 9);
+    auto batches = batchesFor(weights, 64);
+    expectPartition(batches, weights.size());
+
+    for (int threads : {1, 2, 8}) {
+        std::vector<int> visits(weights.size(), 0);
+        parallelForBatched(batches, threads,
+                           [&](size_t begin, size_t end, size_t chunk) {
+                               EXPECT_LT(chunk,
+                                         parallelChunkCount(batches.size(),
+                                                            threads));
+                               for (size_t i = begin; i < end; ++i)
+                                   ++visits[i];
+                           });
+        for (size_t i = 0; i < visits.size(); ++i)
+            EXPECT_EQ(visits[i], 1) << "threads " << threads << " item "
+                                    << i;
+    }
+}
+
 TEST(ThreadAffinity, PinnedPoolStillComputesCorrectly)
 {
     // Smoke test: with NEO_THREAD_AFFINITY set, a fresh pool spawns

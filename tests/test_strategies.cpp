@@ -195,5 +195,63 @@ TEST(HierarchicalSortTableTest, CountsTwoPasses)
     EXPECT_EQ(stats.chunk_loads, 2u);
 }
 
+TEST(FusedBatchingTest, MixedTinyHugeTilesSortInTileIndexOrder)
+{
+    // A frame whose tile sizes span four orders of magnitude: runs of
+    // 0-6 entry tiles around two huge ones. The fused batch packing must
+    // keep every result in its own tile slot (tile-index order) and stay
+    // bit-identical — orderings and counters — across thread counts.
+    BinnedFrame frame;
+    size_t next_id = 0;
+    auto addTile = [&](size_t n) {
+        std::vector<TileEntry> t = test::randomTable(n, 500 + next_id);
+        for (auto &e : t)
+            e.id += static_cast<GaussianId>(next_id);
+        next_id += n + 1;
+        frame.instances += n;
+        frame.tiles.push_back(std::move(t));
+    };
+    for (size_t t = 0; t < 150; ++t)
+        addTile(t % 7);
+    addTile(4000);
+    for (size_t t = 0; t < 150; ++t)
+        addTile(t % 5);
+    addTile(2500);
+
+    FullSortStrategy serial;
+    serial.setThreads(1);
+    serial.beginFrame(frame, 0);
+    ASSERT_EQ(serial.orderings().size(), frame.tiles.size());
+    for (size_t t = 0; t < frame.tiles.size(); ++t) {
+        auto expect = frame.tiles[t];
+        std::sort(expect.begin(), expect.end(), entryDepthLess);
+        const auto &got = serial.orderings()[t];
+        ASSERT_EQ(got.size(), expect.size()) << "tile " << t;
+        for (size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i].id, expect[i].id)
+                << "tile " << t << " index " << i;
+    }
+
+    for (int threads : {2, 8}) {
+        FullSortStrategy threaded;
+        threaded.setThreads(threads);
+        threaded.beginFrame(frame, 0);
+        for (size_t t = 0; t < frame.tiles.size(); ++t) {
+            const auto &a = serial.orderings()[t];
+            const auto &b = threaded.orderings()[t];
+            ASSERT_EQ(a.size(), b.size()) << "tile " << t;
+            for (size_t i = 0; i < a.size(); ++i)
+                EXPECT_EQ(a[i].id, b[i].id)
+                    << "tile " << t << " index " << i;
+        }
+        EXPECT_EQ(serial.stats().msu.compares,
+                  threaded.stats().msu.compares);
+        EXPECT_EQ(serial.stats().entries_read,
+                  threaded.stats().entries_read);
+        EXPECT_EQ(serial.stats().chunk_loads,
+                  threaded.stats().chunk_loads);
+    }
+}
+
 } // namespace
 } // namespace neo

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the fused cross-tile batched key-sort (gs/tile_sort.h):
+ * bit-identity of the packed-key kernel against std::sort(entryDepthLess)
+ * including the irregular-input fallbacks, batched dispatch across thread
+ * counts, and scratch capacity retention.
+ */
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gs/tile_sort.h"
+#include "test_util.h"
+
+namespace neo
+{
+namespace
+{
+
+std::vector<TileEntry>
+stdSorted(std::vector<TileEntry> t)
+{
+    std::sort(t.begin(), t.end(), entryDepthLess);
+    return t;
+}
+
+void
+expectBitIdentical(const std::vector<TileEntry> &expect,
+                   const std::vector<TileEntry> &got)
+{
+    ASSERT_EQ(expect.size(), got.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(expect[i].id, got[i].id) << "index " << i;
+        EXPECT_EQ(std::bit_cast<uint32_t>(expect[i].depth),
+                  std::bit_cast<uint32_t>(got[i].depth))
+            << "index " << i;
+        EXPECT_EQ(expect[i].valid, got[i].valid) << "index " << i;
+    }
+}
+
+TEST(KeySortTest, MatchesStdSortAcrossSizes)
+{
+    TileSortScratch scratch;
+    for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                     size_t{255}, size_t{256}, size_t{257}, size_t{4000}}) {
+        auto table = test::randomTable(n, 100 + n);
+        auto expect = stdSorted(table);
+        keySortTable(table, scratch);
+        expectBitIdentical(expect, table);
+    }
+}
+
+TEST(KeySortTest, MatchesStdSortWithNegativeDepths)
+{
+    // Negative and positive depths exercise both branches of the float
+    // bit flip (negatives reverse, positives lift above them).
+    auto table = test::randomTable(1000, 7);
+    for (size_t i = 0; i < table.size(); i += 2)
+        table[i].depth = -table[i].depth;
+    auto expect = stdSorted(table);
+    TileSortScratch scratch;
+    keySortTable(table, scratch);
+    expectBitIdentical(expect, table);
+}
+
+TEST(KeySortTest, NegativeZeroTiesTakeComparatorFallback)
+{
+    // entryDepthLess treats -0.0f == +0.0f (ties break by id) while the
+    // key space separates them — the kernel must detect the case and
+    // fall back, preserving each entry's depth bit pattern exactly.
+    std::vector<TileEntry> table{{5, -0.0f, true},
+                                 {3, 0.0f, true},
+                                 {9, -1.0f, true},
+                                 {1, 0.0f, true},
+                                 {7, -0.0f, true}};
+    auto expect = stdSorted(table);
+    TileSortScratch scratch;
+    keySortTable(table, scratch);
+    expectBitIdentical(expect, table);
+    // -0.0f and +0.0f interleave purely by id in the tie group.
+    EXPECT_EQ(table[0].id, 9u);
+    EXPECT_EQ(table[1].id, 1u);
+    EXPECT_EQ(table[4].id, 7u);
+}
+
+TEST(KeySortTest, InvalidEntriesTakeComparatorFallback)
+{
+    // A cleared valid bit cannot ride in the packed key; the kernel must
+    // keep such entries (deletion is the MSU+'s job, not the sorter's)
+    // in exactly the comparator order.
+    auto table = test::randomTable(500, 8);
+    for (size_t i = 0; i < table.size(); i += 37)
+        table[i].valid = false;
+    auto expect = stdSorted(table);
+    TileSortScratch scratch;
+    keySortTable(table, scratch);
+    expectBitIdentical(expect, table);
+}
+
+TEST(BatchSortTest, MatchesPerTileSortAcrossThreads)
+{
+    // Mixed tiny/huge tiles: sizes span four orders of magnitude, so the
+    // batch packing fuses runs of tiny tiles and isolates the huge ones.
+    std::vector<size_t> sizes;
+    for (size_t t = 0; t < 300; ++t)
+        sizes.push_back(t % 7); // 0..6-entry tiles, incl. empties
+    sizes.push_back(5000);
+    for (size_t t = 0; t < 100; ++t)
+        sizes.push_back(40);
+    sizes.push_back(3000);
+
+    std::vector<std::vector<TileEntry>> base;
+    for (size_t t = 0; t < sizes.size(); ++t)
+        base.push_back(test::randomTable(sizes[t], 200 + t));
+    auto expect = base;
+    for (auto &tile : expect)
+        std::sort(tile.begin(), tile.end(), entryDepthLess);
+
+    for (int threads : {1, 2, 8}) {
+        auto tables = base;
+        BatchSortScratch scratch;
+        sortTablesBatched(tables, threads, scratch);
+        ASSERT_EQ(tables.size(), expect.size());
+        for (size_t t = 0; t < tables.size(); ++t)
+            expectBitIdentical(expect[t], tables[t]);
+    }
+}
+
+TEST(BatchSortTest, GrainKnobChangesBatchingNotResults)
+{
+    auto base = std::vector<std::vector<TileEntry>>{};
+    for (size_t t = 0; t < 64; ++t)
+        base.push_back(test::randomTable(1 + t % 13, 300 + t));
+    auto expect = base;
+    for (auto &tile : expect)
+        std::sort(tile.begin(), tile.end(), entryDepthLess);
+
+    for (size_t grain : {size_t{1}, size_t{8}, size_t{100000}}) {
+        auto tables = base;
+        BatchSortScratch scratch;
+        sortTablesBatched(tables, 4, scratch, grain);
+        for (size_t t = 0; t < tables.size(); ++t)
+            expectBitIdentical(expect[t], tables[t]);
+    }
+}
+
+TEST(BatchSortTest, ScratchCapacityStabilizesAcrossFrames)
+{
+    // Steady-state contract: after the first frame grew the scratch to
+    // its working size, identical later frames must not grow it further.
+    std::vector<std::vector<TileEntry>> frame;
+    for (size_t t = 0; t < 200; ++t)
+        frame.push_back(test::randomTable(1 + t % 50, 400 + t));
+
+    BatchSortScratch scratch;
+    auto tables = frame;
+    sortTablesBatched(tables, 4, scratch);
+    const size_t warm = scratch.capacityBytes();
+    EXPECT_GT(warm, 0u);
+    for (int f = 0; f < 3; ++f) {
+        tables = frame;
+        sortTablesBatched(tables, 4, scratch);
+        EXPECT_EQ(scratch.capacityBytes(), warm) << "frame " << f;
+    }
+}
+
+} // namespace
+} // namespace neo
