@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Multi-session serving bench — the serving layer's throughput and
+ * isolation entry point.
+ *
+ * Opens N sessions against one shared scene/RendererShared and drives
+ * each from its own driver thread over the same synthetic orbit the
+ * thread-scaling bench renders (same scene parameters, resolution and
+ * frame count), sweeping sessions x pipeline worker threads. Every
+ * delivered frame's hash is compared against a solo single-session
+ * renderer walking the same trajectory: the fault-isolation contract
+ * says concurrent siblings must not change a single bit, so a mismatch
+ * fails the run. The 1-session / threads=1 point renders the identical
+ * per-frame workload as bench_scaling's threads=1 staged point, which is
+ * what bench/diff_bench.sh gates the serving-layer overhead with.
+ *
+ *   ./bench_server [--json out.json] [--gaussians N] [--frames N]
+ *                  [--sessions-list 1,2,4] [--threads-list 1,2,4,8]
+ *                  [--pr N]
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/parallel.h"
+#include "scene/synthetic.h"
+#include "scene/trajectory.h"
+#include "serve/server.h"
+
+using namespace neo;
+
+namespace
+{
+
+struct Args
+{
+    std::string json_path;
+    size_t gaussians = 30000;
+    int frames = 5;
+    int pr = 8;
+    std::vector<int> sessions = {1, 2, 4};
+    std::vector<int> threads = {1, 2, 4, 8};
+};
+
+std::vector<int>
+parseIntList(const char *s)
+{
+    std::vector<int> out;
+    for (const char *p = s; *p;) {
+        int v = std::atoi(p);
+        if (v > 0)
+            out.push_back(v);
+        while (*p && *p != ',')
+            ++p;
+        if (*p == ',')
+            ++p;
+    }
+    return out;
+}
+
+Args
+parse(int argc, char **argv)
+{
+    Args a;
+    for (int i = 1; i < argc; i += 2) {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "flag '%s' needs a value\n", argv[i]);
+            std::exit(2);
+        }
+        if (std::strcmp(argv[i], "--json") == 0)
+            a.json_path = argv[i + 1];
+        else if (std::strcmp(argv[i], "--gaussians") == 0)
+            a.gaussians = static_cast<size_t>(std::atol(argv[i + 1]));
+        else if (std::strcmp(argv[i], "--frames") == 0)
+            a.frames = std::atoi(argv[i + 1]);
+        else if (std::strcmp(argv[i], "--sessions-list") == 0)
+            a.sessions = parseIntList(argv[i + 1]);
+        else if (std::strcmp(argv[i], "--threads-list") == 0)
+            a.threads = parseIntList(argv[i + 1]);
+        else if (std::strcmp(argv[i], "--pr") == 0)
+            a.pr = std::atoi(argv[i + 1]);
+        else {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            std::exit(2);
+        }
+    }
+    if (a.sessions.empty())
+        a.sessions = {1};
+    if (a.threads.empty())
+        a.threads = {1};
+    if (a.frames < 1)
+        a.frames = 1;
+    return a;
+}
+
+struct PointResult
+{
+    int sessions = 0;
+    int threads = 0;
+    /** Wall-clock per delivered frame across all sessions. */
+    double ms_per_frame = 0.0;
+    /** Every delivered hash matched the solo run. */
+    bool isolated = true;
+};
+
+bool
+writeJson(const std::string &path, const Args &args, Resolution res,
+          const std::vector<PointResult> &points, bool isolated_all)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"server\",\n");
+    std::fprintf(f, "  \"pr\": %d,\n", args.pr);
+    std::fprintf(f, "  \"scene\": \"synthetic-orbit\",\n");
+    std::fprintf(f, "  \"gaussians\": %zu,\n", args.gaussians);
+    std::fprintf(f, "  \"resolution\": \"%dx%d\",\n", res.width,
+                 res.height);
+    std::fprintf(f, "  \"frames\": %d,\n", args.frames);
+    std::fprintf(f, "  \"machine_cores\": %d,\n", hardwareThreadCount());
+    std::fprintf(f, "  \"isolation\": \"delivered frame hashes "
+                    "bit-identical to solo renderers\",\n");
+    std::fprintf(f, "  \"isolated_all\": %s,\n",
+                 isolated_all ? "true" : "false");
+    std::fprintf(f, "  \"points\": [\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+        const PointResult &p = points[i];
+        std::fprintf(f,
+                     "    {\"sessions\": %d, \"threads\": %d, "
+                     "\"ms_per_frame\": %.3f, \"isolated\": %s}%s\n",
+                     p.sessions, p.threads, p.ms_per_frame,
+                     p.isolated ? "true" : "false",
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parse(argc, argv);
+
+    bench::banner("Multi-session serving throughput and isolation",
+                  "serving-layer trajectory",
+                  "healthy sessions bit-identical to solo runs at every "
+                  "sessions x threads point");
+
+    SyntheticSceneParams params;
+    params.count = args.gaussians;
+    params.clusters = 8;
+    params.extent = 8.0f;
+    params.seed = 2026;
+    params.name = "scaling";
+    auto scene =
+        std::make_shared<const GaussianScene>(generateScene(params));
+    const Resolution res{640, 384, "bench"};
+
+    int max_sessions = 1;
+    for (int s : args.sessions)
+        max_sessions = std::max(max_sessions, s);
+
+    // Session i orbits at its own speed: distinct camera streams, so an
+    // accidental cross-session state leak cannot hide behind identical
+    // inputs. Session 0 matches bench_scaling's orbit exactly.
+    std::vector<Trajectory> trajectories;
+    trajectories.reserve(static_cast<size_t>(max_sessions));
+    for (int i = 0; i < max_sessions; ++i)
+        trajectories.emplace_back(TrajectoryKind::Orbit, *scene,
+                                  1.0f + 0.25f * static_cast<float>(i));
+
+    std::printf("scene: %zu gaussians, %d frames @ %dx%d, machine has "
+                "%d hardware thread(s)\n\n",
+                scene->size(), args.frames, res.width, res.height,
+                hardwareThreadCount());
+
+    // Solo ground truth per trajectory: frame hashes are bit-identical
+    // at every thread count (determinism contract), so one serial run
+    // per stream serves every sweep point.
+    std::vector<std::vector<uint64_t>> solo(
+        static_cast<size_t>(max_sessions));
+    {
+        PipelineOptions opts = NeoRenderer::neoDefaultOptions();
+        opts.threads = 1;
+        for (int i = 0; i < max_sessions; ++i) {
+            NeoRenderer solo_renderer(opts);
+            Image image;
+            for (int f = 0; f <= args.frames; ++f) {
+                solo_renderer.renderFrameInto(
+                    image, *scene,
+                    trajectories[static_cast<size_t>(i)].cameraAt(f, res),
+                    static_cast<uint64_t>(f));
+                solo[static_cast<size_t>(i)].push_back(
+                    image.contentHash());
+            }
+        }
+    }
+
+    using clock = std::chrono::steady_clock;
+    std::vector<PointResult> points;
+    bool isolated_all = true;
+
+    std::printf("%-10s %-10s %-12s %-14s %s\n", "sessions", "threads",
+                "ms/frame", "frames/sec", "isolated");
+    for (int S : args.sessions) {
+        for (int T : args.threads) {
+            serve::ServerConfig cfg;
+            cfg.max_sessions = static_cast<size_t>(S);
+            cfg.pipeline = NeoRenderer::neoDefaultOptions();
+            cfg.pipeline.threads = T;
+            // The bench measures throughput under oversubscription; a
+            // contention spike is not a wedged stage, so park the
+            // watchdog floor far above any real frame time.
+            cfg.watchdog_floor_ms = 10000.0;
+
+            serve::NeoServer server(scene, cfg);
+            std::vector<serve::Session *> sessions;
+            for (int i = 0; i < S; ++i) {
+                const serve::AdmitResult admit = server.open(
+                    trajectories[static_cast<size_t>(i)], res);
+                if (!admit.admitted) {
+                    std::fprintf(stderr, "admission failed: %s\n",
+                                 admit.reason);
+                    return 1;
+                }
+                sessions.push_back(server.session(admit.session_id));
+            }
+
+            std::atomic<bool> isolated{true};
+
+            // Untimed warm-up frame per session (pool spin-up, buffer
+            // growth), mirroring the scaling bench's protocol.
+            for (int i = 0; i < S; ++i) {
+                sessions[static_cast<size_t>(i)]->submit(0);
+                serve::FrameOutcome o;
+                sessions[static_cast<size_t>(i)]->step(&o);
+                if (!o.rendered ||
+                    o.frame_hash != solo[static_cast<size_t>(i)][0])
+                    isolated.store(false);
+            }
+
+            // One driver thread per session; the shared pool serializes
+            // stage dispatches, so this measures aggregate throughput.
+            const auto t0 = clock::now();
+            std::vector<std::thread> drivers;
+            drivers.reserve(static_cast<size_t>(S));
+            for (int i = 0; i < S; ++i) {
+                drivers.emplace_back([&, i] {
+                    serve::Session *s =
+                        sessions[static_cast<size_t>(i)];
+                    for (int f = 1; f <= args.frames; ++f) {
+                        s->submit(static_cast<uint64_t>(f));
+                        serve::FrameOutcome o;
+                        s->step(&o);
+                        if (!o.rendered ||
+                            o.frame_hash !=
+                                solo[static_cast<size_t>(i)]
+                                    [static_cast<size_t>(f)])
+                            isolated.store(false);
+                    }
+                });
+            }
+            for (auto &d : drivers)
+                d.join();
+            const double elapsed_ms =
+                std::chrono::duration<double, std::milli>(clock::now() -
+                                                          t0)
+                    .count();
+
+            PointResult p;
+            p.sessions = S;
+            p.threads = T;
+            p.ms_per_frame = elapsed_ms / (S * args.frames);
+            p.isolated = isolated.load();
+            isolated_all = isolated_all && p.isolated;
+            points.push_back(p);
+
+            std::printf("%-10d %-10d %-12.2f %-14.1f %s\n", S, T,
+                        p.ms_per_frame,
+                        p.ms_per_frame > 0.0 ? 1000.0 / p.ms_per_frame
+                                             : 0.0,
+                        p.isolated ? "yes" : "NO");
+        }
+    }
+
+    std::printf("\nfault isolation (hashes vs solo runs): %s\n",
+                isolated_all ? "OK (bit-identical)" : "FAILED");
+
+    if (!args.json_path.empty()) {
+        if (!writeJson(args.json_path, args, res, points, isolated_all)) {
+            std::fprintf(stderr, "error: could not write %s\n",
+                         args.json_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", args.json_path.c_str());
+    }
+    return isolated_all ? 0 : 1;
+}

@@ -23,6 +23,11 @@
 # default off) runs the sweep with the integrity fences enabled — the
 # mode is recorded as "integrity_mode" in the JSON, and trajectory
 # points meant to be comparable across PRs must keep it off.
+# NEO_BENCH_SERVER_JSON, when set, additionally runs the multi-session
+# serving bench (bench_server: sessions x threads sweep over the same
+# scene, with per-frame hash checks against solo renderers) and writes
+# its JSON there; NEO_BENCH_SESSIONS (default 1,2,4) sets its session
+# sweep.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -69,3 +74,18 @@ fi
        --stage
 
 echo "run_benches.sh: wrote $OUT_JSON"
+
+if [[ -n "${NEO_BENCH_SERVER_JSON:-}" ]]; then
+    SBIN="$BUILD_DIR/bench/bench_server"
+    if [[ ! -x "$SBIN" ]]; then
+        echo "error: $SBIN not built (run: cmake --build $BUILD_DIR -t bench_server)" >&2
+        exit 1
+    fi
+    "$SBIN" --json "$NEO_BENCH_SERVER_JSON" \
+            --gaussians "$GAUSSIANS" \
+            --frames "$FRAMES" \
+            --sessions-list "${NEO_BENCH_SESSIONS:-1,2,4}" \
+            --threads-list "$THREADS" \
+            --pr "$PR"
+    echo "run_benches.sh: wrote $NEO_BENCH_SERVER_JSON"
+fi

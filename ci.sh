@@ -20,8 +20,19 @@
 #                 trajectory point, one NEO_INTEGRITY=check sweep is
 #                 recorded (…_integrity.json) and gated against the off
 #                 point: >10% check-mode overhead at threads=1 fails.
-#   NEO_BENCH_JSON      output trajectory point (default: BENCH_PR7.json)
-#   NEO_BENCH_BASELINE  previous trajectory point (default: BENCH_PR6.json)
+#                 After the scaling point, the multi-session serving
+#                 bench ($NEO_BENCH_SERVER_JSON) runs with its in-bench
+#                 isolation contract (delivered hashes vs solo runs), and
+#                 its 1-session/threads=1 point is gated against the
+#                 scaling point's threads=1 ms/frame: >10% serving-layer
+#                 overhead fails CI.
+#   NEO_CI_TSAN   when 1, build a second tree with -DNEO_SANITIZE=thread
+#                 and run the server-labelled tests (the concurrent
+#                 session drivers) under ThreadSanitizer.
+#   NEO_BENCH_JSON        output trajectory point
+#                         (default: BENCH_PR8_scaling.json)
+#   NEO_BENCH_BASELINE    previous trajectory point (default: BENCH_PR7.json)
+#   NEO_BENCH_SERVER_JSON serving-layer sweep output (default: BENCH_PR8.json)
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -29,8 +40,9 @@ cd "$(dirname "$0")"
 BUILD_DIR="${BUILD_DIR:-build}"
 BUILD_TYPE="${BUILD_TYPE:-}"
 JOBS="${JOBS:-$(nproc)}"
-NEO_BENCH_JSON="${NEO_BENCH_JSON:-BENCH_PR7.json}"
-NEO_BENCH_BASELINE="${NEO_BENCH_BASELINE:-BENCH_PR6.json}"
+NEO_BENCH_JSON="${NEO_BENCH_JSON:-BENCH_PR8_scaling.json}"
+NEO_BENCH_BASELINE="${NEO_BENCH_BASELINE:-BENCH_PR7.json}"
+NEO_BENCH_SERVER_JSON="${NEO_BENCH_SERVER_JSON:-BENCH_PR8.json}"
 
 cmake -B "$BUILD_DIR" -S . -DNEO_WERROR=ON \
     ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"} "$@"
@@ -42,6 +54,25 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 # a fault-detection regression unmissable in the CI log.
 echo "ci.sh: re-running integrity-labelled tests"
 ctest --test-dir "$BUILD_DIR" -L integrity --output-on-failure -j "$JOBS"
+
+# Same treatment for the multi-session serving layer: the label collects
+# the admission/degradation/quarantine suites plus the randomized
+# fault-isolation soak.
+echo "ci.sh: re-running server-labelled tests"
+ctest --test-dir "$BUILD_DIR" -L server --output-on-failure -j "$JOBS"
+
+if [[ "${NEO_CI_TSAN:-0}" == "1" ]]; then
+    # The serving layer's concurrency contract (submit()/stats() vs one
+    # driver per session, shared pool dispatch from N drivers) is
+    # exactly the kind of thing TSAN catches and unit asserts miss.
+    TSAN_DIR="${TSAN_DIR:-build-tsan}"
+    echo "ci.sh: building with -fsanitize=thread into $TSAN_DIR"
+    cmake -B "$TSAN_DIR" -S . -DNEO_WERROR=ON -DNEO_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$TSAN_DIR" -j "$JOBS"
+    echo "ci.sh: running server-labelled tests under TSAN"
+    ctest --test-dir "$TSAN_DIR" -L server --output-on-failure -j "$JOBS"
+fi
 
 if [[ "${NEO_CI_BENCH:-0}" == "1" ]]; then
     echo "ci.sh: checking rasterizer auto-vectorization"
@@ -69,13 +100,28 @@ if [[ "${NEO_CI_BENCH:-0}" == "1" ]]; then
         # check-mode overhead above 10% ms/frame at threads=1 fails CI.
         NEO_INTEGRITY_JSON="${NEO_BENCH_JSON%.json}_integrity.json"
         echo "ci.sh: running check-mode integrity bench point"
-        if ! NEO_BENCH_INTEGRITY=check NEO_BENCH_PR="${NEO_BENCH_PR:-7}" \
+        if ! NEO_BENCH_INTEGRITY=check NEO_BENCH_PR="${NEO_BENCH_PR:-8}" \
              bench/run_benches.sh "$BUILD_DIR" "$NEO_INTEGRITY_JSON"; then
             echo "ci.sh: WARNING integrity bench failed (non-gating)" >&2
         else
             echo "ci.sh: gating check-mode overhead vs $NEO_BENCH_JSON"
             bench/diff_bench.sh "$NEO_BENCH_JSON" "$NEO_INTEGRITY_JSON"
         fi
+
+        # The serving-layer sweep: bench_server fails by itself when any
+        # delivered hash differs from the solo run (isolation contract),
+        # and diff_bench.sh gates its 1-session/threads=1 point against
+        # the scaling point — the serving layer (queues, QoS, watchdogs,
+        # hashing) must stay within 10% of the bare staged render loop.
+        echo "ci.sh: running multi-session serving bench"
+        if ! "$BUILD_DIR/bench/bench_server" --json "$NEO_BENCH_SERVER_JSON" \
+             --pr "${NEO_BENCH_PR:-8}"; then
+            echo "ci.sh: FAIL — serving bench failed (isolation contract" \
+                 "or crash)" >&2
+            exit 1
+        fi
+        echo "ci.sh: gating serving-layer overhead vs $NEO_BENCH_JSON"
+        bench/diff_bench.sh "$NEO_BENCH_JSON" "$NEO_BENCH_SERVER_JSON"
     fi
 fi
 

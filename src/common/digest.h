@@ -106,12 +106,30 @@ class Digest64
 };
 
 /**
+ * Opt-in marker: T's object bytes are a deterministic function of its
+ * value even though `has_unique_object_representations` is false. The
+ * trait is about equality (e.g. -0.0f == +0.0f with different bytes),
+ * but the fences compare *bit patterns*, not values — a padding-free
+ * float struct is a perfectly sound raw-byte digest input. Specialize to
+ * std::true_type for such types (float itself is pre-registered).
+ */
+template <typename T>
+struct DigestAsRawBytes : std::false_type
+{
+};
+
+template <>
+struct DigestAsRawBytes<float> : std::true_type
+{
+};
+
+/**
  * Digest of @p n elements at @p data. Types that provide
  * `digestInto(Digest64&) const` are hashed field by field (required for
  * structs with padding, whose raw bytes are not deterministic); all other
- * types must have unique object representations and are hashed as raw
- * bytes. The element count is folded in, so a truncated span never
- * collides with its prefix.
+ * types must have unique object representations (or opt in via
+ * DigestAsRawBytes) and are hashed as raw bytes. The element count is
+ * folded in, so a truncated span never collides with its prefix.
  */
 template <typename T>
 uint64_t
@@ -123,7 +141,8 @@ digestSpan(const T *data, size_t n)
         for (size_t i = 0; i < n; ++i)
             data[i].digestInto(d);
     } else {
-        static_assert(std::has_unique_object_representations_v<T>,
+        static_assert(std::has_unique_object_representations_v<T> ||
+                          DigestAsRawBytes<T>::value,
                       "digestSpan over a padded type needs digestInto()");
         d.bytes(data, n * sizeof(T));
     }

@@ -26,20 +26,41 @@ std::mutex g_mutex;
 std::string g_point;
 int64_t g_index = -1;
 uint64_t g_seed = 1;
+int64_t g_domain = -1;
 uint64_t g_count = 0;
 Injection g_last;
 bool g_has_last = false;
 
+/** Fault domain of the calling thread (0 outside any DomainScope). */
+thread_local uint64_t t_domain = 0;
+
 } // namespace
 
 void
-armBitFlip(const char *point, int64_t index, uint64_t seed)
+armBitFlip(const char *point, int64_t index, uint64_t seed, int64_t domain)
 {
     std::lock_guard<std::mutex> lock(g_mutex);
     g_point = point;
     g_index = index;
     g_seed = seed;
+    g_domain = domain;
     g_pending.store(true, std::memory_order_release);
+}
+
+uint64_t
+currentDomain()
+{
+    return t_domain;
+}
+
+DomainScope::DomainScope(uint64_t domain) : prev_(t_domain)
+{
+    t_domain = domain;
+}
+
+DomainScope::~DomainScope()
+{
+    t_domain = prev_;
 }
 
 void
@@ -87,6 +108,8 @@ corrupt(const char *point, int64_t index, void *data, size_t elems,
         return; // another worker fired the flip first
     if (g_point != point || (g_index >= 0 && g_index != index))
         return;
+    if (g_domain >= 0 && static_cast<uint64_t>(g_domain) != t_domain)
+        return; // flip pinned to a different fault domain
 
     uint64_t state = g_seed;
     const size_t elem = static_cast<size_t>(splitmix(state) % elems);
@@ -96,7 +119,7 @@ corrupt(const char *point, int64_t index, void *data, size_t elems,
     static_cast<unsigned char *>(data)[elem * stride + byte] ^=
         static_cast<unsigned char>(1u << bit);
 
-    g_last = Injection{point, index, elem, byte, bit};
+    g_last = Injection{point, index, elem, byte, bit, t_domain};
     g_has_last = true;
     ++g_count;
     g_pending.store(false, std::memory_order_release);

@@ -34,6 +34,7 @@ struct Injection
     size_t elem = 0; //!< element whose bytes were flipped
     size_t byte = 0; //!< byte offset within the element
     int bit = 0;     //!< flipped bit within that byte
+    uint64_t domain = 0; //!< fault domain the flip landed in
 };
 
 /**
@@ -42,8 +43,38 @@ struct Injection
  * matches @p index (or on the first non-empty call when @p index < 0),
  * then the hook disarms itself. @p seed selects the element/byte/bit
  * deterministically.
+ *
+ * @p domain pins the flip to one fault domain (see DomainScope): with
+ * domain >= 0 only corrupt() calls executing inside that domain's scope
+ * can fire it — the multi-session server scopes each session's frame
+ * work, so an armed flip lands in exactly the targeted session's state.
+ * The default (-1) matches any domain, preserving single-renderer tests.
  */
-void armBitFlip(const char *point, int64_t index = -1, uint64_t seed = 1);
+void armBitFlip(const char *point, int64_t index = -1, uint64_t seed = 1,
+                int64_t domain = -1);
+
+/** Fault domain of the calling thread (0 outside any DomainScope). */
+uint64_t currentDomain();
+
+/**
+ * RAII fault-domain scope (thread-local): injection points executed
+ * while the scope is live — including from pool workers only when they
+ * scope themselves, which they don't — belong to domain @p domain.
+ * Parallel-region injection points (the per-tile CSR fence) run on
+ * workers outside the scope; domain-pinned arming therefore targets the
+ * frame-control-thread fences, which is where the session layer injects.
+ */
+class DomainScope
+{
+  public:
+    explicit DomainScope(uint64_t domain);
+    ~DomainScope();
+    DomainScope(const DomainScope &) = delete;
+    DomainScope &operator=(const DomainScope &) = delete;
+
+  private:
+    uint64_t prev_;
+};
 
 /** Cancel a pending flip. */
 void disarm();
@@ -95,6 +126,21 @@ corruptTiles(const char *point, std::vector<std::vector<T>> &tiles)
         if (!tiles[t].empty())
             corrupt(point, static_cast<int64_t>(t), tiles[t].data(),
                     tiles[t].size(), sizeof(T), SemanticBytes<T>::value);
+}
+
+/**
+ * Injection point over a flat array (the feature SoA fences and the
+ * attest-mode frame pixels): element index 0, one corrupt() call for the
+ * whole span.
+ */
+template <typename T>
+void
+corruptSpan(const char *point, std::vector<T> &data)
+{
+    if (!pending() || data.empty())
+        return;
+    corrupt(point, 0, data.data(), data.size(), sizeof(T),
+            SemanticBytes<T>::value);
 }
 
 } // namespace neo::faultinject

@@ -18,6 +18,8 @@ parseIntegrityMode(const char *value)
         return IntegrityMode::Check;
     if (std::strcmp(value, "recover") == 0)
         return IntegrityMode::Recover;
+    if (std::strcmp(value, "attest") == 0)
+        return IntegrityMode::Attest;
     return IntegrityMode::Unset;
 }
 
@@ -29,12 +31,32 @@ integrityModeFromEnv()
     if (mode == IntegrityMode::Unset) {
         static std::atomic<bool> warned{false};
         if (!warned.exchange(true))
-            warn("NEO_INTEGRITY=%s is not one of {off,check,recover}; "
-                 "integrity stays off",
+            warn("NEO_INTEGRITY=%s is not one of "
+                 "{off,check,recover,attest}; integrity stays off",
                  env);
         return IntegrityMode::Off;
     }
     return mode;
+}
+
+int
+integrityAttestPeriodFromEnv()
+{
+    constexpr int kDefault = 4;
+    const char *env = std::getenv("NEO_INTEGRITY_ATTEST_PERIOD");
+    if (!env || env[0] == '\0')
+        return kDefault;
+    char *end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v <= 0 || v > 1000000) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn("NEO_INTEGRITY_ATTEST_PERIOD='%s' is not a frame count "
+                 "in [1, 1000000]; using %d",
+                 env, kDefault);
+        return kDefault;
+    }
+    return static_cast<int>(v);
 }
 
 IntegrityMode
@@ -57,6 +79,8 @@ integrityModeName(IntegrityMode mode)
         return "check";
     case IntegrityMode::Recover:
         return "recover";
+    case IntegrityMode::Attest:
+        return "attest";
     }
     return "off";
 }
@@ -65,6 +89,8 @@ const char *
 integrityStageName(IntegrityStage stage)
 {
     switch (stage) {
+    case IntegrityStage::Projection:
+        return "projection";
     case IntegrityStage::Binning:
         return "binning";
     case IntegrityStage::Sorting:

@@ -23,9 +23,12 @@
  * equals the uncorrupted reference. The existing frame content hash
  * doubles as end-to-end attestation.
  *
- * Selected by NEO_INTEGRITY={off,check,recover} or programmatically via
- * PipelineOptions::integrity. Off costs nothing: every fence is behind an
- * enabled() branch on the caller side.
+ * Selected by NEO_INTEGRITY={off,check,recover,attest} or
+ * programmatically via PipelineOptions::integrity. Attest layers periodic
+ * end-to-end cross-rendering on top of the check fences: every Nth frame
+ * (NEO_INTEGRITY_ATTEST_PERIOD) is also rendered through the scalar
+ * reference kernel and the two frame hashes compared. Off costs nothing:
+ * every fence is behind an enabled() branch on the caller side.
  */
 
 #ifndef NEO_COMMON_INTEGRITY_H
@@ -57,6 +60,12 @@ enum class IntegrityMode : uint8_t
         verified shadow and the frame is re-rendered through the scalar
         reference path. */
     Recover,
+    /** Check plus periodic end-to-end attestation: every Nth frame
+        (NEO_INTEGRITY_ATTEST_PERIOD, default 4) is cross-rendered through
+        the scalar reference kernel and the two frame hashes compared; a
+        mismatch is recorded as an Attestation fault. Detection only — the
+        delivered frame is not replaced. */
+    Attest,
 };
 
 /** Parse an NEO_INTEGRITY value; Unset for an unrecognized non-empty one. */
@@ -68,12 +77,21 @@ IntegrityMode integrityModeFromEnv();
 /** Resolve a requested mode: Unset defers to NEO_INTEGRITY. */
 IntegrityMode resolveIntegrityMode(IntegrityMode requested);
 
-/** Lower-case mode name ("off", "check", "recover"). */
+/** Lower-case mode name ("off", "check", "recover", "attest"). */
 const char *integrityModeName(IntegrityMode mode);
+
+/**
+ * Attestation period from NEO_INTEGRITY_ATTEST_PERIOD (frames between
+ * cross-rendered frames in attest mode). Validated strtol parse — a
+ * malformed or non-positive value warns once and falls back to the
+ * default of 4.
+ */
+int integrityAttestPeriodFromEnv();
 
 /** Pipeline stage a fence (and hence a detected fault) belongs to. */
 enum class IntegrityStage : uint8_t
 {
+    Projection,  //!< projected feature SoA arrays (mean2d/radius/depth/conic)
     Binning,     //!< per-tile binned (id, depth) lists
     Sorting,     //!< persistent sorted tables / per-tile permutations
     Tracking,    //!< DeltaTracker previous-frame membership ids
@@ -119,6 +137,14 @@ inline constexpr const char *kIntegrityBinTiles = "bin.tiles";
 inline constexpr const char *kIntegritySortTables = "sort.tables";
 inline constexpr const char *kIntegrityTrackerPrevIds = "tracker.prev_ids";
 inline constexpr const char *kIntegrityRasterCsr = "raster.csr";
+// Projected feature SoA arrays (flat spans, sealed after binning fills
+// them and verified before the sorter consumes depths).
+inline constexpr const char *kIntegrityProjMean2d = "project.mean2d";
+inline constexpr const char *kIntegrityProjRadius = "project.radius_px";
+inline constexpr const char *kIntegrityProjDepth = "project.depth";
+inline constexpr const char *kIntegrityProjConic = "project.conic";
+// Delivered frame pixels — attest-mode end-to-end injection point.
+inline constexpr const char *kIntegrityAttestFrame = "attest.frame";
 
 /**
  * Per-renderer integrity state: the seal/verify fences over per-tile
@@ -131,12 +157,34 @@ inline constexpr const char *kIntegrityRasterCsr = "raster.csr";
 class IntegrityContext
 {
   public:
-    void configure(IntegrityMode mode) { mode_ = mode; }
+    /** Set the mode; attest mode also resolves its period from the
+        environment (override with setAttestPeriod). */
+    void configure(IntegrityMode mode)
+    {
+        mode_ = mode;
+        if (mode_ == IntegrityMode::Attest)
+            attest_period_ = integrityAttestPeriodFromEnv();
+    }
     IntegrityMode mode() const { return mode_; }
     bool enabled() const
     {
         return mode_ == IntegrityMode::Check ||
-               mode_ == IntegrityMode::Recover;
+               mode_ == IntegrityMode::Recover ||
+               mode_ == IntegrityMode::Attest;
+    }
+
+    /** Frames between attest cross-renders (attest mode only). */
+    void setAttestPeriod(int period)
+    {
+        attest_period_ = period > 0 ? period : 1;
+    }
+    int attestPeriod() const { return attest_period_; }
+
+    /** True when attest mode cross-renders frame @p frame_index. */
+    bool attestDue(uint64_t frame_index) const
+    {
+        return mode_ == IntegrityMode::Attest &&
+               frame_index % static_cast<uint64_t>(attest_period_) == 0;
     }
 
     /** Register the fault callback (replaces any previous one). */
@@ -167,6 +215,26 @@ class IntegrityContext
     template <typename T>
     bool verifyTiles(IntegrityStage stage, const char *name,
                      std::vector<std::vector<T>> &tiles);
+
+    /**
+     * Producer fence over a flat array (the projected feature SoA
+     * arrays): one digest over the whole span (and, in recover mode, a
+     * full shadow copy). Overwrites the previous seal of the same name.
+     */
+    template <typename T>
+    void sealSpan(IntegrityStage stage, const char *name,
+                  const std::vector<T> &data);
+
+    /**
+     * Consumer fence for sealSpan: recompute the digest and compare. On
+     * mismatch one frame-global fault (tile = -1) is reported; in
+     * recover mode the whole span is first restored from its
+     * digest-verified shadow. A span that was never sealed or whose
+     * length changed passes vacuously. Returns true when it matched.
+     */
+    template <typename T>
+    bool verifySpan(IntegrityStage stage, const char *name,
+                    std::vector<T> &data);
 
     /** Record one fault and invoke the handler (thread-safe). */
     void recordFault(IntegrityStage stage, const char *structure, int tile,
@@ -209,6 +277,7 @@ class IntegrityContext
                      std::vector<std::vector<T>> &tiles);
 
     IntegrityMode mode_ = IntegrityMode::Off;
+    int attest_period_ = 4;
     uint64_t frame_index_ = 0;
     std::atomic<uint32_t> checks_{0};
     bool frame_recovered_ = false;
@@ -280,6 +349,51 @@ IntegrityContext::verifyTiles(IntegrityStage stage, const char *name,
     }
     noteCheck();
     return ok;
+}
+
+template <typename T>
+void
+IntegrityContext::sealSpan(IntegrityStage stage, const char *name,
+                           const std::vector<T> &data)
+{
+    if (!enabled())
+        return;
+    Structure &s = structureFor(stage, name);
+    s.digests.assign(1, digestSpan(data.data(), data.size()));
+    s.sizes.assign(1, static_cast<uint32_t>(data.size()));
+    if (mode_ == IntegrityMode::Recover) {
+        auto &shadow = shadow_.buffer<T>(s.shadow_key);
+        shadow.assign(data.begin(), data.end());
+    }
+    s.sealed = true;
+}
+
+template <typename T>
+bool
+IntegrityContext::verifySpan(IntegrityStage stage, const char *name,
+                             std::vector<T> &data)
+{
+    if (!enabled())
+        return true;
+    Structure *s = findStructure(name);
+    if (!s || !s->sealed || s->sizes.size() != 1 ||
+        s->sizes[0] != data.size())
+        return true; // never sealed, or legitimately reshaped
+    const uint64_t d = digestSpan(data.data(), data.size());
+    noteCheck();
+    if (d == s->digests[0])
+        return true;
+    bool restored = false;
+    if (mode_ == IntegrityMode::Recover) {
+        auto &shadow = shadow_.buffer<T>(s->shadow_key);
+        if (shadow.size() == data.size() &&
+            digestSpan(shadow.data(), shadow.size()) == s->digests[0]) {
+            data.assign(shadow.begin(), shadow.end());
+            restored = true;
+        }
+    }
+    recordFault(stage, name, -1, s->digests[0], d, restored);
+    return false;
 }
 
 template <typename T>

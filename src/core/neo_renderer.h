@@ -5,6 +5,15 @@
  * the library: feed it a scene and a camera per frame and it returns the
  * rendered image (or, for simulation, the frame's workload descriptor with
  * temporal-delta statistics filled in).
+ *
+ * Multi-session factoring: everything scene-immutable and stateless lives
+ * in RendererShared (the blocked rasterizer, its scalar reference twin,
+ * and the pipeline options) and is shared across N renderers via
+ * shared_ptr; everything per-stream (the reuse sorter's persistent
+ * tables, the delta tracker, the binned frame, the scratch arena, the
+ * integrity context) stays inside each NeoRenderer. The serving layer
+ * (src/serve/) builds one RendererShared per scene and hands it to every
+ * session's renderer.
  */
 
 #ifndef NEO_CORE_NEO_RENDERER_H
@@ -12,11 +21,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <utility>
 
 #include "common/frame_arena.h"
 #include "core/reuse_update.h"
 #include "gs/pipeline.h"
+#include "gs/tile_sort.h"
 
 namespace neo
 {
@@ -29,6 +40,29 @@ struct NeoFrameReport
     ReuseUpdateReport reuse;    //!< reuse-and-update summary
 };
 
+/**
+ * The scene-immutable half of a NeoRenderer: the stateless rasterizer
+ * pair (blocked kernel + scalar reference twin) and the pipeline options
+ * they were built with. Renderer::renderInto is const and takes all
+ * per-frame state as arguments, so one RendererShared serves any number
+ * of concurrently rendering sessions.
+ */
+class RendererShared
+{
+  public:
+    explicit RendererShared(PipelineOptions opts);
+
+    const PipelineOptions &options() const { return base_.options(); }
+    const Renderer &base() const { return base_; }
+    /** Scalar reference-path twin of base() (bit-identical output by the
+        determinism contract) — the recovery/attestation render target. */
+    const Renderer &reference() const { return reference_; }
+
+  private:
+    Renderer base_;
+    Renderer reference_;
+};
+
 /** Renderer built around the reuse-and-update sorting strategy. */
 class NeoRenderer
 {
@@ -39,6 +73,15 @@ class NeoRenderer
      * @param dps Dynamic Partial Sorting tunables.
      */
     explicit NeoRenderer(PipelineOptions opts = neoDefaultOptions(),
+                         DynamicPartialConfig dps = {});
+
+    /**
+     * Build a renderer on top of an existing shared half — the
+     * multi-session constructor: every session renderer built from the
+     * same @p shared reuses its rasterizers, while all mutable per-stream
+     * state (sorter tables, tracker, arena, integrity) is private.
+     */
+    explicit NeoRenderer(std::shared_ptr<const RendererShared> shared,
                          DynamicPartialConfig dps = {});
 
     /** Paper Table 1 configuration: 64-px tiles, 8-px subtiles. */
@@ -60,6 +103,35 @@ class NeoRenderer
                          NeoFrameReport *report = nullptr);
 
     /**
+     * renderFrameInto with a per-stage wall-clock breakdown (monotonic
+     * clock) written to @p stages: bin_ms covers binning plus its
+     * fences, sort_ms the reuse-and-update sorter (the delta tracker
+     * runs inside the sorter's beginFrame, so its cost lands in sort_ms
+     * and tracker_ms stays 0), raster_ms rasterization plus any
+     * recover-mode re-render or attest cross-render. This is what the
+     * serving layer's budget controller and stage watchdogs consume.
+     */
+    void renderFrameTimed(Image &out, const GaussianScene &scene,
+                          const Camera &camera, uint64_t frame_index,
+                          StageTimings &stages,
+                          NeoFrameReport *report = nullptr);
+
+    /**
+     * Degradation path: render this frame from the freshly binned tile
+     * lists with a plain per-tile depth sort, leaving the reuse sorter's
+     * persistent tables untouched (no reordering, no deferred depth
+     * update). The output is bit-identical to a cold-start render of the
+     * same camera. Because the skipped update leaves the tables stale,
+     * the caller must reset() before the next reuse-path frame — the
+     * serving layer does exactly that, trading one full re-sort for a
+     * skipped sorter update under deadline pressure.
+     */
+    void renderFrameDirect(Image &out, const GaussianScene &scene,
+                           const Camera &camera, uint64_t frame_index,
+                           StageTimings &stages,
+                           NeoFrameReport *report = nullptr);
+
+    /**
      * Run the pipeline without pixel work and emit the workload descriptor
      * (with incoming/outgoing/retention populated) for the timing models.
      */
@@ -75,7 +147,13 @@ class NeoRenderer
     }
 
     const ReuseUpdateSorter &sorter() const { return sorter_; }
-    const Renderer &base() const { return base_; }
+    const Renderer &base() const { return shared_->base(); }
+
+    /** The scene-immutable half (shareable across sessions). */
+    const std::shared_ptr<const RendererShared> &shared() const
+    {
+        return shared_;
+    }
 
     /** Effective integrity mode (resolved at construction). */
     IntegrityMode integrityMode() const { return integrity_.mode(); }
@@ -83,6 +161,9 @@ class NeoRenderer
     /** Integrity state of this renderer (checks/faults of the last frame
         are also exported into FrameStats::integrity each frame). */
     const IntegrityContext &integrity() const { return integrity_; }
+
+    /** Mutable integrity context (attest-period tuning in tests). */
+    IntegrityContext &integrityMutable() { return integrity_; }
 
     /** Register a callback invoked for every detected fault. */
     void setFaultHandler(FaultHandler handler)
@@ -107,20 +188,36 @@ class NeoRenderer
     }
 
   private:
-    /** Shared frame preamble: rebin into the reused storage and hand the
-        frame to the reuse-and-update sorter. */
-    void prepareFrame(const GaussianScene &scene, const Camera &camera,
-                      uint64_t frame_index);
+    /** Rebin into the reused storage behind the binning + feature-array
+        fences. */
+    void binStage(const GaussianScene &scene, const Camera &camera,
+                  uint64_t frame_index);
+    /** Hand the binned frame to the reuse-and-update sorter behind the
+        sorting fence. */
+    void sortStage(uint64_t frame_index);
+    /** Rasterize via @p orderings, then run the recover-mode re-render
+        and the attest-mode cross-render when due. @p sort_tables is the
+        structure the frame's sorting fence sealed (the sorter's
+        persistent tables on the reuse path, the frame's own tile lists
+        on the direct path) — the recover re-verify targets it. */
+    void rasterStage(Image &out, uint64_t frame_index,
+                     const std::vector<std::vector<TileEntry>> &orderings,
+                     std::vector<std::vector<TileEntry>> &sort_tables,
+                     FrameStats &stats);
+    void finishFrame(FrameStats &stats, NeoFrameReport *report);
 
-    Renderer base_;
-    /** Scalar reference-path twin of base_ (bit-identical output by the
-        determinism contract) — the recovery re-render target. */
-    Renderer reference_;
+    const PipelineOptions &opts() const { return shared_->options(); }
+
+    std::shared_ptr<const RendererShared> shared_;
     ReuseUpdateSorter sorter_;
     /** Reused per-frame binning output (cleared, never reallocated). */
     BinnedFrame frame_;
     /** Reused binning/raster scratch. */
     FrameArena arena_;
+    /** Reused per-tile sort scratch of the direct (degraded) path. */
+    BatchSortScratch direct_sort_scratch_;
+    /** Reused attest-mode cross-render target. */
+    Image attest_image_;
     /** Integrity fences, shadow copies and fault reports. */
     IntegrityContext integrity_;
 };

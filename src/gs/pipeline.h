@@ -77,6 +77,26 @@ struct FrameWorkload
     double meanTileLength() const;
 };
 
+/**
+ * Per-stage wall-clock of one staged frame: binning scatter, per-tile
+ * depth sort, rasterization, and delta tracking, each in milliseconds.
+ * Produced by the staged thread sweep (sim/perf_harness.h, as mean
+ * ms/frame) and by NeoRenderer::renderFrameTimed (per frame); consumed
+ * by the serving layer's budget controller and stage watchdogs.
+ */
+struct StageTimings
+{
+    double bin_ms = 0.0;
+    double sort_ms = 0.0;
+    double raster_ms = 0.0;
+    double tracker_ms = 0.0;
+
+    double totalMs() const
+    {
+        return bin_ms + sort_ms + raster_ms + tracker_ms;
+    }
+};
+
 /** Counters describing one fully rendered frame. */
 struct FrameStats
 {

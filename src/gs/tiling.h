@@ -55,6 +55,24 @@ struct faultinject::SemanticBytes<TileEntry>
     static constexpr size_t value = 8;
 };
 
+// The projection/feature SoA arrays are fenced as raw bytes: Vec2/Vec3
+// are padding-free float aggregates, so their object bytes are a
+// deterministic function of their value (what the fence compares) even
+// though the unique-object-representations trait rejects floats.
+static_assert(sizeof(Vec2) == 2 * sizeof(float) &&
+                  sizeof(Vec3) == 3 * sizeof(float),
+              "feature-array fences assume padding-free vectors");
+
+template <>
+struct DigestAsRawBytes<Vec2> : std::true_type
+{
+};
+
+template <>
+struct DigestAsRawBytes<Vec3> : std::true_type
+{
+};
+
 /** Depth-ascending comparison used everywhere a tile list is sorted. */
 inline bool
 entryDepthLess(const TileEntry &a, const TileEntry &b)

@@ -1,0 +1,155 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace neo::serve
+{
+
+NeoServer::NeoServer(std::shared_ptr<const GaussianScene> scene,
+                     ServerConfig cfg)
+    : cfg_(std::move(cfg)),
+      scene_(std::move(scene)),
+      shared_(std::make_shared<const RendererShared>(cfg_.pipeline))
+{
+}
+
+AdmitResult
+NeoServer::open(const Trajectory &trajectory, Resolution resolution)
+{
+    return open(trajectory, resolution, cfg_.default_qos);
+}
+
+AdmitResult
+NeoServer::open(const Trajectory &trajectory, Resolution resolution,
+                const QosTarget &qos)
+{
+    AdmitResult r;
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    size_t live = 0;
+    for (const auto &s : sessions_)
+        live += s != nullptr;
+    if (live >= cfg_.max_sessions) {
+        r.reason = "server full";
+        return r;
+    }
+
+    // Reuse the lowest freed slot so ids stay small and stable.
+    size_t slot = sessions_.size();
+    for (size_t i = 0; i < sessions_.size(); ++i) {
+        if (!sessions_[i]) {
+            slot = i;
+            break;
+        }
+    }
+    if (slot == sessions_.size())
+        sessions_.emplace_back();
+
+    sessions_[slot] = std::make_unique<Session>(
+        static_cast<uint32_t>(slot), scene_, shared_, trajectory,
+        resolution, qos, cfg_);
+    r.admitted = true;
+    r.session_id = static_cast<uint32_t>(slot);
+    return r;
+}
+
+bool
+NeoServer::close(uint32_t session_id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (session_id >= sessions_.size() || !sessions_[session_id])
+        return false;
+    sessions_[session_id].reset();
+    return true;
+}
+
+Session *
+NeoServer::session(uint32_t session_id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (session_id >= sessions_.size())
+        return nullptr;
+    return sessions_[session_id].get();
+}
+
+size_t
+NeoServer::liveSessions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t live = 0;
+    for (const auto &s : sessions_)
+        live += s != nullptr;
+    return live;
+}
+
+std::vector<Session *>
+NeoServer::liveSnapshot() const
+{
+    std::vector<Session *> live;
+    std::lock_guard<std::mutex> lock(mutex_);
+    live.reserve(sessions_.size());
+    for (const auto &s : sessions_) {
+        if (s)
+            live.push_back(s.get());
+    }
+    return live;
+}
+
+size_t
+NeoServer::pump()
+{
+    size_t processed = 0;
+    for (Session *s : liveSnapshot())
+        processed += s->step();
+    return processed;
+}
+
+size_t
+NeoServer::drain()
+{
+    size_t processed = 0;
+    // Round-robin rather than per-session drain: under overload no
+    // session starves behind a sibling's deep queue.
+    while (true) {
+        const size_t round = pump();
+        if (round == 0)
+            return processed;
+        processed += round;
+    }
+}
+
+size_t
+NeoServer::drainConcurrent(int drivers)
+{
+    if (drivers <= 1)
+        return drain();
+
+    const std::vector<Session *> live = liveSnapshot();
+    const size_t n =
+        std::min<size_t>(static_cast<size_t>(drivers), live.size());
+    if (n <= 1)
+        return drain();
+
+    // Partition by index: session i belongs to driver i % n, so no
+    // session is ever driven by two threads (single-driver contract).
+    std::vector<size_t> processed(n, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (size_t d = 0; d < n; ++d) {
+        threads.emplace_back([&, d] {
+            size_t local = 0;
+            for (size_t i = d; i < live.size(); i += n)
+                local += live[i]->drain();
+            processed[d] = local;
+        });
+    }
+    size_t total = 0;
+    for (size_t d = 0; d < n; ++d) {
+        threads[d].join();
+        total += processed[d];
+    }
+    return total;
+}
+
+} // namespace neo::serve

@@ -1,0 +1,327 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/faultinject.h"
+
+namespace neo::serve
+{
+
+const char *
+sessionStateName(SessionState state)
+{
+    switch (state) {
+    case SessionState::Healthy:
+        return "healthy";
+    case SessionState::Quarantined:
+        return "quarantined";
+    case SessionState::Degraded:
+        return "degraded";
+    }
+    return "unknown";
+}
+
+Session::Session(uint32_t id, std::shared_ptr<const GaussianScene> scene,
+                 std::shared_ptr<const RendererShared> shared,
+                 Trajectory trajectory, Resolution resolution,
+                 QosTarget qos, const ServerConfig &cfg)
+    : id_(id),
+      scene_(std::move(scene)),
+      shared_(std::move(shared)),
+      trajectory_(trajectory),
+      resolution_(resolution),
+      qos_(qos),
+      cfg_(cfg)
+{
+    budget_.configure(qos_);
+    StageWatchdog::Config wd;
+    wd.factor = cfg_.watchdog_factor;
+    wd.floor_ms = cfg_.watchdog_floor_ms;
+    wd.warmup = cfg_.watchdog_warmup;
+    watchdog_.configure(wd);
+    rebuildRenderer();
+}
+
+SessionState
+Session::state() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+}
+
+SessionStats
+Session::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+size_t
+Session::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+uint32_t
+Session::rebuilds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rebuilds_;
+}
+
+SubmitResult
+Session::submit(uint64_t frame_index)
+{
+    SubmitResult r;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+
+    if (state_ == SessionState::Degraded) {
+        // Terminal: this stream is dead; the hint tells the client to
+        // reconnect (open a fresh session) rather than retry soon.
+        ++stats_.rejected;
+        r.retry_after_frames = cfg_.backoff_cap;
+        return r;
+    }
+
+    if (queue_.size() >= qos_.queue_capacity) {
+        switch (qos_.drop_policy) {
+        case DropPolicy::DropOldest:
+            queue_.pop_front();
+            ++stats_.dropped_oldest;
+            r.dropped_oldest = true;
+            break;
+        case DropPolicy::RejectBackoff:
+            // The queue drains one request per pump: its current depth
+            // *is* the number of frames until a slot opens.
+            ++stats_.rejected;
+            r.retry_after_frames =
+                static_cast<int>(std::min<size_t>(queue_.size(), 1 << 20));
+            return r;
+        case DropPolicy::CoalesceLatest:
+            // The newest pending camera is superseded by this one.
+            queue_.pop_back();
+            ++stats_.coalesced;
+            r.coalesced = true;
+            break;
+        }
+    }
+
+    queue_.push_back(Request{frame_index, ++submit_seq_});
+    ++stats_.accepted;
+    r.accepted = true;
+    return r;
+}
+
+int
+Session::backoffFor(int failures) const
+{
+    const int shift = std::min(failures - 1, 12);
+    const long backoff = static_cast<long>(cfg_.backoff_base) << shift;
+    return static_cast<int>(
+        std::min<long>(backoff, cfg_.backoff_cap));
+}
+
+void
+Session::rebuildRenderer()
+{
+    // A fresh renderer from the shared scene-immutable half: new sorter
+    // tables (cold-start full re-sort on its first frame), new tracker,
+    // new arena, new integrity context — any corrupted bytes of the
+    // torn-down instance are unreachable.
+    renderer_ = std::make_unique<NeoRenderer>(shared_, cfg_.dps);
+    renderer_->setFaultHandler([this](const FaultReport &) {
+        frame_faults_.fetch_add(1, std::memory_order_relaxed);
+    });
+    budget_.reset();
+    watchdog_.reset();
+    sorter_stale_ = false;
+    last_drop_ = 0;
+}
+
+void
+Session::renderRequest(const Request &req, FrameOutcome &out)
+{
+    const DegradePlan plan = budget_.plan();
+    Resolution res = resolution_;
+    res.width = std::max(resolution_.width >> plan.resolution_drop, 32);
+    res.height = std::max(resolution_.height >> plan.resolution_drop, 32);
+    const Camera cam =
+        trajectory_.cameraAt(static_cast<int>(req.frame_index), res);
+
+    frame_faults_.store(0, std::memory_order_relaxed);
+    StageTimings stages;
+    {
+        // Scope the frame work into this session's fault domain, so
+        // domain-pinned injections (the soak test's victim targeting)
+        // can only land here.
+        faultinject::DomainScope scope(id_);
+        if (plan.skip_sorter_update) {
+            renderer_->renderFrameDirect(image_, *scene_, cam,
+                                         req.frame_index, stages);
+            sorter_stale_ = true;
+        } else {
+            if (sorter_stale_ || plan.resolution_drop != last_drop_) {
+                // A previous direct-path frame left the persistent
+                // tables stale, or the resolution tier (and with it the
+                // tile-grid shape) changed; cold-start re-sort before
+                // reusing them.
+                renderer_->reset();
+                sorter_stale_ = false;
+            }
+            renderer_->renderFrameTimed(image_, *scene_, cam,
+                                        req.frame_index, stages);
+            last_drop_ = plan.resolution_drop;
+        }
+    }
+
+    // Artificial stall (test hook): sleep inside the frame and inflate
+    // the stage sample so the watchdog sees the stall it models.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stall_frames_ > 0 && stall_stage_ >= 0 &&
+            stall_stage_ < StageWatchdog::kStageCount) {
+            --stall_frames_;
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(stall_ms_));
+            double *slot[StageWatchdog::kStageCount] = {
+                &stages.bin_ms, &stages.sort_ms, &stages.raster_ms};
+            *slot[stall_stage_] += stall_ms_;
+        }
+    }
+
+    out.rendered = true;
+    out.frame_hash = image_.contentHash();
+    out.resolution_drop = plan.resolution_drop;
+    out.direct_path = plan.skip_sorter_update;
+    out.stages = stages;
+    out.faults = frame_faults_.load(std::memory_order_relaxed);
+    out.watchdog_stage = watchdog_.observeFrame(stages);
+    const double deadline = qos_.frameDeadlineMs();
+    out.deadline_missed = deadline > 0.0 && stages.totalMs() > deadline;
+    budget_.record(stages);
+}
+
+bool
+Session::step(FrameOutcome *outcome)
+{
+    FrameOutcome out;
+    Request req;
+    SessionState entry_state;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+
+        // Age out requests that exceeded the declared staleness budget
+        // (measured in submissions, which keeps it deterministic).
+        while (!queue_.empty() && qos_.max_staleness > 0 &&
+               submit_seq_ - queue_.front().submit_seq >
+                   static_cast<uint64_t>(qos_.max_staleness)) {
+            queue_.pop_front();
+            ++stats_.dropped_stale;
+        }
+        if (queue_.empty())
+            return false;
+        req = queue_.front();
+        queue_.pop_front();
+        out.request = req.frame_index;
+        out.rebuilds = rebuilds_;
+        entry_state = state_;
+
+        if (entry_state == SessionState::Degraded) {
+            ++stats_.rejected;
+            out.state = state_;
+            if (outcome)
+                *outcome = out;
+            return true;
+        }
+        if (entry_state == SessionState::Quarantined &&
+            backoff_remaining_ > 0) {
+            // Burn one step of the retry ladder; the request is shed.
+            --backoff_remaining_;
+            ++stats_.backoff_skips;
+            out.state = state_;
+            if (outcome)
+                *outcome = out;
+            return true;
+        }
+    }
+
+    // Render outside the lock (single-driver contract). A quarantined
+    // session whose backoff expired attempts recovery: rebuild from the
+    // shared scene, then render this request cold.
+    const bool recovering = entry_state == SessionState::Quarantined;
+    if (recovering) {
+        rebuildRenderer();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++rebuilds_;
+        }
+    }
+    renderRequest(req, out);
+
+    const bool faulted = out.faults > 0 || out.watchdog_stage >= 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.rendered;
+        stats_.faults += out.faults;
+        if (out.watchdog_stage >= 0)
+            ++stats_.watchdog_trips;
+        if (out.deadline_missed)
+            ++stats_.deadline_misses;
+        if (out.resolution_drop > 0 || out.direct_path)
+            ++stats_.degraded_frames;
+
+        if (faulted) {
+            if (!recovering) {
+                ++stats_.quarantines;
+                quarantine_failures_ = 1;
+            } else {
+                ++quarantine_failures_;
+            }
+            if (quarantine_failures_ >= cfg_.quarantine_max_failures) {
+                state_ = SessionState::Degraded;
+            } else {
+                state_ = SessionState::Quarantined;
+                backoff_remaining_ = backoffFor(quarantine_failures_);
+            }
+            // Teardown now: whatever the fault corrupted dies with the
+            // renderer; the next recovery attempt rebuilds cold.
+            renderer_.reset();
+            sorter_stale_ = false;
+        } else if (recovering) {
+            state_ = SessionState::Healthy;
+            ++stats_.recoveries;
+            quarantine_failures_ = 0;
+            backoff_remaining_ = 0;
+        }
+        out.rebuilds = rebuilds_;
+        out.state = state_;
+    }
+
+    if (outcome)
+        *outcome = out;
+    return true;
+}
+
+size_t
+Session::drain()
+{
+    size_t n = 0;
+    while (step())
+        ++n;
+    return n;
+}
+
+void
+Session::injectStall(int stage, double ms, int frames)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stall_stage_ = stage;
+    stall_ms_ = ms;
+    stall_frames_ = frames;
+}
+
+} // namespace neo::serve

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * One render session of the multi-session serving layer: a bounded frame
+ * queue with an explicit drop policy, a private NeoRenderer built on the
+ * server's shared RendererShared, a deadline-driven BudgetController, a
+ * StageWatchdog, and the quarantine state machine that contains faults
+ * to this session.
+ *
+ * Fault-isolation contract: all mutable render state (sorter tables,
+ * tracker, binned frame, arena, integrity context, framebuffer) is owned
+ * by the session; the only shared pieces — the scene and the stateless
+ * rasterizer pair — are const. A fault (integrity FaultReport or
+ * watchdog trip) therefore quarantines exactly this session: its
+ * renderer is torn down, rebuilt from the shared scene on a capped
+ * exponential-backoff ladder (cold-start re-sort), and after M failed
+ * recoveries the session turns terminally Degraded. Healthy sibling
+ * sessions' frame hashes stay bit-identical to solo runs throughout.
+ *
+ * Threading: submit()/stats()/state() are thread-safe against a single
+ * concurrent driver calling step()/drain(). A session must not be driven
+ * by two threads at once (the server's concurrent drain partitions
+ * sessions across drivers).
+ */
+
+#ifndef NEO_SERVE_SESSION_H
+#define NEO_SERVE_SESSION_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/image.h"
+#include "core/neo_renderer.h"
+#include "scene/trajectory.h"
+#include "serve/qos.h"
+#include "serve/watchdog.h"
+
+namespace neo::serve
+{
+
+/** Lifecycle state of a session. */
+enum class SessionState : uint8_t
+{
+    Healthy,     //!< serving normally
+    Quarantined, //!< faulted; retrying rebuilds on the backoff ladder
+    Degraded,    //!< terminal: recovery failed M times, requests drop
+};
+
+/** Lower-case state name ("healthy", "quarantined", "degraded"). */
+const char *sessionStateName(SessionState state);
+
+/** Outcome of one submit() call. */
+struct SubmitResult
+{
+    bool accepted = false;
+    /** Replaced the newest queued request (coalesce-latest policy). */
+    bool coalesced = false;
+    /** Displaced the oldest queued request (drop-oldest policy). */
+    bool dropped_oldest = false;
+    /** Backoff hint in frames when rejected (reject-backoff policy or a
+        Degraded session). */
+    int retry_after_frames = 0;
+};
+
+/** What happened in one step() call (for tests and the bench). */
+struct FrameOutcome
+{
+    /** Trajectory frame index of the request processed. */
+    uint64_t request = 0;
+    /** True when a frame was actually rendered (false: the request was
+        dropped by staleness, backoff, or a Degraded session). */
+    bool rendered = false;
+    uint64_t frame_hash = 0;
+    /** Resolution tier the frame rendered at (0 = native). */
+    int resolution_drop = 0;
+    /** True when the reuse-sorter update was skipped (direct path). */
+    bool direct_path = false;
+    bool deadline_missed = false;
+    StageTimings stages;
+    /** Integrity faults detected during this frame. */
+    uint32_t faults = 0;
+    /** Watchdog stage that tripped, -1 if none. */
+    int watchdog_stage = -1;
+    /** Session state after the step. */
+    SessionState state = SessionState::Healthy;
+    /** Quarantine rebuilds performed so far (recovery epoch). */
+    uint32_t rebuilds = 0;
+};
+
+/** Monotonic per-session counters (snapshot via Session::stats()). */
+struct SessionStats
+{
+    uint64_t submitted = 0;
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;       //!< queue-full or Degraded rejections
+    uint64_t dropped_oldest = 0; //!< displaced by drop-oldest
+    uint64_t coalesced = 0;      //!< replaced by coalesce-latest
+    uint64_t dropped_stale = 0;  //!< aged out at dequeue
+    uint64_t backoff_skips = 0;  //!< burned by the quarantine ladder
+    uint64_t rendered = 0;
+    uint64_t deadline_misses = 0;
+    uint64_t degraded_frames = 0; //!< rendered below native QoS
+    uint64_t faults = 0;          //!< integrity faults observed
+    uint64_t watchdog_trips = 0;
+    uint64_t quarantines = 0; //!< Healthy -> Quarantined transitions
+    uint64_t recoveries = 0;  //!< successful rebuilds back to Healthy
+};
+
+/** One camera stream served against the shared scene (see file comment). */
+class Session
+{
+  public:
+    Session(uint32_t id, std::shared_ptr<const GaussianScene> scene,
+            std::shared_ptr<const RendererShared> shared,
+            Trajectory trajectory, Resolution resolution, QosTarget qos,
+            const ServerConfig &cfg);
+
+    uint32_t id() const { return id_; }
+    const QosTarget &qos() const { return qos_; }
+    SessionState state() const;
+    SessionStats stats() const;
+    size_t queueDepth() const;
+    uint32_t rebuilds() const;
+
+    /** Enqueue a request for trajectory frame @p frame_index
+        (thread-safe). Applies the session's drop policy when full; a
+        Degraded session rejects everything. */
+    SubmitResult submit(uint64_t frame_index);
+
+    /** Dequeue and process one request: render it, drop it (staleness /
+        Degraded), or burn one backoff step of the quarantine ladder.
+        Returns false when the queue was empty. Single driver only. */
+    bool step(FrameOutcome *outcome = nullptr);
+
+    /** step() until the queue is empty; returns requests processed. */
+    size_t drain();
+
+    /** Framebuffer of the most recent rendered frame. Only meaningful
+        between steps (single-driver contract). */
+    const Image &lastImage() const { return image_; }
+
+    /**
+     * Test hook: for the next @p frames rendered frames, sleep @p ms
+     * inside stage @p stage (StageWatchdog::Stage) and inflate that
+     * stage's measured time accordingly — a deterministic way to model
+     * a wedged stage for watchdog/quarantine tests.
+     */
+    void injectStall(int stage, double ms, int frames);
+
+  private:
+    struct Request
+    {
+        uint64_t frame_index = 0;
+        uint64_t submit_seq = 0; //!< staleness clock
+    };
+
+    /** Render one request (assumes Healthy or a recovery attempt). */
+    void renderRequest(const Request &req, FrameOutcome &out);
+    /** Rebuild the renderer from the shared scene (cold start). */
+    void rebuildRenderer();
+    int backoffFor(int failures) const;
+
+    const uint32_t id_;
+    const std::shared_ptr<const GaussianScene> scene_;
+    const std::shared_ptr<const RendererShared> shared_;
+    const Trajectory trajectory_;
+    const Resolution resolution_;
+    const QosTarget qos_;
+    const ServerConfig cfg_;
+
+    mutable std::mutex mutex_; //!< guards queue_, stats_, state_
+    std::deque<Request> queue_;
+    uint64_t submit_seq_ = 0;
+    SessionStats stats_;
+    SessionState state_ = SessionState::Healthy;
+
+    // Driver-thread-only state (single-driver contract).
+    std::unique_ptr<NeoRenderer> renderer_;
+    BudgetController budget_;
+    StageWatchdog watchdog_;
+    Image image_;
+    /** Set when a direct-path frame left the sorter tables stale; the
+        next reuse-path frame resets the renderer first (full re-sort). */
+    bool sorter_stale_ = false;
+    /** Resolution tier of the last reuse-path frame — a tier change
+        reshapes the tile grid, so the sorter cold-starts on it. */
+    int last_drop_ = 0;
+    /** Faults reported by the renderer during the current frame (the
+        handler may run on pool workers — hence atomic). */
+    std::atomic<uint32_t> frame_faults_{0};
+    int quarantine_failures_ = 0; //!< failed recovery attempts
+    int backoff_remaining_ = 0;   //!< requests to burn before retrying
+    uint32_t rebuilds_ = 0;
+
+    // Stall injection (test hook).
+    int stall_stage_ = -1;
+    double stall_ms_ = 0.0;
+    int stall_frames_ = 0;
+};
+
+} // namespace neo::serve
+
+#endif // NEO_SERVE_SESSION_H

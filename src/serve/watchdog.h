@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Per-stage watchdog of the serving layer: a monotonic-clock tripwire
+ * that flags a pipeline stage taking T times its rolling median — the
+ * "session is wedged or thrashing" signal that cannot be derived from
+ * integrity fences (a stall corrupts no digest). A trip quarantines the
+ * owning session exactly like a FaultReport does.
+ *
+ * Robustness details: the median comes from a bounded ring of recent
+ * samples, tripped samples are excluded from the history (a repeatedly
+ * stalling stage must not drag its own median up until stalls look
+ * normal), and an absolute floor keeps microsecond-scale stages — tiny
+ * test scenes, empty tiles — from tripping on scheduler noise.
+ */
+
+#ifndef NEO_SERVE_WATCHDOG_H
+#define NEO_SERVE_WATCHDOG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gs/pipeline.h"
+
+namespace neo::serve
+{
+
+/** Rolling-median stage tripwire (see file comment). */
+class StageWatchdog
+{
+  public:
+    /** Stages fed by the session's staged render. */
+    enum Stage
+    {
+        Bin = 0,
+        Sort = 1,
+        Raster = 2,
+        kStageCount = 3,
+    };
+
+    struct Config
+    {
+        /** Trip when a sample exceeds factor x rolling median... */
+        double factor = 8.0;
+        /** ...and this absolute floor in ms. */
+        double floor_ms = 20.0;
+        /** Samples per stage before the tripwire arms. */
+        int warmup = 4;
+        /** Ring-buffer window per stage. */
+        size_t window = 16;
+    };
+
+    void configure(const Config &cfg)
+    {
+        cfg_ = cfg;
+        reset();
+    }
+
+    /** Drop all history (session rebuild). */
+    void reset();
+
+    /**
+     * Feed one sample. Returns true when it trips (sample > factor x
+     * median and > floor, with at least warmup prior samples); tripped
+     * samples are not added to the history.
+     */
+    bool observe(int stage, double ms);
+
+    /**
+     * Feed one frame's stage breakdown. Returns the first tripping
+     * stage, or -1 when all stages passed.
+     */
+    int observeFrame(const StageTimings &stages);
+
+    /** Rolling median of @p stage (0 with no samples). */
+    double rollingMedian(int stage) const;
+
+    uint64_t trips() const { return trips_; }
+
+    static const char *stageName(int stage);
+
+  private:
+    struct Ring
+    {
+        std::vector<double> samples; //!< insertion ring, size <= window
+        size_t next = 0;             //!< overwrite cursor once full
+    };
+
+    Config cfg_;
+    Ring rings_[kStageCount];
+    uint64_t trips_ = 0;
+    /** Reused median scratch (nth_element input). */
+    mutable std::vector<double> scratch_;
+};
+
+} // namespace neo::serve
+
+#endif // NEO_SERVE_WATCHDOG_H

@@ -225,6 +225,33 @@ sweepRenderThreadsStaged(const GaussianScene &scene,
                 faultinject::corruptTiles(kIntegrityBinTiles, frame.tiles);
                 integrity.verifyTiles(IntegrityStage::Binning,
                                       kIntegrityBinTiles, frame.tiles);
+                // Projection fences over the feature SoA arrays (filled
+                // by the binning scatter) — same placement as the
+                // NeoRenderer frame loop, inside the timed bin section
+                // so check-mode overhead stays honestly measured.
+                integrity.sealSpan(IntegrityStage::Projection,
+                                   kIntegrityProjMean2d, frame.mean2d);
+                integrity.sealSpan(IntegrityStage::Projection,
+                                   kIntegrityProjRadius, frame.radius_px);
+                integrity.sealSpan(IntegrityStage::Projection,
+                                   kIntegrityProjDepth, frame.depth);
+                integrity.sealSpan(IntegrityStage::Projection,
+                                   kIntegrityProjConic, frame.conic);
+                faultinject::corruptSpan(kIntegrityProjMean2d,
+                                         frame.mean2d);
+                faultinject::corruptSpan(kIntegrityProjRadius,
+                                         frame.radius_px);
+                faultinject::corruptSpan(kIntegrityProjDepth, frame.depth);
+                faultinject::corruptSpan(kIntegrityProjConic, frame.conic);
+                integrity.verifySpan(IntegrityStage::Projection,
+                                     kIntegrityProjMean2d, frame.mean2d);
+                integrity.verifySpan(IntegrityStage::Projection,
+                                     kIntegrityProjRadius,
+                                     frame.radius_px);
+                integrity.verifySpan(IntegrityStage::Projection,
+                                     kIntegrityProjDepth, frame.depth);
+                integrity.verifySpan(IntegrityStage::Projection,
+                                     kIntegrityProjConic, frame.conic);
             }
             if (timed)
                 acc.bin_ms += ms_since(t0);

@@ -66,23 +66,8 @@ WorkloadSequences extractSequences(const GaussianScene &scene,
                                    bool want16 = true, bool want64 = true,
                                    int threads = 0);
 
-/**
- * Per-stage wall-clock of the staged frame loop (sweepRenderThreadsStaged):
- * binning scatter, per-tile depth sort, rasterization, and delta tracking,
- * each in mean milliseconds per frame.
- */
-struct StageTimings
-{
-    double bin_ms = 0.0;
-    double sort_ms = 0.0;
-    double raster_ms = 0.0;
-    double tracker_ms = 0.0;
-
-    double totalMs() const
-    {
-        return bin_ms + sort_ms + raster_ms + tracker_ms;
-    }
-};
+// StageTimings lives in gs/pipeline.h (the serving layer consumes it
+// per frame); the staged sweep stores mean ms/frame in the same struct.
 
 /** One measurement of the thread-scaling sweep. */
 struct ThreadScalingPoint

@@ -53,6 +53,15 @@ operator new[](std::size_t size)
     return ::operator new(size);
 }
 
+// The replacement operator new above allocates with std::malloc, so the
+// std::free in these deletes is the matching deallocator; GCC's
+// -Wmismatched-new-delete cannot see through the override once
+// sanitizer instrumentation (-fsanitize=thread) changes its inlining
+// view, and flags the pairing as mismatched.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
 void
 operator delete(void *p) noexcept
 {

@@ -194,9 +194,56 @@ TEST(IntegrityModeTest, ParseRecognizesModes)
     EXPECT_EQ(parseIntegrityMode("off"), IntegrityMode::Off);
     EXPECT_EQ(parseIntegrityMode("check"), IntegrityMode::Check);
     EXPECT_EQ(parseIntegrityMode("recover"), IntegrityMode::Recover);
+    EXPECT_EQ(parseIntegrityMode("attest"), IntegrityMode::Attest);
     EXPECT_EQ(parseIntegrityMode(nullptr), IntegrityMode::Off);
     EXPECT_EQ(parseIntegrityMode(""), IntegrityMode::Off);
     EXPECT_EQ(parseIntegrityMode("paranoid"), IntegrityMode::Unset);
+    EXPECT_STREQ(integrityModeName(IntegrityMode::Attest), "attest");
+}
+
+TEST(IntegrityModeTest, AttestDueFollowsPeriodAndModeGating)
+{
+    IntegrityContext ctx;
+    ctx.configure(IntegrityMode::Attest);
+    ctx.setAttestPeriod(3);
+    EXPECT_TRUE(ctx.attestDue(0));
+    EXPECT_FALSE(ctx.attestDue(1));
+    EXPECT_FALSE(ctx.attestDue(2));
+    EXPECT_TRUE(ctx.attestDue(3));
+    EXPECT_TRUE(ctx.attestDue(6));
+
+    ctx.setAttestPeriod(0); // clamps to every frame
+    EXPECT_EQ(ctx.attestPeriod(), 1);
+    EXPECT_TRUE(ctx.attestDue(5));
+
+    // Only attest mode cross-renders, whatever the period says.
+    ctx.configure(IntegrityMode::Check);
+    EXPECT_FALSE(ctx.attestDue(0));
+}
+
+TEST(IntegrityModeTest, AttestPeriodEnvParseIsValidated)
+{
+    const char *saved = std::getenv("NEO_INTEGRITY_ATTEST_PERIOD");
+    const std::string saved_copy = saved ? saved : "";
+
+    unsetenv("NEO_INTEGRITY_ATTEST_PERIOD");
+    EXPECT_EQ(integrityAttestPeriodFromEnv(), 4);
+
+    setenv("NEO_INTEGRITY_ATTEST_PERIOD", "7", 1);
+    EXPECT_EQ(integrityAttestPeriodFromEnv(), 7);
+
+    // Malformed or non-positive values keep the default.
+    setenv("NEO_INTEGRITY_ATTEST_PERIOD", "7x", 1);
+    EXPECT_EQ(integrityAttestPeriodFromEnv(), 4);
+    setenv("NEO_INTEGRITY_ATTEST_PERIOD", "0", 1);
+    EXPECT_EQ(integrityAttestPeriodFromEnv(), 4);
+    setenv("NEO_INTEGRITY_ATTEST_PERIOD", "-2", 1);
+    EXPECT_EQ(integrityAttestPeriodFromEnv(), 4);
+
+    if (saved)
+        setenv("NEO_INTEGRITY_ATTEST_PERIOD", saved_copy.c_str(), 1);
+    else
+        unsetenv("NEO_INTEGRITY_ATTEST_PERIOD");
 }
 
 TEST(IntegrityModeTest, ResolveDefersToEnvironmentOnlyWhenUnset)
@@ -707,6 +754,157 @@ TEST(IntegrityInjectionMatrix, OffModeRunsNoChecksAndIgnoresArmedFlips)
     }
     EXPECT_EQ(faultinject::injectionCount(), count0);
     EXPECT_TRUE(faultinject::pending());
+    faultinject::disarm();
+}
+
+// --- Projection span fences --------------------------------------------
+
+/**
+ * Span-fence variant of runInjectionMatrix: the projected feature SoA
+ * arrays are sealed as flat spans, so a detected fault is frame-global
+ * (tile == -1) rather than per-tile — the shared matrix body's
+ * EXPECT_GE(tile, 0) cannot be reused. The flip is injected before
+ * frame 1 and must be detected at frame 1's consumer fence; recover mode
+ * restores the span before the sorter consumes it, so every delivered
+ * frame hash stays clean.
+ */
+void
+runSpanInjectionMatrix(const char *structure, uint64_t seed)
+{
+    const GaussianScene &scene = integrityScene();
+    Trajectory traj(TrajectoryKind::Orbit, scene);
+    const std::vector<uint64_t> &clean = cleanFrameHashes();
+
+    for (const MatrixConfig &c : matrixConfigs(false)) {
+        SCOPED_TRACE(std::string(structure) + " " + configName(c));
+        NeoRenderer renderer(integrityOpts(c.threads, c.reference, c.mode));
+        Image img;
+        NeoFrameReport report;
+
+        const uint64_t count0 = faultinject::injectionCount();
+        for (int f = 0; f < kMatrixFrames; ++f) {
+            if (f == 1)
+                faultinject::armBitFlip(structure, -1, seed);
+            renderer.renderFrameInto(img, scene,
+                                     traj.cameraAt(f, smallRes()),
+                                     static_cast<uint64_t>(f), &report);
+            const IntegrityFrameStats &stats = report.frame.integrity;
+            if (f >= 1) {
+                EXPECT_EQ(faultinject::injectionCount(), count0 + 1)
+                    << "frame " << f;
+            }
+
+            if (f == 1) {
+                ASSERT_EQ(stats.faults, 1u);
+                const FaultReport &r = stats.reports[0];
+                EXPECT_EQ(r.stage, IntegrityStage::Projection);
+                EXPECT_STREQ(r.structure, structure);
+                EXPECT_EQ(r.frame_index, 1u);
+                EXPECT_EQ(r.tile, -1) << "span faults are frame-global";
+                EXPECT_NE(r.expected_digest, r.actual_digest);
+                EXPECT_EQ(r.recovered, c.mode == IntegrityMode::Recover);
+            } else {
+                EXPECT_EQ(stats.faults, 0u) << "frame " << f;
+            }
+
+            // The projection arrays are rebuilt every frame, so in
+            // recover mode (span restored before any consumer ran) the
+            // delivered hash is clean on every frame; in check mode only
+            // until the corrupted span is consumed.
+            if (c.mode == IntegrityMode::Recover || f < 1) {
+                EXPECT_EQ(img.contentHash(), clean[static_cast<size_t>(f)])
+                    << "frame " << f;
+            }
+        }
+        faultinject::disarm();
+    }
+}
+
+TEST(IntegrityInjectionMatrix, ProjectionMean2dSpanFlipDetected)
+{
+    runSpanInjectionMatrix(kIntegrityProjMean2d, 601);
+}
+
+TEST(IntegrityInjectionMatrix, ProjectionRadiusSpanFlipDetected)
+{
+    runSpanInjectionMatrix(kIntegrityProjRadius, 602);
+}
+
+TEST(IntegrityInjectionMatrix, ProjectionDepthSpanFlipDetected)
+{
+    runSpanInjectionMatrix(kIntegrityProjDepth, 603);
+}
+
+TEST(IntegrityInjectionMatrix, ProjectionConicSpanFlipDetected)
+{
+    runSpanInjectionMatrix(kIntegrityProjConic, 604);
+}
+
+// --- Attest mode -------------------------------------------------------
+
+TEST(IntegrityAttestTest, CleanAttestFramesAreNonPerturbing)
+{
+    const GaussianScene &scene = integrityScene();
+    Trajectory traj(TrajectoryKind::Orbit, scene);
+    const std::vector<uint64_t> &clean = cleanFrameHashes();
+
+    for (int threads : {1, 2, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        NeoRenderer renderer(
+            integrityOpts(threads, false, IntegrityMode::Attest));
+        EXPECT_EQ(renderer.integrityMode(), IntegrityMode::Attest);
+        Image img;
+        NeoFrameReport report;
+        for (int f = 0; f < kMatrixFrames; ++f) {
+            renderer.renderFrameInto(img, scene,
+                                     traj.cameraAt(f, smallRes()),
+                                     static_cast<uint64_t>(f), &report);
+            EXPECT_EQ(report.frame.integrity.mode, IntegrityMode::Attest);
+            EXPECT_EQ(report.frame.integrity.faults, 0u) << "frame " << f;
+            EXPECT_GT(report.frame.integrity.checks, 0u) << "frame " << f;
+            EXPECT_EQ(img.contentHash(), clean[static_cast<size_t>(f)])
+                << "frame " << f
+                << ": the cross-render must not perturb the output";
+        }
+    }
+}
+
+TEST(IntegrityAttestTest, CorruptedFrameCaughtByCrossRender)
+{
+    const GaussianScene &scene = integrityScene();
+    Trajectory traj(TrajectoryKind::Orbit, scene);
+    const std::vector<uint64_t> &clean = cleanFrameHashes();
+
+    NeoRenderer renderer(integrityOpts(2, false, IntegrityMode::Attest));
+    Image img;
+    NeoFrameReport report;
+
+    // Frame 0 is attest-due (0 % period == 0): a flip in the delivered
+    // pixels is invisible to every structural fence but caught by the
+    // end-to-end reference cross-render.
+    faultinject::armBitFlip(kIntegrityAttestFrame, -1, 777);
+    renderer.renderFrameInto(img, scene, traj.cameraAt(0, smallRes()), 0,
+                             &report);
+    ASSERT_EQ(report.frame.integrity.faults, 1u);
+    const FaultReport &r = report.frame.integrity.reports[0];
+    EXPECT_EQ(r.stage, IntegrityStage::Attestation);
+    EXPECT_STREQ(r.structure, kIntegrityAttestFrame);
+    EXPECT_EQ(r.tile, -1);
+    EXPECT_FALSE(r.recovered) << "attest is detection-only";
+    EXPECT_FALSE(report.frame.integrity.frame_recovered);
+    EXPECT_NE(img.contentHash(), clean[0])
+        << "the corrupted frame is delivered as-is";
+
+    // The next frame is not attest-due: an armed pixel flip has no
+    // injection point to fire at and stays pending.
+    const uint64_t count0 = faultinject::injectionCount();
+    faultinject::armBitFlip(kIntegrityAttestFrame, -1, 778);
+    renderer.renderFrameInto(img, scene, traj.cameraAt(1, smallRes()), 1,
+                             &report);
+    EXPECT_EQ(report.frame.integrity.faults, 0u);
+    EXPECT_EQ(faultinject::injectionCount(), count0);
+    EXPECT_TRUE(faultinject::pending());
+    EXPECT_EQ(img.contentHash(), clean[1]);
     faultinject::disarm();
 }
 

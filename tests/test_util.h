@@ -22,6 +22,30 @@
 namespace neo::test
 {
 
+/**
+ * Wall-clock dilation factor for timing-sensitive tests (watchdog
+ * floors, injected stalls). Sanitizer instrumentation slows every stage
+ * by an order of magnitude, so thresholds that cleanly separate healthy
+ * frames from injected stalls in a plain build collapse under TSAN —
+ * scale both sides of the separation by this factor instead of
+ * loosening the plain-build values.
+ */
+inline constexpr double
+sanitizerTimeScale()
+{
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+    return 10.0;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+    return 10.0;
+#else
+    return 1.0;
+#endif
+#else
+    return 1.0;
+#endif
+}
+
 /** Small resolution used by functional tests (fast, tile-aligned). */
 inline Resolution
 smallRes()
