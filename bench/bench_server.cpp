@@ -16,7 +16,18 @@
  *
  *   ./bench_server [--json out.json] [--gaussians N] [--frames N]
  *                  [--sessions-list 1,2,4] [--threads-list 1,2,4,8]
- *                  [--pr N]
+ *                  [--pr N] [--net]
+ *
+ * --net additionally measures the socket front end: a NetFrontend on an
+ * ephemeral loopback port over the same scene, driven by the blocking
+ * NetClient one request per frame, at each thread count. Next to the
+ * end-to-end net ms/frame, the wire overhead is measured directly as
+ * the mean round-trip of a no-render Stats request — the full framed
+ * path (encode, CRC, two loopback hops, poll dispatch, decode) without
+ * a render inside, so the number is not a difference of two large
+ * jittery frame times. Net points land in a separate "net_points" JSON
+ * array whose lines carry no "sessions" key, so bench/diff_bench.sh's
+ * in-process extraction is untouched.
  */
 
 #include <atomic>
@@ -34,6 +45,8 @@
 #include "common/parallel.h"
 #include "scene/synthetic.h"
 #include "scene/trajectory.h"
+#include "serve/net/client.h"
+#include "serve/net/frontend.h"
 #include "serve/server.h"
 
 using namespace neo;
@@ -49,6 +62,7 @@ struct Args
     int pr = 8;
     std::vector<int> sessions = {1, 2, 4};
     std::vector<int> threads = {1, 2, 4, 8};
+    bool net = false;
 };
 
 std::vector<int>
@@ -71,23 +85,27 @@ Args
 parse(int argc, char **argv)
 {
     Args a;
-    for (int i = 1; i < argc; i += 2) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--net") == 0) {
+            a.net = true;
+            continue;
+        }
         if (i + 1 >= argc) {
             std::fprintf(stderr, "flag '%s' needs a value\n", argv[i]);
             std::exit(2);
         }
         if (std::strcmp(argv[i], "--json") == 0)
-            a.json_path = argv[i + 1];
+            a.json_path = argv[++i];
         else if (std::strcmp(argv[i], "--gaussians") == 0)
-            a.gaussians = static_cast<size_t>(std::atol(argv[i + 1]));
+            a.gaussians = static_cast<size_t>(std::atol(argv[++i]));
         else if (std::strcmp(argv[i], "--frames") == 0)
-            a.frames = std::atoi(argv[i + 1]);
+            a.frames = std::atoi(argv[++i]);
         else if (std::strcmp(argv[i], "--sessions-list") == 0)
-            a.sessions = parseIntList(argv[i + 1]);
+            a.sessions = parseIntList(argv[++i]);
         else if (std::strcmp(argv[i], "--threads-list") == 0)
-            a.threads = parseIntList(argv[i + 1]);
+            a.threads = parseIntList(argv[++i]);
         else if (std::strcmp(argv[i], "--pr") == 0)
-            a.pr = std::atoi(argv[i + 1]);
+            a.pr = std::atoi(argv[++i]);
         else {
             std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
             std::exit(2);
@@ -112,9 +130,27 @@ struct PointResult
     bool isolated = true;
 };
 
+/** One --net sweep point: a single session driven over the loopback
+    socket, request per frame, against the in-process baseline at the
+    same thread count. Carries no "sessions" field on purpose — the
+    JSON line must not match diff_bench.sh's in-process extraction. */
+struct NetPointResult
+{
+    int threads = 0;
+    /** Wall-clock per served frame including both loopback hops. */
+    double net_ms_per_frame = 0.0;
+    /** Mean round-trip of a no-render Stats request, in microseconds —
+        the framed wire path with no frame render inside. */
+    double wire_overhead_us = 0.0;
+    /** Every served hash matched the solo run. */
+    bool isolated = true;
+};
+
 bool
 writeJson(const std::string &path, const Args &args, Resolution res,
-          const std::vector<PointResult> &points, bool isolated_all)
+          const std::vector<PointResult> &points,
+          const std::vector<NetPointResult> &net_points,
+          bool isolated_all)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
@@ -142,7 +178,28 @@ writeJson(const std::string &path, const Args &args, Resolution res,
                      p.isolated ? "true" : "false",
                      i + 1 < points.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n");
+    if (net_points.empty()) {
+        std::fprintf(f, "  ]\n");
+    } else {
+        // Socket-front-end points: no "sessions" key, so
+        // bench/diff_bench.sh's grep for the in-process
+        // 1-session/threads=1 line cannot land here.
+        std::fprintf(f, "  ],\n");
+        std::fprintf(f, "  \"net_points\": [\n");
+        for (size_t i = 0; i < net_points.size(); ++i) {
+            const NetPointResult &p = net_points[i];
+            std::fprintf(f,
+                         "    {\"threads\": %d, "
+                         "\"net_ms_per_frame\": %.3f, "
+                         "\"wire_overhead_us\": %.1f, "
+                         "\"isolated\": %s}%s\n",
+                         p.threads, p.net_ms_per_frame,
+                         p.wire_overhead_us,
+                         p.isolated ? "true" : "false",
+                         i + 1 < net_points.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n");
+    }
     std::fprintf(f, "}\n");
     std::fclose(f);
     return true;
@@ -297,11 +354,130 @@ main(int argc, char **argv)
         }
     }
 
+    // --- Socket front end: the same 1-session workload over loopback,
+    // one framed request per frame, against the in-process baseline.
+    std::vector<NetPointResult> net_points;
+    if (args.net) {
+        std::printf("\nsocket front end (loopback, 1 session, one "
+                    "request per frame)\n");
+        std::printf("%-10s %-14s %-18s %s\n", "threads", "net ms/frame",
+                    "wire overhead us", "isolated");
+        for (int T : args.threads) {
+            serve::ServerConfig cfg;
+            cfg.max_sessions = 1;
+            cfg.pipeline = NeoRenderer::neoDefaultOptions();
+            cfg.pipeline.threads = T;
+            cfg.watchdog_floor_ms = 10000.0;
+            serve::NeoServer server(scene, cfg);
+
+            serve::net::NetConfig ncfg = serve::net::netConfigFromEnv();
+            ncfg.port = 0; // ephemeral: concurrent runs must not collide
+            serve::net::NetFrontend frontend(server, ncfg);
+            if (!frontend.start()) {
+                std::fprintf(stderr, "net: bind/listen failed\n");
+                return 1;
+            }
+            std::thread loop([&frontend] { frontend.run(); });
+
+            NetPointResult p;
+            p.threads = T;
+            bool ok = true;
+            {
+                serve::net::NetClient client;
+                ok = client.connect(frontend.port());
+
+                serve::net::OpenOkReply open_ok;
+                if (ok) {
+                    // Trajectory 0's contract: orbit at speed 1.0 over
+                    // the bench resolution, hash-comparable to solo[0].
+                    serve::net::OpenSessionReq open;
+                    open.trajectory_kind = 0;
+                    open.speed = 1.0f;
+                    open.width = static_cast<uint16_t>(res.width);
+                    open.height = static_cast<uint16_t>(res.height);
+                    ok = client.openSession(open, &open_ok);
+                }
+
+                // Untimed warm-up frame, mirroring the in-process
+                // protocol above.
+                if (ok) {
+                    serve::net::SubmitFrameReq req;
+                    req.session_id = open_ok.session_id;
+                    req.frame_index = 0;
+                    serve::net::SubmitReply reply;
+                    ok = client.submitFrame(req, &reply) &&
+                         reply.rendered;
+                    if (ok && reply.frame_hash != solo[0][0])
+                        p.isolated = false;
+                }
+
+                if (ok) {
+                    const auto t0 = clock::now();
+                    for (int f = 1; f <= args.frames && ok; ++f) {
+                        serve::net::SubmitFrameReq req;
+                        req.session_id = open_ok.session_id;
+                        req.frame_index = static_cast<uint64_t>(f);
+                        serve::net::SubmitReply reply;
+                        ok = client.submitFrame(req, &reply) &&
+                             reply.rendered;
+                        if (ok && reply.frame_hash !=
+                                      solo[0][static_cast<size_t>(f)])
+                            p.isolated = false;
+                    }
+                    p.net_ms_per_frame =
+                        std::chrono::duration<double, std::milli>(
+                            clock::now() - t0)
+                            .count() /
+                        args.frames;
+                }
+
+                // The render dwarfs the wire cost, so measure the wire
+                // overhead directly: no-render Stats round-trips walk
+                // the full framed path without a frame inside.
+                if (ok) {
+                    const int kPings = 200;
+                    serve::net::StatsReply sr;
+                    const auto t0 = clock::now();
+                    for (int k = 0; k < kPings && ok; ++k)
+                        ok = client.stats(open_ok.session_id, &sr);
+                    p.wire_overhead_us =
+                        std::chrono::duration<double, std::micro>(
+                            clock::now() - t0)
+                            .count() /
+                        kPings;
+                }
+
+                // Graceful drain doubles as the per-point teardown: the
+                // loop thread returns once every connection is flushed.
+                if (ok)
+                    ok = client.shutdownServer();
+                if (!ok) {
+                    std::fprintf(
+                        stderr, "net: request failed at threads=%d: %s\n",
+                        T,
+                        serve::net::wireErrorName(client.lastError()));
+                    frontend.requestStop();
+                }
+            }
+            loop.join();
+            if (!ok)
+                return 1;
+
+            isolated_all = isolated_all && p.isolated;
+            net_points.push_back(p);
+
+            std::printf("%-10d %-14.2f %-18.1f %s\n", T,
+                        p.net_ms_per_frame, p.wire_overhead_us,
+                        p.isolated ? "yes" : "NO");
+        }
+    }
+
     std::printf("\nfault isolation (hashes vs solo runs): %s\n",
                 isolated_all ? "OK (bit-identical)" : "FAILED");
 
     if (!args.json_path.empty()) {
-        if (!writeJson(args.json_path, args, res, points, isolated_all)) {
+        if (!writeJson(args.json_path, args, res, points, net_points,
+                       isolated_all)) {
             std::fprintf(stderr, "error: could not write %s\n",
                          args.json_path.c_str());
             return 1;

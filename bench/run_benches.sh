@@ -27,7 +27,10 @@
 # serving bench (bench_server: sessions x threads sweep over the same
 # scene, with per-frame hash checks against solo renderers) and writes
 # its JSON there; NEO_BENCH_SESSIONS (default 1,2,4) sets its session
-# sweep.
+# sweep; NEO_BENCH_NET=1 adds the socket-front-end sweep (--net: the
+# same 1-session workload over a loopback socket, with the wire
+# overhead in us/request reported next to the in-process numbers in a
+# separate "net_points" array that diff_bench.sh ignores).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -81,11 +84,16 @@ if [[ -n "${NEO_BENCH_SERVER_JSON:-}" ]]; then
         echo "error: $SBIN not built (run: cmake --build $BUILD_DIR -t bench_server)" >&2
         exit 1
     fi
+    NET_FLAG=()
+    if [[ "${NEO_BENCH_NET:-0}" == "1" ]]; then
+        NET_FLAG=(--net)
+    fi
     "$SBIN" --json "$NEO_BENCH_SERVER_JSON" \
             --gaussians "$GAUSSIANS" \
             --frames "$FRAMES" \
             --sessions-list "${NEO_BENCH_SESSIONS:-1,2,4}" \
             --threads-list "$THREADS" \
-            --pr "$PR"
+            --pr "$PR" \
+            ${NET_FLAG[@]+"${NET_FLAG[@]}"}
     echo "run_benches.sh: wrote $NEO_BENCH_SERVER_JSON"
 fi

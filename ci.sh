@@ -25,14 +25,18 @@
 #                 isolation contract (delivered hashes vs solo runs), and
 #                 its 1-session/threads=1 point is gated against the
 #                 scaling point's threads=1 ms/frame: >10% serving-layer
-#                 overhead fails CI.
+#                 overhead fails CI. The sweep also records the socket
+#                 front end's loopback overhead (--net, "net_points" in
+#                 the same JSON — informational, not gated).
 #   NEO_CI_TSAN   when 1, build a second tree with -DNEO_SANITIZE=thread
-#                 and run the server-labelled tests (the concurrent
-#                 session drivers) under ThreadSanitizer.
+#                 and run the server- and net-labelled tests (the
+#                 concurrent session drivers plus the socket front end's
+#                 loopback chaos suite) under ThreadSanitizer.
 #   NEO_BENCH_JSON        output trajectory point
+#                         (default: BENCH_PR9_scaling.json)
+#   NEO_BENCH_BASELINE    previous trajectory point
 #                         (default: BENCH_PR8_scaling.json)
-#   NEO_BENCH_BASELINE    previous trajectory point (default: BENCH_PR7.json)
-#   NEO_BENCH_SERVER_JSON serving-layer sweep output (default: BENCH_PR8.json)
+#   NEO_BENCH_SERVER_JSON serving-layer sweep output (default: BENCH_PR9.json)
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -40,9 +44,9 @@ cd "$(dirname "$0")"
 BUILD_DIR="${BUILD_DIR:-build}"
 BUILD_TYPE="${BUILD_TYPE:-}"
 JOBS="${JOBS:-$(nproc)}"
-NEO_BENCH_JSON="${NEO_BENCH_JSON:-BENCH_PR8_scaling.json}"
-NEO_BENCH_BASELINE="${NEO_BENCH_BASELINE:-BENCH_PR7.json}"
-NEO_BENCH_SERVER_JSON="${NEO_BENCH_SERVER_JSON:-BENCH_PR8.json}"
+NEO_BENCH_JSON="${NEO_BENCH_JSON:-BENCH_PR9_scaling.json}"
+NEO_BENCH_BASELINE="${NEO_BENCH_BASELINE:-BENCH_PR8_scaling.json}"
+NEO_BENCH_SERVER_JSON="${NEO_BENCH_SERVER_JSON:-BENCH_PR9.json}"
 
 cmake -B "$BUILD_DIR" -S . -DNEO_WERROR=ON \
     ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"} "$@"
@@ -61,17 +65,75 @@ ctest --test-dir "$BUILD_DIR" -L integrity --output-on-failure -j "$JOBS"
 echo "ci.sh: re-running server-labelled tests"
 ctest --test-dir "$BUILD_DIR" -L server --output-on-failure -j "$JOBS"
 
+# The socket front end: wire-codec isolation tests (malformed-frame
+# taxonomy, torn delivery, fuzz) plus the loopback chaos suite (network
+# faults on victim connections vs bit-identical healthy siblings).
+echo "ci.sh: re-running net-labelled tests"
+ctest --test-dir "$BUILD_DIR" -L net --output-on-failure -j "$JOBS"
+
+# Loopback end-to-end smoke over the real binaries: neo_serve_net binds
+# an ephemeral port and prints the solo reference hashes; the client
+# drives the same trajectory over the framed protocol and requests a
+# graceful drain. The served hashes must be bit-identical to the solo
+# render, and the server must exit 0 (drain completed).
+echo "ci.sh: loopback socket front-end smoke"
+NET_LOG="$BUILD_DIR/neo_serve_net_smoke.log"
+"$BUILD_DIR/examples/neo_serve_net" --print-solo 3 >"$NET_LOG" &
+NET_PID=$!
+NET_PORT=""
+for _ in $(seq 1 100); do
+    NET_PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$NET_LOG")"
+    [[ -n "$NET_PORT" ]] && break
+    kill -0 "$NET_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if [[ -z "$NET_PORT" ]]; then
+    echo "ci.sh: FAIL — socket front end did not report a port" >&2
+    kill "$NET_PID" 2>/dev/null || true
+    cat "$NET_LOG" >&2 || true
+    exit 1
+fi
+CLIENT_OUT="$("$BUILD_DIR/examples/neo_serve_net_client" \
+    --port "$NET_PORT" --frames 3 --shutdown)"
+if ! wait "$NET_PID"; then
+    echo "ci.sh: FAIL — socket front end exited without a clean drain" >&2
+    cat "$NET_LOG" >&2 || true
+    exit 1
+fi
+SOLO_HASHES="$(sed -n 's/^solo [0-9]* //p' "$NET_LOG")"
+WIRE_HASHES="$(sed -n 's/^frame [0-9]* //p' <<<"$CLIENT_OUT")"
+if [[ -z "$SOLO_HASHES" || "$SOLO_HASHES" != "$WIRE_HASHES" ]]; then
+    echo "ci.sh: FAIL — hashes served over the wire differ from the" \
+         "solo render" >&2
+    echo "--- server log:" >&2
+    cat "$NET_LOG" >&2 || true
+    echo "--- client output:" >&2
+    printf '%s\n' "$CLIENT_OUT" >&2
+    exit 1
+fi
+if ! grep -q "shutdown acked" <<<"$CLIENT_OUT"; then
+    echo "ci.sh: FAIL — client shutdown request was not acked" >&2
+    exit 1
+fi
+echo "ci.sh: socket front-end smoke OK (3 frames bit-identical over" \
+     "the wire, drained cleanly)"
+
 if [[ "${NEO_CI_TSAN:-0}" == "1" ]]; then
     # The serving layer's concurrency contract (submit()/stats() vs one
     # driver per session, shared pool dispatch from N drivers) is
-    # exactly the kind of thing TSAN catches and unit asserts miss.
+    # exactly the kind of thing TSAN catches and unit asserts miss. The
+    # net label rides along: its chaos suite runs the poll loop in a
+    # dedicated thread against blocking clients, the same
+    # loop-thread-vs-driver shape the front end ships with.
     TSAN_DIR="${TSAN_DIR:-build-tsan}"
     echo "ci.sh: building with -fsanitize=thread into $TSAN_DIR"
     cmake -B "$TSAN_DIR" -S . -DNEO_WERROR=ON -DNEO_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build "$TSAN_DIR" -j "$JOBS"
-    echo "ci.sh: running server-labelled tests under TSAN"
-    ctest --test-dir "$TSAN_DIR" -L server --output-on-failure -j "$JOBS"
+    echo "ci.sh: running server- and net-labelled tests under TSAN"
+    ctest --test-dir "$TSAN_DIR" -L 'server|net' --output-on-failure \
+        -j "$JOBS"
 fi
 
 if [[ "${NEO_CI_BENCH:-0}" == "1" ]]; then
@@ -100,7 +162,7 @@ if [[ "${NEO_CI_BENCH:-0}" == "1" ]]; then
         # check-mode overhead above 10% ms/frame at threads=1 fails CI.
         NEO_INTEGRITY_JSON="${NEO_BENCH_JSON%.json}_integrity.json"
         echo "ci.sh: running check-mode integrity bench point"
-        if ! NEO_BENCH_INTEGRITY=check NEO_BENCH_PR="${NEO_BENCH_PR:-8}" \
+        if ! NEO_BENCH_INTEGRITY=check NEO_BENCH_PR="${NEO_BENCH_PR:-9}" \
              bench/run_benches.sh "$BUILD_DIR" "$NEO_INTEGRITY_JSON"; then
             echo "ci.sh: WARNING integrity bench failed (non-gating)" >&2
         else
@@ -113,9 +175,12 @@ if [[ "${NEO_CI_BENCH:-0}" == "1" ]]; then
         # and diff_bench.sh gates its 1-session/threads=1 point against
         # the scaling point — the serving layer (queues, QoS, watchdogs,
         # hashing) must stay within 10% of the bare staged render loop.
+        # --net adds the loopback socket sweep: the same workload over
+        # the framed wire protocol, with the per-request overhead
+        # recorded in a "net_points" array the gate ignores.
         echo "ci.sh: running multi-session serving bench"
         if ! "$BUILD_DIR/bench/bench_server" --json "$NEO_BENCH_SERVER_JSON" \
-             --pr "${NEO_BENCH_PR:-8}"; then
+             --pr "${NEO_BENCH_PR:-9}" --net; then
             echo "ci.sh: FAIL — serving bench failed (isolation contract" \
                  "or crash)" >&2
             exit 1

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Socket front end demo/smoke server: one NeoServer behind the framed
+ * TCP protocol (serve/net/), serving loopback clients until a Shutdown
+ * request drains it.
+ *
+ *   ./neo_serve_net [--threads N] [--port P] [--print-solo N]
+ *
+ * Prints "listening on 127.0.0.1:PORT" once bound (PORT is ephemeral
+ * unless --port/NEO_SERVER_NET_PORT pins it) — the CI smoke parses that
+ * line, drives the server with neo_serve_net_client, and compares the
+ * served frame hashes against the "solo F HASH" lines --print-solo
+ * emits from an in-process reference render of the same trajectory.
+ * Exits 0 only after a graceful drain completes.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "core/neo_renderer.h"
+#include "scene/synthetic.h"
+#include "scene/trajectory.h"
+#include "serve/net/frontend.h"
+#include "serve/server.h"
+
+using namespace neo;
+using namespace neo::serve;
+
+namespace
+{
+
+/** The scene/trajectory contract shared with neo_serve_net_client: the
+    client opens an orbit at speed 1.0 and 256x192, which is exactly
+    what the solo reference below renders. */
+std::shared_ptr<const GaussianScene>
+demoScene()
+{
+    SyntheticSceneParams params;
+    params.count = 8000;
+    params.clusters = 6;
+    params.extent = 8.0f;
+    params.seed = 2026;
+    params.name = "net-demo";
+    return std::make_shared<const GaussianScene>(generateScene(params));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int threads = 0;
+    int port = -1;
+    int print_solo = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            threads = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+            port = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--print-solo") == 0 &&
+                   i + 1 < argc) {
+            print_solo = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr, "usage: neo_serve_net [--threads N] "
+                                 "[--port P] [--print-solo N]\n");
+            return 2;
+        }
+    }
+
+    auto scene = demoScene();
+    ServerConfig cfg = serverConfigFromEnv();
+    cfg.pipeline.threads = threads;
+    NeoServer server(scene, cfg);
+
+    if (print_solo > 0) {
+        // Ground truth for the smoke: what a solo renderer produces for
+        // the trajectory the client will open over the wire.
+        const Trajectory traj(TrajectoryKind::Orbit, *scene, 1.0f);
+        const Resolution res{256, 192, "net"};
+        PipelineOptions solo_opts = cfg.pipeline;
+        solo_opts.threads = 1;
+        NeoRenderer solo(solo_opts);
+        Image img;
+        for (int f = 0; f < print_solo; ++f) {
+            solo.renderFrameInto(img, *scene, traj.cameraAt(f, res),
+                                 static_cast<uint64_t>(f));
+            std::printf("solo %d %016llx\n", f,
+                        static_cast<unsigned long long>(
+                            img.contentHash()));
+        }
+    }
+
+    net::NetConfig ncfg = net::netConfigFromEnv();
+    if (port >= 0)
+        ncfg.port = port;
+    net::NetFrontend frontend(server, ncfg);
+    if (!frontend.start()) {
+        std::fprintf(stderr, "neo_serve_net: bind/listen failed\n");
+        return 1;
+    }
+    std::printf("listening on 127.0.0.1:%d\n", frontend.port());
+    std::fflush(stdout); // the CI smoke parses the port from a pipe
+
+    frontend.run(); // returns after a drain completes (Shutdown frame)
+
+    const net::NetCounters &c = frontend.counters();
+    std::printf("served %llu requests over %llu connections "
+                "(%llu frames in, %llu out, %llu protocol errors)\n",
+                static_cast<unsigned long long>(c.requests_served),
+                static_cast<unsigned long long>(c.accepted),
+                static_cast<unsigned long long>(c.frames_in),
+                static_cast<unsigned long long>(c.frames_out),
+                static_cast<unsigned long long>(c.protocol_errors));
+    if (!frontend.drained()) {
+        std::fprintf(stderr, "neo_serve_net: exited without a completed "
+                             "drain\n");
+        return 1;
+    }
+    std::printf("drained cleanly\n");
+    return 0;
+}

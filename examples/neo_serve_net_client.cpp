@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Minimal blocking client for the socket front end (the CI smoke
+ * driver): connect to a neo_serve_net server on loopback, open one
+ * orbit session, submit N frames, print each served hash, and
+ * optionally request a graceful server drain.
+ *
+ *   ./neo_serve_net_client --port P [--frames N] [--shutdown]
+ *
+ * Prints "frame F HASH" per served frame (compared by ci.sh against
+ * the server's "solo F HASH" reference lines) and "shutdown acked"
+ * when --shutdown is acknowledged.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "serve/net/client.h"
+
+using namespace neo::serve::net;
+
+int
+main(int argc, char **argv)
+{
+    int port = -1;
+    int frames = 3;
+    bool shutdown = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+            port = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
+            frames = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+            shutdown = true;
+        } else {
+            std::fprintf(stderr, "usage: neo_serve_net_client --port P "
+                                 "[--frames N] [--shutdown]\n");
+            return 2;
+        }
+    }
+    if (port <= 0) {
+        std::fprintf(stderr, "neo_serve_net_client: --port required\n");
+        return 2;
+    }
+
+    NetClient client;
+    if (!client.connect(port)) {
+        std::fprintf(stderr, "connect to 127.0.0.1:%d failed\n", port);
+        return 1;
+    }
+
+    // Must match the solo reference neo_serve_net renders: orbit,
+    // speed 1.0, 256x192.
+    OpenSessionReq open;
+    open.trajectory_kind = 0;
+    open.speed = 1.0f;
+    open.width = 256;
+    open.height = 192;
+    OpenOkReply ok;
+    if (!client.openSession(open, &ok)) {
+        std::fprintf(stderr, "open-session failed: %s\n",
+                     wireErrorName(client.lastError()));
+        return 1;
+    }
+    std::printf("session %u open\n", ok.session_id);
+
+    for (int f = 0; f < frames; ++f) {
+        SubmitFrameReq req;
+        req.session_id = ok.session_id;
+        req.frame_index = static_cast<uint64_t>(f);
+        SubmitReply reply;
+        if (!client.submitFrame(req, &reply) || !reply.rendered) {
+            std::fprintf(stderr, "submit-frame %d failed: %s\n", f,
+                         wireErrorName(client.lastError()));
+            return 1;
+        }
+        std::printf("frame %d %016llx\n", f,
+                    static_cast<unsigned long long>(reply.frame_hash));
+    }
+
+    StatsReply stats;
+    if (!client.stats(ok.session_id, &stats)) {
+        std::fprintf(stderr, "stats failed: %s\n",
+                     wireErrorName(client.lastError()));
+        return 1;
+    }
+    std::printf("rendered %llu, deadline misses %llu, faults %llu\n",
+                static_cast<unsigned long long>(stats.stats.rendered),
+                static_cast<unsigned long long>(
+                    stats.stats.deadline_misses),
+                static_cast<unsigned long long>(stats.stats.faults));
+
+    if (shutdown) {
+        if (!client.shutdownServer()) {
+            std::fprintf(stderr, "shutdown not acked: %s\n",
+                         wireErrorName(client.lastError()));
+            return 1;
+        }
+        std::printf("shutdown acked\n");
+    } else if (!client.closeSession(ok.session_id)) {
+        std::fprintf(stderr, "close-session failed: %s\n",
+                     wireErrorName(client.lastError()));
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+#include "common/env.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+
+namespace neo::env
+{
+
+namespace
+{
+
+/** Knob names that have already produced their one warning. */
+std::mutex g_mutex;
+std::set<std::string> g_warned;
+
+bool
+shouldWarn(const char *name)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    return g_warned.insert(name).second;
+}
+
+} // namespace
+
+bool
+parseLong(const char *text, long *out)
+{
+    if (!text || text[0] == '\0' || !out)
+        return false;
+    char *end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseDouble(const char *text, double *out)
+{
+    if (!text || text[0] == '\0' || !out)
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+long
+envLong(const char *name, long def, long lo, long hi)
+{
+    const char *text = std::getenv(name);
+    if (!text || text[0] == '\0')
+        return def;
+    long v = 0;
+    if (!parseLong(text, &v) || v < lo || v > hi) {
+        if (shouldWarn(name))
+            warn("%s='%s' is not an integer in [%ld, %ld]; using %ld",
+                 name, text, lo, hi, def);
+        return def;
+    }
+    return v;
+}
+
+double
+envDouble(const char *name, double def, double lo, double hi)
+{
+    const char *text = std::getenv(name);
+    if (!text || text[0] == '\0')
+        return def;
+    double v = 0.0;
+    // NaN fails both range comparisons by design.
+    if (!parseDouble(text, &v) || !(v >= lo) || !(v <= hi)) {
+        if (shouldWarn(name))
+            warn("%s='%s' is not a number in [%g, %g]; using %g", name,
+                 text, lo, hi, def);
+        return def;
+    }
+    return v;
+}
+
+void
+resetWarnings()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_warned.clear();
+}
+
+} // namespace neo::env

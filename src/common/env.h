@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Validated environment-knob parsing, shared by every NEO_* config
+ * surface (thread count, bench scene scale, integrity attest period,
+ * NEO_SERVER_* and NEO_SERVER_NET_* serving knobs).
+ *
+ * The contract all call sites want is identical: a knob is either a
+ * full-string-consumed number inside its documented range, or it is
+ * ignored with a warn-once diagnostic and the compiled-in default —
+ * silently consuming a numeric prefix ("8x" -> 8, "2garbage" -> 2) is
+ * exactly the bug class these helpers exist to prevent, and a knob that
+ * silently does nothing costs real debugging time.
+ */
+
+#ifndef NEO_COMMON_ENV_H
+#define NEO_COMMON_ENV_H
+
+namespace neo::env
+{
+
+/** Full-string strtol: true iff @p text is one complete base-10
+    integer (no trailing junk, no empty string). */
+bool parseLong(const char *text, long *out);
+
+/** Full-string strtod: true iff @p text is one complete number. */
+bool parseDouble(const char *text, double *out);
+
+/**
+ * Integer knob: getenv(@p name), validated full-string parse, range
+ * check [@p lo, @p hi]. Unset or empty returns @p def silently; a
+ * malformed or out-of-range value warns once per knob name and returns
+ * @p def.
+ */
+long envLong(const char *name, long def, long lo, long hi);
+
+/** Floating-point knob with the same warn-once validated contract. */
+double envDouble(const char *name, double def, double lo, double hi);
+
+/** Test hook: forget which knob names have already warned, so a suite
+    can assert the diagnostic fires again. */
+void resetWarnings();
+
+} // namespace neo::env
+
+#endif // NEO_COMMON_ENV_H

@@ -1,5 +1,6 @@
 #include "common/faultinject.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <mutex>
@@ -123,6 +124,182 @@ corrupt(const char *point, int64_t index, void *data, size_t elems,
     g_has_last = true;
     ++g_count;
     g_pending.store(false, std::memory_order_release);
+}
+
+// --- Network fault domain ----------------------------------------------
+
+namespace
+{
+
+// Armed short-write state, independent of the bit-flip machinery so a
+// chaos test can hold both armed at once.
+std::atomic<bool> g_sw_pending{false};
+std::mutex g_sw_mutex;
+std::string g_sw_point;
+int64_t g_sw_conn = -1;
+uint64_t g_sw_seed = 1;
+int g_sw_count = 0;
+uint64_t g_sw_fired = 0;
+
+/**
+ * Adversarial offset into a @p len-byte buffer: a seeded choice among
+ * the positions a framed parser mishandles when it mishandles anything
+ * — inside the 4-byte magic, one byte either side of the header/payload
+ * boundary, the midpoint, and the final byte.
+ */
+size_t
+adversarialOffset(uint64_t &state, size_t len, size_t frame_size)
+{
+    size_t candidates[8];
+    size_t n = 0;
+    const size_t cut[] = {1,
+                          3,
+                          frame_size > 0 ? frame_size - 1 : 0,
+                          frame_size,
+                          frame_size + 1,
+                          len / 2,
+                          len > 0 ? len - 1 : 0};
+    for (size_t c : cut)
+        if (c > 0 && c < len)
+            candidates[n++] = c;
+    if (n == 0)
+        return len / 2;
+    return candidates[splitmix(state) % n];
+}
+
+} // namespace
+
+const char *
+netFaultName(NetFault fault)
+{
+    switch (fault) {
+    case NetFault::None:
+        return "none";
+    case NetFault::TornWrite:
+        return "torn-write";
+    case NetFault::Garbage:
+        return "garbage";
+    case NetFault::Disconnect:
+        return "disconnect";
+    case NetFault::Stall:
+        return "stall";
+    }
+    return "none";
+}
+
+NetFaultPlan
+planNetFault(NetFault kind, uint64_t seed, size_t len, size_t frame_size,
+             double stall_ms)
+{
+    NetFaultPlan plan;
+    plan.kind = kind;
+    plan.prefix = len;
+    if (len == 0)
+        return plan;
+
+    uint64_t state = seed ^ (static_cast<uint64_t>(len) << 32) ^
+                     static_cast<uint64_t>(kind);
+    switch (kind) {
+    case NetFault::None:
+        break;
+    case NetFault::TornWrite: {
+        // 1-3 splits, deduplicated and sorted: every segment lands in a
+        // separate send() so the receiver reassembles across reads.
+        const int pieces = 1 + static_cast<int>(splitmix(state) % 3);
+        for (int i = 0; i < pieces; ++i) {
+            const size_t off = adversarialOffset(state, len, frame_size);
+            bool dup = false;
+            for (size_t s : plan.splits)
+                dup = dup || s == off;
+            if (!dup && off > 0 && off < len)
+                plan.splits.push_back(off);
+        }
+        std::sort(plan.splits.begin(), plan.splits.end());
+        break;
+    }
+    case NetFault::Garbage: {
+        plan.garbage =
+            netGarbageBytes(splitmix(state),
+                            1 + static_cast<size_t>(splitmix(state) % 16));
+        plan.garbage_offset = adversarialOffset(state, len, frame_size);
+        break;
+    }
+    case NetFault::Disconnect:
+        plan.prefix = adversarialOffset(state, len, frame_size);
+        break;
+    case NetFault::Stall:
+        plan.prefix = adversarialOffset(state, len, frame_size);
+        plan.stall_ms = stall_ms;
+        break;
+    }
+    return plan;
+}
+
+std::vector<uint8_t>
+netGarbageBytes(uint64_t seed, size_t n)
+{
+    std::vector<uint8_t> bytes;
+    bytes.reserve(n);
+    uint64_t state = seed;
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t r = splitmix(state);
+        // One byte in four is a magic-prefix byte ('N'/'E'/'O'/'W'),
+        // so runs of garbage regularly fake the start of a frame and
+        // force the parser's resync scan to reject a partial match
+        // instead of skipping obvious noise.
+        if (r % 4 == 0) {
+            constexpr uint8_t kMagicBytes[4] = {0x4E, 0x45, 0x4F, 0x57};
+            bytes.push_back(kMagicBytes[(r >> 8) % 4]);
+        } else {
+            bytes.push_back(static_cast<uint8_t>(r >> 16));
+        }
+    }
+    return bytes;
+}
+
+void
+armShortWrite(const char *point, int64_t conn, uint64_t seed, int count)
+{
+    std::lock_guard<std::mutex> lock(g_sw_mutex);
+    g_sw_point = point;
+    g_sw_conn = conn;
+    g_sw_seed = seed;
+    g_sw_count = count;
+    g_sw_pending.store(count > 0, std::memory_order_release);
+}
+
+size_t
+writeBudget(const char *point, int64_t conn, size_t want)
+{
+    if (!g_sw_pending.load(std::memory_order_acquire))
+        return want;
+    std::lock_guard<std::mutex> lock(g_sw_mutex);
+    if (g_sw_count <= 0 || g_sw_point != point ||
+        (g_sw_conn >= 0 && g_sw_conn != conn))
+        return want;
+    if (want < 2)
+        return want; // nothing to shorten
+    const size_t budget =
+        1 + static_cast<size_t>(splitmix(g_sw_seed) % (want - 1));
+    ++g_sw_fired;
+    if (--g_sw_count <= 0)
+        g_sw_pending.store(false, std::memory_order_release);
+    return budget;
+}
+
+void
+disarmShortWrite()
+{
+    std::lock_guard<std::mutex> lock(g_sw_mutex);
+    g_sw_count = 0;
+    g_sw_pending.store(false, std::memory_order_release);
+}
+
+uint64_t
+shortWriteCount()
+{
+    std::lock_guard<std::mutex> lock(g_sw_mutex);
+    return g_sw_fired;
 }
 
 } // namespace neo::faultinject

@@ -143,6 +143,89 @@ corruptSpan(const char *point, std::vector<T> &data)
             SemanticBytes<T>::value);
 }
 
+// --- Network fault domain ----------------------------------------------
+//
+// The socket front end (serve/net/) extends the fault model from memory
+// bit flips to the wire: a hostile or failing peer tears frames at
+// adversarial byte offsets, interleaves garbage, hangs mid-frame, or
+// disconnects abruptly. The chaos suite needs those behaviors to be a
+// pure function of a seed, so a failing run replays exactly — the same
+// discipline armBitFlip applies to in-memory state.
+
+/** What a network fault does to one outgoing wire buffer. */
+enum class NetFault : uint8_t
+{
+    None,       //!< write the buffer untouched
+    TornWrite,  //!< split the buffer at adversarial offsets
+    Garbage,    //!< insert seeded garbage bytes at an adversarial offset
+    Disconnect, //!< write a prefix, then close the socket abruptly
+    Stall,      //!< write a prefix, hold the rest past a timeout
+};
+
+/** Lower-case fault name ("torn-write", ...). */
+const char *netFaultName(NetFault fault);
+
+/**
+ * Deterministic mangling plan for one @p len-byte wire buffer. All
+ * offsets are a pure function of (@p kind, @p seed, @p len,
+ * @p frame_size): the same arming replays byte-for-byte.
+ */
+struct NetFaultPlan
+{
+    NetFault kind = NetFault::None;
+    /** Ascending split offsets in (0, len): write [0,s0), [s0,s1), ...
+        as separate segments (TornWrite; also used by Stall). */
+    std::vector<size_t> splits;
+    /** Garbage bytes to insert before offset @p garbage_offset. */
+    std::vector<uint8_t> garbage;
+    size_t garbage_offset = 0;
+    /** Bytes of the buffer to write before abruptly closing
+        (Disconnect) or before stalling (Stall); len otherwise. */
+    size_t prefix = 0;
+    /** How long the Stall fault holds the remainder, in milliseconds. */
+    double stall_ms = 0.0;
+};
+
+/**
+ * Build the deterministic plan for mangling a @p len-byte buffer.
+ * Split/garbage/truncation offsets are biased to the adversarial frame
+ * positions — inside the magic, one byte either side of the
+ * @p frame_size header boundary, and the last byte — because those are
+ * the offsets a length-prefixed parser mishandles when it mishandles
+ * anything. @p stall_ms only shapes Stall plans.
+ */
+NetFaultPlan planNetFault(NetFault kind, uint64_t seed, size_t len,
+                          size_t frame_size, double stall_ms = 0.0);
+
+/** @p n seeded garbage bytes, biased toward bytes that look like the
+    start of a frame (magic prefixes) so resync logic is actually
+    exercised rather than trivially skipping noise. */
+std::vector<uint8_t> netGarbageBytes(uint64_t seed, size_t n);
+
+/**
+ * Arm a short-write fault on a socket send path: the next @p count
+ * writeBudget() calls for (@p point, @p conn) return a seeded prefix
+ * length instead of the full requested size, deterministically forcing
+ * the partial-write path that real kernels only take under pressure.
+ * @p conn < 0 matches any connection.
+ */
+void armShortWrite(const char *point, int64_t conn, uint64_t seed,
+                   int count = 1);
+
+/**
+ * Injection point on a send path: how many of @p want bytes the caller
+ * may pass to this write. Returns @p want while disarmed (one relaxed
+ * atomic load); an armed short-write returns a seeded value in
+ * [1, want - 1] (or want when want < 2) and burns one count.
+ */
+size_t writeBudget(const char *point, int64_t conn, size_t want);
+
+/** Cancel a pending short-write fault. */
+void disarmShortWrite();
+
+/** Short writes forced since process start. */
+uint64_t shortWriteCount();
+
 } // namespace neo::faultinject
 
 #endif // NEO_COMMON_FAULTINJECT_H

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace neo
@@ -42,21 +43,9 @@ integrityModeFromEnv()
 int
 integrityAttestPeriodFromEnv()
 {
-    constexpr int kDefault = 4;
-    const char *env = std::getenv("NEO_INTEGRITY_ATTEST_PERIOD");
-    if (!env || env[0] == '\0')
-        return kDefault;
-    char *end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end == env || *end != '\0' || v <= 0 || v > 1000000) {
-        static std::atomic<bool> warned{false};
-        if (!warned.exchange(true))
-            warn("NEO_INTEGRITY_ATTEST_PERIOD='%s' is not a frame count "
-                 "in [1, 1000000]; using %d",
-                 env, kDefault);
-        return kDefault;
-    }
-    return static_cast<int>(v);
+    // Warn-once validated parse shared with every other NEO_* knob.
+    return static_cast<int>(
+        env::envLong("NEO_INTEGRITY_ATTEST_PERIOD", 4, 1, 1000000));
 }
 
 IntegrityMode

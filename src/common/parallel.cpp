@@ -10,6 +10,7 @@
 #include <sched.h>
 #endif
 
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace neo
@@ -123,11 +124,10 @@ resolveThreadCount(int requested)
         return 1;
     if (std::strcmp(env, "auto") == 0 || std::strcmp(env, "0") == 0)
         return hardwareThreadCount();
-    char *end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    // Full-string consumption: "4garbage" must not silently run with 4
-    // threads (nor "garbage" with 1 and no diagnostic).
-    if (end == env || *end != '\0' || v <= 0) {
+    long v = 0;
+    // Full-string consumption (common/env): "4garbage" must not silently
+    // run with 4 threads (nor "garbage" with 1 and no diagnostic).
+    if (!neo::env::parseLong(env, &v) || v <= 0) {
         static std::atomic<bool> warned{false};
         if (!warned.exchange(true))
             warn("NEO_THREADS=%s is not a positive integer or \"auto\"; "

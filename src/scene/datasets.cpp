@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace neo
@@ -103,41 +104,20 @@ buildScene(const ScenePreset &preset, double scale)
 double
 benchSceneScale()
 {
-    const char *env = std::getenv("NEO_SCENE_SCALE");
-    if (!env)
-        return 1.0;
-    // Full-string consumption: atof would quietly read "2x" as 2.
-    char *end = nullptr;
-    const double v = std::strtod(env, &end);
-    if (end == env || *end != '\0') {
-        warn("ignoring NEO_SCENE_SCALE=%s (not a number)", env);
-        return 1.0;
-    }
-    if (v <= 0.0 || v > 4.0) {
-        warn("ignoring NEO_SCENE_SCALE=%s (want 0 < scale <= 4)", env);
-        return 1.0;
-    }
-    return v;
+    // Full-string consumption (common/env): atof would quietly read
+    // "2x" as 2 and double the scene. The scale must stay strictly
+    // positive; the tiny inclusive lower bound stands in for "> 0" so
+    // NEO_SCENE_SCALE=0 still warns instead of silently defaulting.
+    return env::envDouble("NEO_SCENE_SCALE", 1.0, 1e-9, 4.0);
 }
 
 int
 benchFrameCount(int default_frames)
 {
-    const char *env = std::getenv("NEO_BENCH_FRAMES");
-    if (!env)
-        return default_frames;
-    // Full-string consumption: atoi would quietly read "10garbage" as 10.
-    char *end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end == env || *end != '\0') {
-        warn("ignoring NEO_BENCH_FRAMES=%s (not an integer)", env);
-        return default_frames;
-    }
-    if (v < 2 || v > 100000) {
-        warn("ignoring NEO_BENCH_FRAMES=%s", env);
-        return default_frames;
-    }
-    return static_cast<int>(v);
+    // Full-string consumption (common/env): atoi would quietly read
+    // "10garbage" as 10.
+    return static_cast<int>(env::envLong("NEO_BENCH_FRAMES",
+                                         default_frames, 2, 100000));
 }
 
 } // namespace neo

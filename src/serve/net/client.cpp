@@ -1,0 +1,180 @@
+#include "serve/net/client.h"
+
+#include <cerrno>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace neo::serve::net
+{
+
+NetClient::~NetClient()
+{
+    close();
+}
+
+bool
+NetClient::connect(int port)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return false;
+    const int one = 1;
+    (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    decoder_.reset();
+    last_error_ = WireError::None;
+    return true;
+}
+
+void
+NetClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    decoder_.reset();
+}
+
+bool
+NetClient::sendRaw(const uint8_t *data, size_t len)
+{
+    size_t off = 0;
+    while (off < len) {
+        const ssize_t n =
+            ::send(fd_, data + off, len - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+bool
+NetClient::recvFrame(DecodedFrame *frame, double timeout_ms)
+{
+    for (;;) {
+        WireError error = WireError::None;
+        const DecodeStatus st = decoder_.next(frame, &error);
+        if (st == DecodeStatus::Frame)
+            return true;
+        if (st == DecodeStatus::Error) {
+            last_error_ = error;
+            return false;
+        }
+
+        pollfd pfd{fd_, POLLIN, 0};
+        const int timeout =
+            timeout_ms < 0 ? -1 : static_cast<int>(timeout_ms);
+        const int ready = ::poll(&pfd, 1, timeout);
+        if (ready <= 0)
+            return false; // timeout or poll failure
+
+        uint8_t buf[4096];
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n > 0) {
+            decoder_.feed(buf, static_cast<size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false; // peer closed or hard error
+    }
+}
+
+bool
+NetClient::roundTrip(const std::vector<uint8_t> &request, MsgType expect,
+                     DecodedFrame *reply, double timeout_ms)
+{
+    last_error_ = WireError::None;
+    if (fd_ < 0 || !sendRaw(request))
+        return false;
+    if (!recvFrame(reply, timeout_ms))
+        return false;
+    if (reply->type == MsgType::Error) {
+        ErrorReply err;
+        if (decodeError(reply->payload, &err))
+            last_error_ = static_cast<WireError>(err.code);
+        return false;
+    }
+    return reply->type == expect;
+}
+
+bool
+NetClient::openSession(const OpenSessionReq &req, OpenOkReply *reply,
+                       double timeout_ms)
+{
+    std::vector<uint8_t> request;
+    encodeOpenSession(request, req);
+    DecodedFrame frame;
+    if (!roundTrip(request, MsgType::OpenOk, &frame, timeout_ms))
+        return false;
+    return decodeOpenOk(frame.payload, reply);
+}
+
+bool
+NetClient::submitFrame(const SubmitFrameReq &req, SubmitReply *reply,
+                       double timeout_ms)
+{
+    std::vector<uint8_t> request;
+    encodeSubmitFrame(request, req);
+    DecodedFrame frame;
+    if (!roundTrip(request, MsgType::SubmitReply, &frame, timeout_ms))
+        return false;
+    return decodeSubmitReply(frame.payload, reply);
+}
+
+bool
+NetClient::stats(uint32_t session_id, StatsReply *reply,
+                 double timeout_ms)
+{
+    std::vector<uint8_t> request;
+    SessionRef ref;
+    ref.session_id = session_id;
+    encodeSessionRef(request, MsgType::Stats, ref);
+    DecodedFrame frame;
+    if (!roundTrip(request, MsgType::StatsReply, &frame, timeout_ms))
+        return false;
+    return decodeStatsReply(frame.payload, reply);
+}
+
+bool
+NetClient::closeSession(uint32_t session_id, double timeout_ms)
+{
+    std::vector<uint8_t> request;
+    SessionRef ref;
+    ref.session_id = session_id;
+    encodeSessionRef(request, MsgType::CloseSession, ref);
+    DecodedFrame frame;
+    return roundTrip(request, MsgType::CloseOk, &frame, timeout_ms);
+}
+
+bool
+NetClient::shutdownServer(double timeout_ms)
+{
+    std::vector<uint8_t> request;
+    encodeEmpty(request, MsgType::Shutdown);
+    DecodedFrame frame;
+    return roundTrip(request, MsgType::ShutdownAck, &frame, timeout_ms);
+}
+
+} // namespace neo::serve::net

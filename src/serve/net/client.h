@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal blocking client for the socket front end: connect, one
+ * request / one reply per call, plus the raw-byte access the chaos
+ * suite uses to tear frames, inject garbage, stall, and disconnect at
+ * adversarial offsets. Not thread-safe; one client per connection.
+ */
+
+#ifndef NEO_SERVE_NET_CLIENT_H
+#define NEO_SERVE_NET_CLIENT_H
+
+#include "serve/net/wire.h"
+
+namespace neo::serve::net
+{
+
+/** Blocking request/reply client (see file comment). */
+class NetClient
+{
+  public:
+    NetClient() = default;
+    ~NetClient();
+
+    NetClient(const NetClient &) = delete;
+    NetClient &operator=(const NetClient &) = delete;
+
+    /** Connect to the front end on loopback. False on failure. */
+    bool connect(int port);
+
+    /** Orderly close (safe when not connected). */
+    void close();
+
+    bool connected() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Last wire error answered by the server (None when the last call
+        succeeded). */
+    WireError lastError() const { return last_error_; }
+
+    // --- Request/reply -------------------------------------------------
+
+    bool openSession(const OpenSessionReq &req, OpenOkReply *reply,
+                     double timeout_ms = 10000.0);
+    bool submitFrame(const SubmitFrameReq &req, SubmitReply *reply,
+                     double timeout_ms = 10000.0);
+    bool stats(uint32_t session_id, StatsReply *reply,
+               double timeout_ms = 10000.0);
+    bool closeSession(uint32_t session_id, double timeout_ms = 10000.0);
+    /** Request a graceful server drain; true on the ShutdownAck. */
+    bool shutdownServer(double timeout_ms = 10000.0);
+
+    // --- Raw access (chaos suite) --------------------------------------
+
+    /** Blocking send of arbitrary bytes. False on failure. */
+    bool sendRaw(const uint8_t *data, size_t len);
+    bool sendRaw(const std::vector<uint8_t> &bytes)
+    {
+        return sendRaw(bytes.data(), bytes.size());
+    }
+
+    /** Block until the next validated frame arrives (or the timeout /
+        a connection loss / a wire-level decode error — all false, with
+        lastError() set for decode errors). */
+    bool recvFrame(DecodedFrame *frame, double timeout_ms = 10000.0);
+
+  private:
+    /** Send a request, read one reply, check its type; Error replies
+        land in last_error_. */
+    bool roundTrip(const std::vector<uint8_t> &request, MsgType expect,
+                   DecodedFrame *reply, double timeout_ms);
+
+    int fd_ = -1;
+    FrameDecoder decoder_;
+    WireError last_error_ = WireError::None;
+};
+
+} // namespace neo::serve::net
+
+#endif // NEO_SERVE_NET_CLIENT_H

@@ -1,0 +1,182 @@
+#include "serve/net/conn.h"
+
+#include "common/env.h"
+
+namespace neo::serve::net
+{
+
+NetConfig
+netConfigFromEnv()
+{
+    using env::envLong;
+    NetConfig cfg;
+    cfg.port =
+        static_cast<int>(envLong("NEO_SERVER_NET_PORT", cfg.port, 0, 65535));
+    cfg.max_connections = static_cast<int>(envLong(
+        "NEO_SERVER_NET_MAX_CONNS", cfg.max_connections, 1, 4096));
+    cfg.max_payload = static_cast<size_t>(
+        envLong("NEO_SERVER_NET_MAX_PAYLOAD",
+                static_cast<long>(cfg.max_payload), 64,
+                static_cast<long>(kWireMaxPayload)));
+    cfg.write_buffer_cap = static_cast<size_t>(
+        envLong("NEO_SERVER_NET_WRITE_CAP",
+                static_cast<long>(cfg.write_buffer_cap), 4096, 16777216));
+    cfg.error_budget = static_cast<int>(
+        envLong("NEO_SERVER_NET_ERROR_BUDGET", cfg.error_budget, 1, 1000));
+    cfg.idle_timeout_ms = static_cast<double>(
+        envLong("NEO_SERVER_NET_IDLE_TIMEOUT_MS",
+                static_cast<long>(cfg.idle_timeout_ms), 10, 3600000));
+    cfg.progress_timeout_ms = static_cast<double>(
+        envLong("NEO_SERVER_NET_PROGRESS_TIMEOUT_MS",
+                static_cast<long>(cfg.progress_timeout_ms), 10, 3600000));
+    cfg.drain_deadline_ms = static_cast<double>(
+        envLong("NEO_SERVER_NET_DRAIN_DEADLINE_MS",
+                static_cast<long>(cfg.drain_deadline_ms), 10, 3600000));
+    return cfg;
+}
+
+const char *
+closeReasonName(CloseReason reason)
+{
+    switch (reason) {
+    case CloseReason::None:
+        return "none";
+    case CloseReason::PeerClosed:
+        return "peer-closed";
+    case CloseReason::ErrorBudget:
+        return "error-budget";
+    case CloseReason::IdleTimeout:
+        return "idle-timeout";
+    case CloseReason::ProgressTimeout:
+        return "progress-timeout";
+    case CloseReason::WriteOverflow:
+        return "write-overflow";
+    case CloseReason::Drained:
+        return "drained";
+    case CloseReason::DrainDeadline:
+        return "drain-deadline";
+    case CloseReason::ServerFull:
+        return "server-full";
+    }
+    return "none";
+}
+
+Conn::Conn(int fd, uint64_t id, const NetConfig &cfg, double now_ms)
+    : fd_(fd), id_(id), cfg_(cfg), decoder_(cfg.max_payload),
+      progress_ms_(now_ms), activity_ms_(now_ms)
+{
+}
+
+void
+Conn::onBytes(const uint8_t *data, size_t len, double now_ms)
+{
+    decoder_.feed(data, len);
+    activity_ms_ = now_ms;
+}
+
+DecodeStatus
+Conn::nextFrame(DecodedFrame *frame, WireError *error)
+{
+    const DecodeStatus st = decoder_.next(frame, error);
+    // Progress means the decoder consumed bytes — a frame, an error, or
+    // garbage swallowed by resync. Only a backlog that grows without
+    // consumption (a frame header never completed, a declared payload
+    // never delivered) leaves the progress clock untouched: that is the
+    // slow-loris signature checkTimeouts() fires on.
+    const size_t pending = decoder_.pendingBytes();
+    if (st != DecodeStatus::NeedMore || pending < last_pending_ ||
+        pending == 0)
+        progress_ms_ = activity_ms_;
+    last_pending_ = pending;
+    return st;
+}
+
+bool
+Conn::wantRead() const
+{
+    return !hard_closed_ && !close_after_flush_ && !read_paused_;
+}
+
+void
+Conn::enqueue(const std::vector<uint8_t> &bytes)
+{
+    if (hard_closed_)
+        return;
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+    const size_t buffered = out_.size() - out_off_;
+    if (buffered > cfg_.write_buffer_cap)
+        read_paused_ = true;
+    if (buffered > 2 * cfg_.write_buffer_cap)
+        markClosed(CloseReason::WriteOverflow);
+}
+
+void
+Conn::enqueueError(WireError code, uint16_t detail)
+{
+    std::vector<uint8_t> frame;
+    ErrorReply reply;
+    reply.code = static_cast<uint16_t>(code);
+    reply.detail = detail;
+    encodeError(frame, reply);
+    enqueue(frame);
+}
+
+void
+Conn::wrote(size_t n, double now_ms)
+{
+    out_off_ += n;
+    if (n > 0)
+        activity_ms_ = now_ms;
+    if (out_off_ >= out_.size()) {
+        out_.clear();
+        out_off_ = 0;
+    } else if (out_off_ > 4096 && out_off_ * 2 > out_.size()) {
+        out_.erase(out_.begin(), out_.begin() + static_cast<ptrdiff_t>(out_off_));
+        out_off_ = 0;
+    }
+    if (read_paused_ && out_.size() - out_off_ < cfg_.write_buffer_cap / 2)
+        read_paused_ = false;
+}
+
+bool
+Conn::recordError()
+{
+    ++errors_;
+    return errors_ >= cfg_.error_budget;
+}
+
+void
+Conn::closeAfterFlush(CloseReason reason)
+{
+    if (hard_closed_)
+        return;
+    close_after_flush_ = true;
+    if (close_reason_ == CloseReason::None)
+        close_reason_ = reason;
+    // Nothing buffered: flush is already complete.
+    if (!wantWrite())
+        hard_closed_ = true;
+}
+
+void
+Conn::markClosed(CloseReason reason)
+{
+    hard_closed_ = true;
+    if (close_reason_ == CloseReason::None)
+        close_reason_ = reason;
+}
+
+CloseReason
+Conn::checkTimeouts(double now_ms) const
+{
+    if (hard_closed_)
+        return CloseReason::None;
+    if (now_ms - activity_ms_ > cfg_.idle_timeout_ms)
+        return CloseReason::IdleTimeout;
+    if (last_pending_ > 0 &&
+        now_ms - progress_ms_ > cfg_.progress_timeout_ms)
+        return CloseReason::ProgressTimeout;
+    return CloseReason::None;
+}
+
+} // namespace neo::serve::net

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Per-connection lifecycle state of the socket front end: the incremental
+ * frame decoder, a bounded write buffer with backpressure, the error
+ * budget, and the idle / read-progress timeout clocks. The front end owns
+ * the poll loop; each Conn owns everything that must not leak across
+ * connections — which is the isolation boundary the chaos suite tests.
+ *
+ * Backpressure: when the write buffer crosses its cap the connection
+ * stops reading (its POLLIN interest drops) until the peer drains it
+ * below half the cap; a peer that also refuses to read, pushing the
+ * buffer past twice the cap, is closed (overflow). Combined with the
+ * decoder's bounded pending window this caps per-connection memory at a
+ * small constant regardless of peer behavior.
+ *
+ * Timeouts: idle (no bytes either direction) and read-progress (bytes
+ * buffered mid-frame without completing one — the slow-loris shape) each
+ * have their own clock; either expiring closes the connection.
+ */
+
+#ifndef NEO_SERVE_NET_CONN_H
+#define NEO_SERVE_NET_CONN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/net/wire.h"
+
+namespace neo::serve::net
+{
+
+/** Socket front end policy (see netConfigFromEnv for the env knobs). */
+struct NetConfig
+{
+    /** TCP port to bind (0 = ephemeral; read it back via port()). */
+    int port = 0;
+    int backlog = 16;
+    /** Connections beyond this are rejected at accept (closed after an
+        error frame, before any request parsing). */
+    int max_connections = 64;
+    /** Request/response payload cap in bytes (wire `length` field). */
+    size_t max_payload = 4096;
+    /** Write-buffer backpressure cap in bytes. */
+    size_t write_buffer_cap = 1u << 18;
+    /** Protocol errors a connection survives before it is closed. */
+    int error_budget = 8;
+    /** Close after this long with no bytes in either direction (ms). */
+    double idle_timeout_ms = 30000.0;
+    /** Close when a partial frame makes no progress for this long (ms). */
+    double progress_timeout_ms = 2000.0;
+    /** Graceful drain: flush deadline before hard-closing (ms). */
+    double drain_deadline_ms = 2000.0;
+    /** poll() tick, which bounds timeout detection latency (ms). */
+    int poll_interval_ms = 20;
+};
+
+/**
+ * NetConfig from the NEO_SERVER_NET_* environment knobs (validated,
+ * warn-once, via common/env):
+ *
+ *   NEO_SERVER_NET_PORT              [0, 65535]
+ *   NEO_SERVER_NET_MAX_CONNS         [1, 4096]
+ *   NEO_SERVER_NET_MAX_PAYLOAD       [64, 1048576] bytes
+ *   NEO_SERVER_NET_WRITE_CAP         [4096, 16777216] bytes
+ *   NEO_SERVER_NET_ERROR_BUDGET      [1, 1000]
+ *   NEO_SERVER_NET_IDLE_TIMEOUT_MS   [10, 3600000]
+ *   NEO_SERVER_NET_PROGRESS_TIMEOUT_MS [10, 3600000]
+ *   NEO_SERVER_NET_DRAIN_DEADLINE_MS [10, 3600000]
+ */
+NetConfig netConfigFromEnv();
+
+/** Why a connection was closed (for counters and logs). */
+enum class CloseReason : uint8_t
+{
+    None,         //!< still open
+    PeerClosed,   //!< orderly or abrupt close from the peer
+    ErrorBudget,  //!< protocol error budget exhausted
+    IdleTimeout,
+    ProgressTimeout, //!< slow-loris: partial frame stopped progressing
+    WriteOverflow,   //!< peer refused to read past 2x the write cap
+    Drained,         //!< graceful drain flushed and closed it
+    DrainDeadline,   //!< drain deadline hard-closed it
+    ServerFull,      //!< rejected at accept
+};
+
+/** Lower-case reason name ("peer-closed", ...). */
+const char *closeReasonName(CloseReason reason);
+
+/**
+ * One accepted connection (see file comment). The front end drives it:
+ * onBytes() with received data, enqueue*() with responses, takeWrite()/
+ * wrote() around send(), checkTimeouts() each tick.
+ */
+class Conn
+{
+  public:
+    Conn(int fd, uint64_t id, const NetConfig &cfg, double now_ms);
+
+    int fd() const { return fd_; }
+    uint64_t id() const { return id_; }
+
+    // --- Reading -------------------------------------------------------
+
+    /** Feed received bytes into the frame decoder (updates the activity
+        and progress clocks). */
+    void onBytes(const uint8_t *data, size_t len, double now_ms);
+
+    /** Pull the next validated frame / typed error (DecodeStatus). */
+    DecodeStatus nextFrame(DecodedFrame *frame, WireError *error);
+
+    /** True while the connection should be polled for reading: not
+        closing, and not paused by write backpressure. */
+    bool wantRead() const;
+
+    // --- Writing -------------------------------------------------------
+
+    /** Queue an encoded response frame. Applies backpressure thresholds;
+        may pause reading or (past 2x cap) mark the connection for
+        overflow close. */
+    void enqueue(const std::vector<uint8_t> &bytes);
+
+    /** Queue a typed error frame. */
+    void enqueueError(WireError code, uint16_t detail = 0);
+
+    bool wantWrite() const { return out_off_ < out_.size(); }
+
+    /** Contiguous unwritten span for send(). */
+    const uint8_t *writeData() const { return out_.data() + out_off_; }
+    size_t writeSize() const { return out_.size() - out_off_; }
+
+    /** Record @p n bytes accepted by send(); un-pauses reading once the
+        buffer drains below half the cap. */
+    void wrote(size_t n, double now_ms);
+
+    bool readPaused() const { return read_paused_; }
+
+    // --- Lifecycle -----------------------------------------------------
+
+    /** Count one protocol error; true when the budget just ran out (the
+        caller sends the final error frame and closes after flush). */
+    bool recordError();
+    int errorsSeen() const { return errors_; }
+
+    /** Close once the write buffer flushes (error budget, drain). */
+    void closeAfterFlush(CloseReason reason);
+    bool closingAfterFlush() const { return close_after_flush_; }
+
+    /** Mark closed immediately (peer close, timeout, overflow). Keeps
+        the first recorded reason. */
+    void markClosed(CloseReason reason);
+    bool closed() const { return hard_closed_; }
+    CloseReason closeReason() const { return close_reason_; }
+
+    /** Idle / read-progress timeout check; returns the reason to close
+        for, or CloseReason::None. */
+    CloseReason checkTimeouts(double now_ms) const;
+
+    // --- Session binding ----------------------------------------------
+
+    /** The session this connection opened (one per connection); closing
+        the connection closes the session. */
+    bool hasSession() const { return has_session_; }
+    uint32_t sessionId() const { return session_id_; }
+    void bindSession(uint32_t id)
+    {
+        session_id_ = id;
+        has_session_ = true;
+    }
+    void unbindSession() { has_session_ = false; }
+
+  private:
+    const int fd_;
+    const uint64_t id_;
+    const NetConfig &cfg_;
+
+    FrameDecoder decoder_;
+    size_t last_pending_ = 0;  //!< decoder backlog at last progress
+    double progress_ms_;       //!< last time the decoder made progress
+    double activity_ms_;       //!< last byte in either direction
+
+    std::vector<uint8_t> out_;
+    size_t out_off_ = 0;
+    bool read_paused_ = false;
+
+    int errors_ = 0;
+    bool close_after_flush_ = false;
+    bool hard_closed_ = false;
+    CloseReason close_reason_ = CloseReason::None;
+
+    bool has_session_ = false;
+    uint32_t session_id_ = 0;
+};
+
+} // namespace neo::serve::net
+
+#endif // NEO_SERVE_NET_CONN_H

@@ -1,0 +1,601 @@
+#include "serve/net/wire.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace neo::serve::net
+{
+
+namespace
+{
+
+/** Bounds-checked little-endian writer appending to a byte vector. */
+class Writer
+{
+  public:
+    explicit Writer(std::vector<uint8_t> &out) : out_(out) {}
+
+    void u8(uint8_t v) { out_.push_back(v); }
+    void u16(uint16_t v)
+    {
+        out_.push_back(static_cast<uint8_t>(v));
+        out_.push_back(static_cast<uint8_t>(v >> 8));
+    }
+    void u32(uint32_t v)
+    {
+        u16(static_cast<uint16_t>(v));
+        u16(static_cast<uint16_t>(v >> 16));
+    }
+    void u64(uint64_t v)
+    {
+        u32(static_cast<uint32_t>(v));
+        u32(static_cast<uint32_t>(v >> 32));
+    }
+    void i8(int8_t v) { u8(static_cast<uint8_t>(v)); }
+    void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+    void f32(float v)
+    {
+        uint32_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u32(bits);
+    }
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+  private:
+    std::vector<uint8_t> &out_;
+};
+
+/** Bounds-checked little-endian reader. ok() goes false on the first
+    over-read and every later value reads as zero — callers check once. */
+class Reader
+{
+  public:
+    Reader(const uint8_t *data, size_t len) : data_(data), len_(len) {}
+
+    bool ok() const { return ok_; }
+    bool done() const { return ok_ && off_ == len_; }
+
+    uint8_t u8()
+    {
+        if (!take(1))
+            return 0;
+        return data_[off_++];
+    }
+    uint16_t u16()
+    {
+        if (!take(2))
+            return 0;
+        uint16_t v = static_cast<uint16_t>(
+            data_[off_] | (static_cast<uint16_t>(data_[off_ + 1]) << 8));
+        off_ += 2;
+        return v;
+    }
+    uint32_t u32()
+    {
+        const uint32_t lo = u16();
+        const uint32_t hi = u16();
+        return lo | (hi << 16);
+    }
+    uint64_t u64()
+    {
+        const uint64_t lo = u32();
+        const uint64_t hi = u32();
+        return lo | (hi << 32);
+    }
+    int8_t i8() { return static_cast<int8_t>(u8()); }
+    int32_t i32() { return static_cast<int32_t>(u32()); }
+    float f32()
+    {
+        const uint32_t bits = u32();
+        float v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+    bool boolean() { return u8() != 0; }
+
+  private:
+    bool take(size_t n)
+    {
+        if (!ok_ || len_ - off_ < n) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    const uint8_t *data_;
+    size_t len_;
+    size_t off_ = 0;
+    bool ok_ = true;
+};
+
+/** The four magic bytes as they appear on the wire ("NEOW"). */
+constexpr uint8_t kMagicBytes[4] = {0x4E, 0x45, 0x4F, 0x57};
+
+} // namespace
+
+bool
+knownMsgType(uint16_t type)
+{
+    switch (static_cast<MsgType>(type)) {
+    case MsgType::OpenSession:
+    case MsgType::SubmitFrame:
+    case MsgType::Stats:
+    case MsgType::CloseSession:
+    case MsgType::Shutdown:
+    case MsgType::OpenOk:
+    case MsgType::SubmitReply:
+    case MsgType::StatsReply:
+    case MsgType::CloseOk:
+    case MsgType::ShutdownAck:
+    case MsgType::Error:
+        return true;
+    }
+    return false;
+}
+
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+    case MsgType::OpenSession:
+        return "open-session";
+    case MsgType::SubmitFrame:
+        return "submit-frame";
+    case MsgType::Stats:
+        return "stats";
+    case MsgType::CloseSession:
+        return "close-session";
+    case MsgType::Shutdown:
+        return "shutdown";
+    case MsgType::OpenOk:
+        return "open-ok";
+    case MsgType::SubmitReply:
+        return "submit-reply";
+    case MsgType::StatsReply:
+        return "stats-reply";
+    case MsgType::CloseOk:
+        return "close-ok";
+    case MsgType::ShutdownAck:
+        return "shutdown-ack";
+    case MsgType::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+const char *
+wireErrorName(WireError error)
+{
+    switch (error) {
+    case WireError::None:
+        return "none";
+    case WireError::BadMagic:
+        return "bad-magic";
+    case WireError::BadVersion:
+        return "bad-version";
+    case WireError::UnknownType:
+        return "unknown-type";
+    case WireError::Oversized:
+        return "oversized";
+    case WireError::CrcMismatch:
+        return "crc-mismatch";
+    case WireError::Truncated:
+        return "truncated";
+    case WireError::BadPayload:
+        return "bad-payload";
+    case WireError::ServerFull:
+        return "server-full";
+    case WireError::UnknownSession:
+        return "unknown-session";
+    case WireError::AlreadyOpen:
+        return "already-open";
+    case WireError::Draining:
+        return "draining";
+    case WireError::ErrorBudget:
+        return "error-budget";
+    }
+    return "none";
+}
+
+uint32_t
+crc32(const void *data, size_t len)
+{
+    static const auto table = [] {
+        std::vector<uint32_t> t(256);
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint32_t crc = 0xFFFFFFFFu;
+    for (size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+// --- Encoding ----------------------------------------------------------
+
+void
+encodeFrame(std::vector<uint8_t> &out, MsgType type,
+            const uint8_t *payload, size_t len)
+{
+    Writer w(out);
+    w.u32(kWireMagic);
+    w.u16(kWireVersion);
+    w.u16(static_cast<uint16_t>(type));
+    w.u32(static_cast<uint32_t>(len));
+    w.u32(crc32(payload, len));
+    out.insert(out.end(), payload, payload + len);
+}
+
+namespace
+{
+
+/** Encode a payload built by @p fill into a framed message on @p out. */
+template <typename Fill>
+void
+frame(std::vector<uint8_t> &out, MsgType type, Fill fill)
+{
+    std::vector<uint8_t> payload;
+    Writer w(payload);
+    fill(w);
+    encodeFrame(out, type, payload.data(), payload.size());
+}
+
+} // namespace
+
+void
+encodeOpenSession(std::vector<uint8_t> &out, const OpenSessionReq &m)
+{
+    frame(out, MsgType::OpenSession, [&](Writer &w) {
+        w.u8(m.trajectory_kind);
+        w.f32(m.speed);
+        w.u16(m.width);
+        w.u16(m.height);
+    });
+}
+
+void
+encodeOpenOk(std::vector<uint8_t> &out, const OpenOkReply &m)
+{
+    frame(out, MsgType::OpenOk, [&](Writer &w) { w.u32(m.session_id); });
+}
+
+void
+encodeSubmitFrame(std::vector<uint8_t> &out, const SubmitFrameReq &m)
+{
+    frame(out, MsgType::SubmitFrame, [&](Writer &w) {
+        w.u32(m.session_id);
+        w.u64(m.frame_index);
+    });
+}
+
+void
+encodeSubmitReply(std::vector<uint8_t> &out, const SubmitReply &m)
+{
+    frame(out, MsgType::SubmitReply, [&](Writer &w) {
+        w.boolean(m.accepted);
+        w.boolean(m.coalesced);
+        w.boolean(m.dropped_oldest);
+        w.boolean(m.stepped);
+        w.boolean(m.rendered);
+        w.boolean(m.direct_path);
+        w.boolean(m.deadline_missed);
+        w.i32(m.retry_after_frames);
+        w.u64(m.request);
+        w.u64(m.frame_hash);
+        w.u8(m.resolution_drop);
+        w.u8(m.state);
+        w.i8(m.watchdog_stage);
+        w.u32(m.faults);
+        w.u32(m.rebuilds);
+    });
+}
+
+void
+encodeSessionRef(std::vector<uint8_t> &out, MsgType type,
+                 const SessionRef &m)
+{
+    frame(out, type, [&](Writer &w) { w.u32(m.session_id); });
+}
+
+void
+encodeStatsReply(std::vector<uint8_t> &out, const StatsReply &m)
+{
+    frame(out, MsgType::StatsReply, [&](Writer &w) {
+        w.u32(m.session_id);
+        w.u8(m.state);
+        w.u32(m.queue_depth);
+        w.u64(m.stats.submitted);
+        w.u64(m.stats.accepted);
+        w.u64(m.stats.rejected);
+        w.u64(m.stats.dropped_oldest);
+        w.u64(m.stats.coalesced);
+        w.u64(m.stats.dropped_stale);
+        w.u64(m.stats.backoff_skips);
+        w.u64(m.stats.rendered);
+        w.u64(m.stats.deadline_misses);
+        w.u64(m.stats.degraded_frames);
+        w.u64(m.stats.faults);
+        w.u64(m.stats.watchdog_trips);
+        w.u64(m.stats.quarantines);
+        w.u64(m.stats.recoveries);
+    });
+}
+
+void
+encodeEmpty(std::vector<uint8_t> &out, MsgType type)
+{
+    encodeFrame(out, type, nullptr, 0);
+}
+
+void
+encodeError(std::vector<uint8_t> &out, const ErrorReply &m)
+{
+    frame(out, MsgType::Error, [&](Writer &w) {
+        w.u16(m.code);
+        w.u16(m.detail);
+    });
+}
+
+// --- Payload decoding --------------------------------------------------
+
+bool
+decodeOpenSession(const std::vector<uint8_t> &p, OpenSessionReq *out)
+{
+    Reader r(p.data(), p.size());
+    OpenSessionReq m;
+    m.trajectory_kind = r.u8();
+    m.speed = r.f32();
+    m.width = r.u16();
+    m.height = r.u16();
+    if (!r.done())
+        return false;
+    // Range checks: a kind outside the enum, a non-finite or wild speed,
+    // or a degenerate/huge resolution is hostile input, not a request.
+    if (m.trajectory_kind > 2)
+        return false;
+    if (!std::isfinite(m.speed) || m.speed <= 0.0f || m.speed > 64.0f)
+        return false;
+    if (m.width < 16 || m.width > 4096 || m.height < 16 ||
+        m.height > 4096)
+        return false;
+    *out = m;
+    return true;
+}
+
+bool
+decodeOpenOk(const std::vector<uint8_t> &p, OpenOkReply *out)
+{
+    Reader r(p.data(), p.size());
+    OpenOkReply m;
+    m.session_id = r.u32();
+    if (!r.done())
+        return false;
+    *out = m;
+    return true;
+}
+
+bool
+decodeSubmitFrame(const std::vector<uint8_t> &p, SubmitFrameReq *out)
+{
+    Reader r(p.data(), p.size());
+    SubmitFrameReq m;
+    m.session_id = r.u32();
+    m.frame_index = r.u64();
+    if (!r.done())
+        return false;
+    *out = m;
+    return true;
+}
+
+bool
+decodeSubmitReply(const std::vector<uint8_t> &p, SubmitReply *out)
+{
+    Reader r(p.data(), p.size());
+    SubmitReply m;
+    m.accepted = r.boolean();
+    m.coalesced = r.boolean();
+    m.dropped_oldest = r.boolean();
+    m.stepped = r.boolean();
+    m.rendered = r.boolean();
+    m.direct_path = r.boolean();
+    m.deadline_missed = r.boolean();
+    m.retry_after_frames = r.i32();
+    m.request = r.u64();
+    m.frame_hash = r.u64();
+    m.resolution_drop = r.u8();
+    m.state = r.u8();
+    m.watchdog_stage = r.i8();
+    m.faults = r.u32();
+    m.rebuilds = r.u32();
+    if (!r.done())
+        return false;
+    *out = m;
+    return true;
+}
+
+bool
+decodeSessionRef(const std::vector<uint8_t> &p, SessionRef *out)
+{
+    Reader r(p.data(), p.size());
+    SessionRef m;
+    m.session_id = r.u32();
+    if (!r.done())
+        return false;
+    *out = m;
+    return true;
+}
+
+bool
+decodeStatsReply(const std::vector<uint8_t> &p, StatsReply *out)
+{
+    Reader r(p.data(), p.size());
+    StatsReply m;
+    m.session_id = r.u32();
+    m.state = r.u8();
+    m.queue_depth = r.u32();
+    m.stats.submitted = r.u64();
+    m.stats.accepted = r.u64();
+    m.stats.rejected = r.u64();
+    m.stats.dropped_oldest = r.u64();
+    m.stats.coalesced = r.u64();
+    m.stats.dropped_stale = r.u64();
+    m.stats.backoff_skips = r.u64();
+    m.stats.rendered = r.u64();
+    m.stats.deadline_misses = r.u64();
+    m.stats.degraded_frames = r.u64();
+    m.stats.faults = r.u64();
+    m.stats.watchdog_trips = r.u64();
+    m.stats.quarantines = r.u64();
+    m.stats.recoveries = r.u64();
+    if (!r.done())
+        return false;
+    *out = m;
+    return true;
+}
+
+bool
+decodeError(const std::vector<uint8_t> &p, ErrorReply *out)
+{
+    Reader r(p.data(), p.size());
+    ErrorReply m;
+    m.code = r.u16();
+    m.detail = r.u16();
+    if (!r.done())
+        return false;
+    *out = m;
+    return true;
+}
+
+// --- Incremental decoding ----------------------------------------------
+
+FrameDecoder::FrameDecoder(size_t max_payload)
+    : max_payload_(max_payload < kWireMaxPayload ? max_payload
+                                                 : kWireMaxPayload)
+{
+}
+
+void
+FrameDecoder::feed(const uint8_t *data, size_t len)
+{
+    buf_.insert(buf_.end(), data, data + len);
+}
+
+void
+FrameDecoder::reset()
+{
+    buf_.clear();
+    off_ = 0;
+    resync_ = false;
+}
+
+void
+FrameDecoder::compact()
+{
+    // Amortized O(1): only shift once the dead prefix dominates.
+    if (off_ > 4096 && off_ * 2 > buf_.size()) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<ptrdiff_t>(off_));
+        off_ = 0;
+    }
+}
+
+DecodeStatus
+FrameDecoder::next(DecodedFrame *frame, WireError *error)
+{
+    for (;;) {
+        if (resync_) {
+            // Framing lost: scan for the next magic. A partial magic
+            // match at the tail must be kept — it may complete on the
+            // next feed() (torn writes split inside the magic on
+            // purpose).
+            const size_t size = buf_.size();
+            size_t i = off_;
+            for (; i < size; ++i) {
+                size_t m = 0;
+                while (m < 4 && i + m < size &&
+                       buf_[i + m] == kMagicBytes[m])
+                    ++m;
+                if (m == 4) {
+                    resync_ = false;
+                    break;
+                }
+                if (i + m == size)
+                    break; // prefix match runs off the tail: hold it
+            }
+            off_ = i;
+            compact();
+            if (resync_)
+                return DecodeStatus::NeedMore;
+        }
+
+        const size_t avail = buf_.size() - off_;
+        if (avail < kWireHeaderSize) {
+            compact();
+            return DecodeStatus::NeedMore;
+        }
+
+        Reader r(buf_.data() + off_, kWireHeaderSize);
+        const uint32_t magic = r.u32();
+        const uint16_t version = r.u16();
+        const uint16_t type = r.u16();
+        const uint32_t length = r.u32();
+        const uint32_t crc = r.u32();
+
+        if (magic != kWireMagic) {
+            // One typed error per resync event; the scan then swallows
+            // garbage silently until the next plausible frame start.
+            resync_ = true;
+            ++errors_;
+            *error = WireError::BadMagic;
+            return DecodeStatus::Error;
+        }
+        if (version != kWireVersion) {
+            // The magic matched but nothing after it can be trusted —
+            // skip past the magic so the resync scan moves forward.
+            off_ += 4;
+            resync_ = true;
+            ++errors_;
+            *error = WireError::BadVersion;
+            return DecodeStatus::Error;
+        }
+        if (length > max_payload_) {
+            off_ += 4;
+            resync_ = true;
+            ++errors_;
+            *error = WireError::Oversized;
+            return DecodeStatus::Error;
+        }
+        if (avail < kWireHeaderSize + length)
+            return DecodeStatus::NeedMore;
+
+        const uint8_t *payload = buf_.data() + off_ + kWireHeaderSize;
+        const bool crc_ok = crc32(payload, length) == crc;
+        const bool type_ok = knownMsgType(type);
+        // Framing is trusted from here on: consume the whole frame even
+        // when its contents are rejected, and keep parsing.
+        if (!crc_ok || !type_ok) {
+            off_ += kWireHeaderSize + length;
+            compact();
+            ++errors_;
+            *error = crc_ok ? WireError::UnknownType
+                            : WireError::CrcMismatch;
+            return DecodeStatus::Error;
+        }
+
+        frame->type = static_cast<MsgType>(type);
+        frame->payload.assign(payload, payload + length);
+        off_ += kWireHeaderSize + length;
+        compact();
+        ++frames_;
+        return DecodeStatus::Frame;
+    }
+}
+
+} // namespace neo::serve::net

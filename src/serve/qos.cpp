@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace neo::serve
@@ -43,67 +44,22 @@ parseDropPolicy(const char *value, DropPolicy *out)
     return false;
 }
 
-namespace
-{
-
-// Validated full-string env parses, NEO_THREADS-style: a malformed or
-// out-of-range value warns once per knob and keeps the default —
-// silently consuming a numeric prefix ("8x" -> 8) is exactly the bug
-// class these helpers exist to prevent.
-
-long
-envLong(const char *name, long def, long lo, long hi,
-        std::atomic<bool> &warned)
-{
-    const char *env = std::getenv(name);
-    if (!env || env[0] == '\0')
-        return def;
-    char *end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end == env || *end != '\0' || v < lo || v > hi) {
-        if (!warned.exchange(true))
-            warn("%s='%s' is not an integer in [%ld, %ld]; using %ld",
-                 name, env, lo, hi, def);
-        return def;
-    }
-    return v;
-}
-
-double
-envDouble(const char *name, double def, double lo, double hi,
-          std::atomic<bool> &warned)
-{
-    const char *env = std::getenv(name);
-    if (!env || env[0] == '\0')
-        return def;
-    char *end = nullptr;
-    const double v = std::strtod(env, &end);
-    if (end == env || *end != '\0' || !(v >= lo) || !(v <= hi)) {
-        if (!warned.exchange(true))
-            warn("%s='%s' is not a number in [%g, %g]; using %g", name,
-                 env, lo, hi, def);
-        return def;
-    }
-    return v;
-}
-
-} // namespace
-
 ServerConfig
 serverConfigFromEnv()
 {
+    using env::envDouble;
+    using env::envLong;
+
     ServerConfig cfg;
 
-    static std::atomic<bool> w_sessions{false};
     cfg.max_sessions = static_cast<size_t>(
         envLong("NEO_SERVER_MAX_SESSIONS",
-                static_cast<long>(cfg.max_sessions), 1, 4096, w_sessions));
+                static_cast<long>(cfg.max_sessions), 1, 4096));
 
-    static std::atomic<bool> w_queue{false};
     cfg.default_qos.queue_capacity = static_cast<size_t>(
         envLong("NEO_SERVER_QUEUE_CAP",
                 static_cast<long>(cfg.default_qos.queue_capacity), 1,
-                65536, w_queue));
+                65536));
 
     if (const char *env = std::getenv("NEO_SERVER_DROP_POLICY")) {
         if (env[0] != '\0' &&
@@ -117,39 +73,32 @@ serverConfigFromEnv()
         }
     }
 
-    static std::atomic<bool> w_deadline{false};
     cfg.default_qos.deadline_ms =
         envDouble("NEO_SERVER_DEADLINE_MS", cfg.default_qos.deadline_ms,
-                  0.0, 60000.0, w_deadline);
+                  0.0, 60000.0);
 
-    static std::atomic<bool> w_stale{false};
     cfg.default_qos.max_staleness = static_cast<int>(
         envLong("NEO_SERVER_MAX_STALENESS", cfg.default_qos.max_staleness,
-                0, 65536, w_stale));
+                0, 65536));
 
-    static std::atomic<bool> w_restore{false};
     cfg.default_qos.restore_after = static_cast<int>(
         envLong("NEO_SERVER_RESTORE_FRAMES",
-                cfg.default_qos.restore_after, 1, 1024, w_restore));
+                cfg.default_qos.restore_after, 1, 1024));
 
-    static std::atomic<bool> w_factor{false};
     cfg.watchdog_factor =
         envDouble("NEO_SERVER_WATCHDOG_FACTOR", cfg.watchdog_factor, 1.5,
-                  1000.0, w_factor);
+                  1000.0);
 
-    static std::atomic<bool> w_floor{false};
     cfg.watchdog_floor_ms =
         envDouble("NEO_SERVER_WATCHDOG_FLOOR_MS", cfg.watchdog_floor_ms,
-                  0.0, 60000.0, w_floor);
+                  0.0, 60000.0);
 
-    static std::atomic<bool> w_retries{false};
     cfg.quarantine_max_failures = static_cast<int>(
         envLong("NEO_SERVER_QUARANTINE_RETRIES",
-                cfg.quarantine_max_failures, 1, 64, w_retries));
+                cfg.quarantine_max_failures, 1, 64));
 
-    static std::atomic<bool> w_backoff{false};
-    cfg.backoff_cap = static_cast<int>(envLong(
-        "NEO_SERVER_BACKOFF_CAP", cfg.backoff_cap, 1, 4096, w_backoff));
+    cfg.backoff_cap = static_cast<int>(
+        envLong("NEO_SERVER_BACKOFF_CAP", cfg.backoff_cap, 1, 4096));
 
     return cfg;
 }

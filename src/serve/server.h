@@ -70,6 +70,10 @@ class NeoServer
 
     size_t liveSessions() const;
     const ServerConfig &config() const { return cfg_; }
+    const std::shared_ptr<const GaussianScene> &scene() const
+    {
+        return scene_;
+    }
     const std::shared_ptr<const RendererShared> &shared() const
     {
         return shared_;
