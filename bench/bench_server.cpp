@@ -16,7 +16,7 @@
  *
  *   ./bench_server [--json out.json] [--gaussians N] [--frames N]
  *                  [--sessions-list 1,2,4] [--threads-list 1,2,4,8]
- *                  [--pr N] [--net]
+ *                  [--pr N] [--net] [--checkpoint]
  *
  * --net additionally measures the socket front end: a NetFrontend on an
  * ephemeral loopback port over the same scene, driven by the blocking
@@ -28,6 +28,14 @@
  * jittery frame times. Net points land in a separate "net_points" JSON
  * array whose lines carry no "sessions" key, so bench/diff_bench.sh's
  * in-process extraction is untouched.
+ *
+ * --checkpoint measures durable-mode overhead (serve/durable/): the
+ * same 1-session workload twice per thread count — plain, then with
+ * checkpointing + write-ahead journaling (fdatasync every record,
+ * snapshot cadence mid-run) into a scratch state directory. Both runs'
+ * hashes are still compared against solo. The pair lands in a
+ * "durable_points" array (again no "sessions" key); diff_bench.sh
+ * gates durable vs plain within the same file at <=10%.
  */
 
 #include <atomic>
@@ -41,10 +49,14 @@
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
+#include <unistd.h>
+
 #include "bench_common.h"
 #include "common/parallel.h"
 #include "scene/synthetic.h"
 #include "scene/trajectory.h"
+#include "serve/durable/durable.h"
 #include "serve/net/client.h"
 #include "serve/net/frontend.h"
 #include "serve/server.h"
@@ -63,6 +75,7 @@ struct Args
     std::vector<int> sessions = {1, 2, 4};
     std::vector<int> threads = {1, 2, 4, 8};
     bool net = false;
+    bool checkpoint = false;
 };
 
 std::vector<int>
@@ -88,6 +101,10 @@ parse(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--net") == 0) {
             a.net = true;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--checkpoint") == 0) {
+            a.checkpoint = true;
             continue;
         }
         if (i + 1 >= argc) {
@@ -146,10 +163,58 @@ struct NetPointResult
     bool isolated = true;
 };
 
+/** One --checkpoint sweep point: the 1-session workload plain vs with
+    durable checkpointing + journaling. No "sessions" key, same reason
+    as NetPointResult. */
+struct DurablePointResult
+{
+    int threads = 0;
+    /** Wall-clock per frame without durability. */
+    double base_ms_per_frame = 0.0;
+    /** Same workload with write-ahead journaling (fdatasync per
+        record) and mid-run snapshot checkpoints. */
+    double durable_ms_per_frame = 0.0;
+    /** Every hash (both runs) matched the solo run. */
+    bool isolated = true;
+};
+
+/** Scratch durable state directory; removed with its contents. */
+class ScratchStateDir
+{
+  public:
+    ScratchStateDir()
+    {
+        char tmpl[] = "bench-durable-XXXXXX";
+        const char *dir = mkdtemp(tmpl);
+        path_ = dir ? dir : "";
+    }
+
+    ~ScratchStateDir()
+    {
+        if (path_.empty())
+            return;
+        if (DIR *d = opendir(path_.c_str())) {
+            while (dirent *e = readdir(d)) {
+                const std::string name = e->d_name;
+                if (name != "." && name != "..")
+                    ::unlink((path_ + "/" + name).c_str());
+            }
+            closedir(d);
+        }
+        ::rmdir(path_.c_str());
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
 bool
 writeJson(const std::string &path, const Args &args, Resolution res,
           const std::vector<PointResult> &points,
           const std::vector<NetPointResult> &net_points,
+          const std::vector<DurablePointResult> &durable_points,
           bool isolated_all)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
@@ -178,13 +243,12 @@ writeJson(const std::string &path, const Args &args, Resolution res,
                      p.isolated ? "true" : "false",
                      i + 1 < points.size() ? "," : "");
     }
-    if (net_points.empty()) {
-        std::fprintf(f, "  ]\n");
-    } else {
+    std::fprintf(f, "  ]%s\n",
+                 net_points.empty() && durable_points.empty() ? "" : ",");
+    if (!net_points.empty()) {
         // Socket-front-end points: no "sessions" key, so
         // bench/diff_bench.sh's grep for the in-process
         // 1-session/threads=1 line cannot land here.
-        std::fprintf(f, "  ],\n");
         std::fprintf(f, "  \"net_points\": [\n");
         for (size_t i = 0; i < net_points.size(); ++i) {
             const NetPointResult &p = net_points[i];
@@ -197,6 +261,30 @@ writeJson(const std::string &path, const Args &args, Resolution res,
                          p.wire_overhead_us,
                          p.isolated ? "true" : "false",
                          i + 1 < net_points.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]%s\n", durable_points.empty() ? "" : ",");
+    }
+    if (!durable_points.empty()) {
+        // Durable-mode pairs: again no "sessions" key. diff_bench.sh
+        // gates durable vs base within each threads=1 line.
+        std::fprintf(f, "  \"durable_points\": [\n");
+        for (size_t i = 0; i < durable_points.size(); ++i) {
+            const DurablePointResult &p = durable_points[i];
+            const double pct =
+                p.base_ms_per_frame > 0.0
+                    ? (p.durable_ms_per_frame - p.base_ms_per_frame) *
+                          100.0 / p.base_ms_per_frame
+                    : 0.0;
+            std::fprintf(f,
+                         "    {\"threads\": %d, "
+                         "\"base_ms_per_frame\": %.3f, "
+                         "\"durable_ms_per_frame\": %.3f, "
+                         "\"checkpoint_overhead_pct\": %.1f, "
+                         "\"isolated\": %s}%s\n",
+                         p.threads, p.base_ms_per_frame,
+                         p.durable_ms_per_frame, pct,
+                         p.isolated ? "true" : "false",
+                         i + 1 < durable_points.size() ? "," : "");
         }
         std::fprintf(f, "  ]\n");
     }
@@ -472,12 +560,114 @@ main(int argc, char **argv)
         }
     }
 
+    // --- Durable mode: the 1-session workload plain vs checkpointed,
+    // measuring what write-ahead journaling + snapshots cost per frame.
+    std::vector<DurablePointResult> durable_points;
+    if (args.checkpoint) {
+        std::printf("\ndurable checkpointing (1 session, fdatasync per "
+                    "record, snapshot cadence %d frames)\n",
+                    std::max(args.frames / 2, 1));
+        std::printf("%-10s %-14s %-16s %-12s %s\n", "threads",
+                    "base ms/frame", "durable ms/frame", "overhead",
+                    "isolated");
+
+        // One 1-session pass over trajectory 0; returns ms/frame, or a
+        // negative value on failure. Durable runs mirror the serving
+        // loop's checkpoint pump (maybeCheckpoint after each step).
+        auto runPoint = [&](int T, const serve::durable::DurableConfig
+                                       *durable,
+                            bool *isolated_out) -> double {
+            serve::ServerConfig cfg;
+            cfg.max_sessions = 1;
+            cfg.pipeline = NeoRenderer::neoDefaultOptions();
+            cfg.pipeline.threads = T;
+            cfg.watchdog_floor_ms = 10000.0;
+            serve::NeoServer server(scene, cfg);
+            if (durable && !server.enableDurability(*durable))
+                return -1.0;
+            const serve::AdmitResult admit =
+                server.open(trajectories[0], res);
+            if (!admit.admitted)
+                return -1.0;
+            serve::Session *s = server.session(admit.session_id);
+
+            bool isolated = true;
+            // Untimed warm-up, same protocol as the sweeps above.
+            s->submit(0);
+            serve::FrameOutcome o;
+            s->step(&o);
+            if (!o.rendered || o.frame_hash != solo[0][0])
+                isolated = false;
+
+            const auto t0 = clock::now();
+            for (int f = 1; f <= args.frames; ++f) {
+                s->submit(static_cast<uint64_t>(f));
+                s->step(&o);
+                if (!o.rendered ||
+                    o.frame_hash != solo[0][static_cast<size_t>(f)])
+                    isolated = false;
+                if (durable)
+                    server.maybeCheckpoint();
+            }
+            const double ms =
+                std::chrono::duration<double, std::milli>(clock::now() -
+                                                          t0)
+                    .count() /
+                args.frames;
+            *isolated_out = isolated;
+            return ms;
+        };
+
+        for (int T : args.threads) {
+            ScratchStateDir state;
+            if (state.path().empty()) {
+                std::fprintf(stderr, "durable: mkdtemp failed\n");
+                return 1;
+            }
+            serve::durable::DurableConfig dcfg;
+            dcfg.state_dir = state.path();
+            dcfg.keep_generations = 3;
+            // Checkpoint mid-run (not only at drain) so the snapshot
+            // write cost lands inside the timed window.
+            dcfg.checkpoint_every = static_cast<uint64_t>(
+                std::max(args.frames / 2, 1));
+            dcfg.sync_every = 1;
+
+            DurablePointResult p;
+            p.threads = T;
+            bool base_iso = true;
+            bool dur_iso = true;
+            p.base_ms_per_frame = runPoint(T, nullptr, &base_iso);
+            p.durable_ms_per_frame = runPoint(T, &dcfg, &dur_iso);
+            if (p.base_ms_per_frame < 0.0 ||
+                p.durable_ms_per_frame < 0.0) {
+                std::fprintf(stderr,
+                             "durable: point failed at threads=%d\n", T);
+                return 1;
+            }
+            p.isolated = base_iso && dur_iso;
+            isolated_all = isolated_all && p.isolated;
+            durable_points.push_back(p);
+
+            const double pct =
+                p.base_ms_per_frame > 0.0
+                    ? (p.durable_ms_per_frame - p.base_ms_per_frame) *
+                          100.0 / p.base_ms_per_frame
+                    : 0.0;
+            char pct_col[32];
+            std::snprintf(pct_col, sizeof pct_col, "%+.1f%%", pct);
+            std::printf("%-10d %-14.2f %-16.2f %-12s %s\n", T,
+                        p.base_ms_per_frame, p.durable_ms_per_frame,
+                        pct_col, p.isolated ? "yes" : "NO");
+        }
+    }
+
     std::printf("\nfault isolation (hashes vs solo runs): %s\n",
                 isolated_all ? "OK (bit-identical)" : "FAILED");
 
     if (!args.json_path.empty()) {
         if (!writeJson(args.json_path, args, res, points, net_points,
-                       isolated_all)) {
+                       durable_points, isolated_all)) {
             std::fprintf(stderr, "error: could not write %s\n",
                          args.json_path.c_str());
             return 1;

@@ -27,16 +27,20 @@
 #                 scaling point's threads=1 ms/frame: >10% serving-layer
 #                 overhead fails CI. The sweep also records the socket
 #                 front end's loopback overhead (--net, "net_points" in
-#                 the same JSON — informational, not gated).
+#                 the same JSON — informational, not gated) and the
+#                 durable-mode pair (--checkpoint, "durable_points"):
+#                 checkpoint + write-ahead journal overhead at threads=1
+#                 is gated at <=10% over the plain run in the same file.
 #   NEO_CI_TSAN   when 1, build a second tree with -DNEO_SANITIZE=thread
-#                 and run the server- and net-labelled tests (the
-#                 concurrent session drivers plus the socket front end's
-#                 loopback chaos suite) under ThreadSanitizer.
+#                 and run the server-, net- and durability-labelled tests
+#                 (the concurrent session drivers, the socket front end's
+#                 loopback chaos suite, and the crash-recovery suites)
+#                 under ThreadSanitizer.
 #   NEO_BENCH_JSON        output trajectory point
-#                         (default: BENCH_PR9_scaling.json)
+#                         (default: BENCH_PR10_scaling.json)
 #   NEO_BENCH_BASELINE    previous trajectory point
-#                         (default: BENCH_PR8_scaling.json)
-#   NEO_BENCH_SERVER_JSON serving-layer sweep output (default: BENCH_PR9.json)
+#                         (default: BENCH_PR9_scaling.json)
+#   NEO_BENCH_SERVER_JSON serving-layer sweep output (default: BENCH_PR10.json)
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -44,9 +48,9 @@ cd "$(dirname "$0")"
 BUILD_DIR="${BUILD_DIR:-build}"
 BUILD_TYPE="${BUILD_TYPE:-}"
 JOBS="${JOBS:-$(nproc)}"
-NEO_BENCH_JSON="${NEO_BENCH_JSON:-BENCH_PR9_scaling.json}"
-NEO_BENCH_BASELINE="${NEO_BENCH_BASELINE:-BENCH_PR8_scaling.json}"
-NEO_BENCH_SERVER_JSON="${NEO_BENCH_SERVER_JSON:-BENCH_PR9.json}"
+NEO_BENCH_JSON="${NEO_BENCH_JSON:-BENCH_PR10_scaling.json}"
+NEO_BENCH_BASELINE="${NEO_BENCH_BASELINE:-BENCH_PR9_scaling.json}"
+NEO_BENCH_SERVER_JSON="${NEO_BENCH_SERVER_JSON:-BENCH_PR10.json}"
 
 cmake -B "$BUILD_DIR" -S . -DNEO_WERROR=ON \
     ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"} "$@"
@@ -70,6 +74,12 @@ ctest --test-dir "$BUILD_DIR" -L server --output-on-failure -j "$JOBS"
 # faults on victim connections vs bit-identical healthy siblings).
 echo "ci.sh: re-running net-labelled tests"
 ctest --test-dir "$BUILD_DIR" -L net --output-on-failure -j "$JOBS"
+
+# Durable sessions: snapshot/journal codec taxonomy, crash-injected
+# checkpoint writes, in-process kill/recover bit-identity, and the
+# real-binary SIGKILL-and-resume attestation.
+echo "ci.sh: re-running durability-labelled tests"
+ctest --test-dir "$BUILD_DIR" -L durability --output-on-failure -j "$JOBS"
 
 # Loopback end-to-end smoke over the real binaries: neo_serve_net binds
 # an ephemeral port and prints the solo reference hashes; the client
@@ -119,6 +129,95 @@ fi
 echo "ci.sh: socket front-end smoke OK (3 frames bit-identical over" \
      "the wire, drained cleanly)"
 
+# Kill-9-and-recover smoke over the real binaries: a durable server is
+# SIGKILLed mid-stream (no drain, no warning), restarted on the same
+# state directory, and the resumed session's served hashes must equal
+# the uninterrupted solo reference — the headline durability contract,
+# exercised end to end outside the test harness.
+echo "ci.sh: kill-9-and-recover durability smoke"
+DUR_DIR="$BUILD_DIR/neo_serve_net_durable_state"
+DUR_LOG="$BUILD_DIR/neo_serve_net_durable.log"
+rm -rf "$DUR_DIR"
+"$BUILD_DIR/examples/neo_serve_net" --print-solo 6 --state-dir "$DUR_DIR" \
+    >"$DUR_LOG" &
+DUR_PID=$!
+DUR_PORT=""
+for _ in $(seq 1 100); do
+    DUR_PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$DUR_LOG")"
+    [[ -n "$DUR_PORT" ]] && break
+    kill -0 "$DUR_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if [[ -z "$DUR_PORT" ]]; then
+    echo "ci.sh: FAIL — durable server did not report a port" >&2
+    kill "$DUR_PID" 2>/dev/null || true
+    cat "$DUR_LOG" >&2 || true
+    exit 1
+fi
+# First client: three frames land (journaled) and the session is left
+# open (--abandon, no Close record), then the server is SIGKILLed — no
+# drain, no final snapshot.
+"$BUILD_DIR/examples/neo_serve_net_client" --port "$DUR_PORT" --frames 3 \
+    --abandon >/dev/null
+kill -9 "$DUR_PID"
+wait "$DUR_PID" 2>/dev/null || true
+# Second incarnation on the same state directory must recover...
+DUR_LOG2="$BUILD_DIR/neo_serve_net_durable2.log"
+"$BUILD_DIR/examples/neo_serve_net" --state-dir "$DUR_DIR" >"$DUR_LOG2" &
+DUR_PID=$!
+DUR_PORT=""
+for _ in $(seq 1 100); do
+    DUR_PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$DUR_LOG2")"
+    [[ -n "$DUR_PORT" ]] && break
+    kill -0 "$DUR_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if [[ -z "$DUR_PORT" ]]; then
+    echo "ci.sh: FAIL — restarted durable server did not report a port" >&2
+    kill "$DUR_PID" 2>/dev/null || true
+    cat "$DUR_LOG2" >&2 || true
+    exit 1
+fi
+if ! grep -q '^recovered ' "$DUR_LOG2"; then
+    echo "ci.sh: FAIL — restarted durable server printed no recovery" \
+         "attestation" >&2
+    kill "$DUR_PID" 2>/dev/null || true
+    cat "$DUR_LOG2" >&2 || true
+    exit 1
+fi
+# ...and the resumed session continues bit-identically to the solo
+# reference incarnation A printed for the full 6-frame stream.
+DUR_CLIENT_OUT="$("$BUILD_DIR/examples/neo_serve_net_client" \
+    --port "$DUR_PORT" --resume 0 --start-frame 3 --frames 3 --shutdown)"
+if ! wait "$DUR_PID"; then
+    echo "ci.sh: FAIL — restarted durable server exited without a clean" \
+         "drain" >&2
+    cat "$DUR_LOG2" >&2 || true
+    exit 1
+fi
+DUR_SOLO="$(sed -n 's/^solo [345] //p' "$DUR_LOG")"
+DUR_WIRE="$(sed -n 's/^frame [345] //p' <<<"$DUR_CLIENT_OUT")"
+if [[ -z "$DUR_SOLO" || "$DUR_SOLO" != "$DUR_WIRE" ]]; then
+    echo "ci.sh: FAIL — hashes served after kill-9 recovery differ from" \
+         "the uninterrupted solo render" >&2
+    echo "--- incarnation A log:" >&2
+    cat "$DUR_LOG" >&2 || true
+    echo "--- incarnation B log:" >&2
+    cat "$DUR_LOG2" >&2 || true
+    echo "--- resumed client output:" >&2
+    printf '%s\n' "$DUR_CLIENT_OUT" >&2
+    exit 1
+fi
+if ! grep -q "session 0 resumed" <<<"$DUR_CLIENT_OUT"; then
+    echo "ci.sh: FAIL — client did not resume the recovered session" >&2
+    exit 1
+fi
+rm -rf "$DUR_DIR"
+echo "ci.sh: kill-9-and-recover smoke OK (resumed frames bit-identical" \
+     "to the uninterrupted solo render)"
+
 if [[ "${NEO_CI_TSAN:-0}" == "1" ]]; then
     # The serving layer's concurrency contract (submit()/stats() vs one
     # driver per session, shared pool dispatch from N drivers) is
@@ -131,9 +230,10 @@ if [[ "${NEO_CI_TSAN:-0}" == "1" ]]; then
     cmake -B "$TSAN_DIR" -S . -DNEO_WERROR=ON -DNEO_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build "$TSAN_DIR" -j "$JOBS"
-    echo "ci.sh: running server- and net-labelled tests under TSAN"
-    ctest --test-dir "$TSAN_DIR" -L 'server|net' --output-on-failure \
-        -j "$JOBS"
+    echo "ci.sh: running server-, net- and durability-labelled tests" \
+         "under TSAN"
+    ctest --test-dir "$TSAN_DIR" -L 'server|net|durability' \
+        --output-on-failure -j "$JOBS"
 fi
 
 if [[ "${NEO_CI_BENCH:-0}" == "1" ]]; then
@@ -162,7 +262,7 @@ if [[ "${NEO_CI_BENCH:-0}" == "1" ]]; then
         # check-mode overhead above 10% ms/frame at threads=1 fails CI.
         NEO_INTEGRITY_JSON="${NEO_BENCH_JSON%.json}_integrity.json"
         echo "ci.sh: running check-mode integrity bench point"
-        if ! NEO_BENCH_INTEGRITY=check NEO_BENCH_PR="${NEO_BENCH_PR:-9}" \
+        if ! NEO_BENCH_INTEGRITY=check NEO_BENCH_PR="${NEO_BENCH_PR:-10}" \
              bench/run_benches.sh "$BUILD_DIR" "$NEO_INTEGRITY_JSON"; then
             echo "ci.sh: WARNING integrity bench failed (non-gating)" >&2
         else
@@ -177,10 +277,13 @@ if [[ "${NEO_CI_BENCH:-0}" == "1" ]]; then
         # hashing) must stay within 10% of the bare staged render loop.
         # --net adds the loopback socket sweep: the same workload over
         # the framed wire protocol, with the per-request overhead
-        # recorded in a "net_points" array the gate ignores.
+        # recorded in a "net_points" array the gate ignores. --checkpoint
+        # adds the durable-mode pair, whose threads=1 overhead
+        # diff_bench.sh gates at <=10% against the plain run in the same
+        # file.
         echo "ci.sh: running multi-session serving bench"
         if ! "$BUILD_DIR/bench/bench_server" --json "$NEO_BENCH_SERVER_JSON" \
-             --pr "${NEO_BENCH_PR:-9}" --net; then
+             --pr "${NEO_BENCH_PR:-10}" --net --checkpoint; then
             echo "ci.sh: FAIL — serving bench failed (isolation contract" \
                  "or crash)" >&2
             exit 1

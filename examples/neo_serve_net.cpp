@@ -5,6 +5,13 @@
  * request drains it.
  *
  *   ./neo_serve_net [--threads N] [--port P] [--print-solo N]
+ *                   [--state-dir PATH]
+ *
+ * --state-dir enables durable sessions (serve/durable/): state is
+ * checkpointed + journaled under PATH, and on startup the server
+ * recovers whatever a previous incarnation persisted, printing
+ * "recovered sessions=N snapshot=S replayed=R skipped=K" for the
+ * crash-recovery smoke to parse.
  *
  * Prints "listening on 127.0.0.1:PORT" once bound (PORT is ephemeral
  * unless --port/NEO_SERVER_NET_PORT pins it) — the CI smoke parses that
@@ -54,6 +61,7 @@ main(int argc, char **argv)
     int threads = 0;
     int port = -1;
     int print_solo = 0;
+    const char *state_dir = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
             threads = std::atoi(argv[++i]);
@@ -62,9 +70,13 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--print-solo") == 0 &&
                    i + 1 < argc) {
             print_solo = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--state-dir") == 0 &&
+                   i + 1 < argc) {
+            state_dir = argv[++i];
         } else {
             std::fprintf(stderr, "usage: neo_serve_net [--threads N] "
-                                 "[--port P] [--print-solo N]\n");
+                                 "[--port P] [--print-solo N] "
+                                 "[--state-dir PATH]\n");
             return 2;
         }
     }
@@ -90,6 +102,24 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(
                             img.contentHash()));
         }
+    }
+
+    if (state_dir) {
+        if (!server.enableDurability(
+                serve::durable::durableConfigFromEnv(state_dir))) {
+            std::fprintf(stderr,
+                         "neo_serve_net: durable mode failed for %s\n",
+                         state_dir);
+            return 1;
+        }
+        const serve::durable::RecoveryStatus &rec = server.recovery();
+        std::printf("recovered sessions=%u snapshot=%llu replayed=%llu "
+                    "skipped=%u\n",
+                    rec.sessions_restored,
+                    static_cast<unsigned long long>(rec.snapshot_seq),
+                    static_cast<unsigned long long>(rec.journal_replayed),
+                    rec.generations_skipped);
+        std::fflush(stdout);
     }
 
     net::NetConfig ncfg = net::netConfigFromEnv();

@@ -6,6 +6,13 @@
  * optionally request a graceful server drain.
  *
  *   ./neo_serve_net_client --port P [--frames N] [--shutdown]
+ *                          [--resume ID] [--start-frame F] [--abandon]
+ *
+ * --resume re-binds to a session that survived a durable server restart
+ * instead of opening a new one; --start-frame submits frames [F, F+N)
+ * so a resumed stream continues where the crashed one stopped.
+ * --abandon exits without closing the session — the crash-recovery
+ * smoke uses it to leave a live session behind for a later --resume.
  *
  * Prints "frame F HASH" per served frame (compared by ci.sh against
  * the server's "solo F HASH" reference lines) and "shutdown acked"
@@ -25,17 +32,29 @@ main(int argc, char **argv)
 {
     int port = -1;
     int frames = 3;
+    int start_frame = 0;
+    long resume_id = -1;
     bool shutdown = false;
+    bool abandon = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
             port = std::atoi(argv[++i]);
         } else if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
             frames = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--start-frame") == 0 &&
+                   i + 1 < argc) {
+            start_frame = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
+            resume_id = std::atol(argv[++i]);
         } else if (std::strcmp(argv[i], "--shutdown") == 0) {
             shutdown = true;
+        } else if (std::strcmp(argv[i], "--abandon") == 0) {
+            abandon = true;
         } else {
             std::fprintf(stderr, "usage: neo_serve_net_client --port P "
-                                 "[--frames N] [--shutdown]\n");
+                                 "[--frames N] [--shutdown] "
+                                 "[--resume ID] [--start-frame F] "
+                                 "[--abandon]\n");
             return 2;
         }
     }
@@ -50,22 +69,32 @@ main(int argc, char **argv)
         return 1;
     }
 
-    // Must match the solo reference neo_serve_net renders: orbit,
-    // speed 1.0, 256x192.
-    OpenSessionReq open;
-    open.trajectory_kind = 0;
-    open.speed = 1.0f;
-    open.width = 256;
-    open.height = 192;
     OpenOkReply ok;
-    if (!client.openSession(open, &ok)) {
-        std::fprintf(stderr, "open-session failed: %s\n",
-                     wireErrorName(client.lastError()));
-        return 1;
+    if (resume_id >= 0) {
+        if (!client.resumeSession(static_cast<uint32_t>(resume_id),
+                                  &ok)) {
+            std::fprintf(stderr, "resume-session failed: %s\n",
+                         wireErrorName(client.lastError()));
+            return 1;
+        }
+        std::printf("session %u resumed\n", ok.session_id);
+    } else {
+        // Must match the solo reference neo_serve_net renders: orbit,
+        // speed 1.0, 256x192.
+        OpenSessionReq open;
+        open.trajectory_kind = 0;
+        open.speed = 1.0f;
+        open.width = 256;
+        open.height = 192;
+        if (!client.openSession(open, &ok)) {
+            std::fprintf(stderr, "open-session failed: %s\n",
+                         wireErrorName(client.lastError()));
+            return 1;
+        }
+        std::printf("session %u open\n", ok.session_id);
     }
-    std::printf("session %u open\n", ok.session_id);
 
-    for (int f = 0; f < frames; ++f) {
+    for (int f = start_frame; f < start_frame + frames; ++f) {
         SubmitFrameReq req;
         req.session_id = ok.session_id;
         req.frame_index = static_cast<uint64_t>(f);
@@ -77,6 +106,9 @@ main(int argc, char **argv)
         }
         std::printf("frame %d %016llx\n", f,
                     static_cast<unsigned long long>(reply.frame_hash));
+        // The crash-recovery smoke reads these lines through a pipe
+        // while deciding when to kill the server mid-stream.
+        std::fflush(stdout);
     }
 
     StatsReply stats;
@@ -98,7 +130,7 @@ main(int argc, char **argv)
             return 1;
         }
         std::printf("shutdown acked\n");
-    } else if (!client.closeSession(ok.session_id)) {
+    } else if (!abandon && !client.closeSession(ok.session_id)) {
         std::fprintf(stderr, "close-session failed: %s\n",
                      wireErrorName(client.lastError()));
         return 1;

@@ -1,6 +1,7 @@
 #include "common/env.h"
 
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <set>
 #include <string>
@@ -83,6 +84,36 @@ envDouble(const char *name, double def, double lo, double hi)
         return def;
     }
     return v;
+}
+
+int
+envChoice(const char *name, const char *const *choices, int count,
+          int def)
+{
+    const char *text = std::getenv(name);
+    if (!text || text[0] == '\0')
+        return def;
+    for (int i = 0; i < count; ++i) {
+        if (std::strcmp(text, choices[i]) == 0)
+            return i;
+    }
+    if (shouldWarn(name)) {
+        std::string valid;
+        for (int i = 0; i < count; ++i) {
+            if (i)
+                valid += ",";
+            valid += choices[i];
+        }
+        warn("%s='%s' is not one of {%s}; using %s", name, text,
+             valid.c_str(), choices[def]);
+    }
+    return def;
+}
+
+bool
+shouldWarnOnce(const char *name)
+{
+    return shouldWarn(name);
 }
 
 void

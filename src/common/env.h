@@ -36,6 +36,23 @@ long envLong(const char *name, long def, long lo, long hi);
 /** Floating-point knob with the same warn-once validated contract. */
 double envDouble(const char *name, double def, double lo, double hi);
 
+/**
+ * String-choice knob: getenv(@p name) must equal one of the @p count
+ * strings in @p choices; returns its index. Unset or empty returns
+ * @p def silently; an unrecognized value warns once (listing the valid
+ * choices) and returns @p def.
+ */
+int envChoice(const char *name, const char *const *choices, int count,
+              int def);
+
+/**
+ * Shared warn-once registry for bespoke parsers that cannot use
+ * envLong/envChoice directly (e.g. NEO_THREADS's "auto" special case):
+ * true exactly once per knob name until resetWarnings(). The caller
+ * emits its own diagnostic.
+ */
+bool shouldWarnOnce(const char *name);
+
 /** Test hook: forget which knob names have already warned, so a suite
     can assert the diagnostic fires again. */
 void resetWarnings();

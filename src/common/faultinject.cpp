@@ -302,4 +302,139 @@ shortWriteCount()
     return g_sw_fired;
 }
 
+// --- Durability fault domain --------------------------------------------
+
+namespace
+{
+
+// Armed durable-fault state, independent of the other domains so a
+// recovery test can hold a bit flip and a torn write armed at once.
+std::atomic<bool> g_df_pending{false};
+std::mutex g_df_mutex;
+std::string g_df_point;
+DurableFault g_df_kind = DurableFault::None;
+uint64_t g_df_seed = 1;
+int64_t g_df_at = -1;
+uint64_t g_df_fired = 0;
+
+/** True (under g_df_mutex) when the armed fault matches; burns it. */
+bool
+takeDurableFault(const char *point, DurableFault kind)
+{
+    if (g_df_kind != kind || g_df_point != point)
+        return false;
+    g_df_pending.store(false, std::memory_order_release);
+    g_df_kind = DurableFault::None;
+    ++g_df_fired;
+    return true;
+}
+
+} // namespace
+
+const char *
+durableFaultName(DurableFault fault)
+{
+    switch (fault) {
+    case DurableFault::None:
+        return "none";
+    case DurableFault::TornWrite:
+        return "torn-write";
+    case DurableFault::FlipBit:
+        return "flip-bit";
+    case DurableFault::AbortRename:
+        return "abort-rename";
+    }
+    return "none";
+}
+
+void
+armDurableFault(const char *point, DurableFault kind, uint64_t seed,
+                int64_t at)
+{
+    std::lock_guard<std::mutex> lock(g_df_mutex);
+    g_df_point = point;
+    g_df_kind = kind;
+    g_df_seed = seed;
+    g_df_at = at;
+    g_df_pending.store(kind != DurableFault::None,
+                       std::memory_order_release);
+}
+
+void
+disarmDurableFault()
+{
+    std::lock_guard<std::mutex> lock(g_df_mutex);
+    g_df_kind = DurableFault::None;
+    g_df_pending.store(false, std::memory_order_release);
+}
+
+bool
+durablePending()
+{
+    return g_df_pending.load(std::memory_order_acquire);
+}
+
+uint64_t
+durableFaultCount()
+{
+    std::lock_guard<std::mutex> lock(g_df_mutex);
+    return g_df_fired;
+}
+
+size_t
+durableWriteLimit(const char *point, size_t len)
+{
+    if (!g_df_pending.load(std::memory_order_acquire))
+        return len;
+    std::lock_guard<std::mutex> lock(g_df_mutex);
+    if (g_df_kind != DurableFault::TornWrite || g_df_point != point)
+        return len;
+    if (len == 0)
+        return len; // nothing to tear; keep the arm for a real write
+    size_t cut;
+    if (g_df_at >= 0) {
+        cut = static_cast<size_t>(g_df_at) < len
+                  ? static_cast<size_t>(g_df_at)
+                  : len - 1;
+    } else {
+        uint64_t state = g_df_seed ^ (static_cast<uint64_t>(len) << 32);
+        cut = static_cast<size_t>(splitmix(state) % len);
+    }
+    (void)takeDurableFault(point, DurableFault::TornWrite);
+    return cut;
+}
+
+void
+durableCorrupt(const char *point, uint8_t *data, size_t len)
+{
+    if (!g_df_pending.load(std::memory_order_acquire))
+        return;
+    std::lock_guard<std::mutex> lock(g_df_mutex);
+    if (g_df_kind != DurableFault::FlipBit || g_df_point != point)
+        return;
+    if (!data || len == 0)
+        return; // keep the arm for a non-empty image
+    uint64_t state = g_df_seed ^ (static_cast<uint64_t>(len) << 32);
+    size_t byte;
+    if (g_df_at >= 0) {
+        byte = static_cast<size_t>(g_df_at) < len
+                   ? static_cast<size_t>(g_df_at)
+                   : len - 1;
+    } else {
+        byte = static_cast<size_t>(splitmix(state) % len);
+    }
+    const int bit = static_cast<int>(splitmix(state) % 8);
+    data[byte] ^= static_cast<uint8_t>(1u << bit);
+    (void)takeDurableFault(point, DurableFault::FlipBit);
+}
+
+bool
+durableAbortRename(const char *point)
+{
+    if (!g_df_pending.load(std::memory_order_acquire))
+        return false;
+    std::lock_guard<std::mutex> lock(g_df_mutex);
+    return takeDurableFault(point, DurableFault::AbortRename);
+}
+
 } // namespace neo::faultinject

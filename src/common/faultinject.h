@@ -226,6 +226,72 @@ void disarmShortWrite();
 /** Short writes forced since process start. */
 uint64_t shortWriteCount();
 
+// --- Durability fault domain --------------------------------------------
+//
+// The crash-consistency layer (serve/durable/) extends the fault model
+// from memory and the wire to stable storage: a process dying mid-write
+// leaves a torn file, a disk or filesystem bug flips bytes at rest, and
+// SIGKILL between "write temp" and "rename into place" leaves a stale
+// generation plus an orphaned temp file. Arming a durable fault makes
+// the *production* snapshot/journal writers take exactly those paths
+// deterministically, so the loader's digest-verification and
+// fall-back-a-generation behavior is tested through real file I/O.
+
+/** What a durability fault does to one file write. */
+enum class DurableFault : uint8_t
+{
+    None,        //!< write untouched
+    TornWrite,   //!< persist only a prefix (crash mid-write)
+    FlipBit,     //!< flip one seeded bit of the buffer (rot at rest)
+    AbortRename, //!< write the temp file fully, then skip the rename
+};
+
+/** Lower-case fault name ("torn-write", "flip-bit", "abort-rename"). */
+const char *durableFaultName(DurableFault fault);
+
+/**
+ * Arm one durability fault at injection point @p point (the writers use
+ * "durable.snapshot" and "durable.journal"). It fires on the next
+ * matching hook call, then disarms itself. @p at >= 0 pins the
+ * truncation length (TornWrite) or the flipped byte offset (FlipBit);
+ * -1 picks a seeded offset — every offset is reachable by sweeping
+ * @p at, which is what the torn-file taxonomy tests do.
+ */
+void armDurableFault(const char *point, DurableFault kind,
+                     uint64_t seed = 1, int64_t at = -1);
+
+/** Cancel a pending durability fault. */
+void disarmDurableFault();
+
+/** True while a durability fault is armed and has not fired. */
+bool durablePending();
+
+/** Durability faults fired since process start. */
+uint64_t durableFaultCount();
+
+/**
+ * Injection point on a file-write path: how many of @p len bytes the
+ * caller should actually persist. Returns @p len while disarmed; an
+ * armed TornWrite for @p point returns a prefix length in [0, len) and
+ * burns the arm.
+ */
+size_t durableWriteLimit(const char *point, size_t len);
+
+/**
+ * Injection point on an encoded file image: an armed FlipBit for
+ * @p point flips one bit (at the pinned or seeded offset) and burns
+ * the arm. No-op while disarmed.
+ */
+void durableCorrupt(const char *point, uint8_t *data, size_t len);
+
+/**
+ * Injection point between temp-file write and rename: true when an
+ * armed AbortRename for @p point fired — the caller must leave the
+ * temp file in place and report failure, exactly what a kill between
+ * write and rename leaves behind. Burns the arm.
+ */
+bool durableAbortRename(const char *point);
+
 } // namespace neo::faultinject
 
 #endif // NEO_COMMON_FAULTINJECT_H

@@ -1,6 +1,5 @@
 #include "common/integrity.h"
 
-#include <atomic>
 #include <cstdlib>
 #include <cstring>
 
@@ -27,17 +26,21 @@ parseIntegrityMode(const char *value)
 IntegrityMode
 integrityModeFromEnv()
 {
-    const char *env = std::getenv("NEO_INTEGRITY");
-    const IntegrityMode mode = parseIntegrityMode(env);
-    if (mode == IntegrityMode::Unset) {
-        static std::atomic<bool> warned{false};
-        if (!warned.exchange(true))
-            warn("NEO_INTEGRITY=%s is not one of "
-                 "{off,check,recover,attest}; integrity stays off",
-                 env);
+    // Validated choice parse through common/env: an unrecognized value
+    // warns once (re-armed by env::resetWarnings() for tests) and keeps
+    // integrity off rather than silently doing nothing.
+    static const char *const kModes[] = {"off", "check", "recover",
+                                         "attest"};
+    switch (env::envChoice("NEO_INTEGRITY", kModes, 4, 0)) {
+    case 1:
+        return IntegrityMode::Check;
+    case 2:
+        return IntegrityMode::Recover;
+    case 3:
+        return IntegrityMode::Attest;
+    default:
         return IntegrityMode::Off;
     }
-    return mode;
 }
 
 int

@@ -1,7 +1,6 @@
 #include "common/parallel.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
 #include <cstring>
 
@@ -50,19 +49,15 @@ parseThreadAffinity(const char *value)
 ThreadAffinity
 threadAffinityMode()
 {
-    const char *env = std::getenv("NEO_THREAD_AFFINITY");
-    const ThreadAffinity mode = parseThreadAffinity(env);
     // An unrecognized value (e.g. a "compat" typo) silently behaving
-    // like None cost real debugging time — diagnose it, once.
-    if (mode == ThreadAffinity::None && env && *env &&
-        std::strcmp(env, "none") != 0) {
-        static std::atomic<bool> warned{false};
-        if (!warned.exchange(true))
-            warn("NEO_THREAD_AFFINITY=%s is not one of "
-                 "{none,compact,scatter}; running unpinned",
-                 env);
-    }
-    return mode;
+    // like None cost real debugging time — envChoice diagnoses it, once,
+    // through the shared warn-once registry (so env::resetWarnings()
+    // re-arms the diagnostic for tests).
+    static const char *const kModes[] = {"none", "compact", "scatter"};
+    const int mode = env::envChoice("NEO_THREAD_AFFINITY", kModes, 3, 0);
+    return mode == 1 ? ThreadAffinity::Compact
+           : mode == 2 ? ThreadAffinity::Scatter
+                       : ThreadAffinity::None;
 }
 
 int
@@ -126,10 +121,11 @@ resolveThreadCount(int requested)
         return hardwareThreadCount();
     long v = 0;
     // Full-string consumption (common/env): "4garbage" must not silently
-    // run with 4 threads (nor "garbage" with 1 and no diagnostic).
+    // run with 4 threads (nor "garbage" with 1 and no diagnostic). The
+    // "auto" special case above keeps this off envLong, but the warn-once
+    // state lives in env's registry so resetWarnings() covers it.
     if (!neo::env::parseLong(env, &v) || v <= 0) {
-        static std::atomic<bool> warned{false};
-        if (!warned.exchange(true))
+        if (neo::env::shouldWarnOnce("NEO_THREADS"))
             warn("NEO_THREADS=%s is not a positive integer or \"auto\"; "
                  "using 1 thread",
                  env);

@@ -134,6 +134,22 @@ class DeltaTracker
         accum_scratch_.clear();
     }
 
+    /** Reference membership of the last observed frame (per tile, sorted
+        ascending) — with the persistent tile tables, the complete
+        cross-frame state a durable snapshot must carry. */
+    const std::vector<std::vector<GaussianId>> &prevIds() const
+    {
+        return prev_ids_;
+    }
+
+    /** Adopt @p ids as the reference membership, as if the frame that
+        produced them had just been observed. Restoring an empty set is
+        equivalent to reset() (the next observe() is a first frame). */
+    void restorePrevIds(std::vector<std::vector<GaussianId>> ids)
+    {
+        prev_ids_ = std::move(ids);
+    }
+
   private:
     /**
      * Per-worker-chunk accumulator, persistent across frames (chunk

@@ -146,6 +146,20 @@ class NeoRenderer
         integrity_.forgetSeals();
     }
 
+    /**
+     * Adopt @p tables / @p prev_ids as the cross-frame sorter state — the
+     * durable-recovery path. Seals from the pre-restore state are
+     * forgotten (the restored buffers are re-sealed as the next frame
+     * adopts them); a subsequent frame with the same tile count resumes
+     * the reuse path bit-identically to an uninterrupted run.
+     */
+    void restorePersistentState(std::vector<std::vector<TileEntry>> tables,
+                                std::vector<std::vector<GaussianId>> prev_ids)
+    {
+        sorter_.restore(std::move(tables), std::move(prev_ids));
+        integrity_.forgetSeals();
+    }
+
     const ReuseUpdateSorter &sorter() const { return sorter_; }
     const Renderer &base() const { return shared_->base(); }
 

@@ -96,6 +96,26 @@ class ReuseUpdateSorter : public SortingStrategy
         able to write a recovered tile back in place. */
     TileTableSet &mutableTables() { return tables_; }
 
+    /** Delta tracker's reference membership (durable-snapshot source). */
+    const std::vector<std::vector<GaussianId>> &trackerPrevIds() const
+    {
+        return tracker_.prevIds();
+    }
+
+    /**
+     * Adopt @p tables / @p prev_ids as the cross-frame state, as if the
+     * frame that produced them had just completed. The next beginFrame
+     * with a matching tile count takes the reuse path and produces
+     * orderings bit-identical to an uninterrupted run; a mismatched tile
+     * count cold-starts exactly as it would have before the restore.
+     */
+    void restore(std::vector<std::vector<TileEntry>> tables,
+                 std::vector<std::vector<GaussianId>> prev_ids)
+    {
+        tables_.tables() = std::move(tables);
+        tracker_.restorePrevIds(std::move(prev_ids));
+    }
+
     /** Forget all cross-frame state. */
     void reset();
 

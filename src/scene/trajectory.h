@@ -49,6 +49,10 @@ class Trajectory
 
     float speed() const { return speed_; }
     TrajectoryKind kind() const { return kind_; }
+    /** Path focus / scale — with kind() and speed(), everything a
+        durable snapshot needs to reconstruct the trajectory exactly. */
+    Vec3 center() const { return center_; }
+    float radius() const { return radius_; }
 
   private:
     TrajectoryKind kind_;

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Little-endian byte codec shared by the durable snapshot and journal
+ * formats — the same bounds-checked writer/reader discipline as the wire
+ * codec (serve/net/wire.cpp), duplicated here because on-disk state is
+ * exactly as untrusted as bytes from a socket: a reader over-read is a
+ * corruption signal, never a crash.
+ */
+
+#ifndef NEO_SERVE_DURABLE_CODEC_H
+#define NEO_SERVE_DURABLE_CODEC_H
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace neo::serve::durable
+{
+
+/** Little-endian writer appending to a byte vector. */
+class ByteWriter
+{
+  public:
+    explicit ByteWriter(std::vector<uint8_t> &out) : out_(out) {}
+
+    void u8(uint8_t v) { out_.push_back(v); }
+    void u16(uint16_t v)
+    {
+        out_.push_back(static_cast<uint8_t>(v));
+        out_.push_back(static_cast<uint8_t>(v >> 8));
+    }
+    void u32(uint32_t v)
+    {
+        u16(static_cast<uint16_t>(v));
+        u16(static_cast<uint16_t>(v >> 16));
+    }
+    void u64(uint64_t v)
+    {
+        u32(static_cast<uint32_t>(v));
+        u32(static_cast<uint32_t>(v >> 32));
+    }
+    void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+    void f32(float v)
+    {
+        uint32_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u32(bits);
+    }
+    void f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+  private:
+    std::vector<uint8_t> &out_;
+};
+
+/** Bounds-checked little-endian reader. ok() goes false on the first
+    over-read and every later value reads as zero — callers check once. */
+class ByteReader
+{
+  public:
+    ByteReader(const uint8_t *data, size_t len) : data_(data), len_(len) {}
+
+    bool ok() const { return ok_; }
+    bool done() const { return ok_ && off_ == len_; }
+    size_t offset() const { return off_; }
+
+    uint8_t u8()
+    {
+        if (!take(1))
+            return 0;
+        return data_[off_++];
+    }
+    uint16_t u16()
+    {
+        if (!take(2))
+            return 0;
+        uint16_t v = static_cast<uint16_t>(
+            data_[off_] | (static_cast<uint16_t>(data_[off_ + 1]) << 8));
+        off_ += 2;
+        return v;
+    }
+    uint32_t u32()
+    {
+        const uint32_t lo = u16();
+        const uint32_t hi = u16();
+        return lo | (hi << 16);
+    }
+    uint64_t u64()
+    {
+        const uint64_t lo = u32();
+        const uint64_t hi = u32();
+        return lo | (hi << 32);
+    }
+    int32_t i32() { return static_cast<int32_t>(u32()); }
+    int64_t i64() { return static_cast<int64_t>(u64()); }
+    float f32()
+    {
+        const uint32_t bits = u32();
+        float v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+    double f64()
+    {
+        const uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+    bool boolean() { return u8() != 0; }
+
+  private:
+    bool take(size_t n)
+    {
+        if (!ok_ || len_ - off_ < n) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    const uint8_t *data_;
+    size_t len_;
+    size_t off_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace neo::serve::durable
+
+#endif // NEO_SERVE_DURABLE_CODEC_H

@@ -1,0 +1,128 @@
+#include "serve/durable/durable.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <sys/stat.h>
+
+#include "common/env.h"
+#include "common/logging.h"
+
+namespace neo::serve::durable
+{
+
+DurableConfig
+durableConfigFromEnv(const std::string &state_dir)
+{
+    DurableConfig cfg;
+    if (!state_dir.empty()) {
+        cfg.state_dir = state_dir;
+    } else if (const char *dir = std::getenv("NEO_SERVER_DURABLE_DIR")) {
+        cfg.state_dir = dir;
+    }
+    cfg.keep_generations = static_cast<int>(
+        env::envLong("NEO_SERVER_DURABLE_KEEP", 3, 1, 16));
+    cfg.checkpoint_every = static_cast<uint64_t>(
+        env::envLong("NEO_SERVER_DURABLE_CHECKPOINT", 64, 0, 1000000000));
+    cfg.sync_every = static_cast<uint64_t>(
+        env::envLong("NEO_SERVER_DURABLE_SYNC", 1, 0, 1000000));
+    return cfg;
+}
+
+bool
+DurabilityManager::init(std::string *err)
+{
+    if (cfg_.state_dir.empty()) {
+        if (err)
+            *err = "empty state directory";
+        return false;
+    }
+    if (::mkdir(cfg_.state_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        if (err)
+            *err = "mkdir " + cfg_.state_dir + ": " + std::strerror(errno);
+        return false;
+    }
+    if (!journal_.open(cfg_.state_dir, err))
+        return false;
+    journal_.setSyncEvery(cfg_.sync_every);
+
+    // Resume the sequence counter above everything on disk — corrupt
+    // generations included (their file names still carry a seq), so a
+    // rewritten generation never collides with a refused one.
+    uint64_t top = 0;
+    for (const SnapshotFile &f : listSnapshots(cfg_.state_dir))
+        top = f.seq > top ? f.seq : top;
+    next_seq_ = top + 1;
+
+    status_.durable = true;
+    return true;
+}
+
+void
+DurabilityManager::recordOpen(uint32_t session_id,
+                              const SessionOpenParams &open)
+{
+    if (replaying())
+        return;
+    JournalRecord rec;
+    rec.type = JournalRecordType::Open;
+    rec.session_id = session_id;
+    rec.open = open;
+    journal_.append(rec);
+}
+
+void
+DurabilityManager::recordSubmit(uint32_t session_id, uint64_t frame_index)
+{
+    if (replaying())
+        return;
+    JournalRecord rec;
+    rec.type = JournalRecordType::Submit;
+    rec.session_id = session_id;
+    rec.frame_index = frame_index;
+    journal_.append(rec);
+    frames_journaled_.fetch_add(1, std::memory_order_relaxed);
+    frames_since_checkpoint_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+DurabilityManager::recordClose(uint32_t session_id)
+{
+    if (replaying())
+        return;
+    JournalRecord rec;
+    rec.type = JournalRecordType::Close;
+    rec.session_id = session_id;
+    journal_.append(rec);
+}
+
+bool
+DurabilityManager::writeSnapshot(const ServerSnapshot &snap,
+                                 std::string *err)
+{
+    if (!writeSnapshotFile(cfg_.state_dir, snap, err))
+        return false;
+    pruneSnapshots(cfg_.state_dir, cfg_.keep_generations);
+    frames_since_checkpoint_.store(0, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+DurabilityManager::compactJournal(uint64_t new_epoch)
+{
+    if (!journal_.reset(new_epoch))
+        return false;
+    frames_journaled_.store(0, std::memory_order_relaxed);
+    frames_since_checkpoint_.store(0, std::memory_order_relaxed);
+    return true;
+}
+
+void
+DurabilityManager::noteReplayed(uint64_t submits)
+{
+    frames_journaled_.fetch_add(submits, std::memory_order_relaxed);
+    frames_since_checkpoint_.fetch_add(submits, std::memory_order_relaxed);
+}
+
+} // namespace neo::serve::durable

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Durable serving mode: crash-consistent checkpointing of the
+ * multi-session server. The DurabilityManager owns the on-disk state of
+ * one NeoServer — a directory holding N snapshot generations
+ * (snapshot.h) and one append-only request journal (journal.h) — plus
+ * the bookkeeping that ties them together: the snapshot sequence
+ * counter, the checkpoint cadence, and the replay flag that keeps
+ * journaling quiescent while the journal itself is being replayed.
+ *
+ * The recovery/checkpoint *orchestration* (which sessions to restore,
+ * how to replay a record) lives in NeoServer::enableDurability and the
+ * checkpoint methods — the manager is the storage layer under it.
+ *
+ * Environment knobs (validated via common/env, warn-once on malformed
+ * values):
+ *
+ *   NEO_SERVER_DURABLE_DIR         state directory (enables the mode)
+ *   NEO_SERVER_DURABLE_KEEP        snapshot generations kept   [1, 16]
+ *   NEO_SERVER_DURABLE_CHECKPOINT  frames between checkpoints  [0, 1e9]
+ *                                  (0 = only drain/recovery compactions)
+ *   NEO_SERVER_DURABLE_SYNC        journal fdatasync cadence   [0, 1e6]
+ *                                  (0 = never, 1 = every record, N =
+ *                                  every Nth record)
+ */
+
+#ifndef NEO_SERVE_DURABLE_DURABLE_H
+#define NEO_SERVE_DURABLE_DURABLE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "serve/durable/journal.h"
+#include "serve/durable/snapshot.h"
+
+namespace neo::serve::durable
+{
+
+/** Durable-mode configuration (see the knob table above). */
+struct DurableConfig
+{
+    /** State directory; empty disables durability. */
+    std::string state_dir;
+    int keep_generations = 3;
+    /** Accepted submissions between automatic checkpoints (0 = only the
+        drain-final and recovery compactions). */
+    uint64_t checkpoint_every = 64;
+    uint64_t sync_every = 1;
+};
+
+/**
+ * DurableConfig from the NEO_SERVER_DURABLE_* environment, with
+ * @p state_dir (e.g. a --state-dir flag) taking precedence over
+ * NEO_SERVER_DURABLE_DIR when non-empty.
+ */
+DurableConfig durableConfigFromEnv(const std::string &state_dir = "");
+
+/** What recovery found, attested in the Stats wire reply. */
+struct RecoveryStatus
+{
+    /** Durability is enabled for this server. */
+    bool durable = false;
+    /** Any state was recovered from disk (snapshot and/or journal). */
+    bool recovered = false;
+    /** Sequence of the snapshot generation loaded (0 = none). */
+    uint64_t snapshot_seq = 0;
+    /** Sessions restored from that snapshot. */
+    uint32_t sessions_restored = 0;
+    /** Journal records replayed on top of it. */
+    uint64_t journal_replayed = 0;
+    /** Corrupt snapshot generations detected and skipped — every one of
+        these was refused, never silently loaded. */
+    uint32_t generations_skipped = 0;
+};
+
+/** Storage layer of the durable serving mode (see file comment). */
+class DurabilityManager
+{
+  public:
+    explicit DurabilityManager(DurableConfig cfg) : cfg_(std::move(cfg)) {}
+
+    /**
+     * Create the state directory if needed and open the journal. Must
+     * succeed before anything else is called. On success the snapshot
+     * sequence counter resumes above every generation on disk —
+     * including corrupt ones, whose file names still carry their seq.
+     */
+    bool init(std::string *err = nullptr);
+
+    const DurableConfig &config() const { return cfg_; }
+    Journal &journal() { return journal_; }
+    RecoveryStatus &status() { return status_; }
+    const RecoveryStatus &status() const { return status_; }
+
+    /** True while NeoServer replays the journal: the record hooks below
+        no-op, so replayed requests are not re-journaled. */
+    bool replaying() const
+    {
+        return replaying_.load(std::memory_order_relaxed);
+    }
+    void setReplaying(bool on)
+    {
+        replaying_.store(on, std::memory_order_relaxed);
+    }
+
+    // Write-ahead record hooks (no-ops while replaying).
+    void recordOpen(uint32_t session_id, const SessionOpenParams &open);
+    void recordSubmit(uint32_t session_id, uint64_t frame_index);
+    void recordClose(uint32_t session_id);
+
+    /** Accepted submissions journaled in the current epoch. */
+    uint64_t framesJournaled() const
+    {
+        return frames_journaled_.load(std::memory_order_relaxed);
+    }
+    /** True when the configured checkpoint cadence has elapsed. */
+    bool checkpointDue() const
+    {
+        return cfg_.checkpoint_every > 0 &&
+               frames_since_checkpoint_.load(std::memory_order_relaxed) >=
+                   cfg_.checkpoint_every;
+    }
+
+    /** Claim the next snapshot sequence number (monotonic; a failed
+        write burns it, which is harmless). */
+    uint64_t allocSeq() { return next_seq_++; }
+
+    /**
+     * Persist @p snap (meta fully filled by the caller) and prune old
+     * generations. Resets the checkpoint cadence on success.
+     */
+    bool writeSnapshot(const ServerSnapshot &snap,
+                       std::string *err = nullptr);
+
+    /**
+     * Compaction bookkeeping after the compacting snapshot landed:
+     * truncate the journal to @p new_epoch and zero the epoch counters.
+     */
+    bool compactJournal(uint64_t new_epoch);
+
+    /** Bump counters for a replayed-or-restored submission history (so
+        frames_journaled reflects the records still in the journal). */
+    void noteReplayed(uint64_t submits);
+
+  private:
+    const DurableConfig cfg_;
+    Journal journal_;
+    RecoveryStatus status_;
+    std::atomic<bool> replaying_{false};
+    std::atomic<uint64_t> frames_journaled_{0};
+    std::atomic<uint64_t> frames_since_checkpoint_{0};
+    uint64_t next_seq_ = 1;
+};
+
+} // namespace neo::serve::durable
+
+#endif // NEO_SERVE_DURABLE_DURABLE_H

@@ -1,0 +1,364 @@
+#include "serve/durable/journal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/faultinject.h"
+#include "common/logging.h"
+#include "serve/durable/codec.h"
+#include "serve/durable/snapshot.h" // open-params codec
+#include "serve/net/wire.h"         // crc32
+
+namespace neo::serve::durable
+{
+
+const char *
+journalRecordName(JournalRecordType type)
+{
+    switch (type) {
+    case JournalRecordType::Open:
+        return "open";
+    case JournalRecordType::Submit:
+        return "submit";
+    case JournalRecordType::Close:
+        return "close";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+void
+encodeRecordPayload(std::vector<uint8_t> &out, const JournalRecord &rec)
+{
+    ByteWriter w(out);
+    w.u32(rec.session_id);
+    switch (rec.type) {
+    case JournalRecordType::Open:
+        writeOpenParams(w, rec.open);
+        break;
+    case JournalRecordType::Submit:
+        w.u64(rec.frame_index);
+        break;
+    case JournalRecordType::Close:
+        break;
+    }
+}
+
+bool
+decodeRecordPayload(uint8_t type, const uint8_t *data, size_t len,
+                    JournalRecord *out)
+{
+    ByteReader r(data, len);
+    JournalRecord rec;
+    rec.session_id = r.u32();
+    switch (static_cast<JournalRecordType>(type)) {
+    case JournalRecordType::Open:
+        rec.type = JournalRecordType::Open;
+        if (!readOpenParams(r, &rec.open))
+            return false;
+        break;
+    case JournalRecordType::Submit:
+        rec.type = JournalRecordType::Submit;
+        rec.frame_index = r.u64();
+        break;
+    case JournalRecordType::Close:
+        rec.type = JournalRecordType::Close;
+        break;
+    default:
+        return false;
+    }
+    if (!r.done())
+        return false;
+    *out = rec;
+    return true;
+}
+
+bool
+writeAllAt(int fd, const uint8_t *data, size_t len, uint64_t offset)
+{
+    size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::pwrite(fd, data + off, len - off,
+                                   static_cast<off_t>(offset + off));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+readAllFrom(int fd, uint64_t offset, std::vector<uint8_t> *out)
+{
+    out->clear();
+    uint8_t buf[1 << 16];
+    uint64_t pos = offset;
+    for (;;) {
+        const ssize_t n =
+            ::pread(fd, buf, sizeof(buf), static_cast<off_t>(pos));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return true;
+        out->insert(out->end(), buf, buf + n);
+        pos += static_cast<uint64_t>(n);
+    }
+}
+
+/** Length of the valid record prefix of @p data (record bytes only,
+    header excluded); counts whole valid records into @p records. */
+size_t
+validPrefix(const uint8_t *data, size_t len, uint64_t *records)
+{
+    size_t off = 0;
+    *records = 0;
+    while (len - off >= kRecordHeaderSize) {
+        ByteReader h(data + off, kRecordHeaderSize);
+        const uint8_t type = h.u8();
+        const uint32_t length = h.u32();
+        const uint32_t crc = h.u32();
+        if (length > kMaxRecordPayload)
+            break;
+        if (len - off - kRecordHeaderSize < length)
+            break;
+        const uint8_t *payload = data + off + kRecordHeaderSize;
+        if (net::crc32(payload, length) != crc)
+            break;
+        JournalRecord rec;
+        if (!decodeRecordPayload(type, payload, length, &rec))
+            break;
+        off += kRecordHeaderSize + length;
+        ++*records;
+    }
+    return off;
+}
+
+} // namespace
+
+Journal::~Journal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+uint64_t
+Journal::epoch() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return epoch_;
+}
+
+uint64_t
+Journal::endOffset() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return end_offset_;
+}
+
+void
+Journal::setSyncEvery(uint64_t n)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sync_every_ = n;
+}
+
+bool
+Journal::writeHeader(uint64_t epoch)
+{
+    std::vector<uint8_t> header;
+    ByteWriter w(header);
+    w.u32(kJournalMagic);
+    w.u16(kJournalVersion);
+    w.u16(0);
+    w.u64(epoch);
+    if (!writeAllAt(fd_, header.data(), header.size(), 0))
+        return false;
+    return ::fdatasync(fd_) == 0;
+}
+
+bool
+Journal::open(const std::string &dir, std::string *err)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    path_ = dir + "/journal.neoj";
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0) {
+        if (err)
+            *err = "open " + path_ + ": " + std::strerror(errno);
+        return false;
+    }
+
+    std::vector<uint8_t> data;
+    if (!readAllFrom(fd_, 0, &data)) {
+        if (err)
+            *err = "read " + path_ + ": " + std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+
+    bool header_ok = false;
+    uint64_t epoch = 0;
+    if (data.size() >= kJournalHeaderSize) {
+        ByteReader h(data.data(), kJournalHeaderSize);
+        const uint32_t magic = h.u32();
+        const uint16_t version = h.u16();
+        h.u16();
+        epoch = h.u64();
+        header_ok = magic == kJournalMagic && version == kJournalVersion;
+    }
+
+    if (!header_ok) {
+        // Fresh file, or a header too corrupt to trust: an empty log
+        // with epoch 0, which by construction no snapshot pairs with.
+        if (!data.empty() && data.size() >= kJournalHeaderSize)
+            warn("durable: journal header corrupt; starting a fresh "
+                 "epoch (nothing will be replayed from it)");
+        epoch_ = 0;
+        end_offset_ = kJournalHeaderSize;
+        tail_lost_ = 0;
+        if (::ftruncate(fd_, 0) != 0 || !writeHeader(0)) {
+            if (err)
+                *err = "init " + path_ + ": " + std::strerror(errno);
+            ::close(fd_);
+            fd_ = -1;
+            return false;
+        }
+        return true;
+    }
+
+    // Identify the valid record prefix and drop the crash-mid-append
+    // tail so appends always extend a valid log.
+    uint64_t records = 0;
+    const size_t prefix = validPrefix(data.data() + kJournalHeaderSize,
+                                      data.size() - kJournalHeaderSize,
+                                      &records);
+    const uint64_t valid_end = kJournalHeaderSize + prefix;
+    tail_lost_ = data.size() - valid_end > 0 ? 1 : 0;
+    if (valid_end < data.size()) {
+        warn("durable: journal %s: truncating %zu torn tail byte(s) "
+             "after %llu valid record(s)",
+             path_.c_str(), data.size() - static_cast<size_t>(valid_end),
+             static_cast<unsigned long long>(records));
+        if (::ftruncate(fd_, static_cast<off_t>(valid_end)) != 0) {
+            if (err)
+                *err = "truncate " + path_ + ": " + std::strerror(errno);
+            ::close(fd_);
+            fd_ = -1;
+            return false;
+        }
+    }
+    epoch_ = epoch;
+    end_offset_ = valid_end;
+    return true;
+}
+
+bool
+Journal::append(const JournalRecord &rec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0)
+        return false;
+
+    std::vector<uint8_t> payload;
+    encodeRecordPayload(payload, rec);
+    std::vector<uint8_t> buf;
+    ByteWriter w(buf);
+    w.u8(static_cast<uint8_t>(rec.type));
+    w.u32(static_cast<uint32_t>(payload.size()));
+    w.u32(net::crc32(payload.data(), payload.size()));
+    buf.insert(buf.end(), payload.begin(), payload.end());
+
+    // Fault hooks (see common/faultinject.h): FlipBit corrupts the
+    // record in flight, TornWrite persists a prefix. Either way the
+    // in-memory offset advances as if the append succeeded — exactly
+    // what a process that crashed (or whose disk lied) believed — and
+    // the next open() truncates the residue.
+    faultinject::durableCorrupt("durable.journal", buf.data(), buf.size());
+    const size_t persist =
+        faultinject::durableWriteLimit("durable.journal", buf.size());
+    if (!writeAllAt(fd_, buf.data(), persist, end_offset_))
+        return false;
+    end_offset_ += buf.size();
+
+    if (sync_every_ > 0 && ++unsynced_ >= sync_every_) {
+        ::fdatasync(fd_);
+        unsynced_ = 0;
+    }
+    return true;
+}
+
+void
+Journal::sync()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ >= 0) {
+        ::fdatasync(fd_);
+        unsynced_ = 0;
+    }
+}
+
+bool
+Journal::replay(uint64_t offset, std::vector<JournalRecord> *out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    out->clear();
+    if (fd_ < 0)
+        return false;
+    if (offset < kJournalHeaderSize || offset >= end_offset_)
+        return true; // nothing (or nothing valid) to replay
+    std::vector<uint8_t> data;
+    if (!readAllFrom(fd_, offset, &data))
+        return false;
+    if (data.size() > end_offset_ - offset)
+        data.resize(end_offset_ - offset);
+    size_t off = 0;
+    while (data.size() - off >= kRecordHeaderSize) {
+        ByteReader h(data.data() + off, kRecordHeaderSize);
+        const uint8_t type = h.u8();
+        const uint32_t length = h.u32();
+        const uint32_t crc = h.u32();
+        if (length > kMaxRecordPayload ||
+            data.size() - off - kRecordHeaderSize < length)
+            break;
+        const uint8_t *payload = data.data() + off + kRecordHeaderSize;
+        if (net::crc32(payload, length) != crc)
+            break;
+        JournalRecord rec;
+        if (!decodeRecordPayload(type, payload, length, &rec))
+            break;
+        out->push_back(rec);
+        off += kRecordHeaderSize + length;
+    }
+    return true;
+}
+
+bool
+Journal::reset(uint64_t new_epoch)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0)
+        return false;
+    if (::ftruncate(fd_, 0) != 0)
+        return false;
+    if (!writeHeader(new_epoch))
+        return false;
+    epoch_ = new_epoch;
+    end_offset_ = kJournalHeaderSize;
+    unsynced_ = 0;
+    return true;
+}
+
+} // namespace neo::serve::durable

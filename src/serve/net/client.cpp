@@ -132,6 +132,20 @@ NetClient::openSession(const OpenSessionReq &req, OpenOkReply *reply,
 }
 
 bool
+NetClient::resumeSession(uint32_t session_id, OpenOkReply *reply,
+                         double timeout_ms)
+{
+    std::vector<uint8_t> request;
+    SessionRef ref;
+    ref.session_id = session_id;
+    encodeSessionRef(request, MsgType::ResumeSession, ref);
+    DecodedFrame frame;
+    if (!roundTrip(request, MsgType::OpenOk, &frame, timeout_ms))
+        return false;
+    return decodeOpenOk(frame.payload, reply);
+}
+
+bool
 NetClient::submitFrame(const SubmitFrameReq &req, SubmitReply *reply,
                        double timeout_ms)
 {

@@ -41,6 +41,9 @@ class NetClient
 
     bool openSession(const OpenSessionReq &req, OpenOkReply *reply,
                      double timeout_ms = 10000.0);
+    /** Re-bind to a session that survived a durable server restart. */
+    bool resumeSession(uint32_t session_id, OpenOkReply *reply,
+                       double timeout_ms = 10000.0);
     bool submitFrame(const SubmitFrameReq &req, SubmitReply *reply,
                      double timeout_ms = 10000.0);
     bool stats(uint32_t session_id, StatsReply *reply,

@@ -226,6 +226,43 @@ NetFrontend::routeFrame(Conn &c, const DecodedFrame &frame)
         encodeOpenOk(out, ok);
         break;
     }
+    case MsgType::ResumeSession: {
+        SessionRef req;
+        if (!decodeSessionRef(frame.payload, &req)) {
+            answerError(c, WireError::BadPayload,
+                        static_cast<uint16_t>(frame.type));
+            return false;
+        }
+        if (draining_) {
+            answerError(c, WireError::Draining, 0);
+            return false;
+        }
+        if (c.hasSession()) {
+            answerError(c, WireError::AlreadyOpen, 0);
+            return false;
+        }
+        if (!server_.session(req.session_id)) {
+            answerError(c, WireError::UnknownSession, 0);
+            return false;
+        }
+        // One owner per session even across restarts: resuming a session
+        // another live connection is bound to is refused, not stolen.
+        bool taken = false;
+        for (const auto &other : conns_) {
+            taken |= !other->closed() && other->hasSession() &&
+                     other->sessionId() == req.session_id;
+        }
+        if (taken) {
+            answerError(c, WireError::AlreadyOpen, 0);
+            return false;
+        }
+        c.bindSession(req.session_id);
+        ++counters_.sessions_opened;
+        OpenOkReply ok;
+        ok.session_id = req.session_id;
+        encodeOpenOk(out, ok);
+        break;
+    }
     case MsgType::SubmitFrame: {
         SubmitFrameReq req;
         if (!decodeSubmitFrame(frame.payload, &req)) {
@@ -298,6 +335,12 @@ NetFrontend::routeFrame(Conn &c, const DecodedFrame &frame)
         reply.queue_depth =
             static_cast<uint32_t>(session->queueDepth());
         reply.stats = session->stats();
+        const durable::RecoveryStatus &rec = server_.recovery();
+        reply.durable = rec.durable;
+        reply.recovered = rec.recovered;
+        reply.snapshot_seq = rec.snapshot_seq;
+        reply.journal_replayed = rec.journal_replayed;
+        reply.generations_skipped = rec.generations_skipped;
         encodeStatsReply(out, reply);
         break;
     }
@@ -389,6 +432,11 @@ NetFrontend::beginDrain(double now_ms)
 {
     draining_ = true;
     drain_start_ms_ = now_ms;
+    // Durable graceful drain: fold everything into a final compacting
+    // snapshot while the sessions are still live, so a restart recovers
+    // them with nothing left to replay.
+    if (server_.durable())
+        server_.checkpointCompact();
     if (listen_fd_ >= 0) {
         ::close(listen_fd_);
         listen_fd_ = -1;
@@ -425,8 +473,15 @@ NetFrontend::reapClosed()
             break;
         }
         if (c->hasSession()) {
-            server_.close(c->sessionId());
-            ++counters_.sessions_closed;
+            // Durable sessions outlive their connections: a disconnect
+            // detaches (ResumeSession re-binds later, possibly after a
+            // server restart), and only an explicit CloseSession request
+            // tears the session down. Closing here would also journal a
+            // teardown after a drain's final snapshot was already cut.
+            if (!server_.durable()) {
+                server_.close(c->sessionId());
+                ++counters_.sessions_closed;
+            }
         }
         ::close(c->fd());
         ++counters_.conns_closed;
@@ -505,6 +560,10 @@ NetFrontend::runOnce(int timeout_ms)
     }
 
     reapClosed();
+    // Periodic durability checkpoint between ticks: the loop is the only
+    // driver, so every session is quiescent right here.
+    if (!draining_)
+        server_.maybeCheckpoint();
     counters_.requests_served += served;
     return served;
 }

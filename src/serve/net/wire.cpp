@@ -123,6 +123,7 @@ knownMsgType(uint16_t type)
     case MsgType::Stats:
     case MsgType::CloseSession:
     case MsgType::Shutdown:
+    case MsgType::ResumeSession:
     case MsgType::OpenOk:
     case MsgType::SubmitReply:
     case MsgType::StatsReply:
@@ -148,6 +149,8 @@ msgTypeName(MsgType type)
         return "close-session";
     case MsgType::Shutdown:
         return "shutdown";
+    case MsgType::ResumeSession:
+        return "resume-session";
     case MsgType::OpenOk:
         return "open-ok";
     case MsgType::SubmitReply:
@@ -325,6 +328,11 @@ encodeStatsReply(std::vector<uint8_t> &out, const StatsReply &m)
         w.u64(m.stats.watchdog_trips);
         w.u64(m.stats.quarantines);
         w.u64(m.stats.recoveries);
+        w.boolean(m.durable);
+        w.boolean(m.recovered);
+        w.u64(m.snapshot_seq);
+        w.u64(m.journal_replayed);
+        w.u32(m.generations_skipped);
     });
 }
 
@@ -454,6 +462,11 @@ decodeStatsReply(const std::vector<uint8_t> &p, StatsReply *out)
     m.stats.watchdog_trips = r.u64();
     m.stats.quarantines = r.u64();
     m.stats.recoveries = r.u64();
+    m.durable = r.boolean();
+    m.recovered = r.boolean();
+    m.snapshot_seq = r.u64();
+    m.journal_replayed = r.u64();
+    m.generations_skipped = r.u32();
     if (!r.done())
         return false;
     *out = m;

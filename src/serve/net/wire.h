@@ -52,6 +52,11 @@ enum class MsgType : uint16_t
     Stats = 0x03,        //!< snapshot session counters
     CloseSession = 0x04, //!< tear down the session
     Shutdown = 0x05,     //!< request a graceful server drain
+    /** Re-bind this connection to a session that survived a server
+        restart (durable mode). Payload is a SessionRef; the reply is an
+        OpenOk echoing the id. Refused (unknown-session) when the id is
+        not live, or (already-open) when another connection owns it. */
+    ResumeSession = 0x06,
 
     // Server -> client.
     OpenOk = 0x81,
@@ -146,13 +151,20 @@ struct SessionRef
     uint32_t session_id = 0;
 };
 
-/** StatsReply response payload: SessionStats + lifecycle state. */
+/** StatsReply response payload: SessionStats + lifecycle state, plus
+    the server's recovery attestation (durable mode; zeros otherwise). */
 struct StatsReply
 {
     uint32_t session_id = 0;
     uint8_t state = 0;
     uint32_t queue_depth = 0;
     SessionStats stats;
+    // Recovery attestation (see serve/durable/durable.h).
+    bool durable = false;
+    bool recovered = false;
+    uint64_t snapshot_seq = 0;
+    uint64_t journal_replayed = 0;
+    uint32_t generations_skipped = 0;
 };
 
 /** Error response payload. */

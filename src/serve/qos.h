@@ -179,6 +179,35 @@ class BudgetController
     uint64_t degradations() const { return degradations_; }
     uint64_t restores() const { return restores_; }
 
+    /** Complete controller state, for durable snapshots. */
+    struct State
+    {
+        double ema_ms = 0.0;
+        bool warm = false;
+        int severity = 0;
+        int on_time_streak = 0;
+        uint64_t degradations = 0;
+        uint64_t restores = 0;
+    };
+
+    State exportState() const
+    {
+        return {ema_ms_, warm_, severity_, on_time_streak_,
+                degradations_, restores_};
+    }
+
+    /** Restore a snapshotted state (configure() with the session's QoS
+        first — the target itself is snapshotted by the owner). */
+    void restoreState(const State &s)
+    {
+        ema_ms_ = s.ema_ms;
+        warm_ = s.warm;
+        severity_ = s.severity;
+        on_time_streak_ = s.on_time_streak;
+        degradations_ = s.degradations;
+        restores_ = s.restores;
+    }
+
   private:
     int maxSeverity() const { return qos_.max_resolution_drop + 1; }
 

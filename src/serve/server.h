@@ -27,6 +27,7 @@
 #include <mutex>
 #include <vector>
 
+#include "serve/durable/durable.h"
 #include "serve/session.h"
 
 namespace neo::serve
@@ -93,9 +94,55 @@ class NeoServer
      */
     size_t drainConcurrent(int drivers);
 
+    // --- Durable serving mode (serve/durable/) -------------------------
+
+    /**
+     * Enable durability rooted at @p dcfg.state_dir and run recovery:
+     * load the newest digest-verified snapshot generation (corrupt ones
+     * are detected, warned about, and skipped — never loaded), restore
+     * its sessions at their original ids, deterministically replay the
+     * journal suffix, then cut a compacting checkpoint as the new
+     * baseline. Call once, before any traffic (and before spawning
+     * drivers). False when the state directory is unusable — the server
+     * then keeps serving, just not durably.
+     */
+    bool enableDurability(const durable::DurableConfig &dcfg);
+
+    bool durable() const { return durability_ != nullptr; }
+    durable::DurabilityManager *durability() { return durability_.get(); }
+
+    /** What recovery found (all-zero defaults when not durable). */
+    const durable::RecoveryStatus &recovery() const;
+
+    /**
+     * Cut a snapshot of the current state now (periodic checkpoint: the
+     * journal keeps its epoch, so older generations stay valid
+     * fallbacks). Quiescence contract: no concurrent driver may be
+     * stepping a session. False when not durable or the write failed.
+     */
+    bool checkpointNow();
+
+    /** checkpointNow() only when the configured cadence
+        (checkpoint_every accepted submissions) has elapsed. */
+    bool maybeCheckpoint();
+
+    /**
+     * Compacting checkpoint (graceful drain, recovery completion):
+     * snapshot under a fresh journal epoch, then truncate the journal.
+     * After it, a restart restores the snapshot and replays nothing.
+     */
+    bool checkpointCompact();
+
   private:
     /** Live sessions snapshot (registry lock held only for the copy). */
     std::vector<Session *> liveSnapshot() const;
+
+    /** Admit a session at an exact slot (recovery/replay path). */
+    Session *placeSessionAt(uint32_t id, const SessionOpenParams &open);
+    /** Export every live session + journal coordinates into @p snap. */
+    void exportSnapshot(durable::ServerSnapshot &snap);
+    /** Replay one journal record against the current state. */
+    void replayRecord(const durable::JournalRecord &rec);
 
     const ServerConfig cfg_;
     const std::shared_ptr<const GaussianScene> scene_;
@@ -103,6 +150,9 @@ class NeoServer
 
     mutable std::mutex mutex_; //!< guards sessions_
     std::vector<std::unique_ptr<Session>> sessions_; //!< index == id
+
+    /** Durable mode storage layer (null = not durable). */
+    std::unique_ptr<durable::DurabilityManager> durability_;
 };
 
 } // namespace neo::serve

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/faultinject.h"
+#include "serve/durable/durable.h"
 
 namespace neo::serve
 {
@@ -113,6 +114,12 @@ Session::submit(uint64_t frame_index)
     queue_.push_back(Request{frame_index, ++submit_seq_});
     ++stats_.accepted;
     r.accepted = true;
+    // Write-ahead journal hook: an accepted submission is durable before
+    // the caller learns it was accepted (no-op during journal replay —
+    // the manager is the caller then). Lock order is session -> journal,
+    // and the checkpoint path never takes them in reverse.
+    if (durability_)
+        durability_->recordSubmit(id_, frame_index);
     return r;
 }
 
@@ -322,6 +329,85 @@ Session::injectStall(int stage, double ms, int frames)
     stall_stage_ = stage;
     stall_ms_ = ms;
     stall_frames_ = frames;
+}
+
+void
+Session::setDurability(durable::DurabilityManager *mgr)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    durability_ = mgr;
+}
+
+void
+Session::exportDurable(SessionDurable &out) const
+{
+    out.id = id_;
+    out.open.trajectory_kind = static_cast<uint8_t>(trajectory_.kind());
+    out.open.center = trajectory_.center();
+    out.open.radius = trajectory_.radius();
+    out.open.speed = trajectory_.speed();
+    out.open.width = resolution_.width;
+    out.open.height = resolution_.height;
+    out.open.qos = qos_;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.submit_seq = submit_seq_;
+        out.stats = stats_;
+        out.state = static_cast<uint8_t>(state_);
+        out.quarantine_failures = quarantine_failures_;
+        out.backoff_remaining = backoff_remaining_;
+        out.rebuilds = rebuilds_;
+        out.queue.clear();
+        out.queue.reserve(queue_.size());
+        for (const Request &r : queue_)
+            out.queue.push_back({r.frame_index, r.submit_seq});
+    }
+    // Driver-thread state: safe under the quiescence contract (no
+    // concurrent step()), which is how the checkpoint paths call this.
+    out.budget = budget_.exportState();
+    out.sorter_stale = sorter_stale_ ? 1 : 0;
+    out.last_drop = last_drop_;
+    out.has_renderer = renderer_ != nullptr;
+    if (renderer_) {
+        out.tables = renderer_->sorter().tables().tables();
+        out.prev_ids = renderer_->sorter().trackerPrevIds();
+    } else {
+        out.tables.clear();
+        out.prev_ids.clear();
+    }
+}
+
+void
+Session::restoreDurable(SessionDurable d)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        submit_seq_ = d.submit_seq;
+        stats_ = d.stats;
+        state_ = static_cast<SessionState>(d.state);
+        quarantine_failures_ = d.quarantine_failures;
+        backoff_remaining_ = d.backoff_remaining;
+        rebuilds_ = d.rebuilds;
+        queue_.clear();
+        for (const SessionDurable::QueuedRequest &q : d.queue)
+            queue_.push_back(Request{q.frame_index, q.submit_seq});
+    }
+    budget_.restoreState(d.budget);
+    sorter_stale_ = d.sorter_stale != 0;
+    last_drop_ = d.last_drop;
+    if (d.has_renderer) {
+        // The constructor built a fresh renderer; adopting the
+        // snapshotted tables + tracker membership puts its next frame on
+        // the reuse path exactly where the snapshot left off.
+        renderer_->restorePersistentState(std::move(d.tables),
+                                          std::move(d.prev_ids));
+    } else {
+        // The session faulted before the snapshot: it is mid-quarantine
+        // and the next eligible step() rebuilds cold, as it would have.
+        renderer_.reset();
+    }
+    // watchdog_ stays freshly constructed (warmup): its rolling medians
+    // are wall-clock measurements of the dead process.
 }
 
 } // namespace neo::serve

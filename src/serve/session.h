@@ -41,6 +41,11 @@
 namespace neo::serve
 {
 
+namespace durable
+{
+class DurabilityManager;
+}
+
 /** Lifecycle state of a session. */
 enum class SessionState : uint8_t
 {
@@ -109,6 +114,65 @@ struct SessionStats
     uint64_t recoveries = 0;  //!< successful rebuilds back to Healthy
 };
 
+/**
+ * Everything needed to re-admit a session at its original id after a
+ * restart: the open() arguments, reconstructed exactly. The resolution
+ * label is not carried (it is a debugging aid, not state); restored
+ * sessions render under the label "durable".
+ */
+struct SessionOpenParams
+{
+    uint8_t trajectory_kind = 0; //!< TrajectoryKind
+    Vec3 center{};
+    float radius = 0.0f;
+    float speed = 1.0f;
+    int32_t width = 0;
+    int32_t height = 0;
+    QosTarget qos;
+};
+
+/**
+ * Complete durable state of one session — what Session::exportDurable
+ * writes and a crash-consistent snapshot persists. Restoring it into a
+ * freshly constructed session (same open params) and replaying the
+ * journal suffix resumes the stream bit-identically to an uninterrupted
+ * run: the persistent tile tables plus the delta tracker's reference
+ * membership are the renderer's entire cross-frame state, and
+ * everything else here is the session-layer state machine around it.
+ * The stage watchdog is deliberately not captured — its samples are
+ * wall-clock measurements of a dead process, meaningless after restart;
+ * it restarts in warmup.
+ */
+struct SessionDurable
+{
+    /** One queued-but-unrendered request. */
+    struct QueuedRequest
+    {
+        uint64_t frame_index = 0;
+        uint64_t submit_seq = 0;
+    };
+
+    uint32_t id = 0;
+    SessionOpenParams open;
+
+    uint64_t submit_seq = 0;
+    SessionStats stats;
+    uint8_t state = 0; //!< SessionState
+    int32_t quarantine_failures = 0;
+    int32_t backoff_remaining = 0;
+    uint32_t rebuilds = 0;
+    uint8_t sorter_stale = 0;
+    int32_t last_drop = 0;
+    std::vector<QueuedRequest> queue;
+    BudgetController::State budget;
+
+    /** False when the session faulted and its renderer was torn down
+        (quarantine/degraded); tables/prev_ids are then empty. */
+    uint8_t has_renderer = 1;
+    std::vector<std::vector<TileEntry>> tables;
+    std::vector<std::vector<GaussianId>> prev_ids;
+};
+
 /** One camera stream served against the shared scene (see file comment). */
 class Session
 {
@@ -149,6 +213,28 @@ class Session
      * a wedged stage for watchdog/quarantine tests.
      */
     void injectStall(int stage, double ms, int frames);
+
+    /**
+     * Attach the durability manager (nullptr detaches): every accepted
+     * submit() is journaled through it before the call returns, except
+     * while the manager is replaying that very journal.
+     */
+    void setDurability(durable::DurabilityManager *mgr);
+
+    /**
+     * Write this session's complete durable state into @p out (see
+     * SessionDurable). Requires driver quiescence: must not race a
+     * concurrent step()/drain() — the checkpoint paths run between
+     * pump rounds, where that holds by construction.
+     */
+    void exportDurable(SessionDurable &out) const;
+
+    /**
+     * Adopt a snapshotted state. Call once, immediately after
+     * construction with the same open parameters, before any traffic;
+     * the next step() resumes exactly where the snapshot left off.
+     */
+    void restoreDurable(SessionDurable d);
 
   private:
     struct Request
@@ -199,6 +285,9 @@ class Session
     int stall_stage_ = -1;
     double stall_ms_ = 0.0;
     int stall_frames_ = 0;
+
+    /** Journal sink for accepted submissions (not owned; may be null). */
+    durable::DurabilityManager *durability_ = nullptr;
 };
 
 } // namespace neo::serve

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "common/digest.h"
+#include "common/env.h"
 #include "common/faultinject.h"
 #include "common/integrity.h"
 #include "common/parallel.h"
@@ -267,6 +268,33 @@ TEST(IntegrityModeTest, ResolveDefersToEnvironmentOnlyWhenUnset)
         setenv("NEO_INTEGRITY", saved_copy.c_str(), 1);
     else
         unsetenv("NEO_INTEGRITY");
+}
+
+TEST(IntegrityModeTest, MalformedEnvWarnsOnceThroughSharedRegistry)
+{
+    // Regression for the common/env migration: NEO_INTEGRITY parses via
+    // envChoice, so an unrecognized value warns exactly once (shared
+    // registry, re-armed by env::resetWarnings()) and keeps integrity
+    // off rather than silently doing nothing.
+    const char *saved = std::getenv("NEO_INTEGRITY");
+    const std::string saved_copy = saved ? saved : "";
+
+    env::resetWarnings();
+    setenv("NEO_INTEGRITY", "paranoid", 1);
+    EXPECT_EQ(integrityModeFromEnv(), IntegrityMode::Off);
+    EXPECT_FALSE(env::shouldWarnOnce("NEO_INTEGRITY"))
+        << "the first parse consumed the knob's single warning slot";
+    EXPECT_EQ(integrityModeFromEnv(), IntegrityMode::Off);
+
+    env::resetWarnings();
+    EXPECT_TRUE(env::shouldWarnOnce("NEO_INTEGRITY"))
+        << "resetWarnings must re-arm the diagnostic";
+
+    if (saved)
+        setenv("NEO_INTEGRITY", saved_copy.c_str(), 1);
+    else
+        unsetenv("NEO_INTEGRITY");
+    env::resetWarnings();
 }
 
 // --- IntegrityContext seal/verify/restore ------------------------------

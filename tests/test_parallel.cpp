@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/env.h"
 #include "common/parallel.h"
 
 namespace neo::test
@@ -331,6 +332,53 @@ TEST(ThreadAffinity, UnrecognizedEnvValueRunsUnpinned)
         setenv("NEO_THREAD_AFFINITY", saved_copy.c_str(), 1);
     else
         unsetenv("NEO_THREAD_AFFINITY");
+}
+
+TEST(ThreadAffinity, MalformedEnvWarnsOnceThroughSharedRegistry)
+{
+    // Regression for the common/env migration: the affinity knob now
+    // parses via envChoice, so its one-shot diagnostic lives in the
+    // shared warn-once registry and env::resetWarnings() re-arms it.
+    const char *saved = std::getenv("NEO_THREAD_AFFINITY");
+    const std::string saved_copy = saved ? saved : "";
+
+    env::resetWarnings();
+    setenv("NEO_THREAD_AFFINITY", "compat", 1);
+    EXPECT_EQ(threadAffinityMode(), ThreadAffinity::None);
+    // The first resolution consumed the knob's single warning slot...
+    EXPECT_FALSE(env::shouldWarnOnce("NEO_THREAD_AFFINITY"));
+    // ...and later resolutions still fall back, now silently.
+    EXPECT_EQ(threadAffinityMode(), ThreadAffinity::None);
+
+    env::resetWarnings();
+    EXPECT_TRUE(env::shouldWarnOnce("NEO_THREAD_AFFINITY"))
+        << "resetWarnings must re-arm the diagnostic";
+
+    if (saved)
+        setenv("NEO_THREAD_AFFINITY", saved_copy.c_str(), 1);
+    else
+        unsetenv("NEO_THREAD_AFFINITY");
+    env::resetWarnings();
+}
+
+TEST(ResolveThreadCount, MalformedEnvWarnsOnceThroughSharedRegistry)
+{
+    // NEO_THREADS keeps its hand-rolled parse (the "auto" special case)
+    // but its diagnostic moved into the same registry.
+    const char *saved = std::getenv("NEO_THREADS");
+    const std::string saved_copy = saved ? saved : "";
+
+    env::resetWarnings();
+    setenv("NEO_THREADS", "garbage", 1);
+    EXPECT_EQ(resolveThreadCount(0), 1);
+    EXPECT_FALSE(env::shouldWarnOnce("NEO_THREADS"));
+    EXPECT_EQ(resolveThreadCount(0), 1);
+
+    if (saved)
+        setenv("NEO_THREADS", saved_copy.c_str(), 1);
+    else
+        unsetenv("NEO_THREADS");
+    env::resetWarnings();
 }
 
 TEST(ThreadAffinity, CompactMapsConsecutiveCpusSkippingSlotZero)
